@@ -1,0 +1,125 @@
+// Ablation — the design knobs DESIGN.md calls out:
+//   * area budget sweep: areas, kappa, K size, label size, update scope;
+//   * Sec. 2.3 fan-out adjustment on/off: frame fan-out and global width.
+#include <chrono>
+#include <memory>
+
+#include "bench_common.h"
+#include "util/random.h"
+
+namespace ruidx {
+namespace bench {
+namespace {
+
+constexpr uint64_t kScale = 12000;
+
+void BudgetSweep(const std::string& topology) {
+  TablePrinter table("area-budget sweep on '" + topology + "' (" +
+                     std::to_string(kScale) + " nodes)");
+  table.SetHeader({"max nodes/area", "areas", "kappa", "K bytes",
+                   "avg label bits", "avg ids changed/insert",
+                   "rparent ns"});
+  for (uint64_t budget : {8u, 32u, 128u, 512u, 4096u}) {
+    core::PartitionOptions options;
+    options.max_area_nodes = budget;
+    options.max_area_depth = 64;
+    auto doc = MakeTopology(topology, kScale);
+    core::Ruid2Scheme scheme(options);
+    scheme.Build(doc->root());
+    auto stats = xml::ComputeStats(doc->root());
+
+    // Update scope: 16 random insertions (fresh docs would be fairer but
+    // the drift over 16 ops is negligible at this scale).
+    Rng rng(55);
+    uint64_t changed = 0;
+    auto nodes = xml::CollectPreorder(doc->root());
+    for (int op = 0; op < 16; ++op) {
+      xml::Node* parent = nodes[rng.NextBounded(nodes.size())];
+      auto report = scheme.InsertAndRelabel(
+          doc.get(), parent, 0, doc->CreateElement("a" + std::to_string(op)));
+      if (report.ok()) changed += report->relabeled;
+    }
+
+    // rparent latency over a fixed random sample.
+    std::vector<core::Ruid2Id> sample;
+    for (int i = 0; i < 1024; ++i) {
+      xml::Node* n = nodes[1 + rng.NextBounded(nodes.size() - 1)];
+      sample.push_back(scheme.label(n));
+    }
+    auto start = std::chrono::steady_clock::now();
+    uint64_t sink = 0;
+    for (int rep = 0; rep < 64; ++rep) {
+      for (const core::Ruid2Id& id : sample) {
+        auto parent = scheme.Parent(id);
+        sink += parent.ok() ? 1 : 0;
+      }
+    }
+    auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    double ns_per_op =
+        static_cast<double>(elapsed) / (64.0 * static_cast<double>(sample.size()));
+    benchmark::DoNotOptimize(sink);
+
+    table.AddRow(
+        {std::to_string(budget), std::to_string(scheme.partition().areas.size()),
+         std::to_string(scheme.kappa()),
+         TablePrinter::FormatCount(scheme.GlobalStateBytes()),
+         TablePrinter::FormatDouble(
+             static_cast<double>(scheme.TotalLabelBits()) /
+                 static_cast<double>(stats.node_count),
+             1),
+         TablePrinter::FormatDouble(changed / 16.0, 1),
+         TablePrinter::FormatDouble(ns_per_op, 0)});
+  }
+  table.Print();
+}
+
+void AdjustmentAblation() {
+  TablePrinter table(
+      "Sec. 2.3 fan-out adjustment: frame fan-out with and without");
+  table.SetHeader({"topology", "source max fan-out", "kappa (adjust off)",
+                   "kappa (adjust on)", "areas off", "areas on"});
+  for (const char* topology : {"uniform", "random", "skewed", "xmark"}) {
+    auto doc = MakeTopology(topology, kScale);
+    uint64_t source = xml::ComputeStats(doc->root()).max_fanout;
+    core::PartitionOptions options;
+    options.max_area_nodes = 24;
+    options.max_area_depth = 3;
+    options.adjust_fanout = false;
+    core::Ruid2Scheme off(options);
+    off.Build(doc->root());
+    options.adjust_fanout = true;
+    core::Ruid2Scheme on(options);
+    on.Build(doc->root());
+    table.AddRow({topology, std::to_string(source),
+                  std::to_string(off.kappa()), std::to_string(on.kappa()),
+                  std::to_string(off.partition().areas.size()),
+                  std::to_string(on.partition().areas.size())});
+  }
+  table.Print();
+}
+
+void PrintTables() {
+  Banner("Ablation", "partitioning budgets and the Sec. 2.3 adjustment");
+  BudgetSweep("uniform");
+  BudgetSweep("xmark");
+  AdjustmentAblation();
+}
+
+void BM_PartitionOnly(benchmark::State& state) {
+  auto doc = MakeTopology("uniform", kScale);
+  core::PartitionOptions options;
+  options.max_area_nodes = static_cast<uint64_t>(state.range(0));
+  options.max_area_depth = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PartitionTree(doc->root(), options));
+  }
+}
+BENCHMARK(BM_PartitionOnly)->Arg(8)->Arg(128)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ruidx
+
+RUIDX_BENCH_MAIN(ruidx::bench::PrintTables)

@@ -1,0 +1,162 @@
+// E10a — XPath axis construction (Sec. 3.5): per-axis cost of the ruid
+// routines (rchildren, rdescendant, rpsibling, rfsibling, rpreceding,
+// rfollowing, rancestor) against DOM-pointer navigation, plus the
+// candidate-vs-filtered ablation for rchildren.
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/axes.h"
+#include "util/random.h"
+#include "xpath/dom_eval.h"
+#include "xpath/ruid_eval.h"
+
+namespace ruidx {
+namespace bench {
+namespace {
+
+constexpr uint64_t kScale = 12000;
+
+struct Fixture {
+  std::unique_ptr<xml::Document> doc;
+  core::Ruid2Scheme scheme;
+  std::unique_ptr<core::RuidAxes> axes;
+  std::vector<xml::Node*> sample;
+
+  explicit Fixture(const std::string& topology) : scheme(DefaultAreas()) {
+    doc = MakeTopology(topology, kScale);
+    scheme.Build(doc->root());
+    axes = std::make_unique<core::RuidAxes>(&scheme);
+    Rng rng(31);
+    auto nodes = xml::CollectPreorder(doc->root());
+    for (size_t i = 0; i < 512; ++i) {
+      sample.push_back(nodes[rng.NextBounded(nodes.size())]);
+    }
+  }
+};
+
+Fixture& GetFixture(const std::string& topology) {
+  static std::map<std::string, std::unique_ptr<Fixture>> cache;
+  auto& slot = cache[topology];
+  if (!slot) slot = std::make_unique<Fixture>(topology);
+  return *slot;
+}
+
+void PrintTables() {
+  Banner("E10a: axis construction",
+         "Sec. 3.5 routines vs DOM navigation; result sizes as sanity check");
+  Fixture& fixture = GetFixture("xmark");
+  xpath::DomEvaluator dom_eval(fixture.doc.get());
+
+  TablePrinter table("axis result sizes on 'xmark' (avg over 512 nodes)");
+  table.SetHeader({"axis", "avg ruid results", "avg DOM results", "equal sets"});
+  struct AxisCase {
+    const char* name;
+    xpath::Axis axis;
+  };
+  AxisCase cases[] = {
+      {"child", xpath::Axis::kChild},
+      {"descendant", xpath::Axis::kDescendant},
+      {"ancestor", xpath::Axis::kAncestor},
+      {"preceding-sibling", xpath::Axis::kPrecedingSibling},
+      {"following-sibling", xpath::Axis::kFollowingSibling},
+      {"preceding", xpath::Axis::kPreceding},
+      {"following", xpath::Axis::kFollowing},
+  };
+  xpath::RuidEvaluator ruid_eval(fixture.doc.get(), &fixture.scheme);
+  for (const AxisCase& c : cases) {
+    uint64_t ruid_total = 0;
+    uint64_t dom_total = 0;
+    bool equal = true;
+    for (xml::Node* n : fixture.sample) {
+      xpath::LocationPath path;
+      xpath::Step step;
+      step.axis = c.axis;
+      step.test.kind = xpath::NodeTestKind::kAnyNode;
+      path.steps.push_back(step);
+      auto via_ruid = ruid_eval.Evaluate(path, n);
+      auto via_dom = dom_eval.Evaluate(path, n);
+      if (!via_ruid.ok() || !via_dom.ok() || *via_ruid != *via_dom) {
+        equal = false;
+        continue;
+      }
+      ruid_total += via_ruid->size();
+      dom_total += via_dom->size();
+    }
+    table.AddRow({c.name,
+                  TablePrinter::FormatDouble(
+                      static_cast<double>(ruid_total) / fixture.sample.size(), 1),
+                  TablePrinter::FormatDouble(
+                      static_cast<double>(dom_total) / fixture.sample.size(), 1),
+                  equal ? "yes" : "NO!"});
+  }
+  table.Print();
+}
+
+template <typename Fn>
+void AxisBench(benchmark::State& state, const std::string& topology, Fn fn) {
+  Fixture& fixture = GetFixture(topology);
+  size_t i = 0;
+  for (auto _ : state) {
+    xml::Node* n = fixture.sample[i++ % fixture.sample.size()];
+    benchmark::DoNotOptimize(fn(fixture, n));
+  }
+}
+
+[[maybe_unused]] int registered = [] {
+  for (const char* topology : {"xmark", "uniform"}) {
+    auto reg = [&](const char* name, auto fn) {
+      benchmark::RegisterBenchmark(
+          (std::string(name) + "/" + topology).c_str(),
+          [fn, topology](benchmark::State& state) {
+            AxisBench(state, topology, fn);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    };
+    reg("rchildren", [](Fixture& f, xml::Node* n) {
+      return f.axes->Children(f.scheme.label(n));
+    });
+    reg("dom_children", [](Fixture& f, xml::Node* n) {
+      (void)f;
+      return n->children();
+    });
+    reg("rchildren_candidates", [](Fixture& f, xml::Node* n) {
+      return f.axes->ChildSlots(f.scheme.label(n));
+    });
+    reg("rdescendant", [](Fixture& f, xml::Node* n) {
+      return f.axes->Descendants(f.scheme.label(n));
+    });
+    reg("dom_descendant", [](Fixture& f, xml::Node* n) {
+      (void)f;
+      return xml::CollectPreorder(n);
+    });
+    reg("rancestor", [](Fixture& f, xml::Node* n) {
+      return f.axes->Ancestors(f.scheme.label(n));
+    });
+    reg("dom_ancestor", [](Fixture& f, xml::Node* n) {
+      (void)f;
+      std::vector<xml::Node*> out;
+      for (xml::Node* p = n->parent(); p != nullptr && !p->is_document();
+           p = p->parent()) {
+        out.push_back(p);
+      }
+      return out;
+    });
+    reg("rpsibling", [](Fixture& f, xml::Node* n) {
+      return f.axes->PrecedingSiblings(f.scheme.label(n));
+    });
+    reg("rfollowing", [](Fixture& f, xml::Node* n) {
+      return f.axes->Following(f.scheme.label(n));
+    });
+    reg("rpreceding", [](Fixture& f, xml::Node* n) {
+      return f.axes->Preceding(f.scheme.label(n));
+    });
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace bench
+}  // namespace ruidx
+
+RUIDX_BENCH_MAIN(ruidx::bench::PrintTables)

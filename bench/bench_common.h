@@ -1,0 +1,85 @@
+// Shared helpers for the benchmark harness. Every bench binary regenerates
+// one experiment from DESIGN.md (paper artifact -> our table), printing
+// deterministic metric tables first and running google-benchmark timings
+// after.
+#ifndef RUIDX_BENCH_BENCH_COMMON_H_
+#define RUIDX_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/ruid2.h"
+#include "util/table_printer.h"
+#include "xml/generator.h"
+#include "xml/stats.h"
+
+namespace ruidx {
+namespace bench {
+
+inline std::unique_ptr<xml::Document> MakeTopology(const std::string& name,
+                                                   uint64_t scale) {
+  if (name == "uniform") return xml::GenerateUniformTree(scale, 4);
+  if (name == "random") {
+    xml::RandomTreeConfig config;
+    config.node_budget = scale;
+    config.max_fanout = 8;
+    config.seed = 20020101;  // EDBT 2002
+    return xml::GenerateRandomTree(config);
+  }
+  if (name == "skewed") {
+    xml::SkewedTreeConfig config;
+    config.node_budget = scale;
+    config.max_fanout = 256;
+    config.seed = 20020101;
+    return xml::GenerateSkewedTree(config);
+  }
+  if (name == "deep") {
+    xml::DeepTreeConfig config;
+    config.depth = std::max<uint64_t>(4, scale / 40);
+    config.siblings_per_level = 3;
+    return xml::GenerateDeepTree(config);
+  }
+  if (name == "dblp") return xml::GenerateDblpLike(scale / 7);
+  if (name == "xmark") {
+    xml::XmarkConfig config;
+    config.items = scale / 30;
+    config.people = scale / 40;
+    config.open_auctions = scale / 50;
+    config.closed_auctions = scale / 80;
+    config.categories = scale / 200 + 2;
+    return xml::GenerateXmarkLike(config);
+  }
+  return xml::GenerateUniformTree(scale, 4);
+}
+
+inline core::PartitionOptions DefaultAreas() {
+  core::PartitionOptions options;
+  options.max_area_nodes = 64;
+  options.max_area_depth = 4;
+  return options;
+}
+
+/// Prints the experiment banner with the paper artifact it regenerates.
+inline void Banner(const std::string& experiment, const std::string& artifact) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n# regenerates: %s\n", experiment.c_str(), artifact.c_str());
+  std::printf("################################################################\n");
+}
+
+}  // namespace bench
+}  // namespace ruidx
+
+/// Standard main: print the experiment tables, then run timed benchmarks.
+#define RUIDX_BENCH_MAIN(print_tables_fn)                 \
+  int main(int argc, char** argv) {                       \
+    print_tables_fn();                                    \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }
+
+#endif  // RUIDX_BENCH_BENCH_COMMON_H_

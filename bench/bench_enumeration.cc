@@ -1,0 +1,99 @@
+// E13 — identifier generation across schemes and topologies (Sec. 2):
+// construction cost and label size. The original UID also enumerates
+// virtual nodes, so its identifier values (and bit widths) blow up on
+// skewed and deep documents; ruid's per-area enumeration keeps labels
+// compact.
+#include <memory>
+
+#include "bench_common.h"
+#include "core/ruidm.h"
+#include "scheme/dewey.h"
+#include "scheme/ordpath.h"
+#include "scheme/prepost.h"
+#include "scheme/uid.h"
+#include "scheme/xiss.h"
+
+namespace ruidx {
+namespace bench {
+namespace {
+
+constexpr uint64_t kScale = 20000;
+const char* kTopologies[] = {"uniform", "random", "skewed", "deep", "dblp",
+                             "xmark"};
+
+std::unique_ptr<scheme::LabelingScheme> MakeScheme(const std::string& name) {
+  if (name == "uid") return std::make_unique<scheme::UidScheme>();
+  if (name == "dewey") return std::make_unique<scheme::DeweyScheme>();
+  if (name == "prepost") return std::make_unique<scheme::PrePostScheme>();
+  if (name == "ordpath") return std::make_unique<scheme::OrdpathScheme>();
+  if (name == "xiss") return std::make_unique<scheme::XissScheme>();
+  if (name == "ruidm3") return std::make_unique<core::RuidMLabeling>(3, DefaultAreas());
+  return std::make_unique<core::Ruid2Scheme>(DefaultAreas());
+}
+
+void PrintTables() {
+  Banner("E13: enumeration", "Sec. 2 construction + identifier size");
+  for (const char* topology : kTopologies) {
+    auto doc = MakeTopology(topology, kScale);
+    auto stats = xml::ComputeStats(doc->root());
+    TablePrinter table(std::string("label sizes on '") + topology + "' (" +
+                       stats.ToString() + ")");
+    table.SetHeader({"scheme", "total KiB", "avg bits/node", "max bits/node",
+                     "extra state (bytes)"});
+    for (const char* name : {"uid", "dewey", "prepost", "ordpath", "xiss", "ruid2", "ruidm3"}) {
+      auto scheme = MakeScheme(name);
+      scheme->Build(doc->root());
+      uint64_t total = scheme->TotalLabelBits();
+      uint64_t max_bits = 0;
+      xml::PreorderTraverse(doc->root(), [&](xml::Node* n, int) {
+        max_bits = std::max(max_bits, scheme->LabelBits(n));
+        return true;
+      });
+      uint64_t extra = 0;
+      if (auto* ruid = dynamic_cast<core::Ruid2Scheme*>(scheme.get())) {
+        extra = ruid->GlobalStateBytes();
+      }
+      table.AddRow({name, TablePrinter::FormatDouble(total / 8.0 / 1024.0, 1),
+                    TablePrinter::FormatDouble(
+                        static_cast<double>(total) /
+                            static_cast<double>(stats.node_count),
+                        1),
+                    std::to_string(max_bits), std::to_string(extra)});
+    }
+    table.Print();
+  }
+}
+
+void BM_Build(benchmark::State& state, const std::string& scheme_name,
+              const std::string& topology) {
+  auto doc = MakeTopology(topology, kScale);
+  for (auto _ : state) {
+    auto scheme = MakeScheme(scheme_name);
+    scheme->Build(doc->root());
+    benchmark::DoNotOptimize(scheme->TotalLabelBits());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScale));
+}
+
+void RegisterBuildBenchmarks() {
+  for (const char* scheme : {"uid", "dewey", "prepost", "ordpath", "xiss", "ruid2", "ruidm3"}) {
+    for (const char* topology : {"uniform", "skewed", "deep"}) {
+      std::string name = std::string("BM_Build/") + scheme + "/" + topology;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [scheme, topology](benchmark::State& state) {
+            BM_Build(state, scheme, topology);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+int registered = (RegisterBuildBenchmarks(), 0);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ruidx
+
+RUIDX_BENCH_MAIN(ruidx::bench::PrintTables)

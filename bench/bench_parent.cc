@@ -1,0 +1,157 @@
+// E9 — parent identifier computation (Sec. 5, observation 2): rparent() is
+// "more complicated than the one in the original UID", but both run
+// entirely in main memory, so "the distinction is not significant".
+// Measures per-operation cost of parent and full ancestor-chain recovery.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ruidm.h"
+#include "scheme/dewey.h"
+#include "scheme/uid.h"
+#include "util/random.h"
+
+namespace ruidx {
+namespace bench {
+namespace {
+
+constexpr uint64_t kScale = 20000;
+
+struct Fixture {
+  std::unique_ptr<xml::Document> doc;
+  scheme::UidScheme uid;
+  core::Ruid2Scheme ruid;
+  scheme::DeweyScheme dewey;
+  std::vector<xml::Node*> sample;  // non-root nodes, shuffled
+
+  explicit Fixture(const std::string& topology)
+      : ruid(DefaultAreas()) {
+    doc = MakeTopology(topology, kScale);
+    uid.Build(doc->root());
+    ruid.Build(doc->root());
+    dewey.Build(doc->root());
+    Rng rng(7);
+    xml::PreorderTraverse(doc->root(), [&](xml::Node* n, int) {
+      if (n != doc->root()) sample.push_back(n);
+      return true;
+    });
+    for (size_t i = sample.size(); i > 1; --i) {
+      std::swap(sample[i - 1], sample[rng.NextBounded(i)]);
+    }
+    if (sample.size() > 4096) sample.resize(4096);
+  }
+};
+
+Fixture& GetFixture(const std::string& topology) {
+  static std::map<std::string, std::unique_ptr<Fixture>> cache;
+  auto& slot = cache[topology];
+  if (!slot) slot = std::make_unique<Fixture>(topology);
+  return *slot;
+}
+
+void PrintTables() {
+  Banner("E9: parent computation",
+         "Sec. 5 obs. 2 — rparent vs parent, both in main memory");
+  TablePrinter table("state each method needs resident");
+  table.SetHeader({"method", "formula / algorithm", "in-memory state"});
+  table.AddRow({"uid parent", "(i-2)/k + 1  (formula 1)", "k (8 bytes)"});
+  table.AddRow({"ruid rparent", "Fig. 6", "kappa + table K"});
+  table.AddRow({"dewey parent", "drop last component", "none"});
+  table.Print();
+  for (const char* topology : {"uniform", "deep"}) {
+    Fixture& fixture = GetFixture(topology);
+    std::printf("'%s': ruid global state = %llu bytes, areas = %zu\n",
+                topology,
+                static_cast<unsigned long long>(fixture.ruid.GlobalStateBytes()),
+                fixture.ruid.partition().areas.size());
+  }
+  std::printf("\n(timings below; see EXPERIMENTS.md for discussion)\n");
+}
+
+void BM_UidParent(benchmark::State& state, const std::string& topology) {
+  Fixture& fixture = GetFixture(topology);
+  size_t i = 0;
+  for (auto _ : state) {
+    xml::Node* n = fixture.sample[i++ % fixture.sample.size()];
+    benchmark::DoNotOptimize(
+        scheme::UidParent(fixture.uid.label(n), fixture.uid.k()));
+  }
+}
+
+void BM_RuidParent(benchmark::State& state, const std::string& topology) {
+  Fixture& fixture = GetFixture(topology);
+  size_t i = 0;
+  for (auto _ : state) {
+    xml::Node* n = fixture.sample[i++ % fixture.sample.size()];
+    auto parent = fixture.ruid.Parent(fixture.ruid.label(n));
+    benchmark::DoNotOptimize(parent);
+  }
+}
+
+void BM_DeweyParent(benchmark::State& state, const std::string& topology) {
+  Fixture& fixture = GetFixture(topology);
+  size_t i = 0;
+  for (auto _ : state) {
+    xml::Node* n = fixture.sample[i++ % fixture.sample.size()];
+    scheme::DeweyLabel label = fixture.dewey.label(n);
+    label.pop_back();
+    benchmark::DoNotOptimize(label);
+  }
+}
+
+void BM_UidAncestorChain(benchmark::State& state, const std::string& topology) {
+  Fixture& fixture = GetFixture(topology);
+  size_t i = 0;
+  for (auto _ : state) {
+    xml::Node* n = fixture.sample[i++ % fixture.sample.size()];
+    BigUint cur = fixture.uid.label(n);
+    while (cur > BigUint(1)) {
+      cur = scheme::UidParent(cur, fixture.uid.k());
+    }
+    benchmark::DoNotOptimize(cur);
+  }
+}
+
+void BM_RuidAncestorChain(benchmark::State& state,
+                          const std::string& topology) {
+  Fixture& fixture = GetFixture(topology);
+  size_t i = 0;
+  for (auto _ : state) {
+    xml::Node* n = fixture.sample[i++ % fixture.sample.size()];
+    benchmark::DoNotOptimize(fixture.ruid.Ancestors(fixture.ruid.label(n)));
+  }
+}
+
+void BM_RuidAncestorCheck(benchmark::State& state,
+                          const std::string& topology) {
+  Fixture& fixture = GetFixture(topology);
+  const core::Ruid2Id& root_id = fixture.ruid.label(fixture.doc->root());
+  size_t i = 0;
+  for (auto _ : state) {
+    xml::Node* n = fixture.sample[i++ % fixture.sample.size()];
+    benchmark::DoNotOptimize(
+        fixture.ruid.IsAncestorId(root_id, fixture.ruid.label(n)));
+  }
+}
+
+[[maybe_unused]] int registered = [] {
+  for (const char* topology : {"uniform", "deep"}) {
+    auto reg = [&](const char* name, auto fn) {
+      benchmark::RegisterBenchmark(
+          (std::string(name) + "/" + topology).c_str(),
+          [fn, topology](benchmark::State& state) { fn(state, topology); });
+    };
+    reg("BM_UidParent", BM_UidParent);
+    reg("BM_RuidParent", BM_RuidParent);
+    reg("BM_DeweyParent", BM_DeweyParent);
+    reg("BM_UidAncestorChain", BM_UidAncestorChain);
+    reg("BM_RuidAncestorChain", BM_RuidAncestorChain);
+    reg("BM_RuidAncestorCheck", BM_RuidAncestorCheck);
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace bench
+}  // namespace ruidx
+
+RUIDX_BENCH_MAIN(ruidx::bench::PrintTables)

@@ -1,0 +1,123 @@
+// E10b — location-path query evaluation (Sec. 4 "Query evaluation" and
+// Sec. 5 observation 3: "querying speed using ruid in main memory is quite
+// competitive"): full XPath queries through the identifier-based evaluator
+// vs DOM navigation.
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "xpath/dom_eval.h"
+#include "xpath/ruid_eval.h"
+
+namespace ruidx {
+namespace bench {
+namespace {
+
+constexpr uint64_t kScale = 12000;
+
+const char* kQueries[] = {
+    "/site/people/person",
+    "//person/name",
+    "//person[@id=\"person11\"]",
+    "//open_auction/bidder",
+    "//bidder[1]/increase",
+    "//item/ancestor::*",
+    "//person[watches]/name/text()",
+    "//category//category",
+    "//initial/following::increase",
+    "/site/open_auctions/open_auction/bidder/increase",
+    "/site/*/person/name",
+};
+
+struct Fixture {
+  std::unique_ptr<xml::Document> doc;
+  core::Ruid2Scheme scheme;
+  std::unique_ptr<xpath::NameIndex> name_index;
+  std::unique_ptr<xpath::DomEvaluator> dom_eval;
+  std::unique_ptr<xpath::RuidEvaluator> ruid_eval;
+  std::unique_ptr<xpath::RuidEvaluator> indexed_eval;
+
+  Fixture() : scheme(DefaultAreas()) {
+    doc = MakeTopology("xmark", kScale);
+    scheme.Build(doc->root());
+    name_index = std::make_unique<xpath::NameIndex>(doc->root());
+    dom_eval = std::make_unique<xpath::DomEvaluator>(doc.get());
+    ruid_eval = std::make_unique<xpath::RuidEvaluator>(doc.get(), &scheme);
+    indexed_eval = std::make_unique<xpath::RuidEvaluator>(doc.get(), &scheme);
+    indexed_eval->SetNameIndex(name_index.get());
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void PrintTables() {
+  Banner("E10b: query evaluation",
+         "Sec. 5 obs. 3 — location paths via ruid vs DOM, same answers");
+  Fixture& fixture = GetFixture();
+  auto stats = xml::ComputeStats(fixture.doc->root());
+  std::printf("document: %s\n", stats.ToString().c_str());
+
+  TablePrinter table("query results (all three evaluators agree)");
+  table.SetHeader({"query", "results", "equal"});
+  for (const char* query : kQueries) {
+    auto via_dom = fixture.dom_eval->Evaluate(query);
+    auto via_ruid = fixture.ruid_eval->Evaluate(query);
+    auto via_index = fixture.indexed_eval->Evaluate(query);
+    bool ok = via_dom.ok() && via_ruid.ok() && via_index.ok() &&
+              *via_dom == *via_ruid && *via_dom == *via_index;
+    table.AddRow({query,
+                  via_dom.ok() ? std::to_string(via_dom->size()) : "err",
+                  ok ? "yes" : "NO!"});
+  }
+  table.Print();
+}
+
+enum class Evaluator { kDom, kRuid, kRuidIndexed };
+
+void BM_Query(benchmark::State& state, const char* query, Evaluator which) {
+  Fixture& fixture = GetFixture();
+  for (auto _ : state) {
+    switch (which) {
+      case Evaluator::kDom:
+        benchmark::DoNotOptimize(fixture.dom_eval->Evaluate(query));
+        break;
+      case Evaluator::kRuid:
+        benchmark::DoNotOptimize(fixture.ruid_eval->Evaluate(query));
+        break;
+      case Evaluator::kRuidIndexed:
+        benchmark::DoNotOptimize(fixture.indexed_eval->Evaluate(query));
+        break;
+    }
+  }
+}
+
+[[maybe_unused]] int registered = [] {
+  int qid = 0;
+  for (const char* query : kQueries) {
+    std::string base = "Q" + std::to_string(qid++);
+    struct Variant {
+      const char* suffix;
+      Evaluator which;
+    };
+    for (Variant v : {Variant{"/dom", Evaluator::kDom},
+                      Variant{"/ruid", Evaluator::kRuid},
+                      Variant{"/ruid_nameindex", Evaluator::kRuidIndexed}}) {
+      benchmark::RegisterBenchmark(
+          (base + v.suffix).c_str(),
+          [query, v](benchmark::State& state) {
+            BM_Query(state, query, v.which);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace bench
+}  // namespace ruidx
+
+RUIDX_BENCH_MAIN(ruidx::bench::PrintTables)

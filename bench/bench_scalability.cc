@@ -1,0 +1,136 @@
+// E8 — scalability (Sec. 3.1, Sec. 5 obs. 1): identifier widths as
+// documents get deeper and more recursive. The original UID's values grow
+// like k^depth and overflow 64-bit integers quickly; 2-level ruid keeps the
+// local components small, and stacking levels (Def. 4) bounds every
+// component: m levels address ~ e^m nodes.
+#include "bench_common.h"
+#include "core/ruidm.h"
+#include "scheme/uid.h"
+
+namespace ruidx {
+namespace bench {
+namespace {
+
+void DepthSweep() {
+  TablePrinter table(
+      "identifier width vs document depth (deep recursive trees, 3 siblings "
+      "per level)");
+  table.SetHeader({"depth", "nodes", "UID max bits", "fits u64?",
+                   "ruid2 max component bits", "ruidm(3) max component bits"});
+  for (uint64_t depth : {8u, 16u, 24u, 32u, 48u, 64u, 96u}) {
+    xml::DeepTreeConfig config;
+    config.depth = depth;
+    config.siblings_per_level = 3;
+    auto doc = xml::GenerateDeepTree(config);
+    auto stats = xml::ComputeStats(doc->root());
+
+    scheme::UidScheme uid;
+    uid.Build(doc->root());
+    uint64_t uid_bits = static_cast<uint64_t>(uid.max_label().BitWidth());
+
+    core::PartitionOptions options;
+    options.max_area_nodes = 48;
+    options.max_area_depth = 4;
+    core::Ruid2Scheme ruid2(options);
+    ruid2.Build(doc->root());
+    uint64_t ruid2_bits = 0;
+    xml::PreorderTraverse(doc->root(), [&](xml::Node* n, int) {
+      const core::Ruid2Id& id = ruid2.label(n);
+      ruid2_bits = std::max<uint64_t>(
+          ruid2_bits, std::max(id.global.BitWidth(), id.local.BitWidth()));
+      return true;
+    });
+
+    core::RuidMScheme ruidm(3, options);
+    (void)ruidm.Build(doc->root());
+
+    table.AddRow({std::to_string(depth),
+                  TablePrinter::FormatCount(stats.node_count),
+                  std::to_string(uid_bits), uid_bits <= 64 ? "yes" : "NO",
+                  std::to_string(ruid2_bits),
+                  std::to_string(ruidm.MaxComponentBits())});
+  }
+  table.Print();
+}
+
+void LevelSweep() {
+  TablePrinter table(
+      "multilevel stacking on one large document (Sec. 2.4: 'this requires "
+      "only a few levels')");
+  table.SetHeader({"levels", "max component bits", "top-level size",
+                   "total id KiB", "K-tables bytes"});
+  auto doc = MakeTopology("random", 30000);
+  core::PartitionOptions options;
+  options.max_area_nodes = 32;
+  options.max_area_depth = 3;
+  for (int levels = 1; levels <= 4; ++levels) {
+    core::RuidMScheme scheme(levels, options);
+    (void)scheme.Build(doc->root());
+    table.AddRow({std::to_string(levels),
+                  std::to_string(scheme.MaxComponentBits()),
+                  TablePrinter::FormatCount(scheme.top_level_size()),
+                  TablePrinter::FormatDouble(
+                      static_cast<double>(scheme.TotalIdBits()) / 8 / 1024, 1),
+                  TablePrinter::FormatCount(scheme.GlobalStateBytes())});
+  }
+  table.Print();
+}
+
+void CapacityTable() {
+  TablePrinter table(
+      "addressable slots with 64-bit components: e^m growth (Sec. 3.1)");
+  table.SetHeader({"levels m", "addressable slots (~(2^64)^m)", "decimal digits"});
+  for (int m = 1; m <= 4; ++m) {
+    BigUint capacity = BigUint::Pow(BigUint(2), 64 * static_cast<uint64_t>(m));
+    std::string digits = capacity.ToDecimalString();
+    std::string shown = digits.size() <= 24
+                            ? digits
+                            : digits.substr(0, 6) + "...e+" +
+                                  std::to_string(digits.size() - 1);
+    table.AddRow({std::to_string(m), shown, std::to_string(digits.size())});
+  }
+  table.Print();
+}
+
+void PrintTables() {
+  Banner("E8: scalability",
+         "Sec. 3.1 / Sec. 5 obs. 1 — ruid enumerates what UID overflows on");
+  DepthSweep();
+  LevelSweep();
+  CapacityTable();
+}
+
+void BM_BuildRuidM(benchmark::State& state) {
+  auto doc = MakeTopology("random", 30000);
+  core::PartitionOptions options;
+  options.max_area_nodes = 32;
+  options.max_area_depth = 3;
+  int levels = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::RuidMScheme scheme(levels, options);
+    benchmark::DoNotOptimize(scheme.Build(doc->root()));
+  }
+}
+BENCHMARK(BM_BuildRuidM)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_RuidMParent(benchmark::State& state) {
+  auto doc = MakeTopology("random", 30000);
+  core::PartitionOptions options;
+  options.max_area_nodes = 32;
+  options.max_area_depth = 3;
+  core::RuidMScheme scheme(static_cast<int>(state.range(0)), options);
+  (void)scheme.Build(doc->root());
+  auto nodes = xml::CollectPreorder(doc->root());
+  size_t i = 0;
+  for (auto _ : state) {
+    xml::Node* n = nodes[1 + (i++ % (nodes.size() - 1))];
+    benchmark::DoNotOptimize(scheme.Parent(scheme.IdOf(n)));
+  }
+}
+BENCHMARK(BM_RuidMParent)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ruidx
+
+RUIDX_BENCH_MAIN(ruidx::bench::PrintTables)

@@ -1,0 +1,237 @@
+// E12 — storage-level behaviour (Secs. 3.3 & 4): ancestor determination
+// "without any I/O" thanks to rparent, versus a store that must chase
+// parent pointers; plus identifier-clustered area scans versus scattered
+// point lookups ("database file/table selection", Sec. 4).
+#include <memory>
+
+#include "bench_common.h"
+#include "storage/element_store.h"
+#include "storage/sharded_store.h"
+#include "storage/streaming_labeler.h"
+#include "xml/serializer.h"
+#include "xpath/name_index.h"
+#include "util/random.h"
+
+namespace ruidx {
+namespace bench {
+namespace {
+
+constexpr uint64_t kScale = 20000;
+
+struct Fixture {
+  std::unique_ptr<xml::Document> doc;
+  core::Ruid2Scheme scheme;
+  std::unique_ptr<storage::ElementStore> store;
+  std::vector<xml::Node*> deep_nodes;  // nodes by increasing depth
+
+  Fixture() : scheme(DefaultAreas()) {
+    doc = MakeTopology("uniform", kScale);
+    scheme.Build(doc->root());
+    store = storage::ElementStore::Create("", /*buffer_pool_pages=*/32)
+                .MoveValueUnsafe();
+    (void)store->BulkLoad(scheme, doc->root());
+    (void)store->Flush();
+    // One representative node per depth.
+    int depth_seen = -1;
+    xml::PreorderTraverse(doc->root(), [&](xml::Node* n, int depth) {
+      if (depth > depth_seen) {
+        deep_nodes.push_back(n);
+        depth_seen = depth;
+      }
+      return true;
+    });
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void AncestorIoTable() {
+  Fixture& fixture = GetFixture();
+  TablePrinter table(
+      "page accesses per ancestor check, by depth of the descendant "
+      "(buffer pool cleared between runs not needed: logical accesses "
+      "counted)");
+  table.SetHeader({"descendant depth", "rparent arithmetic", "parent pointers"});
+  core::Ruid2Id root_id = fixture.scheme.label(fixture.doc->root());
+  for (size_t d = 1; d < fixture.deep_nodes.size(); ++d) {
+    core::Ruid2Id deep_id = fixture.scheme.label(fixture.deep_nodes[d]);
+    fixture.store->ResetStats();
+    bool a = fixture.store->IsAncestorViaRuid(fixture.scheme, root_id, deep_id);
+    uint64_t ruid_io = fixture.store->logical_page_accesses();
+    fixture.store->ResetStats();
+    auto b = fixture.store->IsAncestorViaParentPointers(root_id, deep_id);
+    uint64_t nav_io = fixture.store->logical_page_accesses();
+    if (!a || !b.ok() || !*b) {
+      table.AddRow({std::to_string(d), "DISAGREE", "DISAGREE"});
+      continue;
+    }
+    table.AddRow({std::to_string(d), std::to_string(ruid_io),
+                  std::to_string(nav_io)});
+  }
+  table.Print();
+}
+
+void AreaScanTable() {
+  Fixture& fixture = GetFixture();
+  TablePrinter table(
+      "fetching all members of one area: identifier-range scan vs point "
+      "lookups (identifier-sorted records cluster, Sec. 2.1/4)");
+  table.SetHeader({"area (global)", "members", "scan page accesses",
+                   "point-lookup page accesses"});
+  const auto& rows = fixture.scheme.ktable().rows();
+  Rng rng(3);
+  for (int pick = 0; pick < 5; ++pick) {
+    const auto& row = rows[rng.NextBounded(rows.size())];
+    std::vector<core::Ruid2Id> ids;
+    fixture.store->ResetStats();
+    (void)fixture.store->ScanArea(row.global,
+                                  [&](const storage::ElementRecord& record) {
+                                    ids.push_back(record.id);
+                                    return true;
+                                  });
+    uint64_t scan_io = fixture.store->logical_page_accesses();
+    fixture.store->ResetStats();
+    for (const core::Ruid2Id& id : ids) {
+      (void)fixture.store->Get(id);
+    }
+    uint64_t point_io = fixture.store->logical_page_accesses();
+    table.AddRow({row.global.ToDecimalString(), std::to_string(ids.size()),
+                  std::to_string(scan_io), std::to_string(point_io)});
+  }
+  table.Print();
+}
+
+void ShardedSelectionTable() {
+  // Sec. 4 "Database file/table selection": by-name selection over (name,
+  // area) shards vs scanning one monolithic store.
+  auto doc = MakeTopology("dblp", kScale);
+  core::Ruid2Scheme scheme(DefaultAreas());
+  scheme.Build(doc->root());
+  auto sharded = storage::ShardedElementStore::Create("").MoveValueUnsafe();
+  (void)sharded->BulkLoad(scheme, doc->root());
+  auto monolithic = storage::ElementStore::Create("", 32).MoveValueUnsafe();
+  (void)monolithic->BulkLoad(scheme, doc->root());
+  xpath::NameIndex index(doc->root());
+
+  TablePrinter table(
+      "fetch all elements of one name: (name, area) shards vs monolithic "
+      "full scan ('dblp', " + std::to_string(kScale) + " nodes)");
+  table.SetHeader({"name", "matches", "sharded page accesses",
+                   "monolithic scan page accesses"});
+  for (const char* name : {"year", "title", "inproceedings"}) {
+    sharded->ResetStats();
+    size_t got = 0;
+    (void)sharded->ScanName(name, [&](const storage::ElementRecord&) {
+      ++got;
+      return true;
+    });
+    uint64_t sharded_io = sharded->logical_page_accesses();
+
+    monolithic->ResetStats();
+    size_t scanned = 0;
+    // The monolithic store has no name index: full area-by-area scan.
+    for (const auto& row : scheme.ktable().rows()) {
+      (void)monolithic->ScanArea(row.global,
+                                 [&](const storage::ElementRecord& record) {
+                                   if (record.name == name) ++scanned;
+                                   return true;
+                                 });
+    }
+    uint64_t mono_io = monolithic->logical_page_accesses();
+    table.AddRow({name, std::to_string(got), std::to_string(sharded_io),
+                  std::to_string(mono_io)});
+    if (got != scanned) {
+      std::printf("WARNING: sharded/monolithic disagree for %s\n", name);
+    }
+  }
+  table.Print();
+}
+
+void PrintTables() {
+  Banner("E12: storage I/O",
+         "Sec. 3.3 — ancestor checks without I/O; Sec. 4 — area clustering");
+  AncestorIoTable();
+  AreaScanTable();
+  ShardedSelectionTable();
+}
+
+void BM_GetBySimpleId(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  auto nodes = xml::CollectPreorder(fixture.doc->root());
+  Rng rng(11);
+  for (auto _ : state) {
+    xml::Node* n = nodes[rng.NextBounded(nodes.size())];
+    benchmark::DoNotOptimize(fixture.store->Get(fixture.scheme.label(n)));
+  }
+}
+BENCHMARK(BM_GetBySimpleId)->Unit(benchmark::kMicrosecond);
+
+void BM_AncestorViaRuid(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  core::Ruid2Id root_id = fixture.scheme.label(fixture.doc->root());
+  core::Ruid2Id deep_id = fixture.scheme.label(fixture.deep_nodes.back());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.store->IsAncestorViaRuid(fixture.scheme, root_id, deep_id));
+  }
+}
+BENCHMARK(BM_AncestorViaRuid);
+
+void BM_AncestorViaParentPointers(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  core::Ruid2Id root_id = fixture.scheme.label(fixture.doc->root());
+  core::Ruid2Id deep_id = fixture.scheme.label(fixture.deep_nodes.back());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.store->IsAncestorViaParentPointers(root_id, deep_id));
+  }
+}
+BENCHMARK(BM_AncestorViaParentPointers);
+
+void BM_FetchAncestors(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  core::Ruid2Id deep_id = fixture.scheme.label(fixture.deep_nodes.back());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.store->FetchAncestors(fixture.scheme, deep_id));
+  }
+}
+BENCHMARK(BM_FetchAncestors)->Unit(benchmark::kMicrosecond);
+
+void BM_StreamLabelToStore(benchmark::State& state) {
+  auto doc = MakeTopology("xmark", kScale);
+  std::string text = xml::Serialize(doc->document_node());
+  for (auto _ : state) {
+    auto store = storage::ElementStore::Create("", 64).MoveValueUnsafe();
+    auto stats =
+        storage::StreamLabelToStore(text, DefaultAreas(), store.get());
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_StreamLabelToStore)->Unit(benchmark::kMillisecond);
+
+void BM_DomBuildAndBulkLoad(benchmark::State& state) {
+  auto doc = MakeTopology("xmark", kScale);
+  std::string text = xml::Serialize(doc->document_node());
+  for (auto _ : state) {
+    auto parsed = xml::Parse(text).MoveValueUnsafe();
+    core::Ruid2Scheme scheme(DefaultAreas());
+    scheme.Build(parsed->root());
+    auto store = storage::ElementStore::Create("", 64).MoveValueUnsafe();
+    benchmark::DoNotOptimize(store->BulkLoad(scheme, parsed->root()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_DomBuildAndBulkLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ruidx
+
+RUIDX_BENCH_MAIN(ruidx::bench::PrintTables)

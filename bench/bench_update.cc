@@ -1,0 +1,191 @@
+// E11 — robustness under structural update (Sec. 3.2): the number of
+// identifiers that change when a node is inserted or a subtree deleted, per
+// scheme, by insertion depth. The paper's claim: ruid reduces the scope of
+// the identifier update "by a magnitude of two" (area-local instead of
+// document-wide), while the original UID renumbers every right sibling's
+// subtree and, on fan-out overflow, the entire document.
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/ruidm.h"
+#include "scheme/dewey.h"
+#include "scheme/ordpath.h"
+#include "scheme/prepost.h"
+#include "scheme/uid.h"
+#include "scheme/xiss.h"
+#include "util/random.h"
+
+namespace ruidx {
+namespace bench {
+namespace {
+
+constexpr uint64_t kScale = 8000;
+constexpr int kOpsPerCell = 24;
+
+std::unique_ptr<scheme::LabelingScheme> MakeScheme(const std::string& name) {
+  if (name == "uid") return std::make_unique<scheme::UidScheme>();
+  if (name == "dewey") return std::make_unique<scheme::DeweyScheme>();
+  if (name == "prepost") return std::make_unique<scheme::PrePostScheme>();
+  if (name == "ordpath") return std::make_unique<scheme::OrdpathScheme>();
+  if (name == "xiss") return std::make_unique<scheme::XissScheme>();
+  if (name == "ruidm3") return std::make_unique<core::RuidMLabeling>(3, DefaultAreas());
+  return std::make_unique<core::Ruid2Scheme>(DefaultAreas());
+}
+
+/// Nodes at a given depth (capped sample).
+std::vector<xml::Node*> NodesAtDepth(xml::Node* root, int depth) {
+  std::vector<xml::Node*> out;
+  xml::PreorderTraverse(root, [&](xml::Node* n, int d) {
+    if (d == depth) {
+      out.push_back(n);
+      return false;
+    }
+    return d < depth;
+  });
+  return out;
+}
+
+void InsertScopeTable(const std::string& topology) {
+  auto probe_depths = {1, 2, 4, 6};
+  TablePrinter table("avg identifiers changed per insertion on '" + topology +
+                     "' (" + std::to_string(kScale) + " nodes, " +
+                     std::to_string(kOpsPerCell) + " ops/cell)");
+  std::vector<std::string> header{"scheme"};
+  for (int d : probe_depths) header.push_back("depth " + std::to_string(d));
+  table.SetHeader(header);
+
+  for (const char* name : {"uid", "dewey", "prepost", "ordpath", "xiss", "ruid2", "ruidm3"}) {
+    std::vector<std::string> row{name};
+    for (int depth : probe_depths) {
+      // Fresh document per cell so ops do not compound across cells.
+      auto doc = MakeTopology(topology, kScale);
+      auto scheme = MakeScheme(name);
+      scheme->Build(doc->root());
+      std::vector<xml::Node*> targets = NodesAtDepth(doc->root(), depth);
+      if (targets.empty()) {
+        row.push_back("-");
+        continue;
+      }
+      Rng rng(1234 + static_cast<uint64_t>(depth));
+      uint64_t total = 0;
+      for (int op = 0; op < kOpsPerCell; ++op) {
+        xml::Node* parent = targets[rng.NextBounded(targets.size())];
+        size_t pos = rng.NextBounded(parent->fanout() + 1);
+        (void)doc->InsertChild(parent, pos,
+                               doc->CreateElement("u" + std::to_string(op)));
+        total += scheme->RelabelAndCount(doc->root());
+      }
+      row.push_back(TablePrinter::FormatDouble(
+          static_cast<double>(total) / kOpsPerCell, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void DeleteScopeTable(const std::string& topology) {
+  TablePrinter table("avg identifiers changed per subtree deletion on '" +
+                     topology + "'");
+  table.SetHeader({"scheme", "avg changed", "avg subtree size"});
+  for (const char* name : {"uid", "dewey", "prepost", "ordpath", "xiss", "ruid2", "ruidm3"}) {
+    auto doc = MakeTopology(topology, kScale);
+    auto scheme = MakeScheme(name);
+    scheme->Build(doc->root());
+    Rng rng(99);
+    uint64_t total = 0;
+    uint64_t removed = 0;
+    int ops = 0;
+    for (int op = 0; op < kOpsPerCell; ++op) {
+      auto nodes = xml::CollectPreorder(doc->root());
+      xml::Node* victim = nodes[1 + rng.NextBounded(nodes.size() - 1)];
+      removed += xml::CollectPreorder(victim).size();
+      (void)doc->RemoveSubtree(victim);
+      total += scheme->RelabelAndCount(doc->root());
+      ++ops;
+    }
+    table.AddRow({name,
+                  TablePrinter::FormatDouble(
+                      static_cast<double>(total) / ops, 1),
+                  TablePrinter::FormatDouble(
+                      static_cast<double>(removed) / ops, 1)});
+  }
+  table.Print();
+}
+
+void FanoutOverflowTable() {
+  TablePrinter table(
+      "fan-out overflow: widen the widest node by one child "
+      "(the original UID's worst case, Sec. 1)");
+  table.SetHeader({"scheme", "ids changed", "of total"});
+  auto find_widest = [](xml::Node* root) {
+    xml::Node* widest = root;
+    xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+      if (n->fanout() > widest->fanout()) widest = n;
+      return true;
+    });
+    return widest;
+  };
+  for (const char* name : {"uid", "dewey", "prepost", "ordpath", "xiss", "ruid2", "ruidm3"}) {
+    auto doc = MakeTopology("uniform", kScale);
+    auto scheme = MakeScheme(name);
+    scheme->Build(doc->root());
+    xml::Node* widest = find_widest(doc->root());
+    // Insert at position 0 of the widest node so its fan-out overflows.
+    (void)doc->InsertChild(widest, 0, doc->CreateElement("overflow"));
+    uint64_t changed = scheme->RelabelAndCount(doc->root());
+    table.AddRow({name, TablePrinter::FormatCount(changed),
+                  TablePrinter::FormatDouble(
+                      100.0 * static_cast<double>(changed) / kScale, 1) + "%"});
+  }
+  table.Print();
+}
+
+void PrintTables() {
+  Banner("E11: update robustness",
+         "Sec. 3.2 — scope of identifier updates under insertion/deletion");
+  for (const char* topology : {"uniform", "xmark", "dblp"}) {
+    InsertScopeTable(topology);
+  }
+  DeleteScopeTable("uniform");
+  FanoutOverflowTable();
+}
+
+void BM_RuidIncrementalInsert(benchmark::State& state) {
+  auto doc = MakeTopology("uniform", kScale);
+  core::Ruid2Scheme scheme(DefaultAreas());
+  scheme.Build(doc->root());
+  Rng rng(5);
+  auto nodes = xml::CollectPreorder(doc->root());
+  int op = 0;
+  for (auto _ : state) {
+    xml::Node* parent = nodes[rng.NextBounded(nodes.size())];
+    auto report = scheme.InsertAndRelabel(
+        doc.get(), parent, rng.NextBounded(parent->fanout() + 1),
+        doc->CreateElement("b" + std::to_string(op++)));
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_RuidIncrementalInsert)->Unit(benchmark::kMicrosecond);
+
+void BM_UidFullRelabelInsert(benchmark::State& state) {
+  auto doc = MakeTopology("uniform", kScale);
+  scheme::UidScheme scheme;
+  scheme.Build(doc->root());
+  Rng rng(5);
+  auto nodes = xml::CollectPreorder(doc->root());
+  int op = 0;
+  for (auto _ : state) {
+    xml::Node* parent = nodes[rng.NextBounded(nodes.size())];
+    (void)doc->InsertChild(parent, rng.NextBounded(parent->fanout() + 1),
+                           doc->CreateElement("b" + std::to_string(op++)));
+    benchmark::DoNotOptimize(scheme.RelabelAndCount(doc->root()));
+  }
+}
+BENCHMARK(BM_UidFullRelabelInsert)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ruidx
+
+RUIDX_BENCH_MAIN(ruidx::bench::PrintTables)

@@ -1,0 +1,122 @@
+// Structural update robustness (Sec. 3.2 / Fig. 1): replays the paper's
+// Fig. 1 insertion on the original UID, then contrasts the renumbering
+// scope of UID and ruid on a larger document under repeated insertions.
+//
+//   $ ./build/examples/update_demo
+#include <iostream>
+
+#include "core/ruid2.h"
+#include "scheme/uid.h"
+#include "util/table_printer.h"
+#include "xml/generator.h"
+
+using namespace ruidx;
+
+namespace {
+
+/// Rebuilds the Fig. 1(a) tree: real nodes at UIDs 1,2,3,8,9,23,26,27 (k=3).
+struct Fig1Tree {
+  std::unique_ptr<xml::Document> doc;
+  xml::Node* root;
+  std::vector<xml::Node*> nodes;  // all real nodes below the root
+
+  Fig1Tree() : doc(std::make_unique<xml::Document>()) {
+    root = doc->CreateElement("n");
+    (void)doc->AppendChild(doc->document_node(), root);
+    auto add = [&](xml::Node* parent) {
+      xml::Node* n = doc->CreateElement("n");
+      (void)doc->AppendChild(parent, n);
+      nodes.push_back(n);
+      return n;
+    };
+    xml::Node* a = add(root);   // UID 2
+    xml::Node* b = add(root);   // UID 3
+    (void)a;
+    xml::Node* c = add(b);      // UID 8
+    xml::Node* d = add(b);      // UID 9
+    add(c);                     // UID 23
+    add(d);                     // UID 26
+    add(d);                     // UID 27
+  }
+};
+
+}  // namespace
+
+int main() {
+  // --- Part 1: Fig. 1 exactly -------------------------------------------
+  {
+    Fig1Tree tree;
+    scheme::UidScheme uid(3);
+    uid.Build(tree.root);
+    TablePrinter before("Fig. 1(a): original UID before insertion (k = 3)");
+    before.SetHeader({"node", "UID"});
+    for (xml::Node* n : tree.nodes) {
+      before.AddRow({"<" + n->name() + ">", uid.LabelString(n)});
+    }
+    before.Print();
+
+    xml::Node* inserted = tree.doc->CreateElement("new");
+    (void)tree.doc->InsertChild(tree.root, 1, inserted);
+    uint64_t changed = uid.RelabelAndCount(tree.root);
+
+    TablePrinter after(
+        "Fig. 1(b): after inserting between nodes 2 and 3 — " +
+        std::to_string(changed) + " identifiers changed");
+    after.SetHeader({"node", "UID"});
+    after.AddRow({"<new>", uid.LabelString(inserted)});
+    for (xml::Node* n : tree.nodes) {
+      after.AddRow({"<" + n->name() + ">", uid.LabelString(n)});
+    }
+    after.Print();
+  }
+
+  // --- Part 2: scope of renumbering, UID vs ruid --------------------------
+  auto make_doc = [] { return xml::GenerateUniformTree(4000, 3); };
+  struct Row {
+    std::string where;
+    uint64_t uid_changed;
+    uint64_t ruid_changed;
+  };
+  std::vector<Row> rows;
+  for (int depth : {1, 3, 5}) {
+    auto doc_uid = make_doc();
+    auto doc_ruid = make_doc();
+    scheme::UidScheme uid;
+    uid.Build(doc_uid->root());
+    core::PartitionOptions options;
+    options.max_area_nodes = 64;
+    options.max_area_depth = 4;
+    core::Ruid2Scheme ruid(options);
+    ruid.Build(doc_ruid->root());
+
+    // Insert as the FIRST child of a node at the given depth (worst case:
+    // every right sibling shifts).
+    auto target_at = [&](xml::Document* d) {
+      xml::Node* n = d->root();
+      for (int i = 0; i < depth; ++i) n = n->children()[0];
+      return n;
+    };
+    xml::Node* t1 = target_at(doc_uid.get());
+    (void)doc_uid->InsertChild(t1, 0, doc_uid->CreateElement("x"));
+    uint64_t uid_changed = uid.RelabelAndCount(doc_uid->root());
+
+    xml::Node* t2 = target_at(doc_ruid.get());
+    auto report =
+        ruid.InsertAndRelabel(doc_ruid.get(), t2, 0, doc_ruid->CreateElement("x"));
+    rows.push_back({"depth " + std::to_string(depth), uid_changed,
+                    report.ok() ? report->relabeled : 0});
+  }
+
+  TablePrinter scope(
+      "renumbering scope after one insertion (4000-node document)");
+  scope.SetHeader({"insertion point", "UID ids changed", "ruid ids changed"});
+  for (const Row& row : rows) {
+    scope.AddRow({row.where, TablePrinter::FormatCount(row.uid_changed),
+                  TablePrinter::FormatCount(row.ruid_changed)});
+  }
+  scope.Print();
+  std::cout << "\nThe nearer the root the insertion lands, the more the "
+               "original UID renumbers;\nruid confines the damage to one "
+               "UID-local area (Sec. 3.2).\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// XPath-axis construction from ruid identifiers (Sec. 3.5 of the paper):
+// rparent, rancestor, rchildren, rdescendant, rpsibling, rfsibling,
+// rpreceding and rfollowing.
+//
+// Each generator comes in two flavours where the paper describes both: a
+// *candidate* flavour that is pure identifier arithmetic (and may name
+// virtual nodes — slots the enumeration reserves but no real node occupies),
+// and a *filtered* flavour that intersects the candidates with the index of
+// real identifiers, the in-memory stand-in for the paper's RDBMS index.
+#ifndef RUIDX_CORE_AXES_H_
+#define RUIDX_CORE_AXES_H_
+
+#include <vector>
+
+#include "core/ruid2.h"
+
+namespace ruidx {
+namespace core {
+
+class RuidAxes {
+ public:
+  /// The scheme must outlive this object. Call Refresh() after structural
+  /// updates to rebuild the per-area member index.
+  explicit RuidAxes(const Ruid2Scheme* scheme);
+
+  /// Rebuilds the area -> members index from the scheme's current labels.
+  void Refresh();
+
+  // --- parent / ancestor ----------------------------------------------------
+
+  /// rancestor(): ancestor identifiers, nearest first (pure arithmetic).
+  std::vector<Ruid2Id> AncestorIds(const Ruid2Id& id) const {
+    return scheme_->Ancestors(id);
+  }
+
+  /// Ancestor nodes, nearest first (candidates filtered against the index).
+  std::vector<xml::Node*> Ancestors(const Ruid2Id& id) const;
+
+  // --- child / descendant ---------------------------------------------------
+
+  /// rchildren(): every child *slot* of the node, with the correct
+  /// identifier shape — (θ', i, true) where table K names an area root at
+  /// slot i, (g, i, false) otherwise. Includes virtual slots.
+  std::vector<Ruid2Id> ChildSlots(const Ruid2Id& id) const;
+
+  /// Real children, in document order.
+  std::vector<xml::Node*> Children(const Ruid2Id& id) const;
+
+  /// rdescendant() via the frame (Sec. 3.5): descendants inside the node's
+  /// own area are found with repeated rchildren; every area whose root is a
+  /// frame descendant is then swallowed whole.
+  std::vector<xml::Node*> Descendants(const Ruid2Id& id) const;
+
+  // --- siblings ---------------------------------------------------------------
+
+  /// rpsibling(): real preceding siblings, nearest first.
+  std::vector<xml::Node*> PrecedingSiblings(const Ruid2Id& id) const;
+
+  /// rfsibling(): real following siblings, nearest first.
+  std::vector<xml::Node*> FollowingSiblings(const Ruid2Id& id) const;
+
+  // --- preceding / following -------------------------------------------------
+
+  /// rpreceding(): all real nodes before `id` in document order, excluding
+  /// its ancestors. Areas that are order-comparable in the frame (Lemma 3)
+  /// are accepted or rejected wholesale; only the areas on the frame path of
+  /// `id` need per-node work.
+  std::vector<xml::Node*> Preceding(const Ruid2Id& id) const;
+
+  /// rfollowing(): all real nodes after `id`, excluding its descendants.
+  std::vector<xml::Node*> Following(const Ruid2Id& id) const;
+
+ private:
+  struct AreaMembers {
+    BigUint global;
+    uint64_t fanout = 1;
+    /// All nodes enumerated in this area (area-root children included),
+    /// sorted by their local index — the in-memory analogue of the paper's
+    /// storage order "sorted first by the global index, and then by local
+    /// index" (Sec. 2.1). Child sets are contiguous local ranges here.
+    std::vector<std::pair<BigUint, xml::Node*>> by_local;
+  };
+
+  const AreaMembers* FindArea(const BigUint& global) const;
+  /// Real children via a local-index range search in the sorted member
+  /// list: O(log area + result), the Sec. 4 storage-order optimization.
+  void AppendChildrenInRange(const AreaMembers& area, const BigUint& lo,
+                             const BigUint& hi,
+                             std::vector<xml::Node*>* out) const;
+
+  const Ruid2Scheme* scheme_;
+  std::vector<AreaMembers> area_members_;  // indexed by area index
+  std::unordered_map<BigUint, size_t, BigUintHash> area_index_;
+};
+
+}  // namespace core
+}  // namespace ruidx
+
+#endif  // RUIDX_CORE_AXES_H_

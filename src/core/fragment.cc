@@ -1,0 +1,111 @@
+#include "core/fragment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ruidx {
+namespace core {
+
+namespace {
+
+/// Shared skeleton: `items` must carry (id, build-node callback).
+template <typename Item, typename MakeNode>
+Result<std::unique_ptr<xml::Document>> Reconstruct(
+    const Ruid2Scheme& scheme, std::vector<Item>* items,
+    const MakeNode& make_node) {
+  auto doc = std::make_unique<xml::Document>();
+  xml::Node* fragment_root = doc->CreateElement("fragment");
+  RUIDX_RETURN_NOT_OK(doc->AppendChild(doc->document_node(), fragment_root));
+
+  // Document order by identifier comparison (Lemma 3 / Fig. 10): in this
+  // order, each node's closest selected ancestor is already on the path
+  // stack when the node is visited.
+  std::sort(items->begin(), items->end(), [&](const Item& a, const Item& b) {
+    return scheme.CompareIds(a.id, b.id) < 0;
+  });
+  // Drop duplicate identifiers (query results may repeat nodes).
+  items->erase(std::unique(items->begin(), items->end(),
+                           [](const Item& a, const Item& b) {
+                             return a.id == b.id;
+                           }),
+               items->end());
+
+  struct Open {
+    Ruid2Id id;
+    xml::Node* built;
+  };
+  std::vector<Open> stack;
+  for (const Item& item : *items) {
+    while (!stack.empty() && !scheme.IsAncestorId(stack.back().id, item.id)) {
+      stack.pop_back();
+    }
+    xml::Node* parent = stack.empty() ? fragment_root : stack.back().built;
+    xml::Node* built = make_node(doc.get(), item);
+    RUIDX_RETURN_NOT_OK(doc->AppendChild(parent, built));
+    if (built->is_element()) {
+      stack.push_back({item.id, built});
+    }
+  }
+  return Result<std::unique_ptr<xml::Document>>(std::move(doc));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<xml::Document>> ReconstructFragment(
+    const Ruid2Scheme& scheme, std::vector<xml::Node*> nodes) {
+  struct Item {
+    Ruid2Id id;
+    xml::Node* source;
+  };
+  std::vector<Item> items;
+  items.reserve(nodes.size());
+  std::unordered_set<uint32_t> selected;
+  for (xml::Node* n : nodes) {
+    if (n == nullptr || n->is_document() || n->is_attribute()) {
+      return Status::InvalidArgument(
+          "fragments are built from tree nodes (elements, text, ...)");
+    }
+    // The serial check alone cannot distinguish a node of another document
+    // (serials restart per document), so verify the id maps back to n.
+    if (!scheme.HasLabel(n) || scheme.NodeById(scheme.label(n)) != n) {
+      return Status::InvalidArgument("node is not labeled by this scheme");
+    }
+    items.push_back({scheme.label(n), n});
+    selected.insert(n->serial());
+  }
+  return Reconstruct(
+      scheme, &items, [&selected](xml::Document* doc, const Item& item) {
+        xml::Node* src = item.source;
+        if (src->is_element()) {
+          xml::Node* e = doc->CreateElement(src->name());
+          for (const xml::Node* a : src->attributes()) {
+            (void)doc->SetAttribute(e, a->name(), a->value());
+          }
+          // Copy the element's *direct* text so leaves keep their content
+          // even when the text nodes were not selected explicitly; selected
+          // text children arrive as their own items, so skip those here.
+          for (const xml::Node* c : src->children()) {
+            if (c->is_text() && !selected.contains(c->serial())) {
+              (void)doc->AppendChild(e, doc->CreateText(c->value()));
+            }
+          }
+          return e;
+        }
+        if (src->is_text()) return doc->CreateText(src->value());
+        return doc->CreateComment(src->value());
+      });
+}
+
+Result<std::unique_ptr<xml::Document>> ReconstructFragmentFromItems(
+    const Ruid2Scheme& scheme, std::vector<FragmentItem> items) {
+  return Reconstruct(scheme, &items,
+                     [](xml::Document* doc, const FragmentItem& item) {
+                       if (item.name.empty()) {
+                         return doc->CreateText(item.value);
+                       }
+                       return doc->CreateElement(item.name);
+                     });
+}
+
+}  // namespace core
+}  // namespace ruidx

@@ -1,0 +1,49 @@
+// Fragment reconstruction (Sec. 3.3): "this property ... is also important
+// for the fast reconstruction of a portion of an XML document from a set of
+// elements. The output is a portion of an XML document generated from these
+// elements respecting the ancestor-descendant order existing in the source
+// data."
+//
+// Given a set of nodes (e.g. a query result), the reconstruction orders
+// them by identifier comparison and nests each under its closest selected
+// ancestor — all decided by identifier arithmetic, no source-tree pointer
+// chasing. A record-based variant does the same from stored ElementRecords,
+// never touching the source document at all.
+#ifndef RUIDX_CORE_FRAGMENT_H_
+#define RUIDX_CORE_FRAGMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ruid2.h"
+#include "util/result.h"
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace core {
+
+/// One input element for record-based reconstruction.
+struct FragmentItem {
+  Ruid2Id id;
+  std::string name;   // element tag; empty = text node
+  std::string value;  // text payload (text nodes)
+};
+
+/// Builds a new document whose top-level children are the selected nodes
+/// that have no selected ancestor; every other selected node is nested
+/// under its closest selected ancestor, in document order. Element names,
+/// attributes and direct text content are copied from the source nodes.
+/// The result is wrapped in a synthetic <fragment> root.
+Result<std::unique_ptr<xml::Document>> ReconstructFragment(
+    const Ruid2Scheme& scheme, std::vector<xml::Node*> nodes);
+
+/// Same, but from bare (identifier, name, value) items — the shape a store
+/// or a remote site would ship. Needs only the scheme's (κ, K) state.
+Result<std::unique_ptr<xml::Document>> ReconstructFragmentFromItems(
+    const Ruid2Scheme& scheme, std::vector<FragmentItem> items);
+
+}  // namespace core
+}  // namespace ruidx
+
+#endif  // RUIDX_CORE_FRAGMENT_H_

@@ -1,0 +1,111 @@
+#include "core/global_state.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ruidx {
+namespace core {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'K', 'T', '1'};
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+bool GetU64(std::string_view data, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > data.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<uint8_t>(data[*pos + i]))
+          << (8 * i);
+  }
+  *pos += 8;
+  return true;
+}
+
+void PutBigUint(std::string* out, const BigUint& v) {
+  size_t bytes = static_cast<size_t>((v.BitWidth() + 7) / 8);
+  PutU64(out, bytes);
+  std::string buf(bytes, '\0');
+  v.ToBytesBE(reinterpret_cast<uint8_t*>(buf.data()), bytes);
+  out->append(buf);
+}
+
+bool GetBigUint(std::string_view data, size_t* pos, BigUint* v) {
+  uint64_t bytes = 0;
+  if (!GetU64(data, pos, &bytes)) return false;
+  if (*pos + bytes > data.size()) return false;
+  *v = BigUint::FromBytesBE(
+      reinterpret_cast<const uint8_t*>(data.data()) + *pos,
+      static_cast<size_t>(bytes));
+  *pos += bytes;
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeGlobalState(uint64_t kappa, const KTable& ktable) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU64(&out, kappa);
+  PutU64(&out, ktable.size());
+  for (const KRow& row : ktable.rows()) {
+    PutBigUint(&out, row.global);
+    PutBigUint(&out, row.root_local);
+    PutU64(&out, row.fanout);
+  }
+  return out;
+}
+
+Result<GlobalState> DeserializeGlobalState(std::string_view data) {
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a ruid global-state blob");
+  }
+  size_t pos = sizeof(kMagic);
+  GlobalState state;
+  uint64_t rows = 0;
+  if (!GetU64(data, &pos, &state.kappa) || !GetU64(data, &pos, &rows)) {
+    return Status::Corruption("truncated global-state header");
+  }
+  for (uint64_t i = 0; i < rows; ++i) {
+    KRow row;
+    if (!GetBigUint(data, &pos, &row.global) ||
+        !GetBigUint(data, &pos, &row.root_local) ||
+        !GetU64(data, &pos, &row.fanout)) {
+      return Status::Corruption("truncated global-state row " +
+                                std::to_string(i));
+    }
+    state.ktable.Upsert(std::move(row));
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("trailing bytes after global state");
+  }
+  return state;
+}
+
+Status SaveGlobalState(uint64_t kappa, const KTable& ktable,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  std::string blob = SerializeGlobalState(kappa, ktable);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<GlobalState> LoadGlobalState(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string blob = buf.str();
+  return DeserializeGlobalState(blob);
+}
+
+}  // namespace core
+}  // namespace ruidx

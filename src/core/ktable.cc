@@ -1,0 +1,54 @@
+#include "core/ktable.h"
+
+#include <algorithm>
+
+namespace ruidx {
+namespace core {
+
+namespace {
+struct GlobalLess {
+  bool operator()(const KRow& row, const BigUint& g) const {
+    return row.global < g;
+  }
+};
+}  // namespace
+
+void KTable::Upsert(KRow row) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), row.global,
+                             GlobalLess());
+  if (it != rows_.end() && it->global == row.global) {
+    *it = std::move(row);
+  } else {
+    rows_.insert(it, std::move(row));
+  }
+}
+
+void KTable::Erase(const BigUint& global) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), global, GlobalLess());
+  if (it != rows_.end() && it->global == global) rows_.erase(it);
+}
+
+const KRow* KTable::Find(const BigUint& global) const {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), global, GlobalLess());
+  if (it != rows_.end() && it->global == global) return &*it;
+  return nullptr;
+}
+
+KRow* KTable::FindMutable(const BigUint& global) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), global, GlobalLess());
+  if (it != rows_.end() && it->global == global) return &*it;
+  return nullptr;
+}
+
+uint64_t KTable::SizeInBytes() const {
+  uint64_t bytes = 0;
+  for (const KRow& row : rows_) {
+    bytes += sizeof(KRow);
+    bytes += static_cast<uint64_t>(row.global.WordCount()) * 8;
+    bytes += static_cast<uint64_t>(row.root_local.WordCount()) * 8;
+  }
+  return bytes;
+}
+
+}  // namespace core
+}  // namespace ruidx

@@ -1,0 +1,65 @@
+// Table K (Sec. 2.1): one row per UID-local area, holding the area's global
+// index, the local index of the area's root inside the upper area, and the
+// area's local maximal fan-out. Together with the frame fan-out κ this is
+// the only state rparent() needs, and it is small enough to live in main
+// memory — which is the whole point of the scheme.
+#ifndef RUIDX_CORE_KTABLE_H_
+#define RUIDX_CORE_KTABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/biguint.h"
+
+namespace ruidx {
+namespace core {
+
+struct KRow {
+  BigUint global;      // global index of the area
+  BigUint root_local;  // local index of the area's root in the upper area
+  uint64_t fanout;     // local maximal fan-out k_i of the area
+
+  bool operator==(const KRow&) const = default;
+};
+
+/// Rows kept sorted by global index ("the table K is sorted according to the
+/// global index"), looked up by binary search.
+class KTable {
+ public:
+  /// Inserts or replaces the row for `row.global`.
+  void Upsert(KRow row);
+
+  /// Removes the row for `global`; no-op when absent.
+  void Erase(const BigUint& global);
+
+  /// The row for `global`, or nullptr.
+  const KRow* Find(const BigUint& global) const;
+
+  /// Mutable access to the row for `global`, or nullptr. Callers must not
+  /// modify the key (`global`).
+  KRow* FindMutable(const BigUint& global);
+
+  /// True iff some area with global index `global` has its root at local
+  /// index `local` in the upper area (the existence test of rchildren,
+  /// Sec. 3.5).
+  bool IsAreaRootSlot(const BigUint& global, const BigUint& local) const {
+    const KRow* row = Find(global);
+    return row != nullptr && row->root_local == local;
+  }
+
+  size_t size() const { return rows_.size(); }
+  const std::vector<KRow>& rows() const { return rows_; }
+  void Clear() { rows_.clear(); }
+
+  /// Approximate main-memory footprint, reported by the benchmarks.
+  uint64_t SizeInBytes() const;
+
+ private:
+  std::vector<KRow> rows_;
+};
+
+}  // namespace core
+}  // namespace ruidx
+
+#endif  // RUIDX_CORE_KTABLE_H_

@@ -1,0 +1,518 @@
+#include "core/ruid2.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "scheme/uid.h"
+
+namespace ruidx {
+namespace core {
+
+using scheme::UidChild;
+using scheme::UidCompareOrder;
+using scheme::UidIsAncestor;
+using scheme::UidParent;
+
+std::string Ruid2Id::ToString() const {
+  std::ostringstream os;
+  os << "(" << global.ToDecimalString() << ", " << local.ToDecimalString()
+     << ", " << (is_area_root ? "true" : "false") << ")";
+  return os.str();
+}
+
+Ruid2Id Ruid2RootId() { return Ruid2Id{BigUint(1), BigUint(1), true}; }
+
+uint32_t Ruid2Scheme::MemberAreaOf(const xml::Node* n) const {
+  return partition_.member_area.at(n->serial());
+}
+
+uint32_t Ruid2Scheme::ExpandAreaOf(const xml::Node* n) const {
+  auto it = partition_.rooted_area.find(n->serial());
+  if (it != partition_.rooted_area.end()) return it->second;
+  return partition_.member_area.at(n->serial());
+}
+
+void Ruid2Scheme::SetLabel(xml::Node* n, Ruid2Id id, uint64_t* changed) {
+  auto it = labels_.find(n->serial());
+  if (it != labels_.end()) {
+    if (it->second == id) return;
+    if (changed != nullptr) ++*changed;
+    auto bit = by_id_.find(it->second);
+    if (bit != by_id_.end() && bit->second == n) by_id_.erase(bit);
+    it->second = id;
+  } else {
+    labels_.emplace(n->serial(), id);
+  }
+  by_id_[std::move(id)] = n;
+}
+
+void Ruid2Scheme::DropLabel(xml::Node* n) {
+  auto it = labels_.find(n->serial());
+  if (it == labels_.end()) return;
+  auto bit = by_id_.find(it->second);
+  if (bit != by_id_.end() && bit->second == n) by_id_.erase(bit);
+  labels_.erase(it);
+}
+
+uint64_t Ruid2Scheme::RenumberArea(uint32_t area_idx, bool* fanout_grew) {
+  Partition::Area& area = partition_.areas[area_idx];
+  assert(area.root != nullptr && "renumbering a dropped area");
+  const BigUint& area_global = area_globals_[area_idx];
+
+  // Recompute the local maximal fan-out over expanding members. The paper
+  // only ever *enlarges* k_i (shrinking would relabel for no benefit).
+  uint64_t max_fanout = 1;
+  uint64_t members = 1;
+  xml::PreorderTraverse(area.root, [&](xml::Node* n, int depth) {
+    if (depth > 0 && partition_.IsAreaRoot(n)) return false;  // leaf here
+    max_fanout = std::max<uint64_t>(max_fanout, n->fanout());
+    return true;
+  });
+  if (max_fanout > area.local_fanout) {
+    area.local_fanout = max_fanout;
+    if (fanout_grew != nullptr) *fanout_grew = true;
+  }
+  uint64_t k = area.local_fanout;
+  if (KRow* row = ktable_.FindMutable(area_global)) {
+    row->fanout = k;
+  }
+
+  // Local enumeration (Fig. 3, lines 4-13): the area root is index 1; the
+  // j-th child of an expanding member with index L gets UidChild(L, k, j).
+  uint64_t changed = 0;
+  struct Frame {
+    xml::Node* node;
+    BigUint local;
+  };
+  std::vector<Frame> stack{{area.root, BigUint(1)}};
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const auto& ch = f.node->children();
+    for (size_t j = 0; j < ch.size(); ++j) {
+      xml::Node* c = ch[j];
+      ++members;
+      BigUint local = UidChild(f.local, k, j);
+      auto rit = partition_.rooted_area.find(c->serial());
+      if (rit != partition_.rooted_area.end()) {
+        // c roots a child area: identifier (g_child, local-in-this-area,
+        // true); keep its K row's root_local in sync.
+        const BigUint& child_global = area_globals_[rit->second];
+        if (KRow* row = ktable_.FindMutable(child_global)) {
+          row->root_local = local;
+        }
+        SetLabel(c, Ruid2Id{child_global, std::move(local), true}, &changed);
+        // Do not descend: c's children belong to the child area.
+      } else {
+        SetLabel(c, Ruid2Id{area_global, local, false}, &changed);
+        stack.push_back({c, std::move(local)});
+      }
+    }
+  }
+  area.member_count = members;
+  return changed;
+}
+
+void Ruid2Scheme::Build(xml::Node* root) {
+  auto partition = PartitionTree(root, options_);
+  assert(partition.ok() && "invalid partition options");
+  partition_ = partition.MoveValueUnsafe();
+  labels_.clear();
+  by_id_.clear();
+  ktable_.Clear();
+  area_by_global_.clear();
+  area_globals_.assign(partition_.areas.size(), BigUint(0));
+
+  kappa_ = std::max<uint64_t>(1, partition_.FrameFanout());
+
+  // Global enumeration of the frame with a κ-ary UID (Fig. 3, lines 1-3).
+  struct Frame {
+    uint32_t area;
+    BigUint global;
+  };
+  std::vector<Frame> stack{{0, BigUint(1)}};
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const auto& child_areas = partition_.areas[f.area].child_areas;
+    for (size_t j = 0; j < child_areas.size(); ++j) {
+      stack.push_back({child_areas[j], UidChild(f.global, kappa_, j)});
+    }
+    area_by_global_[f.global] = f.area;
+    area_globals_[f.area] = std::move(f.global);
+  }
+
+  // Seed table K; root_local values are patched during local enumeration.
+  for (uint32_t i = 0; i < partition_.areas.size(); ++i) {
+    ktable_.Upsert(KRow{area_globals_[i], BigUint(i == 0 ? 1 : 0),
+                        partition_.areas[i].local_fanout});
+  }
+
+  // The main root is (1, 1, true) by Def. 3.
+  SetLabel(root, Ruid2RootId(), nullptr);
+
+  for (uint32_t i = 0; i < partition_.areas.size(); ++i) {
+    RenumberArea(i, nullptr);
+  }
+}
+
+Result<Ruid2Id> RuidParent(const Ruid2Id& id, uint64_t kappa, const KTable& k) {
+  if (id == Ruid2RootId()) {
+    return Status::NotFound("the main root has no parent");
+  }
+  // Fig. 6, lines 1-5: pick the area that hosts the parent.
+  BigUint g = id.is_area_root ? UidParent(id.global, kappa) : id.global;
+  const KRow* row = k.Find(g);
+  if (row == nullptr) {
+    return Status::NotFound("no K row for global index " + g.ToDecimalString());
+  }
+  if (id.local < BigUint(2)) {
+    return Status::InvalidArgument("local index " + id.local.ToDecimalString() +
+                                   " has no parent in its area");
+  }
+  // Fig. 6, lines 6-13.
+  BigUint l = UidParent(id.local, row->fanout);
+  if (l == BigUint(1)) {
+    return Ruid2Id{std::move(g), row->root_local, true};
+  }
+  return Ruid2Id{std::move(g), std::move(l), false};
+}
+
+Result<Ruid2Id> Ruid2Scheme::Parent(const Ruid2Id& id) const {
+  return RuidParent(id, kappa_, ktable_);
+}
+
+std::vector<Ruid2Id> Ruid2Scheme::Ancestors(const Ruid2Id& id) const {
+  std::vector<Ruid2Id> chain;
+  Ruid2Id cur = id;
+  while (!(cur == Ruid2RootId())) {
+    auto parent = Parent(cur);
+    if (!parent.ok()) break;
+    cur = parent.MoveValueUnsafe();
+    chain.push_back(cur);
+  }
+  return chain;
+}
+
+bool Ruid2Scheme::IsAncestorId(const Ruid2Id& a, const Ruid2Id& d) const {
+  if (a == d) return false;
+  Ruid2Id cur = d;
+  while (!(cur == Ruid2RootId())) {
+    auto parent = Parent(cur);
+    if (!parent.ok()) return false;
+    cur = parent.MoveValueUnsafe();
+    if (cur == a) return true;
+  }
+  return a == Ruid2RootId() && !(d == Ruid2RootId());
+}
+
+uint64_t Ruid2Scheme::DepthOf(const Ruid2Id& id) const {
+  return Ancestors(id).size();
+}
+
+int Ruid2Scheme::CompareIds(const Ruid2Id& a, const Ruid2Id& b) const {
+  if (a == b) return 0;
+  // Lemma 3: when the two areas are neither equal nor frame-ancestor
+  // related, the frame order decides the document order outright.
+  const BigUint& ta = a.global;
+  const BigUint& tb = b.global;
+  if (ta != tb && !UidIsAncestor(ta, tb, kappa_) &&
+      !UidIsAncestor(tb, ta, kappa_)) {
+    return UidCompareOrder(ta, tb, kappa_);
+  }
+  // Fig. 10 fallback: compare the children of the lowest common ancestor.
+  // Build root-to-node identifier chains and find the divergence point; the
+  // two divergent identifiers are siblings enumerated in the same area, so
+  // their local indices are numerically ordered left to right.
+  auto chain_of = [&](const Ruid2Id& id) {
+    std::vector<Ruid2Id> chain = Ancestors(id);
+    std::reverse(chain.begin(), chain.end());
+    chain.push_back(id);
+    return chain;
+  };
+  std::vector<Ruid2Id> ca = chain_of(a);
+  std::vector<Ruid2Id> cb = chain_of(b);
+  size_t i = 0;
+  while (i < ca.size() && i < cb.size() && ca[i] == cb[i]) ++i;
+  if (i == ca.size()) return -1;  // a is an ancestor of b
+  if (i == cb.size()) return 1;
+  return ca[i].local < cb[i].local ? -1 : 1;
+}
+
+xml::Node* Ruid2Scheme::NodeById(const Ruid2Id& id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+bool Ruid2Scheme::IsParent(const xml::Node* p, const xml::Node* c) const {
+  auto parent = Parent(label(c));
+  return parent.ok() && *parent == label(p);
+}
+
+bool Ruid2Scheme::IsAncestor(const xml::Node* a, const xml::Node* d) const {
+  return IsAncestorId(label(a), label(d));
+}
+
+int Ruid2Scheme::CompareOrder(const xml::Node* a, const xml::Node* b) const {
+  return CompareIds(label(a), label(b));
+}
+
+uint64_t Ruid2Scheme::LabelBits(const xml::Node* n) const {
+  const Ruid2Id& id = label(n);
+  return static_cast<uint64_t>(id.global.BitWidth()) +
+         static_cast<uint64_t>(id.local.BitWidth()) + 1;
+}
+
+uint64_t Ruid2Scheme::TotalLabelBits() const {
+  uint64_t total = 0;
+  for (const auto& [serial, id] : labels_) {
+    total += static_cast<uint64_t>(id.global.BitWidth()) +
+             static_cast<uint64_t>(id.local.BitWidth()) + 1;
+  }
+  return total;
+}
+
+std::string Ruid2Scheme::LabelString(const xml::Node* n) const {
+  return label(n).ToString();
+}
+
+Result<UpdateReport> Ruid2Scheme::InsertAndRelabel(xml::Document* doc,
+                                                   xml::Node* parent,
+                                                   size_t pos,
+                                                   xml::Node* child) {
+  if (doc == nullptr || parent == nullptr || child == nullptr) {
+    return Status::InvalidArgument("null argument");
+  }
+  if (!labels_.contains(parent->serial())) {
+    return Status::InvalidArgument("parent is not labeled by this scheme");
+  }
+  RUIDX_RETURN_NOT_OK(doc->InsertChild(parent, pos, child));
+  // The new subtree joins the area in which parent's children are
+  // enumerated; no new areas are created by an insertion (Sec. 3.2).
+  uint32_t area = ExpandAreaOf(parent);
+  xml::PreorderTraverse(child, [&](xml::Node* n, int) {
+    partition_.member_area[n->serial()] = area;
+    return true;
+  });
+  UpdateReport report;
+  report.areas_touched = 1;
+  report.relabeled = RenumberArea(area, &report.local_fanout_grew);
+  return report;
+}
+
+Result<UpdateReport> Ruid2Scheme::RemoveAndRelabel(xml::Document* doc,
+                                                   xml::Node* victim) {
+  if (doc == nullptr || victim == nullptr) {
+    return Status::InvalidArgument("null argument");
+  }
+  if (!labels_.contains(victim->serial())) {
+    return Status::InvalidArgument("victim is not labeled by this scheme");
+  }
+  if (victim->parent() == nullptr || victim->parent()->is_document()) {
+    return Status::InvalidArgument("cannot remove the root");
+  }
+  uint32_t area = MemberAreaOf(victim);
+  UpdateReport report;
+
+  // Node deletion is cascading: every area rooted inside the subtree dies
+  // with it, along with its K row. Other areas keep their global indices —
+  // the freed frame slots simply become virtual.
+  xml::PreorderTraverse(victim, [&](xml::Node* n, int) {
+    auto rit = partition_.rooted_area.find(n->serial());
+    if (rit != partition_.rooted_area.end()) {
+      uint32_t dead = rit->second;
+      ++report.areas_dropped;
+      const BigUint& dead_global = area_globals_[dead];
+      ktable_.Erase(dead_global);
+      area_by_global_.erase(dead_global);
+      uint32_t up = partition_.areas[dead].parent_area;
+      if (up != Partition::kNoArea && partition_.areas[up].root != nullptr) {
+        auto& siblings = partition_.areas[up].child_areas;
+        siblings.erase(std::remove(siblings.begin(), siblings.end(), dead),
+                       siblings.end());
+      }
+      partition_.areas[dead].root = nullptr;
+      partition_.rooted_area.erase(rit);
+    }
+    partition_.member_area.erase(n->serial());
+    DropLabel(n);
+    return true;
+  });
+
+  RUIDX_RETURN_NOT_OK(doc->RemoveSubtree(victim));
+  report.areas_touched = 1;
+  report.relabeled = RenumberArea(area, &report.local_fanout_grew);
+  return report;
+}
+
+Status Ruid2Scheme::Validate(xml::Node* root) const {
+  if (root == nullptr) return Status::InvalidArgument("null root");
+  // 1. Labels: complete, bijective with the index, rparent inverts edges.
+  uint64_t node_count = 0;
+  Status status = Status::OK();
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    if (!status.ok()) return false;
+    ++node_count;
+    auto it = labels_.find(n->serial());
+    if (it == labels_.end()) {
+      status = Status::Corruption("unlabeled node <" + n->name() + ">");
+      return false;
+    }
+    const Ruid2Id& id = it->second;
+    if (NodeById(id) != n) {
+      status = Status::Corruption("index does not map " + id.ToString() +
+                                  " back to its node");
+      return false;
+    }
+    if (n == root) {
+      if (!(id == Ruid2RootId())) {
+        status = Status::Corruption("root is " + id.ToString() +
+                                    ", expected (1, 1, true)");
+      }
+      return true;
+    }
+    auto parent = Parent(id);
+    if (!parent.ok()) {
+      status = Status::Corruption("rparent failed for " + id.ToString() +
+                                  ": " + parent.status().ToString());
+      return false;
+    }
+    auto pit = labels_.find(n->parent()->serial());
+    if (pit == labels_.end() || !(*parent == pit->second)) {
+      status = Status::Corruption("rparent(" + id.ToString() +
+                                  ") does not match the DOM parent");
+      return false;
+    }
+    return true;
+  });
+  RUIDX_RETURN_NOT_OK(status);
+  if (node_count != labels_.size()) {
+    return Status::Corruption("label table holds " +
+                              std::to_string(labels_.size()) + " entries for " +
+                              std::to_string(node_count) + " nodes");
+  }
+  if (labels_.size() != by_id_.size()) {
+    return Status::Corruption("id index size mismatch");
+  }
+  // 2. K table and partition agreement.
+  uint64_t live_areas = 0;
+  for (uint32_t i = 0; i < partition_.areas.size(); ++i) {
+    const Partition::Area& area = partition_.areas[i];
+    if (area.root == nullptr) continue;  // dropped by a deletion
+    ++live_areas;
+    const KRow* row = ktable_.Find(area_globals_[i]);
+    if (row == nullptr) {
+      return Status::Corruption("missing K row for area " +
+                                area_globals_[i].ToDecimalString());
+    }
+    if (row->fanout != area.local_fanout) {
+      return Status::Corruption("K fanout disagrees with partition for area " +
+                                area_globals_[i].ToDecimalString());
+    }
+    const Ruid2Id& root_id = labels_.at(area.root->serial());
+    if (row->root_local != root_id.local) {
+      return Status::Corruption("K root_local stale for area " +
+                                area_globals_[i].ToDecimalString());
+    }
+    // Local fan-out bounds every expanding member.
+    Status area_status = Status::OK();
+    xml::PreorderTraverse(area.root, [&](xml::Node* n, int depth) {
+      if (depth > 0 && partition_.IsAreaRoot(n)) return false;
+      if (n->fanout() > area.local_fanout) {
+        area_status = Status::Corruption("member fan-out exceeds k in area " +
+                                         area_globals_[i].ToDecimalString());
+        return false;
+      }
+      return true;
+    });
+    RUIDX_RETURN_NOT_OK(area_status);
+  }
+  if (live_areas != ktable_.size()) {
+    return Status::Corruption("K table has " + std::to_string(ktable_.size()) +
+                              " rows for " + std::to_string(live_areas) +
+                              " live areas");
+  }
+  if (kappa_ < partition_.FrameFanout()) {
+    return Status::Corruption("kappa below the frame fan-out");
+  }
+  return Status::OK();
+}
+
+uint64_t Ruid2Scheme::RelabelAndCount(xml::Node* root) {
+  // Detect externally applied mutations: unlabeled nodes are insertions,
+  // labeled serials that vanished from the tree are deletions.
+  std::unordered_set<uint32_t> in_tree;
+  std::vector<uint32_t> dirty_areas;
+  auto mark_dirty = [&](uint32_t area) {
+    if (std::find(dirty_areas.begin(), dirty_areas.end(), area) ==
+        dirty_areas.end()) {
+      dirty_areas.push_back(area);
+    }
+  };
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    in_tree.insert(n->serial());
+    if (!labels_.contains(n->serial()) &&
+        !partition_.member_area.contains(n->serial())) {
+      // Preorder guarantees the parent was processed first, so its
+      // membership is known by now.
+      xml::Node* p = n->parent();
+      uint32_t area = (p == nullptr) ? 0 : ExpandAreaOf(p);
+      partition_.member_area[n->serial()] = area;
+      mark_dirty(area);
+    }
+    return true;
+  });
+
+  // Deletions.
+  std::vector<uint32_t> gone;
+  for (const auto& [serial, id] : labels_) {
+    if (!in_tree.contains(serial)) gone.push_back(serial);
+  }
+  for (uint32_t serial : gone) {
+    auto mit = partition_.member_area.find(serial);
+    if (mit != partition_.member_area.end()) {
+      // The containing area must be re-enumerated if it survives.
+      uint32_t area = mit->second;
+      if (partition_.areas[area].root != nullptr &&
+          in_tree.contains(partition_.areas[area].root->serial())) {
+        mark_dirty(area);
+      }
+      partition_.member_area.erase(mit);
+    }
+    auto rit = partition_.rooted_area.find(serial);
+    if (rit != partition_.rooted_area.end()) {
+      uint32_t dead = rit->second;
+      const BigUint& dead_global = area_globals_[dead];
+      ktable_.Erase(dead_global);
+      area_by_global_.erase(dead_global);
+      uint32_t up = partition_.areas[dead].parent_area;
+      if (up != Partition::kNoArea && partition_.areas[up].root != nullptr) {
+        auto& siblings = partition_.areas[up].child_areas;
+        siblings.erase(std::remove(siblings.begin(), siblings.end(), dead),
+                       siblings.end());
+      }
+      partition_.areas[dead].root = nullptr;
+      partition_.rooted_area.erase(rit);
+    }
+    auto lit = labels_.find(serial);
+    if (lit != labels_.end()) {
+      // DropLabel needs the node pointer; erase by value instead.
+      auto bit = by_id_.find(lit->second);
+      if (bit != by_id_.end() && bit->second->serial() == serial) {
+        by_id_.erase(bit);
+      }
+      labels_.erase(lit);
+    }
+  }
+
+  uint64_t changed = 0;
+  for (uint32_t area : dirty_areas) {
+    if (partition_.areas[area].root == nullptr) continue;
+    changed += RenumberArea(area, nullptr);
+  }
+  return changed;
+}
+
+}  // namespace core
+}  // namespace ruidx

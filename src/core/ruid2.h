@@ -1,0 +1,193 @@
+// The 2-level recursive UID numbering scheme (Sec. 2 of the paper).
+//
+// An identifier is the triple (global index, local index, root indicator)
+// of Def. 3. The scheme keeps the frame fan-out κ and table K in memory, so
+// rparent() (Fig. 6) and everything built on it (ancestors, order
+// comparison, axis candidate generation) run without touching the tree —
+// let alone the disk.
+#ifndef RUIDX_CORE_RUID2_H_
+#define RUIDX_CORE_RUID2_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ktable.h"
+#include "core/partition.h"
+#include "scheme/labeling.h"
+#include "util/biguint.h"
+#include "util/result.h"
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace core {
+
+/// \brief A full 2-level ruid (Def. 3): (g_i, l_i, r_i).
+struct Ruid2Id {
+  BigUint global;
+  BigUint local;
+  bool is_area_root = false;
+
+  bool operator==(const Ruid2Id& o) const {
+    return is_area_root == o.is_area_root && global == o.global &&
+           local == o.local;
+  }
+  bool operator!=(const Ruid2Id& o) const { return !(*this == o); }
+
+  /// "(g, l, r)" in the notation of the paper.
+  std::string ToString() const;
+
+  size_t Hash() const {
+    size_t h = global.Hash();
+    h = h * 1099511628211ULL ^ local.Hash();
+    return h * 2 + (is_area_root ? 1 : 0);
+  }
+};
+
+struct Ruid2IdHash {
+  size_t operator()(const Ruid2Id& id) const { return id.Hash(); }
+};
+
+/// The identifier of the main root, (1, 1, true).
+Ruid2Id Ruid2RootId();
+
+/// rparent() — the Fig. 6 algorithm as a pure function of (κ, K). Given the
+/// identifier of a node, computes the identifier of its parent entirely in
+/// main memory. Fails for the main root and for identifiers whose area has
+/// no K row.
+Result<Ruid2Id> RuidParent(const Ruid2Id& id, uint64_t kappa, const KTable& k);
+
+/// \brief Outcome of an incremental structural update (Sec. 3.2 accounting).
+struct UpdateReport {
+  /// Previously labeled nodes whose identifier changed.
+  uint64_t relabeled = 0;
+  /// Areas whose local enumeration was redone.
+  uint64_t areas_touched = 0;
+  /// True when the insertion overflowed the area's local fan-out and k_i had
+  /// to be enlarged.
+  bool local_fanout_grew = false;
+  /// Areas (and their K rows) dropped because a deletion removed them.
+  uint64_t areas_dropped = 0;
+};
+
+/// \brief 2-level ruid over a DOM tree.
+///
+/// Implements the generic LabelingScheme interface for the cross-scheme
+/// benchmarks, plus the identifier-arithmetic API (Parent/Ancestors/
+/// CompareIds) that works on (κ, K) alone, plus incremental updates.
+class Ruid2Scheme : public scheme::LabelingScheme {
+ public:
+  explicit Ruid2Scheme(PartitionOptions options = {})
+      : options_(std::move(options)) {}
+
+  // --- LabelingScheme ------------------------------------------------------
+  std::string name() const override { return "ruid2"; }
+  void Build(xml::Node* root) override;
+  bool IsParent(const xml::Node* p, const xml::Node* c) const override;
+  bool IsAncestor(const xml::Node* a, const xml::Node* d) const override;
+  int CompareOrder(const xml::Node* a, const xml::Node* b) const override;
+  uint64_t LabelBits(const xml::Node* n) const override;
+  uint64_t TotalLabelBits() const override;
+  std::string LabelString(const xml::Node* n) const override;
+  /// Detects externally applied insertions/deletions and repairs only the
+  /// affected areas (Sec. 3.2); returns the number of changed identifiers.
+  uint64_t RelabelAndCount(xml::Node* root) override;
+
+  // --- Identifier arithmetic (κ and K only; no tree access, no I/O) --------
+
+  /// rparent() of Fig. 6. Fails for the main root identifier.
+  Result<Ruid2Id> Parent(const Ruid2Id& id) const;
+
+  /// rancestor(): the chain of proper ancestors, nearest first.
+  std::vector<Ruid2Id> Ancestors(const Ruid2Id& id) const;
+
+  /// True iff a is a proper ancestor of d, by identifier arithmetic.
+  bool IsAncestorId(const Ruid2Id& a, const Ruid2Id& d) const;
+
+  /// Document-order comparison (ancestors precede descendants). Uses the
+  /// frame shortcut of Lemma 3 when the two areas are order-comparable and
+  /// falls back to the Fig. 10 chain comparison otherwise.
+  int CompareIds(const Ruid2Id& a, const Ruid2Id& b) const;
+
+  /// Depth of the node identified by `id` (root at 0), by arithmetic alone.
+  uint64_t DepthOf(const Ruid2Id& id) const;
+
+  // --- Structure accessors --------------------------------------------------
+
+  uint64_t kappa() const { return kappa_; }
+  const KTable& ktable() const { return ktable_; }
+  const Partition& partition() const { return partition_; }
+  const PartitionOptions& options() const { return options_; }
+
+  const Ruid2Id& label(const xml::Node* n) const {
+    return labels_.at(n->serial());
+  }
+  bool HasLabel(const xml::Node* n) const {
+    return labels_.contains(n->serial());
+  }
+
+  /// The node carrying identifier `id`, or nullptr when `id` is virtual or
+  /// unknown. (This is the in-memory stand-in for the paper's RDBMS index.)
+  xml::Node* NodeById(const Ruid2Id& id) const;
+
+  /// Number of labeled nodes.
+  size_t label_count() const { return labels_.size(); }
+
+  /// Calls fn(node, id) for every labeled node (iteration order unspecified).
+  template <typename Fn>
+  void ForEachLabeled(Fn&& fn) const {
+    for (const auto& [id, node] : by_id_) fn(node, id);
+  }
+
+  /// Main-memory footprint of the global parameters (κ + table K), the data
+  /// the paper requires to be resident for rparent.
+  uint64_t GlobalStateBytes() const { return sizeof(kappa_) + ktable_.SizeInBytes(); }
+
+  // --- Incremental structural update (Sec. 3.2) ----------------------------
+
+  /// Inserts `child` (a detached node, possibly with a subtree below it) as
+  /// parent->children()[pos] and repairs identifiers incrementally: only the
+  /// area where the update lands is re-enumerated.
+  Result<UpdateReport> InsertAndRelabel(xml::Document* doc, xml::Node* parent,
+                                        size_t pos, xml::Node* child);
+
+  /// Removes the subtree rooted at `victim` (cascading, as in the paper) and
+  /// repairs identifiers incrementally.
+  Result<UpdateReport> RemoveAndRelabel(xml::Document* doc, xml::Node* victim);
+
+  /// Full invariant check against the current tree: every node labeled and
+  /// indexed, rparent inverts every edge, K rows consistent with the
+  /// partition, κ within bounds. Returns Corruption describing the first
+  /// violation. Intended for tests and post-update audits.
+  Status Validate(xml::Node* root) const;
+
+ private:
+  /// Re-enumerates the local indices of one area in place. Returns the
+  /// number of previously labeled nodes whose identifier changed.
+  uint64_t RenumberArea(uint32_t area_idx, bool* fanout_grew);
+
+  /// The area in which `n` takes its local index.
+  uint32_t MemberAreaOf(const xml::Node* n) const;
+  /// The area in which children of `n` are enumerated.
+  uint32_t ExpandAreaOf(const xml::Node* n) const;
+
+  void SetLabel(xml::Node* n, Ruid2Id id, uint64_t* changed);
+  void DropLabel(xml::Node* n);
+
+  PartitionOptions options_;
+  Partition partition_;
+  uint64_t kappa_ = 1;
+  KTable ktable_;
+  std::unordered_map<uint32_t, Ruid2Id> labels_;  // serial -> id
+  std::unordered_map<Ruid2Id, xml::Node*, Ruid2IdHash> by_id_;
+  /// global index -> area index, for update paths that need the area.
+  std::unordered_map<BigUint, uint32_t, BigUintHash> area_by_global_;
+  /// area index -> global index (inverse of area_by_global_).
+  std::vector<BigUint> area_globals_;
+};
+
+}  // namespace core
+}  // namespace ruidx
+
+#endif  // RUIDX_CORE_RUID2_H_

@@ -1,0 +1,104 @@
+#include "scheme/dewey.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace ruidx {
+namespace scheme {
+
+int DeweyCompare(const DeweyLabel& a, const DeweyLabel& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+bool DeweyIsAncestor(const DeweyLabel& a, const DeweyLabel& d) {
+  if (a.size() >= d.size()) return false;
+  return std::equal(a.begin(), a.end(), d.begin());
+}
+
+void DeweyScheme::Assign(
+    xml::Node* root, std::unordered_map<uint32_t, DeweyLabel>* labels) const {
+  struct Frame {
+    xml::Node* node;
+    DeweyLabel label;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, {1}});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const auto& ch = f.node->children();
+    for (size_t j = 0; j < ch.size(); ++j) {
+      DeweyLabel child = f.label;
+      child.push_back(static_cast<uint32_t>(j + 1));
+      stack.push_back({ch[j], std::move(child)});
+    }
+    (*labels)[f.node->serial()] = std::move(f.label);
+  }
+}
+
+void DeweyScheme::Build(xml::Node* root) {
+  labels_.clear();
+  Assign(root, &labels_);
+}
+
+bool DeweyScheme::IsParent(const xml::Node* p, const xml::Node* c) const {
+  const DeweyLabel& lp = label(p);
+  const DeweyLabel& lc = label(c);
+  return lp.size() + 1 == lc.size() && DeweyIsAncestor(lp, lc);
+}
+
+bool DeweyScheme::IsAncestor(const xml::Node* a, const xml::Node* d) const {
+  return DeweyIsAncestor(label(a), label(d));
+}
+
+int DeweyScheme::CompareOrder(const xml::Node* a, const xml::Node* b) const {
+  return DeweyCompare(label(a), label(b));
+}
+
+uint64_t DeweyScheme::LabelBits(const xml::Node* n) const {
+  // Variable-length encoding: each component costs its bit width (min 1).
+  uint64_t bits = 0;
+  for (uint32_t c : label(n)) {
+    bits += std::max(1, 32 - std::countl_zero(c));
+  }
+  return bits;
+}
+
+uint64_t DeweyScheme::TotalLabelBits() const {
+  uint64_t total = 0;
+  for (const auto& [serial, l] : labels_) {
+    for (uint32_t c : l) total += std::max(1, 32 - std::countl_zero(c));
+  }
+  return total;
+}
+
+std::string DeweyScheme::LabelString(const xml::Node* n) const {
+  std::ostringstream os;
+  const DeweyLabel& l = label(n);
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (i != 0) os << ".";
+    os << l[i];
+  }
+  return os.str();
+}
+
+uint64_t DeweyScheme::RelabelAndCount(xml::Node* root) {
+  std::unordered_map<uint32_t, DeweyLabel> fresh;
+  Assign(root, &fresh);
+  uint64_t changed = 0;
+  for (const auto& [serial, l] : fresh) {
+    auto it = labels_.find(serial);
+    if (it != labels_.end() && it->second != l) ++changed;
+  }
+  labels_ = std::move(fresh);
+  return changed;
+}
+
+}  // namespace scheme
+}  // namespace ruidx

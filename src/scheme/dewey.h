@@ -1,0 +1,52 @@
+// Dewey order labels: each node is labeled with the path of 1-based child
+// ordinals from the root (e.g. 1.3.2). A classic structural numbering
+// baseline (cf. Sec. 6 related work); parent = drop the last component,
+// ancestor = prefix test, document order = lexicographic comparison.
+#ifndef RUIDX_SCHEME_DEWEY_H_
+#define RUIDX_SCHEME_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scheme/labeling.h"
+
+namespace ruidx {
+namespace scheme {
+
+using DeweyLabel = std::vector<uint32_t>;
+
+/// Lexicographic comparison; a strict prefix precedes its extensions.
+int DeweyCompare(const DeweyLabel& a, const DeweyLabel& b);
+
+/// True iff a is a proper prefix of d.
+bool DeweyIsAncestor(const DeweyLabel& a, const DeweyLabel& d);
+
+class DeweyScheme : public LabelingScheme {
+ public:
+  std::string name() const override { return "dewey"; }
+  void Build(xml::Node* root) override;
+  bool IsParent(const xml::Node* p, const xml::Node* c) const override;
+  bool IsAncestor(const xml::Node* a, const xml::Node* d) const override;
+  int CompareOrder(const xml::Node* a, const xml::Node* b) const override;
+  uint64_t LabelBits(const xml::Node* n) const override;
+  uint64_t TotalLabelBits() const override;
+  std::string LabelString(const xml::Node* n) const override;
+  uint64_t RelabelAndCount(xml::Node* root) override;
+
+  const DeweyLabel& label(const xml::Node* n) const {
+    return labels_.at(n->serial());
+  }
+
+ private:
+  void Assign(xml::Node* root,
+              std::unordered_map<uint32_t, DeweyLabel>* labels) const;
+
+  std::unordered_map<uint32_t, DeweyLabel> labels_;
+};
+
+}  // namespace scheme
+}  // namespace ruidx
+
+#endif  // RUIDX_SCHEME_DEWEY_H_

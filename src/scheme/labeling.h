@@ -1,0 +1,59 @@
+// LabelingScheme: the common interface all numbering schemes implement.
+//
+// A numbering scheme assigns each tree node an identifier such that the
+// hierarchical orders (parent-child, ancestor-descendant,
+// preceding-following) can be re-established from identifiers alone
+// (Sec. 1 of the paper). The cross-scheme benchmarks exercise exactly this
+// interface; scheme-specific capabilities (e.g. ruid's in-memory rparent or
+// UID's child-range arithmetic) live on the concrete classes.
+#ifndef RUIDX_SCHEME_LABELING_H_
+#define RUIDX_SCHEME_LABELING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace scheme {
+
+class LabelingScheme {
+ public:
+  virtual ~LabelingScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Assigns labels to every node of the tree rooted at `root`.
+  virtual void Build(xml::Node* root) = 0;
+
+  /// True iff, judging by labels alone, p is the parent of c.
+  virtual bool IsParent(const xml::Node* p, const xml::Node* c) const = 0;
+
+  /// True iff, judging by labels alone, a is a proper ancestor of d.
+  virtual bool IsAncestor(const xml::Node* a, const xml::Node* d) const = 0;
+
+  /// Document-order comparison from labels alone: negative when a comes
+  /// before b (ancestors come before their descendants), 0 when a == b.
+  virtual int CompareOrder(const xml::Node* a, const xml::Node* b) const = 0;
+
+  /// Size of the node's label in bits.
+  virtual uint64_t LabelBits(const xml::Node* n) const = 0;
+
+  /// Sum of LabelBits over all labeled nodes.
+  virtual uint64_t TotalLabelBits() const = 0;
+
+  /// Human-readable label, for demos and debugging.
+  virtual std::string LabelString(const xml::Node* n) const = 0;
+
+  /// Relabels the tree after a structural mutation and returns the number of
+  /// previously labeled nodes whose label changed (new nodes are labeled but
+  /// not counted). This measures the "scope of identifier update" of
+  /// Sec. 3.2.
+  virtual uint64_t RelabelAndCount(xml::Node* root) = 0;
+};
+
+}  // namespace scheme
+}  // namespace ruidx
+
+#endif  // RUIDX_SCHEME_LABELING_H_

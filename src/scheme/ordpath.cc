@@ -1,0 +1,213 @@
+#include "scheme/ordpath.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace ruidx {
+namespace scheme {
+
+int OrdpathCompare(const OrdpathLabel& a, const OrdpathLabel& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+bool OrdpathIsAncestor(const OrdpathLabel& a, const OrdpathLabel& d) {
+  if (a.size() >= d.size()) return false;
+  return std::equal(a.begin(), a.end(), d.begin());
+}
+
+int OrdpathLevel(const OrdpathLabel& label) {
+  int level = 0;
+  for (int64_t c : label) {
+    if (c % 2 != 0) ++level;
+  }
+  return level;
+}
+
+OrdpathLabel OrdpathBetween(const OrdpathLabel& parent,
+                            const OrdpathLabel* left,
+                            const OrdpathLabel* right) {
+  OrdpathLabel out = parent;
+  size_t i = parent.size();
+  for (;;) {
+    if (left == nullptr && right == nullptr) {
+      out.push_back(1);
+      return out;
+    }
+    if (left == nullptr) {
+      // Unbounded below: largest odd strictly under right's component.
+      assert(i < right->size());
+      int64_t c = (*right)[i];
+      out.push_back(c % 2 != 0 ? c - 2 : c - 1);
+      return out;
+    }
+    if (right == nullptr) {
+      // Unbounded above: smallest odd strictly over left's component.
+      assert(i < left->size());
+      int64_t c = (*left)[i];
+      out.push_back(c % 2 != 0 ? c + 2 : c + 1);
+      return out;
+    }
+    // Copy the common run (neither bound is a prefix of the other: both end
+    // in odd components and neither contains the other as a sibling).
+    while (i < left->size() && i < right->size() &&
+           (*left)[i] == (*right)[i]) {
+      out.push_back((*left)[i]);
+      ++i;
+    }
+    assert(i < left->size() && i < right->size());
+    int64_t lo = (*left)[i];
+    int64_t hi = (*right)[i];
+    assert(lo < hi);
+    int64_t m = lo % 2 != 0 ? lo + 2 : lo + 1;  // first odd above lo
+    if (m < hi) {
+      out.push_back(m);
+      return out;
+    }
+    if (lo % 2 != 0 && hi % 2 != 0) {
+      // Adjacent odds (hi == lo + 2): extend through the even caret.
+      out.push_back(lo + 1);
+      out.push_back(1);
+      return out;
+    }
+    if (lo % 2 == 0) {
+      // Left bound carets here, so it continues; slide in after its
+      // continuation: everything out+[lo]+suffix(left) < x < out+[hi...].
+      out.push_back(lo);
+      ++i;
+      right = nullptr;
+    } else {
+      // Right bound carets here; slide in before its continuation.
+      out.push_back(hi);
+      ++i;
+      left = nullptr;
+    }
+  }
+}
+
+void OrdpathScheme::AssignSubtree(xml::Node* n, OrdpathLabel root_label) {
+  struct Frame {
+    xml::Node* node;
+    OrdpathLabel label;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({n, std::move(root_label)});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const auto& ch = f.node->children();
+    for (size_t j = 0; j < ch.size(); ++j) {
+      OrdpathLabel child = f.label;
+      child.push_back(static_cast<int64_t>(2 * j + 1));
+      stack.push_back({ch[j], std::move(child)});
+    }
+    labels_[f.node->serial()] = std::move(f.label);
+  }
+}
+
+void OrdpathScheme::Build(xml::Node* root) {
+  labels_.clear();
+  AssignSubtree(root, OrdpathLabel{1});
+}
+
+bool OrdpathScheme::IsParent(const xml::Node* p, const xml::Node* c) const {
+  const OrdpathLabel& lp = label(p);
+  const OrdpathLabel& lc = label(c);
+  return OrdpathIsAncestor(lp, lc) &&
+         OrdpathLevel(lc) == OrdpathLevel(lp) + 1;
+}
+
+bool OrdpathScheme::IsAncestor(const xml::Node* a, const xml::Node* d) const {
+  return OrdpathIsAncestor(label(a), label(d));
+}
+
+int OrdpathScheme::CompareOrder(const xml::Node* a, const xml::Node* b) const {
+  return OrdpathCompare(label(a), label(b));
+}
+
+uint64_t OrdpathScheme::LabelBits(const xml::Node* n) const {
+  uint64_t bits = 0;
+  for (int64_t c : label(n)) {
+    uint64_t magnitude = static_cast<uint64_t>(c < 0 ? -c : c);
+    bits += 1 +  // sign
+            std::max<uint64_t>(1, 64 - static_cast<uint64_t>(
+                                          std::countl_zero(magnitude | 1)));
+  }
+  return bits;
+}
+
+uint64_t OrdpathScheme::TotalLabelBits() const {
+  uint64_t total = 0;
+  for (const auto& [serial, l] : labels_) {
+    for (int64_t c : l) {
+      uint64_t magnitude = static_cast<uint64_t>(c < 0 ? -c : c);
+      total += 1 + std::max<uint64_t>(
+                       1, 64 - static_cast<uint64_t>(
+                                   std::countl_zero(magnitude | 1)));
+    }
+  }
+  return total;
+}
+
+std::string OrdpathScheme::LabelString(const xml::Node* n) const {
+  std::ostringstream os;
+  const OrdpathLabel& l = label(n);
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (i != 0) os << ".";
+    os << l[i];
+  }
+  return os.str();
+}
+
+uint64_t OrdpathScheme::RelabelAndCount(xml::Node* root) {
+  // Deletions: nothing to do (prefix labels of survivors are untouched).
+  // Insertions: label each new subtree between its neighbours' labels.
+  // Processing in document order guarantees a left neighbour (if any) is
+  // labeled by the time we reach a new node.
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    if (labels_.contains(n->serial())) return true;
+    xml::Node* parent = n->parent();
+    if (parent == nullptr || parent->is_document() ||
+        !labels_.contains(parent->serial())) {
+      return true;  // interior of a new subtree: AssignSubtree covers it
+    }
+    const OrdpathLabel& parent_label = labels_.at(parent->serial());
+    int idx = n->IndexInParent();
+    const auto& sibs = parent->children();
+    const OrdpathLabel* left = nullptr;
+    const OrdpathLabel* right = nullptr;
+    if (idx > 0) {
+      auto it = labels_.find(sibs[static_cast<size_t>(idx - 1)]->serial());
+      if (it != labels_.end()) left = &it->second;
+    }
+    if (static_cast<size_t>(idx + 1) < sibs.size()) {
+      auto it = labels_.find(sibs[static_cast<size_t>(idx + 1)]->serial());
+      if (it != labels_.end()) right = &it->second;
+    }
+    AssignSubtree(n, OrdpathBetween(parent_label, left, right));
+    return false;  // subtree fully labeled; skip descending
+  });
+  // Drop labels of removed serials (cosmetic; costs no relabeling).
+  std::unordered_map<uint32_t, bool> in_tree;
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    in_tree[n->serial()] = true;
+    return true;
+  });
+  for (auto it = labels_.begin(); it != labels_.end();) {
+    if (!in_tree.contains(it->first)) {
+      it = labels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return 0;
+}
+
+}  // namespace scheme
+}  // namespace ruidx

@@ -1,0 +1,75 @@
+// ORDPATH labels (O'Neil et al., SIGMOD 2004): Dewey-style paths whose
+// initial components are odd; insertions anywhere claim an unused odd value
+// or extend through an even "caret" component, so no existing label ever
+// changes — the strongest updatable-labeling baseline, at the price of
+// labels that grow with update history. (Later work than the paper, but the
+// canonical answer to the update problem the paper attacks; including it
+// makes the E11 comparison honest.)
+//
+// Well-formedness: a label is a non-empty sequence of signed components
+// ending in an odd value; even components are carets that do not count as
+// levels. Order is lexicographic; ancestorship is the proper-prefix
+// relation; a node's depth is the number of odd components.
+#ifndef RUIDX_SCHEME_ORDPATH_H_
+#define RUIDX_SCHEME_ORDPATH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scheme/labeling.h"
+
+namespace ruidx {
+namespace scheme {
+
+using OrdpathLabel = std::vector<int64_t>;
+
+/// Lexicographic comparison; a proper prefix precedes its extensions.
+int OrdpathCompare(const OrdpathLabel& a, const OrdpathLabel& b);
+
+/// True iff a is a proper prefix of d.
+bool OrdpathIsAncestor(const OrdpathLabel& a, const OrdpathLabel& d);
+
+/// Number of odd components (the node's depth; the root has level 1).
+int OrdpathLevel(const OrdpathLabel& label);
+
+/// A label strictly between `left` and `right` (either may be empty,
+/// meaning unbounded on that side) that is a child-label extension of
+/// `parent`. Both bounds, when present, must be child labels of `parent`.
+OrdpathLabel OrdpathBetween(const OrdpathLabel& parent,
+                            const OrdpathLabel* left,
+                            const OrdpathLabel* right);
+
+class OrdpathScheme : public LabelingScheme {
+ public:
+  std::string name() const override { return "ordpath"; }
+  void Build(xml::Node* root) override;
+  bool IsParent(const xml::Node* p, const xml::Node* c) const override;
+  bool IsAncestor(const xml::Node* a, const xml::Node* d) const override;
+  int CompareOrder(const xml::Node* a, const xml::Node* b) const override;
+  uint64_t LabelBits(const xml::Node* n) const override;
+  uint64_t TotalLabelBits() const override;
+  std::string LabelString(const xml::Node* n) const override;
+
+  /// Deletions never relabel; insertions claim fresh labels between their
+  /// neighbours (possibly careted), so this always returns 0 — ORDPATH's
+  /// defining property. Label *growth* is the cost, visible in LabelBits.
+  uint64_t RelabelAndCount(xml::Node* root) override;
+
+  const OrdpathLabel& label(const xml::Node* n) const {
+    return labels_.at(n->serial());
+  }
+
+ private:
+  /// Assigns fresh odd-enumeration labels to `n`'s whole subtree, with `n`
+  /// itself getting `root_label`.
+  void AssignSubtree(xml::Node* n, OrdpathLabel root_label);
+
+  std::unordered_map<uint32_t, OrdpathLabel> labels_;
+};
+
+}  // namespace scheme
+}  // namespace ruidx
+
+#endif  // RUIDX_SCHEME_ORDPATH_H_

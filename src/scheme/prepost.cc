@@ -1,0 +1,104 @@
+#include "scheme/prepost.h"
+
+#include <bit>
+#include <sstream>
+#include <vector>
+
+namespace ruidx {
+namespace scheme {
+
+void PrePostScheme::Assign(
+    xml::Node* root,
+    std::unordered_map<uint32_t, PrePostLabel>* labels) const {
+  uint64_t pre = 0;
+  uint64_t post = 0;
+  struct Frame {
+    xml::Node* node;
+    uint32_t level;
+    bool entering;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0, true});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (!f.entering) {
+      (*labels)[f.node->serial()].post = post++;
+      continue;
+    }
+    PrePostLabel l;
+    l.pre = pre++;
+    l.level = f.level;
+    (*labels)[f.node->serial()] = l;
+    stack.push_back({f.node, f.level, false});
+    const auto& ch = f.node->children();
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) {
+      stack.push_back({*it, f.level + 1, true});
+    }
+  }
+}
+
+void PrePostScheme::Build(xml::Node* root) {
+  labels_.clear();
+  Assign(root, &labels_);
+}
+
+bool PrePostScheme::IsParent(const xml::Node* p, const xml::Node* c) const {
+  const PrePostLabel& lp = label(p);
+  const PrePostLabel& lc = label(c);
+  return lp.pre < lc.pre && lp.post > lc.post && lp.level + 1 == lc.level;
+}
+
+bool PrePostScheme::IsAncestor(const xml::Node* a, const xml::Node* d) const {
+  const PrePostLabel& la = label(a);
+  const PrePostLabel& ld = label(d);
+  return la.pre < ld.pre && la.post > ld.post;
+}
+
+int PrePostScheme::CompareOrder(const xml::Node* a, const xml::Node* b) const {
+  const PrePostLabel& la = label(a);
+  const PrePostLabel& lb = label(b);
+  if (la.pre == lb.pre) return 0;
+  return la.pre < lb.pre ? -1 : 1;
+}
+
+uint64_t PrePostScheme::LabelBits(const xml::Node* n) const {
+  const PrePostLabel& l = label(n);
+  auto width = [](uint64_t v) {
+    return static_cast<uint64_t>(std::max(1, 64 - std::countl_zero(v)));
+  };
+  return width(l.pre) + width(l.post) + width(l.level);
+}
+
+uint64_t PrePostScheme::TotalLabelBits() const {
+  uint64_t total = 0;
+  for (const auto& [serial, l] : labels_) {
+    auto width = [](uint64_t v) {
+      return static_cast<uint64_t>(std::max(1, 64 - std::countl_zero(v)));
+    };
+    total += width(l.pre) + width(l.post) + width(l.level);
+  }
+  return total;
+}
+
+std::string PrePostScheme::LabelString(const xml::Node* n) const {
+  const PrePostLabel& l = label(n);
+  std::ostringstream os;
+  os << "(" << l.pre << "," << l.post << "," << l.level << ")";
+  return os.str();
+}
+
+uint64_t PrePostScheme::RelabelAndCount(xml::Node* root) {
+  std::unordered_map<uint32_t, PrePostLabel> fresh;
+  Assign(root, &fresh);
+  uint64_t changed = 0;
+  for (const auto& [serial, l] : fresh) {
+    auto it = labels_.find(serial);
+    if (it != labels_.end() && !(it->second == l)) ++changed;
+  }
+  labels_ = std::move(fresh);
+  return changed;
+}
+
+}  // namespace scheme
+}  // namespace ruidx

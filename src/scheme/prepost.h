@@ -1,0 +1,51 @@
+// Pre/post (Dietz) interval labels: each node carries its preorder and
+// postorder traversal ranks plus its level. a is an ancestor of d iff
+// pre(a) < pre(d) and post(a) > post(d) (Dietz 1982, cited as [3] in the
+// paper); parenthood additionally requires level(a) + 1 == level(d).
+#ifndef RUIDX_SCHEME_PREPOST_H_
+#define RUIDX_SCHEME_PREPOST_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "scheme/labeling.h"
+
+namespace ruidx {
+namespace scheme {
+
+struct PrePostLabel {
+  uint64_t pre = 0;
+  uint64_t post = 0;
+  uint32_t level = 0;
+
+  bool operator==(const PrePostLabel&) const = default;
+};
+
+class PrePostScheme : public LabelingScheme {
+ public:
+  std::string name() const override { return "prepost"; }
+  void Build(xml::Node* root) override;
+  bool IsParent(const xml::Node* p, const xml::Node* c) const override;
+  bool IsAncestor(const xml::Node* a, const xml::Node* d) const override;
+  int CompareOrder(const xml::Node* a, const xml::Node* b) const override;
+  uint64_t LabelBits(const xml::Node* n) const override;
+  uint64_t TotalLabelBits() const override;
+  std::string LabelString(const xml::Node* n) const override;
+  uint64_t RelabelAndCount(xml::Node* root) override;
+
+  const PrePostLabel& label(const xml::Node* n) const {
+    return labels_.at(n->serial());
+  }
+
+ private:
+  void Assign(xml::Node* root,
+              std::unordered_map<uint32_t, PrePostLabel>* labels) const;
+
+  std::unordered_map<uint32_t, PrePostLabel> labels_;
+};
+
+}  // namespace scheme
+}  // namespace ruidx
+
+#endif  // RUIDX_SCHEME_PREPOST_H_

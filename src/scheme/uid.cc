@@ -1,0 +1,175 @@
+#include "scheme/uid.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "xml/stats.h"
+
+namespace ruidx {
+namespace scheme {
+
+BigUint UidParent(const BigUint& id, uint64_t k) {
+  assert(k >= 1);
+  assert(id >= BigUint(2));
+  return (id - 2) / k + 1;
+}
+
+BigUint UidChild(const BigUint& id, uint64_t k, uint64_t j) {
+  assert(j < k);
+  return (id - 1) * k + (2 + j);
+}
+
+uint64_t UidLevel(const BigUint& id, uint64_t k) {
+  uint64_t level = 0;
+  BigUint cur = id;
+  while (cur > BigUint(1)) {
+    cur = UidParent(cur, k);
+    ++level;
+  }
+  return level;
+}
+
+bool UidIsAncestor(const BigUint& a, const BigUint& d, uint64_t k) {
+  // parent(i) < i, so ancestors always carry smaller identifiers; climb the
+  // candidate descendant until we reach or pass `a`.
+  if (d <= a) return false;
+  BigUint cur = d;
+  while (cur > a) cur = UidParent(cur, k);
+  return cur == a;
+}
+
+namespace {
+
+/// The ancestor chain of `id`, from the root (identifier 1) down to `id`.
+std::vector<BigUint> AncestorChain(const BigUint& id, uint64_t k) {
+  std::vector<BigUint> chain;
+  BigUint cur = id;
+  chain.push_back(cur);
+  while (cur > BigUint(1)) {
+    cur = UidParent(cur, k);
+    chain.push_back(cur);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace
+
+int UidCompareOrder(const BigUint& a, const BigUint& b, uint64_t k) {
+  if (a == b) return 0;
+  // The Fig. 10 routine: compare the children of the lowest common ancestor
+  // on the two node paths (Lemma 2). Sibling identifiers are consecutive
+  // integers ordered left to right, so the numeric order of those children
+  // is the document order.
+  std::vector<BigUint> ca = AncestorChain(a, k);
+  std::vector<BigUint> cb = AncestorChain(b, k);
+  size_t i = 0;
+  while (i < ca.size() && i < cb.size() && ca[i] == cb[i]) ++i;
+  if (i == ca.size()) return -1;  // a is an ancestor of b: a comes first
+  if (i == cb.size()) return 1;   // b is an ancestor of a
+  return ca[i] < cb[i] ? -1 : 1;
+}
+
+void UidScheme::Assign(xml::Node* root,
+                       std::unordered_map<uint32_t, BigUint>* labels) const {
+  struct Frame {
+    xml::Node* node;
+    BigUint id;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, BigUint(1)});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const auto& ch = f.node->children();
+    for (size_t j = 0; j < ch.size(); ++j) {
+      stack.push_back({ch[j], UidChild(f.id, k_, j)});
+    }
+    (*labels)[f.node->serial()] = std::move(f.id);
+  }
+}
+
+void UidScheme::Build(xml::Node* root) {
+  xml::TreeStats stats = xml::ComputeStats(root);
+  k_ = std::max<uint64_t>({requested_k_, stats.max_fanout, 1});
+  labels_.clear();
+  by_label_.clear();
+  Assign(root, &labels_);
+  max_label_ = BigUint(0);
+  for (const auto& [serial, id] : labels_) {
+    if (id > max_label_) max_label_ = id;
+  }
+  by_label_.reserve(labels_.size());
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    by_label_[labels_.at(n->serial())] = n;
+    return true;
+  });
+}
+
+const BigUint& UidScheme::label(const xml::Node* n) const {
+  return labels_.at(n->serial());
+}
+
+xml::Node* UidScheme::NodeByLabel(const BigUint& id) const {
+  auto it = by_label_.find(id);
+  return it == by_label_.end() ? nullptr : it->second;
+}
+
+bool UidScheme::IsParent(const xml::Node* p, const xml::Node* c) const {
+  const BigUint& cid = label(c);
+  if (cid <= BigUint(1)) return false;
+  return UidParent(cid, k_) == label(p);
+}
+
+bool UidScheme::IsAncestor(const xml::Node* a, const xml::Node* d) const {
+  return UidIsAncestor(label(a), label(d), k_);
+}
+
+int UidScheme::CompareOrder(const xml::Node* a, const xml::Node* b) const {
+  return UidCompareOrder(label(a), label(b), k_);
+}
+
+uint64_t UidScheme::LabelBits(const xml::Node* n) const {
+  return static_cast<uint64_t>(label(n).BitWidth());
+}
+
+uint64_t UidScheme::TotalLabelBits() const {
+  uint64_t total = 0;
+  for (const auto& [serial, id] : labels_) {
+    total += static_cast<uint64_t>(id.BitWidth());
+  }
+  return total;
+}
+
+std::string UidScheme::LabelString(const xml::Node* n) const {
+  return label(n).ToDecimalString();
+}
+
+uint64_t UidScheme::RelabelAndCount(xml::Node* root) {
+  xml::TreeStats stats = xml::ComputeStats(root);
+  // Fan-out overflow forces an enlargement of k and with it a renumbering of
+  // the whole document (Sec. 1: "the modification of k results in an
+  // overhaul of the identifier system").
+  k_ = std::max<uint64_t>({k_, stats.max_fanout, 1});
+  std::unordered_map<uint32_t, BigUint> fresh;
+  Assign(root, &fresh);
+  uint64_t changed = 0;
+  for (const auto& [serial, id] : fresh) {
+    auto it = labels_.find(serial);
+    if (it != labels_.end() && it->second != id) ++changed;
+  }
+  labels_ = std::move(fresh);
+  by_label_.clear();
+  max_label_ = BigUint(0);
+  for (const auto& [serial, id] : labels_) {
+    if (id > max_label_) max_label_ = id;
+  }
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    by_label_[labels_.at(n->serial())] = n;
+    return true;
+  });
+  return changed;
+}
+
+}  // namespace scheme
+}  // namespace ruidx

@@ -1,0 +1,82 @@
+// The original UID numbering scheme (Lee, Yoo, Yoon, Berra 1996), the basis
+// the paper extends.
+//
+// The tree is embedded in a complete k-ary tree (k = maximal fan-out).
+// Nodes, including virtual ones, are numbered level by level starting from 1
+// at the root, so the j-th child (0-based) of node i has identifier
+// (i-1)*k + 2 + j and parent(i) = floor((i-2)/k) + 1 — formula (1) of the
+// paper. Identifier values grow like k^depth, hence BigUint.
+#ifndef RUIDX_SCHEME_UID_H_
+#define RUIDX_SCHEME_UID_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scheme/labeling.h"
+#include "util/biguint.h"
+
+namespace ruidx {
+namespace scheme {
+
+/// parent(i) = floor((i-2)/k) + 1. Requires i >= 2 (the root has no parent).
+BigUint UidParent(const BigUint& id, uint64_t k);
+
+/// Identifier of the j-th (0-based) child of node `id`: (id-1)*k + 2 + j.
+BigUint UidChild(const BigUint& id, uint64_t k, uint64_t j);
+
+/// Level (root = 0) of identifier `id` in the complete k-ary enumeration.
+/// For k == 1 the identifier itself encodes the level (id - 1).
+uint64_t UidLevel(const BigUint& id, uint64_t k);
+
+/// True iff `a` is a proper ancestor of `d` in the k-ary enumeration,
+/// decided purely by identifier arithmetic (repeated UidParent).
+bool UidIsAncestor(const BigUint& a, const BigUint& d, uint64_t k);
+
+/// Document-order comparison of two identifiers using the Fig. 10 routine:
+/// climb both to their lowest common ancestor and compare the child
+/// identifiers below it. Ancestors precede descendants. Returns <0, 0, >0.
+int UidCompareOrder(const BigUint& a, const BigUint& b, uint64_t k);
+
+/// \brief The original UID as a LabelingScheme over a DOM tree.
+class UidScheme : public LabelingScheme {
+ public:
+  /// With k == 0 the fan-out is taken from the tree at Build time.
+  explicit UidScheme(uint64_t k = 0) : requested_k_(k) {}
+
+  std::string name() const override { return "uid"; }
+  void Build(xml::Node* root) override;
+  bool IsParent(const xml::Node* p, const xml::Node* c) const override;
+  bool IsAncestor(const xml::Node* a, const xml::Node* d) const override;
+  int CompareOrder(const xml::Node* a, const xml::Node* b) const override;
+  uint64_t LabelBits(const xml::Node* n) const override;
+  uint64_t TotalLabelBits() const override;
+  std::string LabelString(const xml::Node* n) const override;
+  uint64_t RelabelAndCount(xml::Node* root) override;
+
+  /// The enumeration fan-out currently in force.
+  uint64_t k() const { return k_; }
+
+  const BigUint& label(const xml::Node* n) const;
+
+  /// Largest identifier assigned to a real node.
+  const BigUint& max_label() const { return max_label_; }
+
+  /// The node carrying identifier `id`, or nullptr if `id` is virtual.
+  xml::Node* NodeByLabel(const BigUint& id) const;
+
+ private:
+  void Assign(xml::Node* root,
+              std::unordered_map<uint32_t, BigUint>* labels) const;
+
+  uint64_t requested_k_;
+  uint64_t k_ = 0;
+  std::unordered_map<uint32_t, BigUint> labels_;  // node serial -> identifier
+  std::unordered_map<BigUint, xml::Node*, BigUintHash> by_label_;
+  BigUint max_label_;
+};
+
+}  // namespace scheme
+}  // namespace ruidx
+
+#endif  // RUIDX_SCHEME_UID_H_

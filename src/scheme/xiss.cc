@@ -1,0 +1,287 @@
+#include "scheme/xiss.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace ruidx {
+namespace scheme {
+
+namespace {
+// Interval widths are clamped well below 2^64 so that top-down assignment
+// cannot overflow even after slack compounding on deep trees.
+constexpr uint64_t kMaxSize = uint64_t{1} << 62;
+}  // namespace
+
+uint64_t XissScheme::RequiredSize(const xml::Node* n) const {
+  // Iterative postorder with memoization (documents can be arbitrarily deep).
+  std::unordered_map<const xml::Node*, uint64_t> memo;
+  struct Frame {
+    const xml::Node* node;
+    bool entering;
+  };
+  std::vector<Frame> stack{{n, true}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.entering) {
+      if (f.node->children().empty()) {
+        memo[f.node] = leaf_slack_;
+        continue;
+      }
+      stack.push_back({f.node, false});
+      for (const xml::Node* c : f.node->children()) {
+        stack.push_back({c, true});
+      }
+    } else {
+      unsigned __int128 sum = 0;
+      for (const xml::Node* c : f.node->children()) {
+        sum += memo.at(c) + 1;
+      }
+      double scaled = static_cast<double>(sum) * slack_;
+      uint64_t size = scaled >= static_cast<double>(kMaxSize)
+                          ? kMaxSize
+                          : static_cast<uint64_t>(std::ceil(scaled));
+      memo[f.node] = std::min(size, kMaxSize);
+    }
+  }
+  return memo.at(n);
+}
+
+void XissScheme::Assign(xml::Node* root,
+                        std::unordered_map<uint32_t, XissLabel>* labels) const {
+  // Pass 1: subtree widths.
+  std::unordered_map<const xml::Node*, uint64_t> sizes;
+  {
+    struct Frame {
+      const xml::Node* node;
+      bool entering;
+    };
+    std::vector<Frame> stack{{root, true}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      if (f.entering) {
+        if (f.node->children().empty()) {
+          sizes[f.node] = leaf_slack_;
+          continue;
+        }
+        stack.push_back({f.node, false});
+        for (const xml::Node* c : f.node->children()) {
+          stack.push_back({c, true});
+        }
+      } else {
+        unsigned __int128 sum = 0;
+        for (const xml::Node* c : f.node->children()) sum += sizes.at(c) + 1;
+        double scaled = static_cast<double>(sum) * slack_;
+        uint64_t size = scaled >= static_cast<double>(kMaxSize)
+                            ? kMaxSize
+                            : static_cast<uint64_t>(std::ceil(scaled));
+        sizes[f.node] = std::min(size, kMaxSize);
+      }
+    }
+  }
+  // Pass 2: orders, top-down. The parent's spare width is spread evenly
+  // between the child slots so that insertions anywhere in the sibling list
+  // find a gap, not only at the tail.
+  struct Frame {
+    xml::Node* node;
+    uint64_t order;
+    uint32_t level;
+  };
+  std::vector<Frame> stack{{root, 1, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    uint64_t my_size = sizes.at(f.node);
+    (*labels)[f.node->serial()] = {f.order, my_size, f.level};
+    const auto& ch = f.node->children();
+    if (ch.empty()) continue;
+    uint64_t needed = 0;
+    for (xml::Node* c : ch) needed += sizes.at(c) + 1;
+    uint64_t extra = my_size > needed ? my_size - needed : 0;
+    uint64_t pad = extra / (ch.size() + 1);
+    uint64_t cursor = f.order + 1 + pad;
+    for (xml::Node* c : ch) {
+      stack.push_back({c, cursor, f.level + 1});
+      cursor += sizes.at(c) + 1 + pad;
+    }
+  }
+}
+
+void XissScheme::Build(xml::Node* root) {
+  labels_.clear();
+  Assign(root, &labels_);
+}
+
+bool XissScheme::IsParent(const xml::Node* p, const xml::Node* c) const {
+  return IsAncestor(p, c) && label(p).level + 1 == label(c).level;
+}
+
+bool XissScheme::IsAncestor(const xml::Node* a, const xml::Node* d) const {
+  const XissLabel& la = label(a);
+  const XissLabel& ld = label(d);
+  return la.order < ld.order && ld.order <= la.order + la.size;
+}
+
+int XissScheme::CompareOrder(const xml::Node* a, const xml::Node* b) const {
+  uint64_t oa = label(a).order;
+  uint64_t ob = label(b).order;
+  if (oa == ob) return 0;
+  return oa < ob ? -1 : 1;
+}
+
+uint64_t XissScheme::LabelBits(const xml::Node* n) const {
+  const XissLabel& l = label(n);
+  auto width = [](uint64_t v) {
+    return static_cast<uint64_t>(std::max(1, 64 - std::countl_zero(v)));
+  };
+  return width(l.order) + width(l.size) + width(l.level);
+}
+
+uint64_t XissScheme::TotalLabelBits() const {
+  uint64_t total = 0;
+  for (const auto& [serial, l] : labels_) {
+    auto width = [](uint64_t v) {
+      return static_cast<uint64_t>(std::max(1, 64 - std::countl_zero(v)));
+    };
+    total += width(l.order) + width(l.size) + width(l.level);
+  }
+  return total;
+}
+
+std::string XissScheme::LabelString(const xml::Node* n) const {
+  const XissLabel& l = label(n);
+  std::ostringstream os;
+  os << "(" << l.order << "+" << l.size << ",L" << l.level << ")";
+  return os.str();
+}
+
+bool XissScheme::TryGapInsert(xml::Node* n) {
+  xml::Node* parent = n->parent();
+  if (parent == nullptr) return false;
+  auto pit = labels_.find(parent->serial());
+  if (pit == labels_.end()) return false;
+  const XissLabel& lp = pit->second;
+
+  int idx = n->IndexInParent();
+  assert(idx >= 0);
+  const auto& sibs = parent->children();
+  // Free integers available for n's interval: (lo, hi].
+  uint64_t lo = lp.order;
+  if (idx > 0) {
+    auto it = labels_.find(sibs[static_cast<size_t>(idx - 1)]->serial());
+    if (it == labels_.end()) return false;  // left neighbour still unlabeled
+    lo = it->second.order + it->second.size;
+  }
+  uint64_t hi = lp.order + lp.size;
+  if (static_cast<size_t>(idx + 1) < sibs.size()) {
+    auto it = labels_.find(sibs[static_cast<size_t>(idx + 1)]->serial());
+    if (it == labels_.end()) return false;
+    hi = it->second.order - 1;
+  }
+  uint64_t need = RequiredSize(n);
+  // The subtree occupies [order, order+size] with order = lo + 1.
+  if (hi < lo + 1 || hi - lo - 1 < need) return false;
+
+  // Place n and its whole (new) subtree inside the gap.
+  struct Frame {
+    xml::Node* node;
+    uint64_t order;
+    uint32_t level;
+  };
+  std::unordered_map<const xml::Node*, uint64_t> sizes;
+  // Compute sizes bottom-up for the new subtree only.
+  {
+    struct SFrame {
+      const xml::Node* node;
+      bool entering;
+    };
+    std::vector<SFrame> stack{{n, true}};
+    while (!stack.empty()) {
+      SFrame f = stack.back();
+      stack.pop_back();
+      if (f.entering) {
+        if (f.node->children().empty()) {
+          sizes[f.node] = leaf_slack_;
+          continue;
+        }
+        stack.push_back({f.node, false});
+        for (const xml::Node* c : f.node->children()) {
+          stack.push_back({c, true});
+        }
+      } else {
+        unsigned __int128 sum = 0;
+        for (const xml::Node* c : f.node->children()) sum += sizes.at(c) + 1;
+        double scaled = static_cast<double>(sum) * slack_;
+        sizes[f.node] = scaled >= static_cast<double>(kMaxSize)
+                            ? kMaxSize
+                            : static_cast<uint64_t>(std::ceil(scaled));
+      }
+    }
+  }
+  std::vector<Frame> stack{{n, lo + 1, lp.level + 1}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    labels_[f.node->serial()] = {f.order, sizes.at(f.node), f.level};
+    uint64_t cursor = f.order + 1;
+    for (xml::Node* c : f.node->children()) {
+      stack.push_back({c, cursor, f.level + 1});
+      cursor += sizes.at(c) + 1;
+    }
+  }
+  return true;
+}
+
+uint64_t XissScheme::RelabelAndCount(xml::Node* root) {
+  // Identify new nodes (no label yet) and the set of surviving serials.
+  std::vector<xml::Node*> new_roots;
+  std::unordered_map<uint32_t, bool> in_tree;
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    in_tree[n->serial()] = true;
+    if (!labels_.contains(n->serial())) {
+      xml::Node* p = n->parent();
+      // Only the topmost unlabeled node of each new subtree needs placing.
+      if (p == nullptr || labels_.contains(p->serial())) {
+        new_roots.push_back(n);
+      }
+    }
+    return true;
+  });
+  // Deleted subtrees: their intervals become reusable slack; nobody else
+  // is relabeled.
+  for (auto it = labels_.begin(); it != labels_.end();) {
+    if (!in_tree.contains(it->first)) {
+      it = labels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  bool all_absorbed = true;
+  for (xml::Node* n : new_roots) {
+    if (!TryGapInsert(n)) {
+      all_absorbed = false;
+      break;
+    }
+  }
+  if (all_absorbed) return 0;
+
+  // Overflow: re-enumerate the document and count the casualties.
+  std::unordered_map<uint32_t, XissLabel> fresh;
+  Assign(root, &fresh);
+  uint64_t changed = 0;
+  for (const auto& [serial, l] : fresh) {
+    auto it = labels_.find(serial);
+    if (it != labels_.end() && !(it->second == l)) ++changed;
+  }
+  labels_ = std::move(fresh);
+  return changed;
+}
+
+}  // namespace scheme
+}  // namespace ruidx

@@ -1,0 +1,72 @@
+// XISS order/size labels (Li & Moon, VLDB 2001 — [6] in the paper).
+//
+// Each node carries (order, size, level); the node's subtree occupies the
+// interval (order, order + size]. Ancestorship is interval containment:
+//   a ancestor-of d  <=>  order(a) < order(d) <= order(a) + size(a).
+// Sizes are over-allocated by a slack factor, so insertions that fit into a
+// spare gap do not relabel anybody; an insertion that does not fit forces a
+// re-enumeration. This is the strongest of the classical baselines for the
+// update experiment (E11).
+#ifndef RUIDX_SCHEME_XISS_H_
+#define RUIDX_SCHEME_XISS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "scheme/labeling.h"
+
+namespace ruidx {
+namespace scheme {
+
+struct XissLabel {
+  uint64_t order = 0;
+  uint64_t size = 0;
+  uint32_t level = 0;
+
+  bool operator==(const XissLabel&) const = default;
+};
+
+class XissScheme : public LabelingScheme {
+ public:
+  /// \param slack multiplicative over-allocation per internal node (>= 1.0).
+  /// \param leaf_slack spare interval width reserved at every leaf.
+  explicit XissScheme(double slack = 1.25, uint64_t leaf_slack = 4)
+      : slack_(slack), leaf_slack_(leaf_slack) {}
+
+  std::string name() const override { return "xiss"; }
+  void Build(xml::Node* root) override;
+  bool IsParent(const xml::Node* p, const xml::Node* c) const override;
+  bool IsAncestor(const xml::Node* a, const xml::Node* d) const override;
+  int CompareOrder(const xml::Node* a, const xml::Node* b) const override;
+  uint64_t LabelBits(const xml::Node* n) const override;
+  uint64_t TotalLabelBits() const override;
+  std::string LabelString(const xml::Node* n) const override;
+
+  /// Deletions never relabel (the freed interval becomes slack). An
+  /// insertion is absorbed into a spare gap when one is wide enough;
+  /// otherwise the whole document is re-enumerated.
+  uint64_t RelabelAndCount(xml::Node* root) override;
+
+  const XissLabel& label(const xml::Node* n) const {
+    return labels_.at(n->serial());
+  }
+
+ private:
+  /// Width the subtree at `n` needs, including slack.
+  uint64_t RequiredSize(const xml::Node* n) const;
+  void Assign(xml::Node* root,
+              std::unordered_map<uint32_t, XissLabel>* labels) const;
+  /// Attempts to place the (new) subtree at `n` into the spare gap around
+  /// its position; returns false when the gap is too narrow.
+  bool TryGapInsert(xml::Node* n);
+
+  double slack_;
+  uint64_t leaf_slack_;
+  std::unordered_map<uint32_t, XissLabel> labels_;
+};
+
+}  // namespace scheme
+}  // namespace ruidx
+
+#endif  // RUIDX_SCHEME_XISS_H_

@@ -1,0 +1,426 @@
+#include "storage/bptree.h"
+
+#include <cstring>
+
+namespace ruidx {
+namespace storage {
+
+namespace {
+
+// Page layout. Common header:
+//   [0] u8  is_leaf
+//   [1] u8  reserved
+//   [2] u16 count
+// Leaf:      [4] u32 next_leaf, entries at 8: count * (key + u64 value)
+// Internal:  [4] u32 child0,    entries at 8: count * (key + u32 child)
+// Internal semantics: entry i holds the smallest key of child i+1.
+constexpr size_t kHeader = 8;
+constexpr size_t kLeafEntry = BPlusTree::kKeySize + 8;
+constexpr size_t kInnerEntry = BPlusTree::kKeySize + 4;
+constexpr uint16_t kLeafCapacity =
+    static_cast<uint16_t>((kPageSize - kHeader) / kLeafEntry);
+constexpr uint16_t kInnerCapacity =
+    static_cast<uint16_t>((kPageSize - kHeader) / kInnerEntry);
+
+bool IsLeaf(const uint8_t* page) { return page[0] == 1; }
+void SetLeaf(uint8_t* page, bool leaf) { page[0] = leaf ? 1 : 0; }
+
+uint16_t Count(const uint8_t* page) {
+  uint16_t v;
+  std::memcpy(&v, page + 2, 2);
+  return v;
+}
+void SetCount(uint8_t* page, uint16_t v) { std::memcpy(page + 2, &v, 2); }
+
+uint32_t Link(const uint8_t* page) {  // next_leaf or child0
+  uint32_t v;
+  std::memcpy(&v, page + 4, 4);
+  return v;
+}
+void SetLink(uint8_t* page, uint32_t v) { std::memcpy(page + 4, &v, 4); }
+
+uint8_t* LeafEntry(uint8_t* page, size_t i) {
+  return page + kHeader + i * kLeafEntry;
+}
+const uint8_t* LeafEntry(const uint8_t* page, size_t i) {
+  return page + kHeader + i * kLeafEntry;
+}
+uint8_t* InnerEntry(uint8_t* page, size_t i) {
+  return page + kHeader + i * kInnerEntry;
+}
+const uint8_t* InnerEntry(const uint8_t* page, size_t i) {
+  return page + kHeader + i * kInnerEntry;
+}
+
+void ReadKey(const uint8_t* entry, BPlusTree::Key* key) {
+  std::memcpy(key->data(), entry, BPlusTree::kKeySize);
+}
+int CompareKey(const uint8_t* entry, const BPlusTree::Key& key) {
+  return std::memcmp(entry, key.data(), BPlusTree::kKeySize);
+}
+
+uint64_t LeafValue(const uint8_t* page, size_t i) {
+  uint64_t v;
+  std::memcpy(&v, LeafEntry(page, i) + BPlusTree::kKeySize, 8);
+  return v;
+}
+uint32_t InnerChild(const uint8_t* page, size_t i) {
+  // child i: i == 0 -> header link; else entry i-1's child field.
+  if (i == 0) return Link(page);
+  uint32_t v;
+  std::memcpy(&v, InnerEntry(page, i - 1) + BPlusTree::kKeySize, 4);
+  return v;
+}
+
+/// Index of the first leaf entry >= key, or count.
+size_t LeafLowerBound(const uint8_t* page, const BPlusTree::Key& key) {
+  size_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CompareKey(LeafEntry(page, mid), key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child slot to descend into for `key`.
+size_t InnerChildIndex(const uint8_t* page, const BPlusTree::Key& key) {
+  size_t lo = 0, hi = Count(page);
+  // Find the first separator > key; descend into that child slot.
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CompareKey(InnerEntry(page, mid), key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
+  uint8_t* frame = nullptr;
+  RUIDX_ASSIGN_OR_RETURN(uint32_t root, pool->AllocatePinned(&frame));
+  SetLeaf(frame, true);
+  SetCount(frame, 0);
+  SetLink(frame, kInvalidPage);
+  pool->Unpin(root, /*dirty=*/true);
+  return BPlusTree(pool, root);
+}
+
+BPlusTree BPlusTree::Attach(BufferPool* pool, uint32_t root_page,
+                            uint64_t entry_count) {
+  BPlusTree tree(pool, root_page);
+  tree.entry_count_ = entry_count;
+  return tree;
+}
+
+Result<uint32_t> BPlusTree::FindLeaf(const Key& key) const {
+  uint32_t page_id = root_page_;
+  for (;;) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(page_id));
+    if (IsLeaf(page)) {
+      pool_->Unpin(page_id, false);
+      return page_id;
+    }
+    size_t slot = InnerChildIndex(page, key);
+    uint32_t child = InnerChild(page, slot);
+    pool_->Unpin(page_id, false);
+    page_id = child;
+  }
+}
+
+Result<uint64_t> BPlusTree::Get(const Key& key) const {
+  RUIDX_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(key));
+  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(leaf_id));
+  size_t idx = LeafLowerBound(page, key);
+  if (idx < Count(page) && CompareKey(LeafEntry(page, idx), key) == 0) {
+    uint64_t value = LeafValue(page, idx);
+    pool_->Unpin(leaf_id, false);
+    return value;
+  }
+  pool_->Unpin(leaf_id, false);
+  return Status::NotFound("key not in tree");
+}
+
+Result<BPlusTree::SplitResult> BPlusTree::InsertRec(uint32_t page_id,
+                                                    const Key& key,
+                                                    uint64_t value,
+                                                    bool* inserted) {
+  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(page_id));
+  if (IsLeaf(page)) {
+    size_t idx = LeafLowerBound(page, key);
+    uint16_t count = Count(page);
+    if (idx < count && CompareKey(LeafEntry(page, idx), key) == 0) {
+      std::memcpy(LeafEntry(page, idx) + kKeySize, &value, 8);  // overwrite
+      *inserted = false;
+      pool_->Unpin(page_id, true);
+      return SplitResult{};
+    }
+    *inserted = true;
+    if (count < kLeafCapacity) {
+      std::memmove(LeafEntry(page, idx + 1), LeafEntry(page, idx),
+                   (count - idx) * kLeafEntry);
+      std::memcpy(LeafEntry(page, idx), key.data(), kKeySize);
+      std::memcpy(LeafEntry(page, idx) + kKeySize, &value, 8);
+      SetCount(page, count + 1);
+      pool_->Unpin(page_id, true);
+      return SplitResult{};
+    }
+    // Split the leaf; then insert into the proper half.
+    uint8_t* right = nullptr;
+    auto right_id_result = pool_->AllocatePinned(&right);
+    if (!right_id_result.ok()) {
+      pool_->Unpin(page_id, false);
+      return right_id_result.status();
+    }
+    uint32_t right_id = *right_id_result;
+    uint16_t keep = count / 2;
+    SetLeaf(right, true);
+    SetCount(right, count - keep);
+    SetLink(right, Link(page));
+    std::memcpy(LeafEntry(right, 0), LeafEntry(page, keep),
+                (count - keep) * kLeafEntry);
+    SetCount(page, keep);
+    SetLink(page, right_id);
+    // Insert into the correct half.
+    uint8_t* target = page;
+    size_t target_idx = idx;
+    uint32_t target_id = page_id;
+    if (idx > keep || (idx == keep && idx > 0)) {
+      target = right;
+      target_idx = idx - keep;
+      target_id = right_id;
+    }
+    uint16_t tcount = Count(target);
+    std::memmove(LeafEntry(target, target_idx + 1),
+                 LeafEntry(target, target_idx),
+                 (tcount - target_idx) * kLeafEntry);
+    std::memcpy(LeafEntry(target, target_idx), key.data(), kKeySize);
+    std::memcpy(LeafEntry(target, target_idx) + kKeySize, &value, 8);
+    SetCount(target, tcount + 1);
+    (void)target_id;
+    SplitResult split;
+    split.split = true;
+    ReadKey(LeafEntry(right, 0), &split.separator);
+    split.right_page = right_id;
+    pool_->Unpin(page_id, true);
+    pool_->Unpin(right_id, true);
+    return split;
+  }
+
+  // Internal node.
+  size_t slot = InnerChildIndex(page, key);
+  uint32_t child = InnerChild(page, slot);
+  pool_->Unpin(page_id, false);  // release during recursion (no re-entry)
+  RUIDX_ASSIGN_OR_RETURN(SplitResult child_split,
+                         InsertRec(child, key, value, inserted));
+  if (!child_split.split) return SplitResult{};
+
+  RUIDX_ASSIGN_OR_RETURN(page, pool_->Fetch(page_id));
+  uint16_t count = Count(page);
+  if (count < kInnerCapacity) {
+    std::memmove(InnerEntry(page, slot + 1), InnerEntry(page, slot),
+                 (count - slot) * kInnerEntry);
+    std::memcpy(InnerEntry(page, slot), child_split.separator.data(),
+                kKeySize);
+    std::memcpy(InnerEntry(page, slot) + kKeySize, &child_split.right_page, 4);
+    SetCount(page, count + 1);
+    pool_->Unpin(page_id, true);
+    return SplitResult{};
+  }
+  // Split this internal node. Build the full entry list in a scratch
+  // buffer, then redistribute around the middle separator (pushed up).
+  std::vector<uint8_t> scratch((count + 1) * kInnerEntry);
+  std::memcpy(scratch.data(), InnerEntry(page, 0), slot * kInnerEntry);
+  std::memcpy(scratch.data() + slot * kInnerEntry,
+              child_split.separator.data(), kKeySize);
+  std::memcpy(scratch.data() + slot * kInnerEntry + kKeySize,
+              &child_split.right_page, 4);
+  std::memcpy(scratch.data() + (slot + 1) * kInnerEntry, InnerEntry(page, slot),
+              (count - slot) * kInnerEntry);
+  uint16_t total = count + 1;
+  uint16_t mid = total / 2;  // entry pushed up
+
+  uint8_t* right = nullptr;
+  auto right_id_result = pool_->AllocatePinned(&right);
+  if (!right_id_result.ok()) {
+    pool_->Unpin(page_id, false);
+    return right_id_result.status();
+  }
+  uint32_t right_id = *right_id_result;
+  SetLeaf(right, false);
+  // Left keeps entries [0, mid); right gets entries (mid, total) with its
+  // child0 = the pushed-up entry's child.
+  SetCount(page, mid);
+  std::memcpy(InnerEntry(page, 0), scratch.data(), mid * kInnerEntry);
+  uint32_t up_child;
+  std::memcpy(&up_child, scratch.data() + mid * kInnerEntry + kKeySize, 4);
+  SetLink(right, up_child);
+  uint16_t right_count = total - mid - 1;
+  SetCount(right, right_count);
+  std::memcpy(InnerEntry(right, 0),
+              scratch.data() + (mid + 1) * kInnerEntry,
+              right_count * kInnerEntry);
+
+  SplitResult split;
+  split.split = true;
+  std::memcpy(split.separator.data(), scratch.data() + mid * kInnerEntry,
+              kKeySize);
+  split.right_page = right_id;
+  pool_->Unpin(page_id, true);
+  pool_->Unpin(right_id, true);
+  return split;
+}
+
+Status BPlusTree::Insert(const Key& key, uint64_t value) {
+  bool inserted = false;
+  RUIDX_ASSIGN_OR_RETURN(SplitResult split,
+                         InsertRec(root_page_, key, value, &inserted));
+  if (inserted) ++entry_count_;
+  if (!split.split) return Status::OK();
+  // Grow a new root.
+  uint8_t* frame = nullptr;
+  RUIDX_ASSIGN_OR_RETURN(uint32_t new_root, pool_->AllocatePinned(&frame));
+  SetLeaf(frame, false);
+  SetCount(frame, 1);
+  SetLink(frame, root_page_);
+  std::memcpy(InnerEntry(frame, 0), split.separator.data(), kKeySize);
+  std::memcpy(InnerEntry(frame, 0) + kKeySize, &split.right_page, 4);
+  pool_->Unpin(new_root, true);
+  root_page_ = new_root;
+  return Status::OK();
+}
+
+Status BPlusTree::Erase(const Key& key) {
+  RUIDX_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(key));
+  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(leaf_id));
+  size_t idx = LeafLowerBound(page, key);
+  uint16_t count = Count(page);
+  if (idx >= count || CompareKey(LeafEntry(page, idx), key) != 0) {
+    pool_->Unpin(leaf_id, false);
+    return Status::NotFound("key not in tree");
+  }
+  std::memmove(LeafEntry(page, idx), LeafEntry(page, idx + 1),
+               (count - idx - 1) * kLeafEntry);
+  SetCount(page, count - 1);
+  --entry_count_;
+  pool_->Unpin(leaf_id, true);
+  return Status::OK();
+}
+
+Status BPlusTree::Scan(
+    const Key& lo, const Key& hi,
+    const std::function<bool(const Key&, uint64_t)>& fn) const {
+  RUIDX_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(lo));
+  while (leaf_id != kInvalidPage) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(leaf_id));
+    uint16_t count = Count(page);
+    for (size_t i = LeafLowerBound(page, lo); i < count; ++i) {
+      Key key;
+      ReadKey(LeafEntry(page, i), &key);
+      if (std::memcmp(key.data(), hi.data(), kKeySize) > 0) {
+        pool_->Unpin(leaf_id, false);
+        return Status::OK();
+      }
+      if (!fn(key, LeafValue(page, i))) {
+        pool_->Unpin(leaf_id, false);
+        return Status::OK();
+      }
+    }
+    uint32_t next = Link(page);
+    pool_->Unpin(leaf_id, false);
+    leaf_id = next;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::Validate() const {
+  // Recursive descent with explicit bounds; uses an explicit stack.
+  struct Frame {
+    uint32_t page_id;
+    bool has_lo = false;
+    Key lo{};  // inclusive lower bound for every key in the subtree
+    bool has_hi = false;
+    Key hi{};  // exclusive upper bound
+  };
+  uint64_t leaf_entries = 0;
+  std::vector<Frame> stack{{root_page_, false, {}, false, {}}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(f.page_id));
+    uint16_t count = Count(page);
+    bool leaf = IsLeaf(page);
+    auto entry = [&](size_t i) {
+      return leaf ? LeafEntry(page, i) : InnerEntry(page, i);
+    };
+    Status status = Status::OK();
+    for (size_t i = 0; i < count && status.ok(); ++i) {
+      if (i > 0 && std::memcmp(entry(i - 1), entry(i), kKeySize) >= 0) {
+        status = Status::Corruption("keys out of order in page " +
+                                    std::to_string(f.page_id));
+      }
+      if (f.has_lo && std::memcmp(entry(i), f.lo.data(), kKeySize) < 0) {
+        status = Status::Corruption("key below lower bound in page " +
+                                    std::to_string(f.page_id));
+      }
+      if (f.has_hi && std::memcmp(entry(i), f.hi.data(), kKeySize) >= 0) {
+        status = Status::Corruption("key above upper bound in page " +
+                                    std::to_string(f.page_id));
+      }
+    }
+    if (status.ok() && leaf) {
+      leaf_entries += count;
+    } else if (status.ok()) {
+      // Push children with narrowed bounds: child i spans [key[i-1], key[i]).
+      for (size_t i = 0; i <= count; ++i) {
+        Frame child;
+        child.page_id = InnerChild(page, i);
+        child.has_lo = f.has_lo || i > 0;
+        if (i > 0) {
+          ReadKey(InnerEntry(page, i - 1), &child.lo);
+        } else {
+          child.lo = f.lo;
+        }
+        child.has_hi = f.has_hi || i < count;
+        if (i < count) {
+          ReadKey(InnerEntry(page, i), &child.hi);
+        } else {
+          child.hi = f.hi;
+        }
+        stack.push_back(child);
+      }
+    }
+    pool_->Unpin(f.page_id, false);
+    RUIDX_RETURN_NOT_OK(status);
+  }
+  if (leaf_entries != entry_count_) {
+    return Status::Corruption(
+        "entry count mismatch: leaves hold " + std::to_string(leaf_entries) +
+        ", tree believes " + std::to_string(entry_count_));
+  }
+  return Status::OK();
+}
+
+Result<int> BPlusTree::Height() const {
+  int height = 1;
+  uint32_t page_id = root_page_;
+  for (;;) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(page_id));
+    bool leaf = IsLeaf(page);
+    uint32_t child = leaf ? kInvalidPage : InnerChild(page, 0);
+    pool_->Unpin(page_id, false);
+    if (leaf) return height;
+    page_id = child;
+    ++height;
+  }
+}
+
+}  // namespace storage
+}  // namespace ruidx

@@ -1,0 +1,105 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ruidx {
+namespace storage {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(std::max<size_t>(capacity, 1)) {
+  frames_.resize(capacity_);
+  for (Frame& f : frames_) f.data.resize(kPageSize);
+}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+void BufferPool::TouchLru(size_t frame_idx) {
+  lru_.remove(frame_idx);
+  lru_.push_front(frame_idx);
+}
+
+Result<size_t> BufferPool::FindFrame(uint32_t page_id, bool load) {
+  auto it = table_.find(page_id);
+  if (it != table_.end()) {
+    ++stats_.hits;
+    TouchLru(it->second);
+    return it->second;
+  }
+  ++stats_.misses;
+  // Find a free frame, or evict the least recently used unpinned one.
+  size_t victim = capacity_;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page_id == kInvalidPage) {
+      victim = i;
+      break;
+    }
+  }
+  if (victim == capacity_) {
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      if (frames_[*rit].pin_count == 0) {
+        victim = *rit;
+        break;
+      }
+    }
+    if (victim == capacity_) {
+      return Status::CapacityExceeded("all buffer frames are pinned");
+    }
+    Frame& old = frames_[victim];
+    if (old.dirty) {
+      RUIDX_RETURN_NOT_OK(pager_->WritePage(old.page_id, old.data.data()));
+      old.dirty = false;
+    }
+    table_.erase(old.page_id);
+    ++stats_.evictions;
+  }
+  Frame& frame = frames_[victim];
+  frame.page_id = page_id;
+  frame.pin_count = 0;
+  frame.dirty = false;
+  if (load) {
+    RUIDX_RETURN_NOT_OK(pager_->ReadPage(page_id, frame.data.data()));
+  } else {
+    std::memset(frame.data.data(), 0, kPageSize);
+  }
+  table_[page_id] = victim;
+  TouchLru(victim);
+  return victim;
+}
+
+Result<uint8_t*> BufferPool::Fetch(uint32_t page_id) {
+  RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/true));
+  ++frames_[idx].pin_count;
+  return frames_[idx].data.data();
+}
+
+void BufferPool::Unpin(uint32_t page_id, bool dirty) {
+  auto it = table_.find(page_id);
+  if (it == table_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count > 0) --frame.pin_count;
+  frame.dirty = frame.dirty || dirty;
+}
+
+Result<uint32_t> BufferPool::AllocatePinned(uint8_t** frame_out) {
+  RUIDX_ASSIGN_OR_RETURN(uint32_t page_id, pager_->AllocatePage());
+  RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/false));
+  Frame& frame = frames_[idx];
+  ++frame.pin_count;
+  frame.dirty = true;
+  *frame_out = frame.data.data();
+  return page_id;
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPage && frame.dirty) {
+      RUIDX_RETURN_NOT_OK(pager_->WritePage(frame.page_id, frame.data.data()));
+      frame.dirty = false;
+    }
+  }
+  return pager_->Sync();
+}
+
+}  // namespace storage
+}  // namespace ruidx

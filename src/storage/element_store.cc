@@ -1,0 +1,302 @@
+#include "storage/element_store.h"
+
+#include <cstring>
+
+namespace ruidx {
+namespace storage {
+
+namespace {
+
+// Heap page layout: [0] u16 slot_count, [2] u16 data_start (records grow
+// down from kPageSize). Slot i is a u16 offset at 4 + 2*i; a record's
+// length is implicit in its serialization.
+constexpr size_t kHeapHeader = 4;
+
+uint16_t SlotCount(const uint8_t* page) {
+  uint16_t v;
+  std::memcpy(&v, page, 2);
+  return v;
+}
+void SetSlotCount(uint8_t* page, uint16_t v) { std::memcpy(page, &v, 2); }
+uint16_t DataStart(const uint8_t* page) {
+  uint16_t v;
+  std::memcpy(&v, page + 2, 2);
+  return v == 0 ? static_cast<uint16_t>(kPageSize) : v;
+}
+void SetDataStart(uint8_t* page, uint16_t v) { std::memcpy(page + 2, &v, 2); }
+uint16_t SlotOffset(const uint8_t* page, size_t i) {
+  uint16_t v;
+  std::memcpy(&v, page + kHeapHeader + 2 * i, 2);
+  return v;
+}
+void SetSlotOffset(uint8_t* page, size_t i, uint16_t off) {
+  std::memcpy(page + kHeapHeader + 2 * i, &off, 2);
+}
+
+size_t SerializedSize(const ElementRecord& record) {
+  return 2 * BPlusTree::kKeySize + 1 + 2 + record.name.size() + 2 +
+         record.value.size();
+}
+
+void WriteU16(uint8_t** cursor, uint16_t v) {
+  std::memcpy(*cursor, &v, 2);
+  *cursor += 2;
+}
+uint16_t ReadU16(const uint8_t** cursor) {
+  uint16_t v;
+  std::memcpy(&v, *cursor, 2);
+  *cursor += 2;
+  return v;
+}
+
+}  // namespace
+
+Result<BPlusTree::Key> EncodeIdKey(const core::Ruid2Id& id) {
+  BPlusTree::Key key{};
+  if (!id.global.ToBytesBE(key.data(), 16)) {
+    return Status::CapacityExceeded("global index exceeds 128 bits");
+  }
+  if (!id.local.ToBytesBE(key.data() + 16, 16)) {
+    return Status::CapacityExceeded("local index exceeds 128 bits");
+  }
+  key[32] = id.is_area_root ? 1 : 0;
+  return key;
+}
+
+core::Ruid2Id DecodeIdKey(const BPlusTree::Key& key) {
+  core::Ruid2Id id;
+  id.global = BigUint::FromBytesBE(key.data(), 16);
+  id.local = BigUint::FromBytesBE(key.data() + 16, 16);
+  id.is_area_root = key[32] != 0;
+  return id;
+}
+
+namespace {
+// Meta page (page 0) layout: magic, index root, entry count, heap cursor.
+constexpr uint32_t kMetaMagic = 0x52585331;  // "RXS1"
+}  // namespace
+
+Status ElementStore::WriteMeta() {
+  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(0));
+  std::memcpy(page, &kMetaMagic, 4);
+  uint32_t root = index_->root_page();
+  std::memcpy(page + 4, &root, 4);
+  uint64_t count = index_->entry_count();
+  std::memcpy(page + 8, &count, 8);
+  std::memcpy(page + 16, &current_heap_page_, 4);
+  pool_->Unpin(0, /*dirty=*/true);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ElementStore>> ElementStore::Create(
+    const std::string& path, size_t buffer_pool_pages) {
+  auto store = std::unique_ptr<ElementStore>(new ElementStore());
+  RUIDX_ASSIGN_OR_RETURN(store->pager_, Pager::Open(path));
+  store->pool_ =
+      std::make_unique<BufferPool>(store->pager_.get(), buffer_pool_pages);
+  // Reserve page 0 for the metadata header.
+  uint8_t* meta = nullptr;
+  RUIDX_ASSIGN_OR_RETURN(uint32_t meta_page, store->pool_->AllocatePinned(&meta));
+  if (meta_page != 0) {
+    return Status::Corruption("store file is not empty; use Open()");
+  }
+  store->pool_->Unpin(0, /*dirty=*/true);
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(store->pool_.get()));
+  store->index_ = std::make_unique<BPlusTree>(std::move(tree));
+  RUIDX_RETURN_NOT_OK(store->WriteMeta());
+  return store;
+}
+
+Result<std::unique_ptr<ElementStore>> ElementStore::Open(
+    const std::string& path, size_t buffer_pool_pages) {
+  auto store = std::unique_ptr<ElementStore>(new ElementStore());
+  RUIDX_ASSIGN_OR_RETURN(store->pager_, Pager::Open(path));
+  store->pool_ =
+      std::make_unique<BufferPool>(store->pager_.get(), buffer_pool_pages);
+  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, store->pool_->Fetch(0));
+  uint32_t magic = 0;
+  std::memcpy(&magic, page, 4);
+  if (magic != kMetaMagic) {
+    store->pool_->Unpin(0, false);
+    return Status::Corruption("not an element store file: " + path);
+  }
+  uint32_t root = 0;
+  uint64_t count = 0;
+  std::memcpy(&root, page + 4, 4);
+  std::memcpy(&count, page + 8, 8);
+  std::memcpy(&store->current_heap_page_, page + 16, 4);
+  store->pool_->Unpin(0, false);
+  store->index_ = std::make_unique<BPlusTree>(
+      BPlusTree::Attach(store->pool_.get(), root, count));
+  return store;
+}
+
+Result<uint64_t> ElementStore::AppendRecord(const ElementRecord& record) {
+  size_t need = SerializedSize(record);
+  if (need + kHeapHeader + 2 > kPageSize) {
+    return Status::CapacityExceeded("record larger than a page");
+  }
+  uint8_t* page = nullptr;
+  uint32_t page_id = current_heap_page_;
+  if (page_id != kInvalidPage) {
+    RUIDX_ASSIGN_OR_RETURN(page, pool_->Fetch(page_id));
+    size_t used_slots = SlotCount(page);
+    size_t free_low = kHeapHeader + 2 * used_slots;
+    if (DataStart(page) < free_low + 2 + need) {
+      pool_->Unpin(page_id, false);
+      page_id = kInvalidPage;
+    }
+  }
+  if (page_id == kInvalidPage) {
+    RUIDX_ASSIGN_OR_RETURN(page_id, pool_->AllocatePinned(&page));
+    SetSlotCount(page, 0);
+    SetDataStart(page, static_cast<uint16_t>(kPageSize));
+    current_heap_page_ = page_id;
+  }
+  uint16_t slot = SlotCount(page);
+  uint16_t start = static_cast<uint16_t>(DataStart(page) - need);
+  uint8_t* cursor = page + start;
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(record.id));
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key parent_key,
+                         EncodeIdKey(record.parent_id));
+  std::memcpy(cursor, key.data(), BPlusTree::kKeySize);
+  cursor += BPlusTree::kKeySize;
+  std::memcpy(cursor, parent_key.data(), BPlusTree::kKeySize);
+  cursor += BPlusTree::kKeySize;
+  *cursor++ = record.node_type;
+  WriteU16(&cursor, static_cast<uint16_t>(record.name.size()));
+  std::memcpy(cursor, record.name.data(), record.name.size());
+  cursor += record.name.size();
+  WriteU16(&cursor, static_cast<uint16_t>(record.value.size()));
+  std::memcpy(cursor, record.value.data(), record.value.size());
+
+  SetSlotOffset(page, slot, start);
+  SetSlotCount(page, slot + 1);
+  SetDataStart(page, start);
+  pool_->Unpin(page_id, true);
+  return (static_cast<uint64_t>(page_id) << 16) | slot;
+}
+
+Result<ElementRecord> ElementStore::ReadRecord(uint64_t location) {
+  uint32_t page_id = static_cast<uint32_t>(location >> 16);
+  uint16_t slot = static_cast<uint16_t>(location & 0xFFFF);
+  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(page_id));
+  if (slot >= SlotCount(page)) {
+    pool_->Unpin(page_id, false);
+    return Status::Corruption("bad slot");
+  }
+  const uint8_t* cursor = page + SlotOffset(page, slot);
+  ElementRecord record;
+  BPlusTree::Key key;
+  std::memcpy(key.data(), cursor, BPlusTree::kKeySize);
+  cursor += BPlusTree::kKeySize;
+  record.id = DecodeIdKey(key);
+  std::memcpy(key.data(), cursor, BPlusTree::kKeySize);
+  cursor += BPlusTree::kKeySize;
+  record.parent_id = DecodeIdKey(key);
+  record.node_type = *cursor++;
+  uint16_t name_len = ReadU16(&cursor);
+  record.name.assign(reinterpret_cast<const char*>(cursor), name_len);
+  cursor += name_len;
+  uint16_t value_len = ReadU16(&cursor);
+  record.value.assign(reinterpret_cast<const char*>(cursor), value_len);
+  pool_->Unpin(page_id, false);
+  return record;
+}
+
+Status ElementStore::Put(const ElementRecord& record) {
+  RUIDX_ASSIGN_OR_RETURN(uint64_t location, AppendRecord(record));
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(record.id));
+  return index_->Insert(key, location);
+}
+
+Result<ElementRecord> ElementStore::Get(const core::Ruid2Id& id) {
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(id));
+  RUIDX_ASSIGN_OR_RETURN(uint64_t location, index_->Get(key));
+  return ReadRecord(location);
+}
+
+Result<bool> ElementStore::Exists(const core::Ruid2Id& id) {
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(id));
+  auto location = index_->Get(key);
+  if (location.ok()) return true;
+  if (location.status().IsNotFound()) return false;
+  return location.status();
+}
+
+Status ElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
+                              xml::Node* root) {
+  Status status = Status::OK();
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    if (!status.ok()) return false;
+    ElementRecord record;
+    record.id = scheme.label(n);
+    record.parent_id =
+        (n == root) ? record.id : scheme.label(n->parent());
+    record.node_type = static_cast<uint8_t>(n->type());
+    record.name = n->name();
+    if (!n->is_element()) record.value = n->value();
+    status = Put(record);
+    return status.ok();
+  });
+  return status;
+}
+
+Status ElementStore::ScanArea(
+    const BigUint& global,
+    const std::function<bool(const ElementRecord&)>& fn) {
+  // All locals, both flag values: [ (g,0,false), (g,2^128-1,true) ].
+  BPlusTree::Key lo_key{};
+  if (!global.ToBytesBE(lo_key.data(), 16)) {
+    return Status::CapacityExceeded("global index exceeds 128 bits");
+  }
+  BPlusTree::Key hi_key = lo_key;
+  std::memset(hi_key.data() + 16, 0xFF, 16);
+  hi_key[32] = 1;
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(index_->Scan(
+      lo_key, hi_key, [&](const BPlusTree::Key&, uint64_t location) {
+        auto record = ReadRecord(location);
+        if (!record.ok()) {
+          status = record.status();
+          return false;
+        }
+        return fn(*record);
+      }));
+  return status;
+}
+
+bool ElementStore::IsAncestorViaRuid(const core::Ruid2Scheme& scheme,
+                                     const core::Ruid2Id& a,
+                                     const core::Ruid2Id& d) const {
+  return scheme.IsAncestorId(a, d);
+}
+
+Result<bool> ElementStore::IsAncestorViaParentPointers(
+    const core::Ruid2Id& a, const core::Ruid2Id& d) {
+  core::Ruid2Id cur = d;
+  for (;;) {
+    RUIDX_ASSIGN_OR_RETURN(ElementRecord record, Get(cur));
+    if (record.parent_id == cur) return false;  // reached the root
+    cur = record.parent_id;
+    if (cur == a) return true;
+  }
+}
+
+Result<std::vector<ElementRecord>> ElementStore::FetchAncestors(
+    const core::Ruid2Scheme& scheme, const core::Ruid2Id& id) {
+  std::vector<ElementRecord> out;
+  for (const core::Ruid2Id& ancestor : scheme.Ancestors(id)) {
+    RUIDX_ASSIGN_OR_RETURN(ElementRecord record, Get(ancestor));
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+Status ElementStore::Flush() {
+  RUIDX_RETURN_NOT_OK(WriteMeta());
+  return pool_->FlushAll();
+}
+
+}  // namespace storage
+}  // namespace ruidx

@@ -1,0 +1,84 @@
+#include "storage/pager.h"
+
+#include <cstring>
+#include <memory>
+
+namespace ruidx {
+namespace storage {
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+  std::FILE* file;
+  if (path.empty()) {
+    file = std::tmpfile();
+    if (file == nullptr) return Status::IOError("tmpfile() failed");
+  } else {
+    // Open read-write, creating the file if it does not exist.
+    file = std::fopen(path.c_str(), "rb+");
+    if (file == nullptr) file = std::fopen(path.c_str(), "wb+");
+    if (file == nullptr) return Status::IOError("cannot open " + path);
+  }
+  auto pager = std::unique_ptr<Pager>(new Pager(file));
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed on " + path);
+  }
+  long size = std::ftell(file);
+  if (size < 0) return Status::IOError("ftell failed on " + path);
+  pager->page_count_ = static_cast<uint32_t>(size / kPageSize);
+  return pager;
+}
+
+Pager::~Pager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<uint32_t> Pager::AllocatePage() {
+  char zeros[kPageSize];
+  std::memset(zeros, 0, sizeof(zeros));
+  uint32_t id = page_count_;
+  RUIDX_RETURN_NOT_OK(WritePage(id, zeros));
+  page_count_ = id + 1;
+  ++stats_.allocations;
+  return id;
+}
+
+bool Pager::ShouldFail() {
+  if (fault_countdown_ == ~0ULL) return false;
+  if (fault_countdown_ == 0) return true;
+  --fault_countdown_;
+  return false;
+}
+
+Status Pager::ReadPage(uint32_t id, void* buffer) {
+  if (ShouldFail()) return Status::IOError("injected fault (read)");
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fread(buffer, kPageSize, 1, file_) != 1) {
+    return Status::IOError("short read on page " + std::to_string(id));
+  }
+  ++stats_.physical_reads;
+  return Status::OK();
+}
+
+Status Pager::WritePage(uint32_t id, const void* buffer) {
+  if (ShouldFail()) return Status::IOError("injected fault (write)");
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(buffer, kPageSize, 1, file_) != 1) {
+    return Status::IOError("short write on page " + std::to_string(id));
+  }
+  ++stats_.physical_writes;
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace ruidx

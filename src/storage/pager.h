@@ -1,0 +1,77 @@
+// Page-level file storage with explicit I/O accounting.
+//
+// The paper's preliminary experiments stored elements in an RDBMS reached
+// over JDBC, which hid where the I/O happened. This embedded pager exposes
+// exactly the boundary the paper argues about: operations that stay in the
+// main-memory global state (κ + table K) versus operations that fetch
+// pages. Every physical read and write is counted.
+#ifndef RUIDX_STORAGE_PAGER_H_
+#define RUIDX_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace ruidx {
+namespace storage {
+
+constexpr uint32_t kPageSize = 4096;
+constexpr uint32_t kInvalidPage = 0xFFFFFFFFu;
+
+struct PagerStats {
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  uint64_t allocations = 0;
+};
+
+/// \brief A file of fixed-size pages.
+class Pager {
+ public:
+  /// Opens (creating if needed) the page file at `path`. Pass the empty
+  /// string for an anonymous in-memory-backed temporary file.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path);
+
+  ~Pager();
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Appends a zeroed page; returns its id.
+  Result<uint32_t> AllocatePage();
+
+  /// Reads page `id` into `buffer` (kPageSize bytes).
+  Status ReadPage(uint32_t id, void* buffer);
+
+  /// Writes `buffer` (kPageSize bytes) to page `id`.
+  Status WritePage(uint32_t id, const void* buffer);
+
+  /// Flushes OS buffers.
+  Status Sync();
+
+  uint32_t page_count() const { return page_count_; }
+  const PagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PagerStats{}; }
+
+  /// Fault injection for tests: after `ops` further physical reads/writes,
+  /// every subsequent I/O fails with an injected IOError until cleared with
+  /// ops = UINT64_MAX. Layers above must propagate, not crash.
+  void InjectFaultAfter(uint64_t ops) { fault_countdown_ = ops; }
+
+ private:
+  explicit Pager(std::FILE* file) : file_(file) {}
+
+  /// Consumes one unit of the fault budget; true when this op must fail.
+  bool ShouldFail();
+
+  std::FILE* file_;
+  uint32_t page_count_ = 0;
+  PagerStats stats_;
+  uint64_t fault_countdown_ = ~0ULL;
+};
+
+}  // namespace storage
+}  // namespace ruidx
+
+#endif  // RUIDX_STORAGE_PAGER_H_

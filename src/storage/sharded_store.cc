@@ -1,0 +1,105 @@
+#include "storage/sharded_store.h"
+
+namespace ruidx {
+namespace storage {
+
+Result<std::unique_ptr<ShardedElementStore>> ShardedElementStore::Create(
+    const std::string& dir, size_t buffer_pool_pages_per_shard) {
+  return std::unique_ptr<ShardedElementStore>(
+      new ShardedElementStore(dir, buffer_pool_pages_per_shard));
+}
+
+Result<ElementStore*> ShardedElementStore::ShardFor(const ShardKey& key,
+                                                    bool create) {
+  auto it = shards_.find(key);
+  if (it != shards_.end()) return it->second.get();
+  if (!create) return Status::NotFound("no shard for " + key.name);
+  std::string path;
+  if (!dir_.empty()) {
+    path = dir_ + "/" + key.name + "-" + key.global.ToDecimalString() +
+           ".shard";
+  }
+  RUIDX_ASSIGN_OR_RETURN(std::unique_ptr<ElementStore> store,
+                         ElementStore::Create(path, pool_pages_));
+  ElementStore* raw = store.get();
+  shards_.emplace(key, std::move(store));
+  return raw;
+}
+
+Status ShardedElementStore::Put(const ElementRecord& record) {
+  RUIDX_ASSIGN_OR_RETURN(
+      ElementStore * shard,
+      ShardFor(ShardKey{record.name, record.id.global}, /*create=*/true));
+  return shard->Put(record);
+}
+
+Status ShardedElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
+                                     xml::Node* root) {
+  Status status = Status::OK();
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    if (!status.ok()) return false;
+    ElementRecord record;
+    record.id = scheme.label(n);
+    record.parent_id = (n == root) ? record.id : scheme.label(n->parent());
+    record.node_type = static_cast<uint8_t>(n->type());
+    record.name = n->name();
+    if (!n->is_element()) record.value = n->value();
+    status = Put(record);
+    return status.ok();
+  });
+  return status;
+}
+
+Result<ElementRecord> ShardedElementStore::Get(const std::string& name,
+                                               const core::Ruid2Id& id) {
+  RUIDX_ASSIGN_OR_RETURN(ElementStore * shard,
+                         ShardFor(ShardKey{name, id.global}, /*create=*/false));
+  return shard->Get(id);
+}
+
+Status ShardedElementStore::ScanName(
+    const std::string& name,
+    const std::function<bool(const ElementRecord&)>& fn) {
+  // Shards are sorted by (name, global); iterate the contiguous name run.
+  auto it = shards_.lower_bound(ShardKey{name, BigUint(0)});
+  for (; it != shards_.end() && it->first.name == name; ++it) {
+    bool keep_going = true;
+    Status status = it->second->ScanArea(
+        it->first.global, [&](const ElementRecord& record) {
+          keep_going = fn(record);
+          return keep_going;
+        });
+    RUIDX_RETURN_NOT_OK(status);
+    if (!keep_going) break;
+  }
+  return Status::OK();
+}
+
+Status ShardedElementStore::ScanNameInArea(
+    const std::string& name, const BigUint& global,
+    const std::function<bool(const ElementRecord&)>& fn) {
+  auto shard = ShardFor(ShardKey{name, global}, /*create=*/false);
+  if (!shard.ok()) return Status::OK();  // no such shard: empty result
+  return (*shard)->ScanArea(global, fn);
+}
+
+uint64_t ShardedElementStore::record_count() const {
+  uint64_t total = 0;
+  for (const auto& [key, shard] : shards_) total += shard->record_count();
+  return total;
+}
+
+uint64_t ShardedElementStore::logical_page_accesses() const {
+  uint64_t total = 0;
+  for (const auto& [key, shard] : shards_) {
+    total += shard->logical_page_accesses();
+  }
+  return total;
+}
+
+void ShardedElementStore::ResetStats() {
+  for (auto& [key, shard] : shards_) shard->ResetStats();
+}
+
+}  // namespace storage
+}  // namespace ruidx

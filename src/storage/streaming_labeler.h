@@ -1,0 +1,55 @@
+// Streaming labeler: numbers a document and materializes identifier-keyed
+// records without ever holding the full DOM — the Sec. 4 "managing large
+// XML trees" application.
+//
+// Two SAX passes over the input text:
+//   pass 1 builds a *shape* tree (structure only — element names, attribute
+//          values and character data are never retained) and runs the
+//          regular partition + Ruid2 construction on it;
+//   pass 2 re-streams the input in lockstep with the shape tree's preorder,
+//          emitting one ElementRecord per node (identifier, parent
+//          identifier, name, value) to a caller-provided sink — typically
+//          an ElementStore.
+// The resulting store plus the serialized (κ, K) global state is a fully
+// queryable artifact: ancestor checks, order comparisons and axis candidate
+// generation all run on identifiers without the document.
+#ifndef RUIDX_STORAGE_STREAMING_LABELER_H_
+#define RUIDX_STORAGE_STREAMING_LABELER_H_
+
+#include <functional>
+#include <string_view>
+
+#include "core/ruid2.h"
+#include "storage/element_store.h"
+#include "xml/parser.h"
+
+namespace ruidx {
+namespace storage {
+
+struct StreamingStats {
+  uint64_t nodes = 0;
+  uint64_t areas = 0;
+  uint64_t kappa = 1;
+  /// The (κ, K) blob for offline use (core::DeserializeGlobalState).
+  std::string global_state;
+};
+
+using RecordSink = std::function<Status(const ElementRecord&)>;
+
+/// Streams `input` twice and feeds every labeled node to `sink` in document
+/// order.
+Result<StreamingStats> StreamLabel(std::string_view input,
+                                   const core::PartitionOptions& partition,
+                                   const RecordSink& sink,
+                                   const xml::ParseOptions& options = {});
+
+/// Convenience: sink into an ElementStore.
+Result<StreamingStats> StreamLabelToStore(std::string_view input,
+                                          const core::PartitionOptions& partition,
+                                          ElementStore* store,
+                                          const xml::ParseOptions& options = {});
+
+}  // namespace storage
+}  // namespace ruidx
+
+#endif  // RUIDX_STORAGE_STREAMING_LABELER_H_

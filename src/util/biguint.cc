@@ -1,0 +1,336 @@
+#include "util/biguint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ruidx {
+
+namespace {
+using uint128 = unsigned __int128;
+}  // namespace
+
+BigUint::BigUint(const BigUint& other) : size_(other.size_), cap_(0) {
+  if (other.size_ == 1) {
+    inline_ = other.words()[0];
+  } else {
+    cap_ = other.size_;
+    heap_ = new uint64_t[cap_];
+    std::memcpy(heap_, other.words(), size_ * sizeof(uint64_t));
+  }
+}
+
+BigUint::BigUint(BigUint&& other) noexcept : size_(other.size_), cap_(other.cap_) {
+  if (cap_ == 0) {
+    inline_ = other.inline_;
+  } else {
+    heap_ = other.heap_;
+    other.cap_ = 0;
+    other.size_ = 1;
+    other.inline_ = 0;
+  }
+}
+
+BigUint& BigUint::operator=(const BigUint& other) {
+  if (this == &other) return *this;
+  if (other.size_ == 1) {
+    ReleaseHeap();
+    cap_ = 0;
+    inline_ = other.words()[0];
+    size_ = 1;
+  } else {
+    if (cap_ < other.size_) {
+      ReleaseHeap();
+      cap_ = other.size_;
+      heap_ = new uint64_t[cap_];
+    }
+    std::memcpy(heap_, other.words(), other.size_ * sizeof(uint64_t));
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator=(BigUint&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseHeap();
+  size_ = other.size_;
+  cap_ = other.cap_;
+  if (cap_ == 0) {
+    inline_ = other.inline_;
+  } else {
+    heap_ = other.heap_;
+    other.cap_ = 0;
+    other.size_ = 1;
+    other.inline_ = 0;
+  }
+  return *this;
+}
+
+void BigUint::Reserve(uint32_t n) {
+  if (n <= (cap_ == 0 ? 1u : cap_)) return;
+  uint32_t new_cap = std::max(n, (cap_ == 0 ? 1u : cap_) * 2);
+  uint64_t* buf = new uint64_t[new_cap];
+  std::memcpy(buf, words(), size_ * sizeof(uint64_t));
+  ReleaseHeap();
+  heap_ = buf;
+  cap_ = new_cap;
+}
+
+void BigUint::Trim() {
+  uint64_t* w = words();
+  while (size_ > 1 && w[size_ - 1] == 0) --size_;
+  if (size_ == 1 && cap_ != 0) {
+    // Move back to the inline representation so FitsUint64() stays accurate.
+    uint64_t v = w[0];
+    ReleaseHeap();
+    cap_ = 0;
+    inline_ = v;
+  }
+}
+
+Result<BigUint> BigUint::FromDecimalString(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty decimal string");
+  BigUint out;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-digit character in decimal string");
+    }
+    out *= 10;
+    out += static_cast<uint64_t>(c - '0');
+  }
+  return out;
+}
+
+BigUint BigUint::Pow(const BigUint& base, uint64_t exponent) {
+  BigUint result(1);
+  BigUint b = base;
+  while (exponent > 0) {
+    if (exponent & 1) result *= b;
+    exponent >>= 1;
+    if (exponent > 0) b *= b;
+  }
+  return result;
+}
+
+int BigUint::BitWidth() const {
+  const uint64_t* w = words();
+  uint64_t top = w[size_ - 1];
+  if (top == 0) return 0;  // only possible when size_ == 1 (value zero)
+  int bits = 64 - __builtin_clzll(top);
+  return bits + 64 * static_cast<int>(size_ - 1);
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (size_ != other.size_) return size_ < other.size_ ? -1 : 1;
+  const uint64_t* a = words();
+  const uint64_t* b = other.words();
+  for (uint32_t i = size_; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint& BigUint::operator+=(uint64_t o) {
+  uint64_t* w = words();
+  uint128 sum = static_cast<uint128>(w[0]) + o;
+  w[0] = static_cast<uint64_t>(sum);
+  uint64_t carry = static_cast<uint64_t>(sum >> 64);
+  uint32_t i = 1;
+  while (carry != 0) {
+    if (i == size_) {
+      Reserve(size_ + 1);
+      words()[size_++] = carry;
+      return *this;
+    }
+    w = words();
+    uint128 s = static_cast<uint128>(w[i]) + carry;
+    w[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+    ++i;
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator+=(const BigUint& o) {
+  if (o.size_ == 1) return *this += o.words()[0];
+  uint32_t n = std::max(size_, o.size_);
+  Reserve(n + 1);
+  uint64_t* a = words();
+  const uint64_t* b = o.words();
+  uint64_t carry = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint128 s = static_cast<uint128>(i < size_ ? a[i] : 0) +
+                (i < o.size_ ? b[i] : 0) + carry;
+    a[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  size_ = n;
+  if (carry != 0) {
+    Reserve(size_ + 1);
+    words()[size_++] = carry;
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator-=(uint64_t o) {
+  uint64_t* w = words();
+  assert(!(size_ == 1 && w[0] < o) && "BigUint underflow");
+  uint64_t borrow = (w[0] < o) ? 1 : 0;
+  w[0] -= o;
+  uint32_t i = 1;
+  while (borrow != 0) {
+    assert(i < size_ && "BigUint underflow");
+    uint64_t prev = w[i];
+    w[i] -= borrow;
+    borrow = (prev == 0) ? 1 : 0;
+    ++i;
+  }
+  Trim();
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& o) {
+  assert(Compare(o) >= 0 && "BigUint underflow");
+  uint64_t* a = words();
+  const uint64_t* b = o.words();
+  uint64_t borrow = 0;
+  for (uint32_t i = 0; i < size_; ++i) {
+    uint64_t bi = (i < o.size_) ? b[i] : 0;
+    uint128 need = static_cast<uint128>(bi) + borrow;
+    if (static_cast<uint128>(a[i]) >= need) {
+      a[i] -= static_cast<uint64_t>(need);
+      borrow = 0;
+    } else {
+      a[i] = static_cast<uint64_t>((static_cast<uint128>(1) << 64) + a[i] - need);
+      borrow = 1;
+    }
+  }
+  Trim();
+  return *this;
+}
+
+BigUint& BigUint::operator*=(uint64_t o) {
+  if (o == 0) {
+    ReleaseHeap();
+    cap_ = 0;
+    inline_ = 0;
+    size_ = 1;
+    return *this;
+  }
+  uint64_t* w = words();
+  uint64_t carry = 0;
+  for (uint32_t i = 0; i < size_; ++i) {
+    uint128 p = static_cast<uint128>(w[i]) * o + carry;
+    w[i] = static_cast<uint64_t>(p);
+    carry = static_cast<uint64_t>(p >> 64);
+  }
+  if (carry != 0) {
+    Reserve(size_ + 1);
+    words()[size_++] = carry;
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& o) {
+  if (o.size_ == 1) return *this *= o.words()[0];
+  if (size_ == 1) {
+    uint64_t v = words()[0];
+    *this = o;
+    return *this *= v;
+  }
+  // Schoolbook multiplication into a fresh buffer.
+  uint32_t n = size_ + o.size_;
+  uint64_t* out = new uint64_t[n]();
+  const uint64_t* a = words();
+  const uint64_t* b = o.words();
+  for (uint32_t i = 0; i < size_; ++i) {
+    uint64_t carry = 0;
+    for (uint32_t j = 0; j < o.size_; ++j) {
+      uint128 p = static_cast<uint128>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(p);
+      carry = static_cast<uint64_t>(p >> 64);
+    }
+    uint32_t k = i + o.size_;
+    while (carry != 0) {
+      uint128 s = static_cast<uint128>(out[k]) + carry;
+      out[k] = static_cast<uint64_t>(s);
+      carry = static_cast<uint64_t>(s >> 64);
+      ++k;
+    }
+  }
+  ReleaseHeap();
+  heap_ = out;
+  cap_ = n;
+  size_ = n;
+  Trim();
+  return *this;
+}
+
+BigUint BigUint::DivMod(uint64_t divisor, uint64_t* remainder) const {
+  assert(divisor != 0 && "division by zero");
+  BigUint q;
+  q.Reserve(size_);
+  q.size_ = size_;
+  const uint64_t* w = words();
+  uint64_t* qw = q.words();
+  uint64_t rem = 0;
+  for (uint32_t i = size_; i-- > 0;) {
+    uint128 cur = (static_cast<uint128>(rem) << 64) | w[i];
+    qw[i] = static_cast<uint64_t>(cur / divisor);
+    rem = static_cast<uint64_t>(cur % divisor);
+  }
+  q.Trim();
+  if (remainder != nullptr) *remainder = rem;
+  return q;
+}
+
+std::string BigUint::ToDecimalString() const {
+  if (FitsUint64()) return std::to_string(ToUint64());
+  // Peel off 19 decimal digits at a time (largest power of 10 below 2^64).
+  constexpr uint64_t kChunk = 10000000000000000000ULL;
+  std::string out;
+  BigUint cur = *this;
+  while (!cur.FitsUint64()) {
+    uint64_t rem = 0;
+    cur = cur.DivMod(kChunk, &rem);
+    std::string part = std::to_string(rem);
+    out.insert(0, std::string(19 - part.size(), '0') + part);
+  }
+  out.insert(0, std::to_string(cur.ToUint64()));
+  return out;
+}
+
+bool BigUint::ToBytesBE(uint8_t* out, size_t n) const {
+  if (static_cast<size_t>(BitWidth()) > n * 8) return false;
+  std::memset(out, 0, n);
+  const uint64_t* w = words();
+  // Byte i of word j lands at out[n - 1 - (j*8 + i)].
+  for (uint32_t j = 0; j < size_; ++j) {
+    for (int i = 0; i < 8; ++i) {
+      size_t pos = static_cast<size_t>(j) * 8 + static_cast<size_t>(i);
+      if (pos >= n) break;
+      out[n - 1 - pos] = static_cast<uint8_t>(w[j] >> (8 * i));
+    }
+  }
+  return true;
+}
+
+BigUint BigUint::FromBytesBE(const uint8_t* data, size_t n) {
+  BigUint v;
+  for (size_t i = 0; i < n; ++i) {
+    v *= uint64_t{256};
+    v += static_cast<uint64_t>(data[i]);
+  }
+  return v;
+}
+
+size_t BigUint::Hash() const {
+  const uint64_t* w = words();
+  uint64_t h = 1469598103934665603ULL;
+  for (uint32_t i = 0; i < size_; ++i) {
+    h ^= w[i];
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace ruidx

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random generation for workloads and property tests.
+//
+// All experiment workloads are generated from explicit seeds so every table
+// and figure in EXPERIMENTS.md is exactly reproducible.
+#ifndef RUIDX_UTIL_RANDOM_H_
+#define RUIDX_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ruidx {
+
+/// \brief xoshiro256**-based generator seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipf(θ)-distributed values over {0, ..., n-1}; rank 0 is the most
+/// frequent. Used to generate the skewed fan-out distributions that make the
+/// original UID enumerate many virtual nodes.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace ruidx
+
+#endif  // RUIDX_UTIL_RANDOM_H_

@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+#ifndef RUIDX_UTIL_RESULT_H_
+#define RUIDX_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace ruidx {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  /// Access the value; must only be called when ok().
+  T& ValueOrDie() {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& ValueOrDie() const {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+  /// Moves the value out; must only be called when ok().
+  T MoveValueUnsafe() {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define RUIDX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = tmp.MoveValueUnsafe();
+
+#define RUIDX_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define RUIDX_ASSIGN_OR_RETURN_NAME(a, b) RUIDX_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define RUIDX_ASSIGN_OR_RETURN(lhs, expr) \
+  RUIDX_ASSIGN_OR_RETURN_IMPL(            \
+      RUIDX_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace ruidx
+
+#endif  // RUIDX_UTIL_RESULT_H_

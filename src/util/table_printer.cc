@@ -1,0 +1,55 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ruidx {
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+
+  out << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << std::left << std::setw(static_cast<int>(widths[i]) + 3) << cell;
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  out.flush();
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::FormatCount(uint64_t v) {
+  // Insert thousands separators for readability.
+  std::string s = std::to_string(v);
+  std::string out;
+  int c = 0;
+  for (auto it = s.rbegin(); it != s.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ruidx

@@ -1,0 +1,36 @@
+// TablePrinter: fixed-width text tables for benchmark harness output, so each
+// bench binary prints the rows/series of the paper artifact it regenerates.
+#ifndef RUIDX_UTIL_TABLE_PRINTER_H_
+#define RUIDX_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace ruidx {
+
+class TablePrinter {
+ public:
+  /// \param title a heading printed above the table (e.g. "E11: update scope").
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table to `out` with column-aligned cells.
+  void Print(std::ostream& out = std::cout) const;
+
+  static std::string FormatDouble(double v, int precision = 2);
+  static std::string FormatCount(uint64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ruidx
+
+#endif  // RUIDX_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,102 @@
+#include "version/versioned_document.h"
+
+#include <sstream>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace ruidx {
+namespace version {
+
+std::string Operation::ToString() const {
+  std::ostringstream os;
+  os << "#" << sequence << " ";
+  if (kind == Kind::kInsert) {
+    os << "insert " << payload << " under " << parent.ToString() << " at "
+       << position;
+  } else {
+    os << "delete " << target.ToString();
+  }
+  return os.str();
+}
+
+Result<std::unique_ptr<VersionedDocument>> VersionedDocument::FromXml(
+    const std::string& base_xml, core::PartitionOptions options) {
+  auto vdoc =
+      std::unique_ptr<VersionedDocument>(new VersionedDocument(options));
+  RUIDX_ASSIGN_OR_RETURN(vdoc->doc_, xml::Parse(base_xml));
+  if (vdoc->doc_->root() == nullptr) {
+    return Status::InvalidArgument("base document has no root element");
+  }
+  vdoc->scheme_.Build(vdoc->doc_->root());
+  return vdoc;
+}
+
+Result<core::Ruid2Id> VersionedDocument::Insert(const core::Ruid2Id& parent,
+                                                uint64_t position,
+                                                const std::string& fragment_xml) {
+  xml::Node* parent_node = scheme_.NodeById(parent);
+  if (parent_node == nullptr) {
+    return Status::NotFound("no node carries identifier " + parent.ToString());
+  }
+  // Parse the fragment in a scratch document, then copy it into ours (node
+  // ownership is per document).
+  RUIDX_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> scratch,
+                         xml::Parse(fragment_xml));
+  xml::Node* copy = xml::DeepCopy(doc_.get(), scratch->root());
+  if (copy == nullptr) {
+    return Status::InvalidArgument("fragment has no element root");
+  }
+  RUIDX_ASSIGN_OR_RETURN(
+      core::UpdateReport report,
+      scheme_.InsertAndRelabel(doc_.get(), parent_node,
+                               static_cast<size_t>(position), copy));
+  total_relabeled_ += report.relabeled;
+
+  Operation op;
+  op.kind = Operation::Kind::kInsert;
+  op.sequence = journal_.size() + 1;
+  op.parent = parent;
+  op.position = position;
+  op.payload = xml::Serialize(scratch->root());
+  journal_.push_back(std::move(op));
+  return scheme_.label(copy);
+}
+
+Status VersionedDocument::Delete(const core::Ruid2Id& target) {
+  xml::Node* victim = scheme_.NodeById(target);
+  if (victim == nullptr) {
+    return Status::NotFound("no node carries identifier " + target.ToString());
+  }
+  RUIDX_ASSIGN_OR_RETURN(core::UpdateReport report,
+                         scheme_.RemoveAndRelabel(doc_.get(), victim));
+  total_relabeled_ += report.relabeled;
+
+  Operation op;
+  op.kind = Operation::Kind::kDelete;
+  op.sequence = journal_.size() + 1;
+  op.target = target;
+  journal_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status VersionedDocument::Apply(const Operation& op) {
+  if (op.kind == Operation::Kind::kInsert) {
+    return Insert(op.parent, op.position, op.payload).status();
+  }
+  return Delete(op.target);
+}
+
+Status VersionedDocument::ApplyAll(const std::vector<Operation>& journal) {
+  for (const Operation& op : journal) {
+    RUIDX_RETURN_NOT_OK(Apply(op));
+  }
+  return Status::OK();
+}
+
+std::string VersionedDocument::ToXml() const {
+  return xml::Serialize(doc_->document_node());
+}
+
+}  // namespace version
+}  // namespace ruidx

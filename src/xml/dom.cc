@@ -1,0 +1,234 @@
+#include "xml/dom.h"
+
+#include <algorithm>
+
+namespace ruidx {
+namespace xml {
+
+const char* NodeTypeToString(NodeType t) {
+  switch (t) {
+    case NodeType::kDocument:
+      return "document";
+    case NodeType::kElement:
+      return "element";
+    case NodeType::kText:
+      return "text";
+    case NodeType::kComment:
+      return "comment";
+    case NodeType::kProcessingInstruction:
+      return "processing-instruction";
+    case NodeType::kAttribute:
+      return "attribute";
+  }
+  return "unknown";
+}
+
+int Node::IndexInParent() const {
+  if (parent_ == nullptr) return -1;
+  const auto& sibs = parent_->children_;
+  for (size_t i = 0; i < sibs.size(); ++i) {
+    if (sibs[i] == this) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const std::string* Node::GetAttribute(std::string_view name) const {
+  for (const Node* a : attributes_) {
+    if (a->name_ == name) return &a->value_;
+  }
+  return nullptr;
+}
+
+Node* Node::FirstChildElement(std::string_view tag) const {
+  for (Node* c : children_) {
+    if (c->is_element() && c->name_ == tag) return c;
+  }
+  return nullptr;
+}
+
+std::string Node::TextContent() const {
+  std::string out;
+  PreorderTraverse(const_cast<Node*>(this), [&](Node* n, int) {
+    if (n->is_text()) out += n->value();
+    return true;
+  });
+  return out;
+}
+
+bool Node::HasAncestor(const Node* other) const {
+  for (const Node* p = parent_; p != nullptr; p = p->parent_) {
+    if (p == other) return true;
+  }
+  return false;
+}
+
+Document::Document() { doc_node_ = NewNode(NodeType::kDocument); }
+
+Node* Document::root() const {
+  for (Node* c : doc_node_->children()) {
+    if (c->is_element()) return c;
+  }
+  return nullptr;
+}
+
+Node* Document::NewNode(NodeType type) {
+  pool_.push_back(std::unique_ptr<Node>(new Node(type, next_serial_++)));
+  return pool_.back().get();
+}
+
+Node* Document::CreateElement(std::string_view tag) {
+  Node* n = NewNode(NodeType::kElement);
+  n->name_ = std::string(tag);
+  return n;
+}
+
+Node* Document::CreateText(std::string_view data) {
+  Node* n = NewNode(NodeType::kText);
+  n->value_ = std::string(data);
+  return n;
+}
+
+Node* Document::CreateComment(std::string_view data) {
+  Node* n = NewNode(NodeType::kComment);
+  n->value_ = std::string(data);
+  return n;
+}
+
+Node* Document::CreateProcessingInstruction(std::string_view target,
+                                            std::string_view data) {
+  Node* n = NewNode(NodeType::kProcessingInstruction);
+  n->name_ = std::string(target);
+  n->value_ = std::string(data);
+  return n;
+}
+
+Status Document::AppendChild(Node* parent, Node* child) {
+  return InsertChild(parent, parent->children_.size(), child);
+}
+
+Status Document::InsertChild(Node* parent, size_t pos, Node* child) {
+  if (parent == nullptr || child == nullptr) {
+    return Status::InvalidArgument("null node");
+  }
+  if (child->parent_ != nullptr) {
+    return Status::InvalidArgument("child is already attached");
+  }
+  if (child->is_attribute() || child->is_document()) {
+    return Status::InvalidArgument("cannot insert attribute/document nodes");
+  }
+  if (!parent->is_element() && !parent->is_document()) {
+    return Status::InvalidArgument("parent cannot hold children");
+  }
+  if (pos > parent->children_.size()) {
+    return Status::OutOfRange("insert position beyond child count");
+  }
+  if (parent == child) {
+    return Status::InvalidArgument("insertion would create a cycle");
+  }
+  // A cycle needs `parent` to live inside `child`'s (detached) subtree; a
+  // childless node cannot contain anything, so the common leaf-append path
+  // skips the O(depth) ancestor walk.
+  if (!child->children_.empty() && parent->HasAncestor(child)) {
+    return Status::InvalidArgument("insertion would create a cycle");
+  }
+  parent->children_.insert(parent->children_.begin() + static_cast<long>(pos),
+                           child);
+  child->parent_ = parent;
+  return Status::OK();
+}
+
+Status Document::RemoveSubtree(Node* node) {
+  if (node == nullptr) return Status::InvalidArgument("null node");
+  Node* parent = node->parent_;
+  if (parent == nullptr) return Status::InvalidArgument("node is not attached");
+  auto& sibs = parent->children_;
+  auto it = std::find(sibs.begin(), sibs.end(), node);
+  if (it == sibs.end()) return Status::Corruption("node missing from parent");
+  sibs.erase(it);
+  node->parent_ = nullptr;
+  return Status::OK();
+}
+
+Status Document::SetAttribute(Node* element, std::string_view name,
+                              std::string_view value) {
+  if (element == nullptr || !element->is_element()) {
+    return Status::InvalidArgument("attributes can only be set on elements");
+  }
+  for (Node* a : element->attributes_) {
+    if (a->name_ == name) {
+      a->value_ = std::string(value);
+      return Status::OK();
+    }
+  }
+  Node* a = NewNode(NodeType::kAttribute);
+  a->name_ = std::string(name);
+  a->value_ = std::string(value);
+  a->parent_ = element;
+  element->attributes_.push_back(a);
+  return Status::OK();
+}
+
+size_t Document::CountAttachedNodes(bool include_attributes) const {
+  size_t count = 0;
+  PreorderTraverse(doc_node_, [&](Node* n, int) {
+    if (!n->is_document()) ++count;
+    if (include_attributes) count += n->attributes().size();
+    return true;
+  });
+  return count;
+}
+
+Node* DeepCopy(Document* dst, const Node* src) {
+  auto shallow = [dst](const Node* n) -> Node* {
+    switch (n->type()) {
+      case NodeType::kElement: {
+        Node* e = dst->CreateElement(n->name());
+        for (const Node* a : n->attributes()) {
+          (void)dst->SetAttribute(e, a->name(), a->value());
+        }
+        return e;
+      }
+      case NodeType::kText:
+        return dst->CreateText(n->value());
+      case NodeType::kComment:
+        return dst->CreateComment(n->value());
+      case NodeType::kProcessingInstruction:
+        return dst->CreateProcessingInstruction(n->name(), n->value());
+      case NodeType::kDocument:
+      case NodeType::kAttribute:
+        return nullptr;  // not copyable as subtree roots
+    }
+    return nullptr;
+  };
+  Node* root_copy = shallow(src);
+  if (root_copy == nullptr) return nullptr;
+  // Explicit stack: arbitrarily deep subtrees must not overflow the C stack.
+  struct Frame {
+    const Node* source;
+    Node* copy;
+  };
+  std::vector<Frame> stack{{src, root_copy}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    for (const Node* c : f.source->children()) {
+      Node* child_copy = shallow(c);
+      if (child_copy == nullptr) continue;
+      (void)dst->AppendChild(f.copy, child_copy);
+      stack.push_back({c, child_copy});
+    }
+  }
+  return root_copy;
+}
+
+std::vector<Node*> CollectPreorder(Node* root) {
+  std::vector<Node*> out;
+  PreorderTraverse(root, [&](Node* n, int) {
+    out.push_back(n);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace xml
+}  // namespace ruidx

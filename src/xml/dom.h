@@ -1,0 +1,184 @@
+// A lightweight in-memory DOM for XML documents.
+//
+// The numbering schemes in this library operate over the node tree exposed
+// here: every non-attribute node (element, text, comment, processing
+// instruction) is part of the tree and receives an identifier; attributes
+// hang off their owner element and are reached through the attribute axis,
+// mirroring the XPath data model the paper targets.
+#ifndef RUIDX_XML_DOM_H_
+#define RUIDX_XML_DOM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ruidx {
+namespace xml {
+
+enum class NodeType : uint8_t {
+  kDocument,
+  kElement,
+  kText,
+  kComment,
+  kProcessingInstruction,
+  kAttribute,
+};
+
+const char* NodeTypeToString(NodeType t);
+
+class Document;
+
+/// \brief A node in the document tree.
+///
+/// Nodes are owned by their Document and addressed by raw pointers that stay
+/// valid until the document is destroyed (removal detaches a subtree but the
+/// storage is reclaimed only with the document).
+class Node {
+ public:
+  NodeType type() const { return type_; }
+  /// Tag name for elements, attribute name for attributes, target for PIs;
+  /// empty for text/comment/document nodes.
+  const std::string& name() const { return name_; }
+  /// Character data for text/comment nodes, value for attributes and PIs.
+  const std::string& value() const { return value_; }
+  void set_value(std::string v) { value_ = std::move(v); }
+
+  Node* parent() const { return parent_; }
+  const std::vector<Node*>& children() const { return children_; }
+  const std::vector<Node*>& attributes() const { return attributes_; }
+
+  bool is_element() const { return type_ == NodeType::kElement; }
+  bool is_text() const { return type_ == NodeType::kText; }
+  bool is_document() const { return type_ == NodeType::kDocument; }
+  bool is_attribute() const { return type_ == NodeType::kAttribute; }
+
+  /// A dense per-document serial number assigned at creation; stable across
+  /// structural updates, never reused. Side tables (labels, indexes) key on
+  /// this.
+  uint32_t serial() const { return serial_; }
+
+  /// Number of children.
+  size_t fanout() const { return children_.size(); }
+
+  /// Position of this node among its parent's children; -1 for roots.
+  int IndexInParent() const;
+
+  /// Attribute value by name, or nullptr when absent.
+  const std::string* GetAttribute(std::string_view name) const;
+
+  /// First element child with the given tag name, or nullptr.
+  Node* FirstChildElement(std::string_view tag) const;
+
+  /// Concatenation of all descendant text node values.
+  std::string TextContent() const;
+
+  /// True iff `other` is a proper ancestor of this node.
+  bool HasAncestor(const Node* other) const;
+
+ private:
+  friend class Document;
+  Node(NodeType type, uint32_t serial) : type_(type), serial_(serial) {}
+
+  NodeType type_;
+  uint32_t serial_;
+  std::string name_;
+  std::string value_;
+  Node* parent_ = nullptr;
+  std::vector<Node*> children_;
+  std::vector<Node*> attributes_;
+};
+
+/// \brief Owns a tree of nodes plus the factory and mutation API.
+class Document {
+ public:
+  Document();
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  /// The synthetic document node (parent of the root element, comments and
+  /// PIs outside it).
+  Node* document_node() { return doc_node_; }
+  const Node* document_node() const { return doc_node_; }
+
+  /// The root element, or nullptr for an empty document.
+  Node* root() const;
+
+  // --- Node factory -------------------------------------------------------
+
+  Node* CreateElement(std::string_view tag);
+  Node* CreateText(std::string_view data);
+  Node* CreateComment(std::string_view data);
+  Node* CreateProcessingInstruction(std::string_view target, std::string_view data);
+
+  // --- Structural mutation -------------------------------------------------
+
+  /// Appends `child` (a detached node) as the last child of `parent`.
+  Status AppendChild(Node* parent, Node* child);
+
+  /// Inserts `child` so that it becomes parent->children()[pos]; existing
+  /// children at pos.. shift right. pos may equal the child count (append).
+  Status InsertChild(Node* parent, size_t pos, Node* child);
+
+  /// Detaches the subtree rooted at `node` from its parent. The nodes stay
+  /// owned by the document and may be re-inserted. Deletion in XML is
+  /// cascading (the whole subtree goes), which this models.
+  Status RemoveSubtree(Node* node);
+
+  /// Sets an attribute on an element (replaces an existing value).
+  Status SetAttribute(Node* element, std::string_view name, std::string_view value);
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Total nodes ever created (serial numbers are < this).
+  uint32_t serial_count() const { return next_serial_; }
+
+  /// Number of nodes currently attached under the document node (excluding
+  /// the document node itself, including attributes = false).
+  size_t CountAttachedNodes(bool include_attributes = false) const;
+
+ private:
+  Node* NewNode(NodeType type);
+
+  std::deque<std::unique_ptr<Node>> pool_;
+  Node* doc_node_;
+  uint32_t next_serial_ = 0;
+};
+
+/// Preorder (document-order) traversal of the tree rooted at `root`,
+/// excluding attributes. Calls fn(node, depth) with depth(root)=0.
+/// If fn returns false, the node's subtree is skipped.
+template <typename Fn>
+void PreorderTraverse(Node* root, Fn&& fn) {
+  struct Frame {
+    Node* node;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (!fn(f.node, f.depth)) continue;
+    const auto& ch = f.node->children();
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+}
+
+/// Collects the nodes of the subtree rooted at `root` in document order.
+std::vector<Node*> CollectPreorder(Node* root);
+
+/// Deep-copies the subtree rooted at `src` (attributes included) into `dst`,
+/// returning the detached copy's root. `src` may live in another document.
+Node* DeepCopy(Document* dst, const Node* src);
+
+}  // namespace xml
+}  // namespace ruidx
+
+#endif  // RUIDX_XML_DOM_H_

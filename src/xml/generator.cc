@@ -1,0 +1,293 @@
+#include "xml/generator.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ruidx {
+namespace xml {
+
+namespace {
+
+std::string TagName(uint32_t i) { return "t" + std::to_string(i); }
+
+void Check(const Status& st) {
+  (void)st;
+  // Generators only perform structurally valid insertions.
+}
+
+}  // namespace
+
+std::unique_ptr<Document> GenerateUniformTree(uint64_t node_budget,
+                                              uint64_t fanout) {
+  auto doc = std::make_unique<Document>();
+  Node* root = doc->CreateElement("root");
+  Check(doc->AppendChild(doc->document_node(), root));
+  uint64_t created = 1;
+  std::deque<Node*> frontier{root};
+  while (created < node_budget && !frontier.empty()) {
+    Node* cur = frontier.front();
+    frontier.pop_front();
+    for (uint64_t i = 0; i < fanout && created < node_budget; ++i) {
+      Node* child = doc->CreateElement(TagName(static_cast<uint32_t>(i)));
+      Check(doc->AppendChild(cur, child));
+      frontier.push_back(child);
+      ++created;
+    }
+  }
+  return doc;
+}
+
+std::unique_ptr<Document> GenerateRandomTree(const RandomTreeConfig& config) {
+  auto doc = std::make_unique<Document>();
+  Rng rng(config.seed);
+  Node* root = doc->CreateElement("root");
+  Check(doc->AppendChild(doc->document_node(), root));
+  // Open nodes still have room for children.
+  std::vector<Node*> open{root};
+  Node* last = root;
+  uint64_t created = 1;
+  while (created < config.node_budget && !open.empty()) {
+    Node* parent;
+    if (last->fanout() < config.max_fanout && rng.NextBool(config.depth_bias)) {
+      parent = last;
+    } else {
+      size_t idx = static_cast<size_t>(rng.NextBounded(open.size()));
+      parent = open[idx];
+    }
+    Node* child =
+        doc->CreateElement(TagName(static_cast<uint32_t>(rng.NextBounded(
+            config.tag_alphabet))));
+    Check(doc->AppendChild(parent, child));
+    ++created;
+    if (config.text_probability > 0 && created < config.node_budget &&
+        rng.NextBool(config.text_probability)) {
+      Check(doc->AppendChild(child,
+                             doc->CreateText("v" + std::to_string(created))));
+      ++created;
+    }
+    if (parent->fanout() >= config.max_fanout) {
+      for (size_t i = 0; i < open.size(); ++i) {
+        if (open[i] == parent) {
+          open[i] = open.back();
+          open.pop_back();
+          break;
+        }
+      }
+    }
+    if (child->fanout() < config.max_fanout) open.push_back(child);
+    last = child;
+  }
+  return doc;
+}
+
+std::unique_ptr<Document> GenerateSkewedTree(const SkewedTreeConfig& config) {
+  auto doc = std::make_unique<Document>();
+  Rng rng(config.seed);
+  // Fan-out of each internal node drawn from Zipf over [1, max_fanout]:
+  // rank 0 (most common) maps to fan-out 1, the rare tail to max_fanout.
+  ZipfGenerator zipf(config.max_fanout, config.zipf_theta, config.seed ^ 0x5eed);
+  Node* root = doc->CreateElement("root");
+  Check(doc->AppendChild(doc->document_node(), root));
+  uint64_t created = 1;
+  std::deque<Node*> frontier{root};
+  while (created < config.node_budget && !frontier.empty()) {
+    Node* cur = frontier.front();
+    frontier.pop_front();
+    // Invert the rank so small fan-outs dominate but the max occasionally
+    // appears; keep the very first node wide to set the document max.
+    uint64_t fanout = (created == 1) ? config.max_fanout : zipf.Next() + 1;
+    for (uint64_t i = 0; i < fanout && created < config.node_budget; ++i) {
+      Node* child = doc->CreateElement(
+          TagName(static_cast<uint32_t>(rng.NextBounded(12))));
+      Check(doc->AppendChild(cur, child));
+      ++created;
+      // Half the created nodes stay leaves to keep the tree broad.
+      if (rng.NextBool(0.5)) frontier.push_back(child);
+    }
+  }
+  return doc;
+}
+
+std::unique_ptr<Document> GenerateDeepTree(const DeepTreeConfig& config) {
+  auto doc = std::make_unique<Document>();
+  Rng rng(config.seed);
+  Node* cur = doc->CreateElement("section");
+  Check(doc->AppendChild(doc->document_node(), cur));
+  for (uint64_t d = 1; d < config.depth; ++d) {
+    for (uint64_t s = 0; s < config.siblings_per_level; ++s) {
+      Node* leaf = doc->CreateElement("para");
+      Check(doc->AppendChild(cur, leaf));
+      Check(doc->AppendChild(leaf,
+                             doc->CreateText("p" + std::to_string(d))));
+    }
+    Node* next = doc->CreateElement("section");
+    // The recursive child sits at a random position among its siblings.
+    size_t pos = static_cast<size_t>(rng.NextBounded(cur->fanout() + 1));
+    Check(doc->InsertChild(cur, pos, next));
+    cur = next;
+  }
+  return doc;
+}
+
+std::unique_ptr<Document> GenerateDblpLike(uint64_t records, uint64_t seed) {
+  auto doc = std::make_unique<Document>();
+  Rng rng(seed);
+  Node* root = doc->CreateElement("dblp");
+  Check(doc->AppendChild(doc->document_node(), root));
+  const char* kinds[] = {"article", "inproceedings", "book"};
+  for (uint64_t i = 0; i < records; ++i) {
+    Node* rec = doc->CreateElement(kinds[rng.NextBounded(3)]);
+    Check(doc->SetAttribute(rec, "key", "rec/" + std::to_string(i)));
+    Check(doc->AppendChild(root, rec));
+    uint64_t authors = 1 + rng.NextBounded(4);
+    for (uint64_t a = 0; a < authors; ++a) {
+      Node* au = doc->CreateElement("author");
+      Check(doc->AppendChild(au, doc->CreateText("A" + std::to_string(
+                                     rng.NextBounded(1000)))));
+      Check(doc->AppendChild(rec, au));
+    }
+    Node* title = doc->CreateElement("title");
+    Check(doc->AppendChild(title,
+                           doc->CreateText("Title " + std::to_string(i))));
+    Check(doc->AppendChild(rec, title));
+    Node* year = doc->CreateElement("year");
+    Check(doc->AppendChild(
+        year, doc->CreateText(std::to_string(1980 + rng.NextBounded(25)))));
+    Check(doc->AppendChild(rec, year));
+  }
+  return doc;
+}
+
+std::unique_ptr<Document> GenerateXmarkLike(const XmarkConfig& config) {
+  auto doc = std::make_unique<Document>();
+  Rng rng(config.seed);
+  Node* site = doc->CreateElement("site");
+  Check(doc->AppendChild(doc->document_node(), site));
+
+  // Regions with item lists.
+  Node* regions = doc->CreateElement("regions");
+  Check(doc->AppendChild(site, regions));
+  const char* region_names[] = {"africa", "asia",          "australia",
+                                "europe", "namerica",      "samerica"};
+  for (uint64_t i = 0; i < config.items; ++i) {
+    Node* region = nullptr;
+    std::string rname = region_names[i % 6];
+    region = regions->FirstChildElement(rname);
+    if (region == nullptr) {
+      region = doc->CreateElement(rname);
+      Check(doc->AppendChild(regions, region));
+    }
+    Node* item = doc->CreateElement("item");
+    Check(doc->SetAttribute(item, "id", "item" + std::to_string(i)));
+    Check(doc->AppendChild(region, item));
+    Node* name = doc->CreateElement("name");
+    Check(doc->AppendChild(name, doc->CreateText("Item " + std::to_string(i))));
+    Check(doc->AppendChild(item, name));
+    Node* desc = doc->CreateElement("description");
+    Node* text = doc->CreateElement("text");
+    Check(doc->AppendChild(text, doc->CreateText("desc")));
+    Check(doc->AppendChild(desc, text));
+    Check(doc->AppendChild(item, desc));
+    Node* quantity = doc->CreateElement("quantity");
+    Check(doc->AppendChild(
+        quantity, doc->CreateText(std::to_string(1 + rng.NextBounded(5)))));
+    Check(doc->AppendChild(item, quantity));
+  }
+
+  // People.
+  Node* people = doc->CreateElement("people");
+  Check(doc->AppendChild(site, people));
+  for (uint64_t i = 0; i < config.people; ++i) {
+    Node* person = doc->CreateElement("person");
+    Check(doc->SetAttribute(person, "id", "person" + std::to_string(i)));
+    Check(doc->AppendChild(people, person));
+    Node* name = doc->CreateElement("name");
+    Check(doc->AppendChild(name, doc->CreateText("P" + std::to_string(i))));
+    Check(doc->AppendChild(person, name));
+    Node* email = doc->CreateElement("emailaddress");
+    Check(doc->AppendChild(
+        email, doc->CreateText("p" + std::to_string(i) + "@example.org")));
+    Check(doc->AppendChild(person, email));
+    if (rng.NextBool(0.4)) {
+      Node* watches = doc->CreateElement("watches");
+      uint64_t w = 1 + rng.NextBounded(3);
+      for (uint64_t j = 0; j < w; ++j) {
+        Node* watch = doc->CreateElement("watch");
+        Check(doc->SetAttribute(
+            watch, "open_auction",
+            "open_auction" + std::to_string(rng.NextBounded(
+                                 config.open_auctions ? config.open_auctions
+                                                      : 1))));
+        Check(doc->AppendChild(watches, watch));
+      }
+      Check(doc->AppendChild(person, watches));
+    }
+  }
+
+  // Open auctions with bidder ladders.
+  Node* open_auctions = doc->CreateElement("open_auctions");
+  Check(doc->AppendChild(site, open_auctions));
+  for (uint64_t i = 0; i < config.open_auctions; ++i) {
+    Node* auction = doc->CreateElement("open_auction");
+    Check(doc->SetAttribute(auction, "id", "open_auction" + std::to_string(i)));
+    Check(doc->AppendChild(open_auctions, auction));
+    Node* initial = doc->CreateElement("initial");
+    Check(doc->AppendChild(
+        initial, doc->CreateText(std::to_string(rng.NextBounded(100)))));
+    Check(doc->AppendChild(auction, initial));
+    uint64_t bidders = rng.NextBounded(8);
+    for (uint64_t b = 0; b < bidders; ++b) {
+      Node* bidder = doc->CreateElement("bidder");
+      Node* increase = doc->CreateElement("increase");
+      Check(doc->AppendChild(
+          increase, doc->CreateText(std::to_string(1 + rng.NextBounded(20)))));
+      Check(doc->AppendChild(bidder, increase));
+      Check(doc->AppendChild(auction, bidder));
+    }
+    Node* itemref = doc->CreateElement("itemref");
+    Check(doc->SetAttribute(
+        itemref, "item",
+        "item" + std::to_string(rng.NextBounded(config.items ? config.items
+                                                             : 1))));
+    Check(doc->AppendChild(auction, itemref));
+  }
+
+  // Closed auctions.
+  Node* closed_auctions = doc->CreateElement("closed_auctions");
+  Check(doc->AppendChild(site, closed_auctions));
+  for (uint64_t i = 0; i < config.closed_auctions; ++i) {
+    Node* auction = doc->CreateElement("closed_auction");
+    Check(doc->AppendChild(closed_auctions, auction));
+    Node* price = doc->CreateElement("price");
+    Check(doc->AppendChild(
+        price, doc->CreateText(std::to_string(10 + rng.NextBounded(500)))));
+    Check(doc->AppendChild(auction, price));
+  }
+
+  // Category hierarchy (recursive).
+  Node* categories = doc->CreateElement("categories");
+  Check(doc->AppendChild(site, categories));
+  for (uint64_t i = 0; i < config.categories; ++i) {
+    Node* cat = doc->CreateElement("category");
+    Check(doc->SetAttribute(cat, "id", "category" + std::to_string(i)));
+    Check(doc->AppendChild(categories, cat));
+    Node* name = doc->CreateElement("name");
+    Check(doc->AppendChild(name, doc->CreateText("C" + std::to_string(i))));
+    Check(doc->AppendChild(cat, name));
+    // Nested sub-categories with recursive element names.
+    Node* cur = cat;
+    uint64_t nest = rng.NextBounded(4);
+    for (uint64_t d = 0; d < nest; ++d) {
+      Node* sub = doc->CreateElement("category");
+      Check(doc->AppendChild(cur, sub));
+      cur = sub;
+    }
+  }
+  return doc;
+}
+
+}  // namespace xml
+}  // namespace ruidx

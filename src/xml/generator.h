@@ -1,0 +1,91 @@
+// Synthetic XML workload generators.
+//
+// The paper evaluates on "several sample XML documents" whose topology it
+// describes only qualitatively (large trees, high degree of recursion,
+// disparate fan-outs). These generators produce deterministic documents that
+// span that space:
+//
+//  * Uniform    — near-complete k-ary trees: the friendly case for the
+//                 original UID (no virtual nodes wasted).
+//  * Random     — random attachment with bounded fan-out, mixed shapes.
+//  * Skewed     — Zipf-distributed fan-outs: a handful of very wide nodes
+//                 force a large global k and make the original UID enumerate
+//                 mostly virtual nodes.
+//  * Deep       — tall chains of recursive same-name elements ("high degree
+//                 of recursion", Sec. 5): identifier values grow like
+//                 k^depth and overflow machine integers.
+//  * Dblp-like  — a bibliography: one root with a huge flat fan-out of
+//                 small records.
+//  * Xmark-like — an auction site in the shape of the XMark benchmark:
+//                 moderate depth, wide lists of items/people/auctions.
+#ifndef RUIDX_XML_GENERATOR_H_
+#define RUIDX_XML_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace xml {
+
+/// A near-complete `fanout`-ary element tree with ~`node_budget` nodes.
+std::unique_ptr<Document> GenerateUniformTree(uint64_t node_budget,
+                                              uint64_t fanout);
+
+struct RandomTreeConfig {
+  uint64_t node_budget = 1000;
+  uint64_t max_fanout = 8;
+  /// Probability that a new node attaches to the most recently created node
+  /// (depth bias); otherwise it attaches to a uniformly random open node.
+  double depth_bias = 0.3;
+  /// Number of distinct tag names to draw from.
+  uint32_t tag_alphabet = 16;
+  /// Attach a short text child to this fraction of leaves.
+  double text_probability = 0.0;
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<Document> GenerateRandomTree(const RandomTreeConfig& config);
+
+struct SkewedTreeConfig {
+  uint64_t node_budget = 1000;
+  /// Maximum fan-out; the Zipf skew means only a few nodes reach it.
+  uint64_t max_fanout = 1000;
+  double zipf_theta = 0.9;
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<Document> GenerateSkewedTree(const SkewedTreeConfig& config);
+
+struct DeepTreeConfig {
+  /// Length of the recursive spine (depth of the tree).
+  uint64_t depth = 64;
+  /// Element children attached at every spine node besides the spine child.
+  uint64_t siblings_per_level = 2;
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<Document> GenerateDeepTree(const DeepTreeConfig& config);
+
+/// DBLP-shaped bibliography: /dblp with `records` flat children, each a small
+/// publication record (author*, title, year). Root fan-out == records.
+std::unique_ptr<Document> GenerateDblpLike(uint64_t records, uint64_t seed = 42);
+
+struct XmarkConfig {
+  uint64_t items = 100;
+  uint64_t people = 50;
+  uint64_t open_auctions = 60;
+  uint64_t closed_auctions = 30;
+  uint64_t categories = 10;
+  uint64_t seed = 42;
+};
+
+/// XMark-auction-shaped site document (site/regions/.../item, people/person,
+/// open_auctions/open_auction with bidder lists, ...).
+std::unique_ptr<Document> GenerateXmarkLike(const XmarkConfig& config);
+
+}  // namespace xml
+}  // namespace ruidx
+
+#endif  // RUIDX_XML_GENERATOR_H_

@@ -1,0 +1,453 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "xml/sax.h"
+
+namespace ruidx {
+namespace xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+/// Appends the UTF-8 encoding of `cp` to `out`.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// The tokenizer: drives a SaxHandler over the input. The DOM parser is one
+/// such handler (DomBuilder below).
+class SaxDriver {
+ public:
+  SaxDriver(std::string_view input, SaxHandler* handler,
+            const ParseOptions& options)
+      : input_(input), handler_(handler), options_(options) {}
+
+  Status Run() {
+    RUIDX_RETURN_NOT_OK(ParseProlog());
+    while (!AtEnd()) {
+      RUIDX_RETURN_NOT_OK(ParseContent());
+    }
+    if (!open_.empty()) {
+      return Error("unexpected end of input: unclosed element <" +
+                   open_.back() + ">");
+    }
+    if (!seen_root_) return Error("document has no root element");
+    return Status::OK();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  bool LookingAt(std::string_view s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+
+  Status Error(const std::string& msg) const {
+    std::ostringstream os;
+    os << msg << " at " << line_ << ":" << col_;
+    return Status::ParseError(os.str());
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) Advance();
+  }
+
+  Status Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  /// Resolves &...; starting at the '&'. Appends the expansion to out.
+  Status ParseReference(std::string* out) {
+    RUIDX_RETURN_NOT_OK(Expect('&'));
+    if (!AtEnd() && Peek() == '#') {
+      Advance();
+      uint32_t cp = 0;
+      bool hex = false;
+      if (!AtEnd() && (Peek() == 'x' || Peek() == 'X')) {
+        hex = true;
+        Advance();
+      }
+      size_t digits = 0;
+      while (!AtEnd() && Peek() != ';') {
+        char c = Peek();
+        uint32_t d;
+        if (c >= '0' && c <= '9') {
+          d = static_cast<uint32_t>(c - '0');
+        } else if (hex && c >= 'a' && c <= 'f') {
+          d = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (hex && c >= 'A' && c <= 'F') {
+          d = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          return Error("bad character reference");
+        }
+        cp = cp * (hex ? 16 : 10) + d;
+        if (cp > 0x10FFFF) return Error("character reference out of range");
+        ++digits;
+        Advance();
+      }
+      if (digits == 0) return Error("empty character reference");
+      RUIDX_RETURN_NOT_OK(Expect(';'));
+      AppendUtf8(cp, out);
+      return Status::OK();
+    }
+    RUIDX_ASSIGN_OR_RETURN(std::string name, ParseName());
+    RUIDX_RETURN_NOT_OK(Expect(';'));
+    if (name == "lt") {
+      *out += '<';
+    } else if (name == "gt") {
+      *out += '>';
+    } else if (name == "amp") {
+      *out += '&';
+    } else if (name == "apos") {
+      *out += '\'';
+    } else if (name == "quot") {
+      *out += '"';
+    } else {
+      return Error("unknown entity '&" + name + ";'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseProlog() {
+    SkipSpace();
+    if (LookingAt("<?xml")) {
+      RUIDX_RETURN_NOT_OK(SkipUntil("?>"));
+    }
+    for (;;) {
+      SkipSpace();
+      if (LookingAt("<!DOCTYPE")) {
+        RUIDX_RETURN_NOT_OK(SkipDoctype());
+      } else if (LookingAt("<!--") || LookingAt("<?")) {
+        RUIDX_RETURN_NOT_OK(ParseContent());
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status SkipUntil(std::string_view terminator) {
+    size_t found = input_.find(terminator, pos_);
+    if (found == std::string_view::npos) {
+      return Error("unterminated construct (expected '" +
+                   std::string(terminator) + "')");
+    }
+    AdvanceBy(found - pos_ + terminator.size());
+    return Status::OK();
+  }
+
+  Status SkipDoctype() {
+    AdvanceBy(9);  // "<!DOCTYPE"
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth == 0) {
+        Advance();
+        return Status::OK();
+      }
+      Advance();
+    }
+    return Error("unterminated DOCTYPE");
+  }
+
+  Status ParseContent() {
+    if (AtEnd()) return Status::OK();
+    if (Peek() == '<') {
+      if (LookingAt("<!--")) return ParseComment();
+      if (LookingAt("<![CDATA[")) return ParseCData();
+      if (LookingAt("<?")) return ParsePI();
+      if (PeekAt(1) == '/') return ParseCloseTag();
+      return ParseOpenTag();
+    }
+    return ParseText();
+  }
+
+  Status ParseComment() {
+    AdvanceBy(4);  // "<!--"
+    size_t end = input_.find("-->", pos_);
+    if (end == std::string_view::npos) return Error("unterminated comment");
+    std::string_view data = input_.substr(pos_, end - pos_);
+    AdvanceBy(end - pos_ + 3);
+    if (options_.keep_comments && !open_.empty()) {
+      return handler_->Comment(data);
+    }
+    return Status::OK();
+  }
+
+  Status ParseCData() {
+    AdvanceBy(9);  // "<![CDATA["
+    size_t end = input_.find("]]>", pos_);
+    if (end == std::string_view::npos) return Error("unterminated CDATA");
+    std::string_view data = input_.substr(pos_, end - pos_);
+    AdvanceBy(end - pos_ + 3);
+    if (open_.empty()) return Error("character data outside the root element");
+    return handler_->Text(data);
+  }
+
+  Status ParsePI() {
+    AdvanceBy(2);  // "<?"
+    RUIDX_ASSIGN_OR_RETURN(std::string target, ParseName());
+    SkipSpace();
+    size_t end = input_.find("?>", pos_);
+    if (end == std::string_view::npos) {
+      return Error("unterminated processing instruction");
+    }
+    std::string_view data = input_.substr(pos_, end - pos_);
+    AdvanceBy(end - pos_ + 2);
+    if (options_.keep_processing_instructions && !open_.empty()) {
+      return handler_->ProcessingInstruction(target, data);
+    }
+    return Status::OK();
+  }
+
+  Status ParseOpenTag() {
+    Advance();  // '<'
+    RUIDX_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    std::vector<SaxAttribute> attributes;
+    for (;;) {
+      SkipSpace();
+      if (AtEnd()) return Error("unterminated start tag <" + tag + ">");
+      if (Peek() == '>' || LookingAt("/>")) break;
+      RUIDX_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      SkipSpace();
+      RUIDX_RETURN_NOT_OK(Expect('='));
+      SkipSpace();
+      RUIDX_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
+      for (const SaxAttribute& existing : attributes) {
+        if (existing.first == attr) {
+          return Error("duplicate attribute '" + attr + "'");
+        }
+      }
+      attributes.emplace_back(std::move(attr), std::move(value));
+    }
+    bool self_closing = false;
+    if (LookingAt("/>")) {
+      self_closing = true;
+      AdvanceBy(2);
+    } else {
+      RUIDX_RETURN_NOT_OK(Expect('>'));
+    }
+    if (open_.empty()) {
+      if (seen_root_) return Error("multiple root elements");
+      seen_root_ = true;
+    }
+    RUIDX_RETURN_NOT_OK(handler_->StartElement(tag, attributes));
+    if (self_closing) return handler_->EndElement(tag);
+    open_.push_back(std::move(tag));
+    return Status::OK();
+  }
+
+  Status ParseCloseTag() {
+    AdvanceBy(2);  // "</"
+    RUIDX_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    SkipSpace();
+    RUIDX_RETURN_NOT_OK(Expect('>'));
+    if (open_.empty()) {
+      return Error("close tag </" + tag + "> with no open element");
+    }
+    if (open_.back() != tag) {
+      return Error("mismatched close tag </" + tag + ">, open element is <" +
+                   open_.back() + ">");
+    }
+    open_.pop_back();
+    return handler_->EndElement(tag);
+  }
+
+  Result<std::string> ParseAttrValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        RUIDX_RETURN_NOT_OK(ParseReference(&value));
+      } else if (Peek() == '<') {
+        return Error("'<' not allowed in attribute value");
+      } else {
+        value += Peek();
+        Advance();
+      }
+    }
+    RUIDX_RETURN_NOT_OK(Expect(quote));
+    return value;
+  }
+
+  Status ParseText() {
+    std::string text;
+    bool all_space = true;
+    while (!AtEnd() && Peek() != '<') {
+      if (Peek() == '&') {
+        RUIDX_RETURN_NOT_OK(ParseReference(&text));
+        all_space = false;
+      } else {
+        if (!IsSpace(Peek())) all_space = false;
+        text += Peek();
+        Advance();
+      }
+    }
+    if (open_.empty()) {
+      if (all_space) return Status::OK();
+      return Error("character data outside the root element");
+    }
+    if (all_space && options_.skip_whitespace_text) return Status::OK();
+    return handler_->Text(text);
+  }
+
+  std::string_view input_;
+  SaxHandler* handler_;
+  const ParseOptions& options_;
+  std::vector<std::string> open_;  // open element names
+  bool seen_root_ = false;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+/// The DOM parser as a SAX handler.
+class DomBuilder : public SaxHandler {
+ public:
+  DomBuilder() : doc_(std::make_unique<Document>()) {
+    open_.push_back(doc_->document_node());
+  }
+
+  Status StartElement(std::string_view name,
+                      const std::vector<SaxAttribute>& attributes) override {
+    Node* element = doc_->CreateElement(name);
+    for (const SaxAttribute& attr : attributes) {
+      RUIDX_RETURN_NOT_OK(doc_->SetAttribute(element, attr.first, attr.second));
+    }
+    RUIDX_RETURN_NOT_OK(doc_->AppendChild(open_.back(), element));
+    open_.push_back(element);
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view) override {
+    open_.pop_back();
+    return Status::OK();
+  }
+
+  Status Text(std::string_view data) override {
+    // Merge adjacent text (e.g. CDATA next to character data).
+    Node* parent = open_.back();
+    if (!parent->children().empty() && parent->children().back()->is_text()) {
+      Node* last = parent->children().back();
+      last->set_value(last->value() + std::string(data));
+      return Status::OK();
+    }
+    return doc_->AppendChild(parent, doc_->CreateText(data));
+  }
+
+  Status Comment(std::string_view data) override {
+    return doc_->AppendChild(open_.back(), doc_->CreateComment(data));
+  }
+
+  Status ProcessingInstruction(std::string_view target,
+                               std::string_view data) override {
+    return doc_->AppendChild(open_.back(),
+                             doc_->CreateProcessingInstruction(target, data));
+  }
+
+  std::unique_ptr<Document> Take() { return std::move(doc_); }
+
+ private:
+  std::unique_ptr<Document> doc_;
+  std::vector<Node*> open_;
+};
+
+}  // namespace
+
+Status SaxParse(std::string_view input, SaxHandler* handler,
+                const ParseOptions& options) {
+  SaxDriver driver(input, handler, options);
+  return driver.Run();
+}
+
+Status SaxParse(std::string_view input, SaxHandler* handler) {
+  return SaxParse(input, handler, ParseOptions{});
+}
+
+Result<std::unique_ptr<Document>> Parse(std::string_view input,
+                                        const ParseOptions& options) {
+  DomBuilder builder;
+  RUIDX_RETURN_NOT_OK(SaxParse(input, &builder, options));
+  return builder.Take();
+}
+
+Result<std::unique_ptr<Document>> ParseFile(const std::string& path,
+                                            const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  return Parse(content, options);
+}
+
+}  // namespace xml
+}  // namespace ruidx

@@ -1,0 +1,41 @@
+// A from-scratch, non-validating XML 1.0 parser.
+//
+// Supports: the XML declaration, DOCTYPE (skipped, internal subsets
+// included), elements with attributes, self-closing tags, character data,
+// CDATA sections, comments, processing instructions, the five predefined
+// entities and numeric character references. Namespaces are carried through
+// as literal QNames (prefix:local), which is all the numbering schemes need.
+#ifndef RUIDX_XML_PARSER_H_
+#define RUIDX_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "util/result.h"
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace xml {
+
+struct ParseOptions {
+  /// Discard text nodes that contain only whitespace (typical for
+  /// pretty-printed documents where indentation is not data).
+  bool skip_whitespace_text = true;
+  /// Keep comment nodes in the tree.
+  bool keep_comments = true;
+  /// Keep processing instructions in the tree.
+  bool keep_processing_instructions = true;
+};
+
+/// Parses `input` into a Document. Errors carry 1-based line:column positions.
+Result<std::unique_ptr<Document>> Parse(std::string_view input,
+                                        const ParseOptions& options = {});
+
+/// Parses the file at `path`.
+Result<std::unique_ptr<Document>> ParseFile(const std::string& path,
+                                            const ParseOptions& options = {});
+
+}  // namespace xml
+}  // namespace ruidx
+
+#endif  // RUIDX_XML_PARSER_H_

@@ -1,0 +1,69 @@
+// SAX-style streaming parse: the tokenizer under the DOM parser, exposed as
+// an event interface. Handlers see start/end element, text, comment and PI
+// events in document order; nothing is materialized. This is what lets the
+// streaming labeler (core/streaming_labeler.h) number documents that are
+// inconvenient to hold as a DOM — the paper's "managing large XML trees"
+// application (Sec. 4).
+#ifndef RUIDX_XML_SAX_H_
+#define RUIDX_XML_SAX_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ruidx {
+namespace xml {
+
+struct ParseOptions;  // xml/parser.h
+
+/// One parsed attribute (entities already expanded).
+using SaxAttribute = std::pair<std::string, std::string>;
+
+/// \brief Receives parse events. Returning a non-OK status aborts the parse
+/// and surfaces the status to the caller.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  virtual Status StartElement(std::string_view name,
+                              const std::vector<SaxAttribute>& attributes) = 0;
+  virtual Status EndElement(std::string_view name) = 0;
+  /// Character data (entities expanded; CDATA sections included verbatim).
+  virtual Status Text(std::string_view data) = 0;
+  virtual Status Comment(std::string_view data) = 0;
+  virtual Status ProcessingInstruction(std::string_view target,
+                                       std::string_view data) = 0;
+};
+
+/// \brief A SaxHandler with no-op defaults, for handlers that care about a
+/// subset of events.
+class SaxHandlerBase : public SaxHandler {
+ public:
+  Status StartElement(std::string_view, const std::vector<SaxAttribute>&)
+      override {
+    return Status::OK();
+  }
+  Status EndElement(std::string_view) override { return Status::OK(); }
+  Status Text(std::string_view) override { return Status::OK(); }
+  Status Comment(std::string_view) override { return Status::OK(); }
+  Status ProcessingInstruction(std::string_view, std::string_view) override {
+    return Status::OK();
+  }
+};
+
+/// Streams `input` through `handler`. Enforces well-formedness (matching
+/// tags, single root, no text outside the root); honours the same
+/// ParseOptions as the DOM parser (whitespace/comment/PI filtering).
+Status SaxParse(std::string_view input, SaxHandler* handler,
+                const ParseOptions& options);
+
+/// Same, with default options.
+Status SaxParse(std::string_view input, SaxHandler* handler);
+
+}  // namespace xml
+}  // namespace ruidx
+
+#endif  // RUIDX_XML_SAX_H_

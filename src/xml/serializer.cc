@@ -1,0 +1,145 @@
+#include "xml/serializer.h"
+
+#include <sstream>
+#include <vector>
+
+namespace ruidx {
+namespace xml {
+
+std::string EscapeText(const std::string& data) {
+  std::string out;
+  out.reserve(data.size());
+  for (char c : data) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(const std::string& data) {
+  std::string out;
+  out.reserve(data.size());
+  for (char c : data) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Iterative (explicit-stack) serialization so arbitrarily deep documents
+/// cannot overflow the call stack.
+void SerializeNode(const Node* root, const SerializeOptions& options,
+                   std::ostringstream* out) {
+  struct Frame {
+    const Node* node;
+    int depth;
+    bool entering;
+  };
+  auto indent = [&](int depth) {
+    if (options.pretty) {
+      for (int i = 0; i < depth; ++i) *out << "  ";
+    }
+  };
+  auto newline = [&]() {
+    if (options.pretty) *out << "\n";
+  };
+
+  std::vector<Frame> stack{{root, 0, true}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node* node = f.node;
+    if (!f.entering) {
+      indent(f.depth);
+      *out << "</" << node->name() << ">";
+      newline();
+      continue;
+    }
+    switch (node->type()) {
+      case NodeType::kDocument: {
+        const auto& ch = node->children();
+        for (auto it = ch.rbegin(); it != ch.rend(); ++it) {
+          stack.push_back({*it, f.depth, true});
+        }
+        continue;
+      }
+      case NodeType::kText:
+        indent(f.depth);
+        *out << EscapeText(node->value());
+        newline();
+        continue;
+      case NodeType::kComment:
+        indent(f.depth);
+        *out << "<!--" << node->value() << "-->";
+        newline();
+        continue;
+      case NodeType::kProcessingInstruction:
+        indent(f.depth);
+        *out << "<?" << node->name();
+        if (!node->value().empty()) *out << " " << node->value();
+        *out << "?>";
+        newline();
+        continue;
+      case NodeType::kAttribute:
+        continue;  // serialized with the owner element
+      case NodeType::kElement:
+        break;
+    }
+    indent(f.depth);
+    *out << "<" << node->name();
+    for (const Node* a : node->attributes()) {
+      *out << " " << a->name() << "=\"" << EscapeAttribute(a->value()) << "\"";
+    }
+    if (node->children().empty()) {
+      *out << "/>";
+      newline();
+      continue;
+    }
+    *out << ">";
+    newline();
+    stack.push_back({node, f.depth, false});  // close tag after children
+    const auto& ch = node->children();
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1, true});
+    }
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const Node* node, const SerializeOptions& options) {
+  std::ostringstream out;
+  if (options.declaration) {
+    out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out << "\n";
+  }
+  SerializeNode(node, options, &out);
+  return out.str();
+}
+
+}  // namespace xml
+}  // namespace ruidx

@@ -1,0 +1,34 @@
+// XML serialization (DOM -> text) with correct escaping.
+#ifndef RUIDX_XML_SERIALIZER_H_
+#define RUIDX_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace xml {
+
+struct SerializeOptions {
+  /// Indent nested elements (2 spaces per level) and put each on its own
+  /// line. With pretty=false the output is a single line, byte-faithful to
+  /// the text content.
+  bool pretty = false;
+  /// Emit an "<?xml version=...?>" declaration before the root.
+  bool declaration = false;
+};
+
+/// Serializes the subtree rooted at `node` (pass document_node() for the
+/// whole document).
+std::string Serialize(const Node* node, const SerializeOptions& options = {});
+
+/// Escapes `data` for use as character data (&, <, >).
+std::string EscapeText(const std::string& data);
+
+/// Escapes `data` for use inside a double-quoted attribute value.
+std::string EscapeAttribute(const std::string& data);
+
+}  // namespace xml
+}  // namespace ruidx
+
+#endif  // RUIDX_XML_SERIALIZER_H_

@@ -1,0 +1,73 @@
+#include "xml/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace ruidx {
+namespace xml {
+
+TreeStats ComputeStats(Node* root) {
+  TreeStats s;
+  uint64_t internal_nodes = 0;
+  uint64_t total_children = 0;
+
+  // Recursion depth per tag along the current path; maintained with an
+  // explicit stack so arbitrarily deep documents don't overflow the C stack.
+  std::unordered_map<std::string, uint64_t> tag_depth;
+  struct Frame {
+    Node* node;
+    int depth;
+    bool entering;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0, true});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    Node* n = f.node;
+    if (!f.entering) {
+      if (n->is_element()) --tag_depth[n->name()];
+      continue;
+    }
+    ++s.node_count;
+    if (n->is_element()) {
+      ++s.element_count;
+      uint64_t d = ++tag_depth[n->name()];
+      s.max_tag_recursion = std::max(s.max_tag_recursion, d);
+      stack.push_back({n, f.depth, false});  // post-visit to pop tag depth
+    }
+    s.max_depth = std::max(s.max_depth, static_cast<uint64_t>(f.depth));
+    uint64_t fanout = n->fanout();
+    if (fanout == 0) {
+      ++s.leaf_count;
+    } else {
+      ++internal_nodes;
+      total_children += fanout;
+      s.max_fanout = std::max(s.max_fanout, fanout);
+      ++s.fanout_histogram[fanout];
+    }
+    const auto& ch = n->children();
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1, true});
+    }
+  }
+  s.avg_fanout = internal_nodes == 0
+                     ? 0
+                     : static_cast<double>(total_children) /
+                           static_cast<double>(internal_nodes);
+  return s;
+}
+
+std::string TreeStats::ToString() const {
+  std::ostringstream os;
+  os << "nodes=" << node_count << " elements=" << element_count
+     << " leaves=" << leaf_count << " max_depth=" << max_depth
+     << " max_fanout=" << max_fanout << " avg_fanout=" << avg_fanout
+     << " tag_recursion=" << max_tag_recursion;
+  return os.str();
+}
+
+}  // namespace xml
+}  // namespace ruidx

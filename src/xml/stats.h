@@ -1,0 +1,39 @@
+// Topology statistics for XML trees. The behaviour of every numbering scheme
+// in this library is a function of these quantities (fan-out distribution,
+// depth, recursion), so the benchmark harness reports them with each run.
+#ifndef RUIDX_XML_STATS_H_
+#define RUIDX_XML_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace xml {
+
+struct TreeStats {
+  uint64_t node_count = 0;      // non-attribute nodes in the tree
+  uint64_t element_count = 0;
+  uint64_t leaf_count = 0;
+  uint64_t max_depth = 0;       // root has depth 0
+  uint64_t max_fanout = 0;
+  double avg_fanout = 0;        // over internal nodes
+  /// Depth of tag-recursion: the largest number of equal-named elements on
+  /// any root-to-leaf path ("trees having a high degree of recursion",
+  /// Sec. 5 of the paper).
+  uint64_t max_tag_recursion = 0;
+  /// fanout -> number of internal nodes with that fanout.
+  std::map<uint64_t, uint64_t> fanout_histogram;
+
+  std::string ToString() const;
+};
+
+/// Computes statistics over the subtree rooted at `root`.
+TreeStats ComputeStats(Node* root);
+
+}  // namespace xml
+}  // namespace ruidx
+
+#endif  // RUIDX_XML_STATS_H_

@@ -1,0 +1,94 @@
+// AST for the core XPath location-path grammar of Sec. 3.5 (rules [1]-[3]):
+//   LocationPath ::= RelativeLocationPath | AbsoluteLocationPath
+//   Step         ::= axis '::' node-test predicate*  (plus the abbreviations
+//                    '.', '..', '@name', '//', implicit child axis)
+// A location step has an axis, a node test and zero or more predicates; the
+// supported predicates cover the shapes the paper's workloads need
+// (position, attribute existence/equality, child existence, text equality).
+#ifndef RUIDX_XPATH_AST_H_
+#define RUIDX_XPATH_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ruidx {
+namespace xpath {
+
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kSelf,
+  kAttribute,
+  kFollowing,
+  kPreceding,
+  kFollowingSibling,
+  kPrecedingSibling,
+};
+
+const char* AxisName(Axis axis);
+
+/// True for axes whose proximity order runs against document order
+/// (ancestor, preceding, preceding-sibling, parent).
+bool IsReverseAxis(Axis axis);
+
+enum class NodeTestKind {
+  kName,     // element/attribute name, e.g. "person"
+  kAnyName,  // *
+  kAnyNode,  // node()
+  kText,     // text()
+  kComment,  // comment()
+  kPi,       // processing-instruction()
+};
+
+struct NodeTest {
+  NodeTestKind kind = NodeTestKind::kAnyNode;
+  std::string name;  // for kName
+};
+
+struct Predicate {
+  enum class Kind {
+    kPosition,     // [3]
+    kAttrExists,   // [@id]
+    kAttrEquals,   // [@id = "x"]
+    kChildExists,  // [name]
+    kTextEquals,   // [text() = "v"]
+  };
+  Kind kind = Kind::kPosition;
+  uint64_t position = 0;
+  std::string name;
+  std::string value;
+};
+
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<Predicate> predicates;
+};
+
+struct LocationPath {
+  bool absolute = false;
+  std::vector<Step> steps;
+
+  /// Canonical unabbreviated rendering, e.g.
+  /// "/child::site/descendant-or-self::node()/child::item".
+  std::string ToString() const;
+};
+
+/// A union of location paths ("//a | //b"); the node-sets are merged,
+/// deduplicated and returned in document order. A union of one is what
+/// plain path evaluation uses.
+struct UnionExpr {
+  std::vector<LocationPath> paths;
+
+  std::string ToString() const;
+};
+
+}  // namespace xpath
+}  // namespace ruidx
+
+#endif  // RUIDX_XPATH_AST_H_

@@ -1,0 +1,82 @@
+#include "xpath/eval_common.h"
+
+#include <unordered_set>
+
+namespace ruidx {
+namespace xpath {
+
+bool MatchesTest(const xml::Node* n, const NodeTest& test, Axis axis) {
+  const bool attribute_axis = axis == Axis::kAttribute;
+  switch (test.kind) {
+    case NodeTestKind::kName:
+      if (attribute_axis) return n->is_attribute() && n->name() == test.name;
+      return n->is_element() && n->name() == test.name;
+    case NodeTestKind::kAnyName:
+      return attribute_axis ? n->is_attribute() : n->is_element();
+    case NodeTestKind::kAnyNode:
+      return attribute_axis ? n->is_attribute() : !n->is_attribute();
+    case NodeTestKind::kText:
+      return n->type() == xml::NodeType::kText;
+    case NodeTestKind::kComment:
+      return n->type() == xml::NodeType::kComment;
+    case NodeTestKind::kPi:
+      return n->type() == xml::NodeType::kProcessingInstruction;
+  }
+  return false;
+}
+
+bool MatchesPredicate(const xml::Node* n, const Predicate& p) {
+  switch (p.kind) {
+    case Predicate::Kind::kPosition:
+      return true;  // handled positionally in ApplyPredicates
+    case Predicate::Kind::kAttrExists:
+      return n->GetAttribute(p.name) != nullptr;
+    case Predicate::Kind::kAttrEquals: {
+      const std::string* v = n->GetAttribute(p.name);
+      return v != nullptr && *v == p.value;
+    }
+    case Predicate::Kind::kChildExists:
+      return n->FirstChildElement(p.name) != nullptr;
+    case Predicate::Kind::kTextEquals:
+      for (const xml::Node* c : n->children()) {
+        if (c->is_text() && c->value() == p.value) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::vector<xml::Node*> ApplyPredicates(std::vector<xml::Node*> nodes,
+                                        const std::vector<Predicate>& preds) {
+  for (const Predicate& p : preds) {
+    if (p.kind == Predicate::Kind::kPosition) {
+      if (p.position == 0 || p.position > nodes.size()) {
+        nodes.clear();
+      } else {
+        xml::Node* keep = nodes[p.position - 1];
+        nodes.assign(1, keep);
+      }
+      continue;
+    }
+    std::vector<xml::Node*> kept;
+    kept.reserve(nodes.size());
+    for (xml::Node* n : nodes) {
+      if (MatchesPredicate(n, p)) kept.push_back(n);
+    }
+    nodes = std::move(kept);
+  }
+  return nodes;
+}
+
+std::vector<xml::Node*> DedupNodes(std::vector<xml::Node*> nodes) {
+  std::unordered_set<const xml::Node*> seen;
+  std::vector<xml::Node*> out;
+  out.reserve(nodes.size());
+  for (xml::Node* n : nodes) {
+    if (seen.insert(n).second) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace xpath
+}  // namespace ruidx

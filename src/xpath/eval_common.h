@@ -1,0 +1,35 @@
+// Shared pieces of the two XPath evaluators: node-test matching and
+// predicate filtering. Both evaluators produce identical node sets — one
+// navigates the DOM, the other generates axes from ruid identifiers — which
+// is exactly what the E10 benchmark compares.
+#ifndef RUIDX_XPATH_EVAL_COMMON_H_
+#define RUIDX_XPATH_EVAL_COMMON_H_
+
+#include <vector>
+
+#include "xml/dom.h"
+#include "xpath/ast.h"
+
+namespace ruidx {
+namespace xpath {
+
+/// Does `n` pass the node test? The principal node type of the attribute
+/// axis is attribute; for all other axes it is element.
+bool MatchesTest(const xml::Node* n, const NodeTest& test, Axis axis);
+
+/// Evaluates a non-positional predicate on one node.
+bool MatchesPredicate(const xml::Node* n, const Predicate& p);
+
+/// Applies a step's predicate list to an axis result (already in axis
+/// order). Positional predicates select by 1-based index in the current
+/// list; the rest filter per node.
+std::vector<xml::Node*> ApplyPredicates(std::vector<xml::Node*> nodes,
+                                        const std::vector<Predicate>& preds);
+
+/// Removes duplicates (by node identity) while keeping first occurrence.
+std::vector<xml::Node*> DedupNodes(std::vector<xml::Node*> nodes);
+
+}  // namespace xpath
+}  // namespace ruidx
+
+#endif  // RUIDX_XPATH_EVAL_COMMON_H_

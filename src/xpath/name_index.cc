@@ -1,0 +1,25 @@
+#include "xpath/name_index.h"
+
+namespace ruidx {
+namespace xpath {
+
+void NameIndex::Build(xml::Node* root) {
+  by_name_.clear();
+  text_nodes_.clear();
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    if (n->is_element()) {
+      by_name_[n->name()].push_back(n);
+    } else if (n->is_text()) {
+      text_nodes_.push_back(n);
+    }
+    return true;
+  });
+}
+
+const std::vector<xml::Node*>& NameIndex::Lookup(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? empty_ : it->second;
+}
+
+}  // namespace xpath
+}  // namespace ruidx

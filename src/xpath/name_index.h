@@ -1,0 +1,48 @@
+// NameIndex: element-name -> node list, in document order.
+//
+// Sec. 3.5 describes two ways to evaluate a location step "axis::test[C]":
+// generate the axis and filter by the condition, or generate the nodes
+// satisfying the condition and check which lie on the axis. The second
+// needs an index from the condition (here: the element name) to nodes; the
+// axis-membership test is then pure identifier arithmetic (IsAncestorId /
+// CompareIds), which is where ruid shines. "The first approach is good only
+// for the cases in which C is specific" — the evaluator picks per step.
+#ifndef RUIDX_XPATH_NAME_INDEX_H_
+#define RUIDX_XPATH_NAME_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace xpath {
+
+class NameIndex {
+ public:
+  /// Indexes every element under `root` by tag name, plus text/comment/PI
+  /// nodes under reserved keys. Rebuild after structural updates.
+  explicit NameIndex(xml::Node* root) { Build(root); }
+
+  void Build(xml::Node* root);
+
+  /// Elements with this tag, in document order; empty vector when unknown.
+  const std::vector<xml::Node*>& Lookup(std::string_view name) const;
+
+  /// All text nodes, in document order.
+  const std::vector<xml::Node*>& TextNodes() const { return text_nodes_; }
+
+  size_t distinct_names() const { return by_name_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<xml::Node*>> by_name_;
+  std::vector<xml::Node*> text_nodes_;
+  std::vector<xml::Node*> empty_;
+};
+
+}  // namespace xpath
+}  // namespace ruidx
+
+#endif  // RUIDX_XPATH_NAME_INDEX_H_

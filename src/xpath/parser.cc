@@ -1,0 +1,379 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace ruidx {
+namespace xpath {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+  }
+  return "?";
+}
+
+bool IsReverseAxis(Axis axis) {
+  return axis == Axis::kParent || axis == Axis::kAncestor ||
+         axis == Axis::kAncestorOrSelf || axis == Axis::kPreceding ||
+         axis == Axis::kPrecedingSibling;
+}
+
+std::string LocationPath::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0 || absolute) os << "/";
+    const Step& s = steps[i];
+    os << AxisName(s.axis) << "::";
+    switch (s.test.kind) {
+      case NodeTestKind::kName:
+        os << s.test.name;
+        break;
+      case NodeTestKind::kAnyName:
+        os << "*";
+        break;
+      case NodeTestKind::kAnyNode:
+        os << "node()";
+        break;
+      case NodeTestKind::kText:
+        os << "text()";
+        break;
+      case NodeTestKind::kComment:
+        os << "comment()";
+        break;
+      case NodeTestKind::kPi:
+        os << "processing-instruction()";
+        break;
+    }
+    for (const Predicate& p : s.predicates) {
+      os << "[";
+      switch (p.kind) {
+        case Predicate::Kind::kPosition:
+          os << p.position;
+          break;
+        case Predicate::Kind::kAttrExists:
+          os << "@" << p.name;
+          break;
+        case Predicate::Kind::kAttrEquals:
+          os << "@" << p.name << "=\"" << p.value << "\"";
+          break;
+        case Predicate::Kind::kChildExists:
+          os << p.name;
+          break;
+        case Predicate::Kind::kTextEquals:
+          os << "text()=\"" << p.value << "\"";
+          break;
+      }
+      os << "]";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<LocationPath> Run() {
+    LocationPath path;
+    SkipSpace();
+    if (AtEnd()) return Error("empty path");
+    if (Peek() == '/') {
+      path.absolute = true;
+      if (LookingAt("//")) {
+        // Leading "//": descendant-or-self from the root.
+        AdvanceBy(2);
+        path.steps.push_back(DescendantOrSelfStep());
+      } else {
+        Advance();
+        SkipSpace();
+        if (AtEnd()) return path;  // bare "/" selects the root
+      }
+    }
+    for (;;) {
+      RUIDX_ASSIGN_OR_RETURN(Step step, ParseStep());
+      path.steps.push_back(std::move(step));
+      SkipSpace();
+      if (AtEnd()) break;
+      if (LookingAt("//")) {
+        AdvanceBy(2);
+        path.steps.push_back(DescendantOrSelfStep());
+      } else if (Peek() == '/') {
+        Advance();
+      } else {
+        return Error("expected '/' between steps");
+      }
+    }
+    return path;
+  }
+
+ private:
+  static Step DescendantOrSelfStep() {
+    Step s;
+    s.axis = Axis::kDescendantOrSelf;
+    s.test.kind = NodeTestKind::kAnyNode;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  void Advance() { ++pos_; }
+  void AdvanceBy(size_t n) { pos_ += n; }
+  bool LookingAt(std::string_view s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    std::ostringstream os;
+    os << msg << " at offset " << pos_ << " in location path";
+    return Status::ParseError(os.str());
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    // QName: a single ':' joins prefix and local part; '::' belongs to the
+    // axis syntax and is left alone.
+    if (!AtEnd() && Peek() == ':' && pos_ + 1 < input_.size() &&
+        input_[pos_ + 1] != ':' && IsNameStart(input_[pos_ + 1])) {
+      Advance();
+      while (!AtEnd() && IsNameChar(Peek())) Advance();
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<Step> ParseStep() {
+    SkipSpace();
+    Step step;
+    if (LookingAt("..")) {
+      AdvanceBy(2);
+      step.axis = Axis::kParent;
+      step.test.kind = NodeTestKind::kAnyNode;
+      return step;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      Advance();
+      step.axis = Axis::kSelf;
+      step.test.kind = NodeTestKind::kAnyNode;
+      return step;
+    }
+    if (!AtEnd() && Peek() == '@') {
+      Advance();
+      step.axis = Axis::kAttribute;
+      RUIDX_RETURN_NOT_OK(ParseNodeTest(&step.test));
+      RUIDX_RETURN_NOT_OK(ParsePredicates(&step.predicates));
+      return step;
+    }
+    // Optional explicit axis.
+    size_t save = pos_;
+    if (!AtEnd() && IsNameStart(Peek())) {
+      auto name = ParseName();
+      if (name.ok() && LookingAt("::")) {
+        AdvanceBy(2);
+        RUIDX_ASSIGN_OR_RETURN(step.axis, AxisFromName(*name));
+      } else {
+        pos_ = save;  // it was a node test, not an axis
+      }
+    }
+    RUIDX_RETURN_NOT_OK(ParseNodeTest(&step.test));
+    RUIDX_RETURN_NOT_OK(ParsePredicates(&step.predicates));
+    return step;
+  }
+
+  Result<Axis> AxisFromName(const std::string& name) {
+    if (name == "child") return Axis::kChild;
+    if (name == "descendant") return Axis::kDescendant;
+    if (name == "descendant-or-self") return Axis::kDescendantOrSelf;
+    if (name == "parent") return Axis::kParent;
+    if (name == "ancestor") return Axis::kAncestor;
+    if (name == "ancestor-or-self") return Axis::kAncestorOrSelf;
+    if (name == "self") return Axis::kSelf;
+    if (name == "attribute") return Axis::kAttribute;
+    if (name == "following") return Axis::kFollowing;
+    if (name == "preceding") return Axis::kPreceding;
+    if (name == "following-sibling") return Axis::kFollowingSibling;
+    if (name == "preceding-sibling") return Axis::kPrecedingSibling;
+    return Error("unknown axis '" + name + "'");
+  }
+
+  Status ParseNodeTest(NodeTest* test) {
+    SkipSpace();
+    if (AtEnd()) return Error("expected a node test");
+    if (Peek() == '*') {
+      Advance();
+      test->kind = NodeTestKind::kAnyName;
+      return Status::OK();
+    }
+    RUIDX_ASSIGN_OR_RETURN(std::string name, ParseName());
+    if (LookingAt("()")) {
+      AdvanceBy(2);
+      if (name == "node") {
+        test->kind = NodeTestKind::kAnyNode;
+      } else if (name == "text") {
+        test->kind = NodeTestKind::kText;
+      } else if (name == "comment") {
+        test->kind = NodeTestKind::kComment;
+      } else if (name == "processing-instruction") {
+        test->kind = NodeTestKind::kPi;
+      } else {
+        return Error("unknown node type test '" + name + "()'");
+      }
+      return Status::OK();
+    }
+    test->kind = NodeTestKind::kName;
+    test->name = std::move(name);
+    return Status::OK();
+  }
+
+  Status ParsePredicates(std::vector<Predicate>* out) {
+    for (;;) {
+      SkipSpace();
+      if (AtEnd() || Peek() != '[') return Status::OK();
+      Advance();
+      SkipSpace();
+      Predicate p;
+      if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        p.kind = Predicate::Kind::kPosition;
+        uint64_t v = 0;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          v = v * 10 + static_cast<uint64_t>(Peek() - '0');
+          Advance();
+        }
+        if (v == 0) return Error("positions are 1-based");
+        p.position = v;
+      } else if (!AtEnd() && Peek() == '@') {
+        Advance();
+        RUIDX_ASSIGN_OR_RETURN(p.name, ParseName());
+        SkipSpace();
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          RUIDX_ASSIGN_OR_RETURN(p.value, ParseLiteral());
+          p.kind = Predicate::Kind::kAttrEquals;
+        } else {
+          p.kind = Predicate::Kind::kAttrExists;
+        }
+      } else if (LookingAt("text()")) {
+        AdvanceBy(6);
+        SkipSpace();
+        if (AtEnd() || Peek() != '=') {
+          return Error("expected '=' after text() in predicate");
+        }
+        Advance();
+        RUIDX_ASSIGN_OR_RETURN(p.value, ParseLiteral());
+        p.kind = Predicate::Kind::kTextEquals;
+      } else if (!AtEnd() && IsNameStart(Peek())) {
+        RUIDX_ASSIGN_OR_RETURN(p.name, ParseName());
+        p.kind = Predicate::Kind::kChildExists;
+      } else {
+        return Error("unsupported predicate");
+      }
+      SkipSpace();
+      if (AtEnd() || Peek() != ']') return Error("expected ']'");
+      Advance();
+      out->push_back(std::move(p));
+    }
+  }
+
+  Result<std::string> ParseLiteral() {
+    SkipSpace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected a quoted literal");
+    }
+    char quote = Peek();
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) Advance();
+    if (AtEnd()) return Error("unterminated literal");
+    std::string value(input_.substr(start, pos_ - start));
+    Advance();
+    return value;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<LocationPath> ParsePath(std::string_view input) {
+  Parser parser(input);
+  return parser.Run();
+}
+
+std::string UnionExpr::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += paths[i].ToString();
+  }
+  return out;
+}
+
+Result<UnionExpr> ParseUnion(std::string_view input) {
+  UnionExpr expr;
+  size_t start = 0;
+  char quote = '\0';
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i < input.size() && quote != '\0') {
+      if (input[i] == quote) quote = '\0';
+      continue;
+    }
+    if (i < input.size() && (input[i] == '"' || input[i] == '\'')) {
+      quote = input[i];
+      continue;
+    }
+    if (i == input.size() || input[i] == '|') {
+      RUIDX_ASSIGN_OR_RETURN(LocationPath path,
+                             ParsePath(input.substr(start, i - start)));
+      expr.paths.push_back(std::move(path));
+      start = i + 1;
+    }
+  }
+  if (quote != '\0') {
+    return Status::ParseError("unterminated literal in union expression");
+  }
+  return expr;
+}
+
+}  // namespace xpath
+}  // namespace ruidx

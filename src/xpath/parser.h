@@ -1,0 +1,34 @@
+// Recursive-descent parser for the location-path subset (Sec. 3.5).
+//
+// Supported syntax:
+//   absolute and relative paths:    /a/b, a/b
+//   the descendant shorthand:       //item, a//b
+//   explicit axes:                  ancestor::x, following-sibling::node()
+//   abbreviations:                  . (self::node), .. (parent::node),
+//                                   @id (attribute::id)
+//   node tests:                     name, *, node(), text(), comment(),
+//                                   processing-instruction()
+//   predicates:                     [3], [@id], [@id="x"], [name],
+//                                   [text()="v"]
+#ifndef RUIDX_XPATH_PARSER_H_
+#define RUIDX_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "util/result.h"
+#include "xpath/ast.h"
+
+namespace ruidx {
+namespace xpath {
+
+/// Parses a location path; errors carry the offending position.
+Result<LocationPath> ParsePath(std::string_view input);
+
+/// Parses a union expression: one or more location paths joined by '|'
+/// (the '|' may not appear inside predicate literals).
+Result<UnionExpr> ParseUnion(std::string_view input);
+
+}  // namespace xpath
+}  // namespace ruidx
+
+#endif  // RUIDX_XPATH_PARSER_H_

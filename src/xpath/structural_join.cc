@@ -1,0 +1,107 @@
+#include "xpath/structural_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace xpath {
+
+namespace {
+
+/// One merge pass in document order. `less(a, b)` is strict document-order
+/// comparison; `contains(a, d)` is the proper-ancestor test. Both inputs are
+/// sorted internally.
+template <typename Less, typename Contains>
+JoinResult StackJoin(std::vector<xml::Node*> ancestors,
+                     std::vector<xml::Node*> descendants, const Less& less,
+                     const Contains& contains) {
+  std::sort(ancestors.begin(), ancestors.end(), less);
+  std::sort(descendants.begin(), descendants.end(), less);
+  JoinResult out;
+  std::vector<xml::Node*> stack;
+  size_t ai = 0;
+  for (xml::Node* d : descendants) {
+    // Admit every ancestor candidate that starts before d.
+    while (ai < ancestors.size() && less(ancestors[ai], d)) {
+      xml::Node* a = ancestors[ai++];
+      while (!stack.empty() && !contains(stack.back(), a)) stack.pop_back();
+      stack.push_back(a);
+    }
+    // Retire stack entries that do not contain d.
+    while (!stack.empty() && !contains(stack.back(), d)) stack.pop_back();
+    for (xml::Node* a : stack) out.emplace_back(a, d);
+  }
+  return out;
+}
+
+}  // namespace
+
+JoinResult StructuralJoinRuid(const core::Ruid2Scheme& scheme,
+                              std::vector<xml::Node*> ancestors,
+                              std::vector<xml::Node*> descendants) {
+  // Derive each node's root-to-node identifier chain once, by repeated
+  // rparent (identifier arithmetic only). Document order is lexicographic
+  // on sibling locals (Fig. 10 / Lemma 2) and ancestorship is the proper-
+  // prefix relation, so the join itself runs on plain vector compares.
+  std::unordered_map<const xml::Node*, std::vector<core::Ruid2Id>> chains;
+  auto chain_of = [&](xml::Node* n) -> const std::vector<core::Ruid2Id>& {
+    auto it = chains.find(n);
+    if (it != chains.end()) return it->second;
+    std::vector<core::Ruid2Id> chain = scheme.Ancestors(scheme.label(n));
+    std::reverse(chain.begin(), chain.end());
+    chain.push_back(scheme.label(n));
+    return chains.emplace(n, std::move(chain)).first->second;
+  };
+  for (xml::Node* n : ancestors) chain_of(n);
+  for (xml::Node* n : descendants) chain_of(n);
+
+  auto less = [&](xml::Node* a, xml::Node* b) {
+    const auto& ca = chains.at(a);
+    const auto& cb = chains.at(b);
+    size_t n = std::min(ca.size(), cb.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (!(ca[i] == cb[i])) return ca[i].local < cb[i].local;
+    }
+    return ca.size() < cb.size();  // ancestors precede descendants
+  };
+  auto contains = [&](xml::Node* a, xml::Node* d) {
+    const auto& ca = chains.at(a);
+    const auto& cd = chains.at(d);
+    if (ca.size() >= cd.size()) return false;
+    for (size_t i = 0; i < ca.size(); ++i) {
+      if (!(ca[i] == cd[i])) return false;
+    }
+    return true;
+  };
+  return StackJoin(std::move(ancestors), std::move(descendants), less,
+                   contains);
+}
+
+JoinResult StructuralJoinInterval(const scheme::XissScheme& scheme,
+                                  std::vector<xml::Node*> ancestors,
+                                  std::vector<xml::Node*> descendants) {
+  auto less = [&scheme](const xml::Node* a, const xml::Node* b) {
+    return scheme.label(a).order < scheme.label(b).order;
+  };
+  auto contains = [&scheme](const xml::Node* a, const xml::Node* d) {
+    return scheme.IsAncestor(a, d);
+  };
+  return StackJoin(std::move(ancestors), std::move(descendants), less,
+                   contains);
+}
+
+JoinResult StructuralJoinNestedLoop(std::vector<xml::Node*> ancestors,
+                                    std::vector<xml::Node*> descendants) {
+  JoinResult out;
+  for (xml::Node* d : descendants) {
+    for (xml::Node* a : ancestors) {
+      if (d->HasAncestor(a)) out.emplace_back(a, d);
+    }
+  }
+  return out;
+}
+
+}  // namespace xpath
+}  // namespace ruidx

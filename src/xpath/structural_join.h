@@ -1,0 +1,48 @@
+// Structural (containment) joins: given a candidate ancestor set A and a
+// candidate descendant set D, produce every (a, d) pair with a ancestor of
+// d. This is the workhorse of relational XML query processing (Li & Moon
+// [6]; Zhang et al. [11] in the paper's related work) and the natural
+// consumer of a numbering scheme: the join condition is decided by
+// identifiers alone.
+//
+// Three implementations share one stack-based skeleton (a single merge pass
+// over both inputs in document order, maintaining the stack of currently
+// open ancestors):
+//   * ruid       — order and ancestorship from Ruid2 identifiers,
+//   * interval   — order and ancestorship from XISS (order, size) labels,
+//   * nested loop — the quadratic DOM baseline, used as ground truth.
+#ifndef RUIDX_XPATH_STRUCTURAL_JOIN_H_
+#define RUIDX_XPATH_STRUCTURAL_JOIN_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/ruid2.h"
+#include "scheme/xiss.h"
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace xpath {
+
+using JoinResult = std::vector<std::pair<xml::Node*, xml::Node*>>;
+
+/// Stack-based merge join over ruid identifiers. Inputs need not be sorted.
+/// Pairs come out grouped by descendant, outer ancestors first.
+JoinResult StructuralJoinRuid(const core::Ruid2Scheme& scheme,
+                              std::vector<xml::Node*> ancestors,
+                              std::vector<xml::Node*> descendants);
+
+/// Same skeleton over XISS interval labels.
+JoinResult StructuralJoinInterval(const scheme::XissScheme& scheme,
+                                  std::vector<xml::Node*> ancestors,
+                                  std::vector<xml::Node*> descendants);
+
+/// Quadratic DOM-pointer baseline (ground truth for tests and the
+/// benchmark's lower bound).
+JoinResult StructuralJoinNestedLoop(std::vector<xml::Node*> ancestors,
+                                    std::vector<xml::Node*> descendants);
+
+}  // namespace xpath
+}  // namespace ruidx
+
+#endif  // RUIDX_XPATH_STRUCTURAL_JOIN_H_

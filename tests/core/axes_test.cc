@@ -1,0 +1,175 @@
+// Sec. 3.5: the axis construction routines must agree with DOM ground truth.
+#include "core/axes.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace core {
+namespace {
+
+PartitionOptions SmallAreas() {
+  PartitionOptions options;
+  options.max_area_nodes = 12;
+  options.max_area_depth = 3;
+  return options;
+}
+
+class AxesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    xml::RandomTreeConfig config;
+    config.node_budget = 220;
+    config.max_fanout = 5;
+    config.seed = 55;
+    doc_ = xml::GenerateRandomTree(config);
+    scheme_ = std::make_unique<Ruid2Scheme>(SmallAreas());
+    scheme_->Build(doc_->root());
+    axes_ = std::make_unique<RuidAxes>(scheme_.get());
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<Ruid2Scheme> scheme_;
+  std::unique_ptr<RuidAxes> axes_;
+};
+
+TEST_F(AxesTest, ChildrenMatchDomInOrder) {
+  for (xml::Node* n : testing::AllNodes(doc_->root())) {
+    std::vector<xml::Node*> got = axes_->Children(scheme_->label(n));
+    ASSERT_EQ(got.size(), n->children().size())
+        << scheme_->label(n).ToString();
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], n->children()[i]);
+    }
+  }
+}
+
+TEST_F(AxesTest, ChildSlotsContainRealChildrenWithRightShape) {
+  for (xml::Node* n : testing::AllNodes(doc_->root())) {
+    std::vector<Ruid2Id> slots = axes_->ChildSlots(scheme_->label(n));
+    // Every real child's identifier appears among the slots.
+    for (xml::Node* c : n->children()) {
+      const Ruid2Id& id = scheme_->label(c);
+      bool found = false;
+      for (const Ruid2Id& slot : slots) {
+        if (slot == id) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << id.ToString();
+    }
+    // Slot count equals the area's local fan-out (virtual slots included).
+    if (!slots.empty()) {
+      const KRow* row = scheme_->ktable().Find(scheme_->label(n).global);
+      ASSERT_NE(row, nullptr);
+      EXPECT_EQ(slots.size(), row->fanout);
+    }
+  }
+}
+
+TEST_F(AxesTest, AncestorsMatchDom) {
+  for (xml::Node* n : testing::AllNodes(doc_->root())) {
+    std::vector<xml::Node*> got = axes_->Ancestors(scheme_->label(n));
+    std::vector<xml::Node*> expected = testing::DomAncestors(n);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST_F(AxesTest, DescendantsMatchDom) {
+  auto nodes = testing::AllNodes(doc_->root());
+  for (size_t i = 0; i < nodes.size(); i += 3) {
+    auto got = testing::SortedBySerial(axes_->Descendants(scheme_->label(nodes[i])));
+    auto expected = testing::SortedBySerial(testing::DomDescendants(nodes[i]));
+    EXPECT_EQ(got, expected) << scheme_->label(nodes[i]).ToString();
+  }
+}
+
+TEST_F(AxesTest, SiblingAxesMatchDom) {
+  for (xml::Node* n : testing::AllNodes(doc_->root())) {
+    std::vector<xml::Node*> prev = axes_->PrecedingSiblings(scheme_->label(n));
+    std::vector<xml::Node*> next = axes_->FollowingSiblings(scheme_->label(n));
+    if (n->parent() == nullptr || n->parent()->is_document()) {
+      EXPECT_TRUE(prev.empty());
+      EXPECT_TRUE(next.empty());
+      continue;
+    }
+    const auto& sibs = n->parent()->children();
+    int idx = n->IndexInParent();
+    ASSERT_GE(idx, 0);
+    // Nearest-first for preceding.
+    ASSERT_EQ(prev.size(), static_cast<size_t>(idx));
+    for (int i = 0; i < idx; ++i) {
+      EXPECT_EQ(prev[static_cast<size_t>(i)], sibs[static_cast<size_t>(idx - 1 - i)]);
+    }
+    ASSERT_EQ(next.size(), sibs.size() - static_cast<size_t>(idx) - 1);
+    for (size_t i = 0; i < next.size(); ++i) {
+      EXPECT_EQ(next[i], sibs[static_cast<size_t>(idx) + 1 + i]);
+    }
+  }
+}
+
+TEST_F(AxesTest, PrecedingMatchesDom) {
+  auto nodes = testing::AllNodes(doc_->root());
+  for (size_t i = 0; i < nodes.size(); i += 5) {
+    auto got = testing::SortedBySerial(axes_->Preceding(scheme_->label(nodes[i])));
+    auto expected =
+        testing::SortedBySerial(testing::DomPreceding(doc_->root(), nodes[i]));
+    EXPECT_EQ(got, expected) << scheme_->label(nodes[i]).ToString();
+  }
+}
+
+TEST_F(AxesTest, FollowingMatchesDom) {
+  auto nodes = testing::AllNodes(doc_->root());
+  for (size_t i = 0; i < nodes.size(); i += 5) {
+    auto got = testing::SortedBySerial(axes_->Following(scheme_->label(nodes[i])));
+    auto expected =
+        testing::SortedBySerial(testing::DomFollowing(doc_->root(), nodes[i]));
+    EXPECT_EQ(got, expected) << scheme_->label(nodes[i]).ToString();
+  }
+}
+
+TEST_F(AxesTest, AxesPartitionTheDocument) {
+  // For any node: {self} ∪ ancestors ∪ descendants ∪ preceding ∪ following
+  // = all nodes, with the four sets disjoint (XPath data model property).
+  auto nodes = testing::AllNodes(doc_->root());
+  for (size_t i = 0; i < nodes.size(); i += 13) {
+    const Ruid2Id& id = scheme_->label(nodes[i]);
+    size_t total = 1 + axes_->Ancestors(id).size() +
+                   axes_->Descendants(id).size() + axes_->Preceding(id).size() +
+                   axes_->Following(id).size();
+    EXPECT_EQ(total, nodes.size());
+  }
+}
+
+TEST_F(AxesTest, RefreshAfterUpdate) {
+  xml::Node* parent = doc_->root();
+  auto report = scheme_->InsertAndRelabel(doc_.get(), parent, 0,
+                                          doc_->CreateElement("fresh"));
+  ASSERT_TRUE(report.ok());
+  axes_->Refresh();
+  std::vector<xml::Node*> kids = axes_->Children(scheme_->label(parent));
+  ASSERT_FALSE(kids.empty());
+  EXPECT_EQ(kids[0]->name(), "fresh");
+}
+
+TEST(AxesEdgeTest, SingleNodeDocument) {
+  auto doc = testing::MustParse("<only/>");
+  Ruid2Scheme scheme;
+  scheme.Build(doc->root());
+  RuidAxes axes(&scheme);
+  Ruid2Id root = scheme.label(doc->root());
+  EXPECT_TRUE(axes.Children(root).empty());
+  EXPECT_TRUE(axes.Descendants(root).empty());
+  EXPECT_TRUE(axes.Ancestors(root).empty());
+  EXPECT_TRUE(axes.Preceding(root).empty());
+  EXPECT_TRUE(axes.Following(root).empty());
+  EXPECT_TRUE(axes.PrecedingSiblings(root).empty());
+  EXPECT_TRUE(axes.FollowingSiblings(root).empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

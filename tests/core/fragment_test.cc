@@ -1,0 +1,165 @@
+// Sec. 3.3: fragment reconstruction from identified elements.
+#include "core/fragment.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "xml/generator.h"
+#include "xml/serializer.h"
+#include "xpath/dom_eval.h"
+
+namespace ruidx {
+namespace core {
+namespace {
+
+PartitionOptions SmallAreas() {
+  PartitionOptions options;
+  options.max_area_nodes = 8;
+  options.max_area_depth = 2;
+  return options;
+}
+
+class FragmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = ruidx::testing::MustParse(
+        "<site><people>"
+        "<person id=\"p1\"><name>Ann</name><age>30</age></person>"
+        "<person id=\"p2\"><name>Bob</name></person>"
+        "</people><items><item id=\"i1\"/></items></site>");
+    scheme_ = std::make_unique<Ruid2Scheme>(SmallAreas());
+    scheme_->Build(doc_->root());
+  }
+
+  std::vector<xml::Node*> Select(const std::string& path) {
+    xpath::DomEvaluator eval(doc_.get());
+    auto r = eval.Evaluate(path);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? *r : std::vector<xml::Node*>{};
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<Ruid2Scheme> scheme_;
+};
+
+TEST_F(FragmentTest, NestsSelectedAncestors) {
+  auto nodes = Select("//person");
+  auto names = Select("//name");
+  nodes.insert(nodes.end(), names.begin(), names.end());
+  auto fragment = ReconstructFragment(*scheme_, nodes);
+  ASSERT_TRUE(fragment.ok()) << fragment.status().ToString();
+  std::string xml_text = xml::Serialize((*fragment)->document_node());
+  EXPECT_EQ(xml_text,
+            "<fragment>"
+            "<person id=\"p1\"><name>Ann</name></person>"
+            "<person id=\"p2\"><name>Bob</name></person>"
+            "</fragment>");
+}
+
+TEST_F(FragmentTest, UnrelatedNodesBecomeSiblingsInDocumentOrder) {
+  auto nodes = Select("//name");
+  auto items = Select("//item");
+  nodes.insert(nodes.end(), items.begin(), items.end());
+  auto fragment = ReconstructFragment(*scheme_, nodes);
+  ASSERT_TRUE(fragment.ok());
+  xml::Node* root = (*fragment)->root();
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[0]->name(), "name");
+  EXPECT_EQ(root->children()[0]->TextContent(), "Ann");
+  EXPECT_EQ(root->children()[1]->TextContent(), "Bob");
+  EXPECT_EQ(root->children()[2]->name(), "item");
+}
+
+TEST_F(FragmentTest, DeepChainCollapsesToSelectedLevels) {
+  // Select site and the two name elements: names nest directly under site
+  // (the unselected person/people levels are elided).
+  std::vector<xml::Node*> nodes = Select("/site");
+  auto names = Select("//name");
+  nodes.insert(nodes.end(), names.begin(), names.end());
+  auto fragment = ReconstructFragment(*scheme_, nodes);
+  ASSERT_TRUE(fragment.ok());
+  xml::Node* site = (*fragment)->root()->children()[0];
+  EXPECT_EQ(site->name(), "site");
+  ASSERT_EQ(site->children().size(), 2u);
+  EXPECT_EQ(site->children()[0]->name(), "name");
+}
+
+TEST_F(FragmentTest, DuplicatesAreDropped) {
+  auto nodes = Select("//person");
+  auto again = Select("//person");
+  nodes.insert(nodes.end(), again.begin(), again.end());
+  auto fragment = ReconstructFragment(*scheme_, nodes);
+  ASSERT_TRUE(fragment.ok());
+  EXPECT_EQ((*fragment)->root()->children().size(), 2u);
+}
+
+TEST_F(FragmentTest, ExplicitTextSelectionNotDuplicated) {
+  auto nodes = Select("//name");
+  auto texts = Select("//name/text()");
+  nodes.insert(nodes.end(), texts.begin(), texts.end());
+  auto fragment = ReconstructFragment(*scheme_, nodes);
+  ASSERT_TRUE(fragment.ok());
+  // Each name holds its text exactly once.
+  EXPECT_EQ((*fragment)->root()->children()[0]->TextContent(), "Ann");
+}
+
+TEST_F(FragmentTest, RejectsAttributesAndForeignNodes) {
+  auto attrs = Select("//person/@id");
+  ASSERT_FALSE(attrs.empty());
+  EXPECT_FALSE(ReconstructFragment(*scheme_, attrs).ok());
+
+  xml::Document other;
+  xml::Node* alien = other.CreateElement("alien");
+  EXPECT_FALSE(ReconstructFragment(*scheme_, {alien}).ok());
+}
+
+TEST_F(FragmentTest, FromItemsNeedsOnlyIdentifiers) {
+  // Ship (id, name) pairs — as a store or remote site would — and rebuild.
+  std::vector<FragmentItem> items;
+  for (xml::Node* n : Select("//person")) {
+    items.push_back({scheme_->label(n), n->name(), ""});
+  }
+  for (xml::Node* n : Select("//name/text()")) {
+    items.push_back({scheme_->label(n), "", n->value()});
+  }
+  for (xml::Node* n : Select("//name")) {
+    items.push_back({scheme_->label(n), n->name(), ""});
+  }
+  auto fragment = ReconstructFragmentFromItems(*scheme_, std::move(items));
+  ASSERT_TRUE(fragment.ok());
+  std::string xml_text = xml::Serialize((*fragment)->document_node());
+  EXPECT_EQ(xml_text,
+            "<fragment>"
+            "<person><name>Ann</name></person>"
+            "<person><name>Bob</name></person>"
+            "</fragment>");
+}
+
+TEST(FragmentLargeTest, QueryResultRoundTrip) {
+  xml::XmarkConfig config;
+  config.items = 40;
+  config.people = 25;
+  auto doc = xml::GenerateXmarkLike(config);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  xpath::DomEvaluator eval(doc.get());
+  auto people = eval.Evaluate("//person");
+  auto names = eval.Evaluate("//person/name");
+  ASSERT_TRUE(people.ok() && names.ok());
+  std::vector<xml::Node*> nodes = *people;
+  nodes.insert(nodes.end(), names->begin(), names->end());
+  auto fragment = ReconstructFragment(scheme, nodes);
+  ASSERT_TRUE(fragment.ok());
+  // Every person occurs exactly once, with its name nested below.
+  xml::Node* root = (*fragment)->root();
+  EXPECT_EQ(root->children().size(), 25u);
+  for (xml::Node* person : root->children()) {
+    EXPECT_EQ(person->name(), "person");
+    ASSERT_EQ(person->children().size(), 1u);
+    EXPECT_EQ(person->children()[0]->name(), "name");
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

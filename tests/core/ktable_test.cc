@@ -1,0 +1,87 @@
+#include "core/ktable.h"
+
+#include <gtest/gtest.h>
+
+namespace ruidx {
+namespace core {
+namespace {
+
+TEST(KTableTest, UpsertAndFind) {
+  KTable k;
+  k.Upsert({BigUint(3), BigUint(2), 4});
+  k.Upsert({BigUint(1), BigUint(1), 2});
+  k.Upsert({BigUint(10), BigUint(9), 3});
+  EXPECT_EQ(k.size(), 3u);
+  const KRow* row = k.Find(BigUint(3));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->fanout, 4u);
+  EXPECT_EQ(k.Find(BigUint(7)), nullptr);
+}
+
+TEST(KTableTest, RowsStaySortedByGlobal) {
+  KTable k;
+  k.Upsert({BigUint(10), BigUint(1), 1});
+  k.Upsert({BigUint(2), BigUint(1), 1});
+  k.Upsert({BigUint(5), BigUint(1), 1});
+  ASSERT_EQ(k.rows().size(), 3u);
+  EXPECT_EQ(k.rows()[0].global, BigUint(2));
+  EXPECT_EQ(k.rows()[1].global, BigUint(5));
+  EXPECT_EQ(k.rows()[2].global, BigUint(10));
+}
+
+TEST(KTableTest, UpsertReplacesExisting) {
+  KTable k;
+  k.Upsert({BigUint(2), BigUint(1), 3});
+  k.Upsert({BigUint(2), BigUint(4), 7});
+  EXPECT_EQ(k.size(), 1u);
+  EXPECT_EQ(k.Find(BigUint(2))->fanout, 7u);
+  EXPECT_EQ(k.Find(BigUint(2))->root_local, BigUint(4));
+}
+
+TEST(KTableTest, EraseRemovesRow) {
+  KTable k;
+  k.Upsert({BigUint(2), BigUint(1), 3});
+  k.Upsert({BigUint(5), BigUint(2), 2});
+  k.Erase(BigUint(2));
+  EXPECT_EQ(k.size(), 1u);
+  EXPECT_EQ(k.Find(BigUint(2)), nullptr);
+  k.Erase(BigUint(99));  // no-op
+  EXPECT_EQ(k.size(), 1u);
+}
+
+TEST(KTableTest, FindMutableAllowsInPlaceUpdate) {
+  KTable k;
+  k.Upsert({BigUint(4), BigUint(2), 3});
+  KRow* row = k.FindMutable(BigUint(4));
+  ASSERT_NE(row, nullptr);
+  row->fanout = 9;
+  EXPECT_EQ(k.Find(BigUint(4))->fanout, 9u);
+  EXPECT_EQ(k.FindMutable(BigUint(5)), nullptr);
+}
+
+TEST(KTableTest, IsAreaRootSlot) {
+  KTable k;
+  k.Upsert({BigUint(7), BigUint(5), 2});
+  EXPECT_TRUE(k.IsAreaRootSlot(BigUint(7), BigUint(5)));
+  EXPECT_FALSE(k.IsAreaRootSlot(BigUint(7), BigUint(4)));
+  EXPECT_FALSE(k.IsAreaRootSlot(BigUint(8), BigUint(5)));
+}
+
+TEST(KTableTest, BigGlobalsSupported) {
+  KTable k;
+  BigUint huge = BigUint::Pow(BigUint(2), 100);
+  k.Upsert({huge, BigUint(3), 5});
+  ASSERT_NE(k.Find(huge), nullptr);
+  EXPECT_GT(k.SizeInBytes(), 0u);
+}
+
+TEST(KTableTest, ClearEmpties) {
+  KTable k;
+  k.Upsert({BigUint(1), BigUint(1), 1});
+  k.Clear();
+  EXPECT_EQ(k.size(), 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

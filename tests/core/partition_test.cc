@@ -1,0 +1,234 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "testutil.h"
+#include "xml/generator.h"
+#include "xml/stats.h"
+
+namespace ruidx {
+namespace core {
+namespace {
+
+/// Checks the Defs. 1-2 invariants on a partition of `root`.
+void CheckPartitionInvariants(xml::Node* root, const Partition& p) {
+  // Area 0 is rooted at the tree root.
+  ASSERT_FALSE(p.areas.empty());
+  EXPECT_EQ(p.areas[0].root, root);
+  EXPECT_EQ(p.areas[0].parent_area, Partition::kNoArea);
+
+  // Every node has exactly one member area; area roots are members of the
+  // upper area (except the tree root, which maps to its own area).
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    auto it = p.member_area.find(n->serial());
+    EXPECT_NE(it, p.member_area.end());
+    if (n == root) {
+      EXPECT_EQ(it->second, 0u);
+      return true;
+    }
+    uint32_t area = it->second;
+    EXPECT_LT(area, p.areas.size());
+    // The member's path to its area root must not cross another area root.
+    xml::Node* area_root = p.areas[area].root;
+    const xml::Node* x = n->parent();
+    while (x != nullptr && x != area_root) {
+      EXPECT_FALSE(p.IsAreaRoot(x))
+          << "path from a member to its area root crosses an area root";
+      x = x->parent();
+    }
+    EXPECT_EQ(x, area_root) << "member not in the subtree of its area root";
+    return true;
+  });
+
+  // Frame edges: each child area's root lies in the parent area, and its
+  // path to the parent-area root has no intermediate frame node.
+  for (uint32_t i = 0; i < p.areas.size(); ++i) {
+    for (uint32_t c : p.areas[i].child_areas) {
+      EXPECT_EQ(p.areas[c].parent_area, i);
+      EXPECT_EQ(p.member_area.at(p.areas[c].root->serial()), i);
+    }
+  }
+
+  // Local fan-outs bound the fan-out of every expanding member.
+  for (uint32_t i = 0; i < p.areas.size(); ++i) {
+    xml::PreorderTraverse(p.areas[i].root, [&](xml::Node* n, int depth) {
+      if (depth > 0 && p.IsAreaRoot(n)) return false;
+      EXPECT_LE(n->fanout(), p.areas[i].local_fanout);
+      return true;
+    });
+  }
+
+  // child_areas lists are in document order of their roots.
+  auto order = testing::DocOrderIndex(root);
+  for (const auto& area : p.areas) {
+    for (size_t j = 1; j < area.child_areas.size(); ++j) {
+      EXPECT_LT(order.at(p.areas[area.child_areas[j - 1]].root->serial()),
+                order.at(p.areas[area.child_areas[j]].root->serial()));
+    }
+  }
+}
+
+TEST(PartitionTest, SingleAreaWhenBudgetsAreLoose) {
+  auto doc = testing::MustParse("<a><b><c/></b><d/></a>");
+  PartitionOptions options;
+  options.max_area_nodes = 100;
+  options.max_area_depth = 100;
+  auto p = PartitionTree(doc->root(), options);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->areas.size(), 1u);
+  EXPECT_EQ(p->areas[0].member_count, 4u);
+  CheckPartitionInvariants(doc->root(), *p);
+}
+
+TEST(PartitionTest, DepthBudgetSplits) {
+  xml::DeepTreeConfig config;
+  config.depth = 20;
+  config.siblings_per_level = 1;
+  auto doc = xml::GenerateDeepTree(config);
+  PartitionOptions options;
+  options.max_area_depth = 4;
+  options.max_area_nodes = 1000;
+  auto p = PartitionTree(doc->root(), options);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(p->areas.size(), 3u);
+  CheckPartitionInvariants(doc->root(), *p);
+  for (const auto& area : p->areas) {
+    // Depth budget respected: member depth within area <= 4.
+    xml::PreorderTraverse(area.root, [&](xml::Node* n, int depth) {
+      if (depth > 0 && p->IsAreaRoot(n)) return false;
+      EXPECT_LE(depth, 4);
+      (void)n;
+      return true;
+    });
+  }
+}
+
+TEST(PartitionTest, NodeBudgetSplits) {
+  auto doc = xml::GenerateUniformTree(200, 4);
+  PartitionOptions options;
+  options.max_area_nodes = 20;
+  options.max_area_depth = 100;
+  auto p = PartitionTree(doc->root(), options);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(p->areas.size(), 5u);
+  CheckPartitionInvariants(doc->root(), *p);
+}
+
+TEST(PartitionTest, InvariantsAcrossTopologies) {
+  PartitionOptions options;
+  options.max_area_nodes = 32;
+  options.max_area_depth = 4;
+  std::vector<std::unique_ptr<xml::Document>> docs;
+  docs.push_back(xml::GenerateUniformTree(300, 3));
+  docs.push_back(xml::GenerateDblpLike(40));
+  {
+    xml::SkewedTreeConfig sc;
+    sc.node_budget = 400;
+    sc.max_fanout = 50;
+    docs.push_back(xml::GenerateSkewedTree(sc));
+  }
+  {
+    xml::XmarkConfig xc;
+    docs.push_back(xml::GenerateXmarkLike(xc));
+  }
+  for (auto& doc : docs) {
+    auto p = PartitionTree(doc->root(), options);
+    ASSERT_TRUE(p.ok());
+    CheckPartitionInvariants(doc->root(), *p);
+  }
+}
+
+// --- E5: the Sec. 2.3 fan-out adjustment -----------------------------------
+
+TEST(PartitionTest, AdjustmentBoundsFrameFanout) {
+  // A root with 2 children, each child an 8-deep chain fanning into pairs:
+  // with a tight depth budget the naive frame gets wide nodes; adjustment
+  // must bring the frame fan-out back within the source fan-out.
+  xml::RandomTreeConfig config;
+  config.node_budget = 600;
+  config.max_fanout = 3;
+  config.seed = 2;
+  auto doc = xml::GenerateRandomTree(config);
+  uint64_t source_fanout = xml::ComputeStats(doc->root()).max_fanout;
+
+  PartitionOptions options;
+  options.max_area_nodes = 12;
+  options.max_area_depth = 2;
+  options.adjust_fanout = true;
+  auto p = PartitionTree(doc->root(), options);
+  ASSERT_TRUE(p.ok());
+  EXPECT_LE(p->FrameFanout(), source_fanout)
+      << "Sec. 2.3 guarantee violated";
+  CheckPartitionInvariants(doc->root(), *p);
+}
+
+TEST(PartitionTest, WithoutAdjustmentFrameCanExceedSourceFanout) {
+  // The Fig. 7 situation: a non-root node with several area-root
+  // descendants in separate paths. Craft it explicitly: a binary tree deep
+  // enough that a depth budget of 1 makes every grandchild an area root.
+  auto doc = testing::MustParse(
+      "<r><n1><u1><x1/><x2/></u1><u2><x3/><x4/></u2></n1>"
+      "<n2><u3><x5/><x6/></u3><u4><x7/><x8/></u4></n2></r>");
+  PartitionOptions options;
+  options.max_area_nodes = 5;  // r + n1 + n2 fill area 0, then spill
+  options.max_area_depth = 2;
+  options.adjust_fanout = false;
+  auto without = PartitionTree(doc->root(), options);
+  ASSERT_TRUE(without.ok());
+  uint64_t source_fanout = xml::ComputeStats(doc->root()).max_fanout;
+  EXPECT_GT(without->FrameFanout(), source_fanout)
+      << "test premise: the naive frame is wider than the source";
+
+  options.adjust_fanout = true;
+  auto with = PartitionTree(doc->root(), options);
+  ASSERT_TRUE(with.ok());
+  EXPECT_LE(with->FrameFanout(), source_fanout);
+  CheckPartitionInvariants(doc->root(), *with);
+}
+
+TEST(PartitionTest, RejectsSillyBudgets) {
+  auto doc = testing::MustParse("<a/>");
+  PartitionOptions options;
+  options.max_area_nodes = 1;
+  EXPECT_FALSE(PartitionTree(doc->root(), options).ok());
+  EXPECT_FALSE(PartitionTree(nullptr, PartitionOptions{}).ok());
+}
+
+TEST(PartitionTest, DeriveFromExplicitRoots) {
+  auto doc = testing::MustParse("<a><b><c/><d/></b><e><f/></e></a>");
+  xml::Node* a = doc->root();
+  xml::Node* b = a->children()[0];
+  xml::Node* e = a->children()[1];
+  std::unordered_set<uint32_t> roots{a->serial(), b->serial(), e->serial()};
+  Partition p = DerivePartition(a, roots);
+  EXPECT_EQ(p.areas.size(), 3u);
+  EXPECT_EQ(p.areas[0].child_areas.size(), 2u);
+  EXPECT_TRUE(p.IsAreaRoot(b));
+  EXPECT_FALSE(p.IsAreaRoot(b->children()[0]));
+  // b and e are members of area 0 (as leaves) and roots of their own areas.
+  EXPECT_EQ(p.member_area.at(b->serial()), 0u);
+  EXPECT_EQ(p.member_area.at(b->children()[0]->serial()),
+            p.rooted_area.at(b->serial()));
+  CheckPartitionInvariants(a, p);
+}
+
+TEST(PartitionTest, MemberCountsAddUp) {
+  auto doc = xml::GenerateUniformTree(150, 3);
+  PartitionOptions options;
+  options.max_area_nodes = 16;
+  options.max_area_depth = 3;
+  auto p = PartitionTree(doc->root(), options);
+  ASSERT_TRUE(p.ok());
+  // Every area root is double-counted (member of upper + root of own), so:
+  // sum(member_count) = nodes + (areas - 1).
+  uint64_t total = 0;
+  for (const auto& area : p->areas) total += area.member_count;
+  uint64_t nodes = xml::ComputeStats(doc->root()).node_count;
+  EXPECT_EQ(total, nodes + p->areas.size() - 1);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

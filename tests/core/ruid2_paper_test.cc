@@ -1,0 +1,99 @@
+// E2/E3: the paper's own worked examples for the 2-level ruid.
+//
+// Example 2 (Sec. 2.2) fixes κ = 4 and the table K of Fig. 5 and traces
+// rparent() through three configurations. We replay those traces against
+// the exact rows the example states: area 2 has local fan-out 2, area 3 has
+// local fan-out 3 and its root sits at local index 3 of its upper area, and
+// area 10 is a child of area 3 ((10-2)/4 + 1 = 3) whose root sits at local
+// index 9 of area 3.
+#include <gtest/gtest.h>
+
+#include "core/ruid2.h"
+
+namespace ruidx {
+namespace core {
+namespace {
+
+class PaperExample2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kappa_ = 4;
+    k_.Upsert({BigUint(1), BigUint(1), 3});
+    k_.Upsert({BigUint(2), BigUint(2), 2});   // "local fan-out ... is 2"
+    k_.Upsert({BigUint(3), BigUint(3), 3});   // root at local 3, fan-out 3
+    k_.Upsert({BigUint(10), BigUint(9), 3});  // root at local 9 of area 3
+  }
+
+  uint64_t kappa_;
+  KTable k_;
+};
+
+TEST_F(PaperExample2Test, NonRootWithinArea) {
+  // "c is the non-root node (2, 7, false): ... the local index of the
+  //  identifier of p is (7-2)/2+1, which is equal to 3. Hence, p is the non
+  //  area root node (2, 3, false)."
+  auto p = RuidParent(Ruid2Id{BigUint(2), BigUint(7), false}, kappa_, k_);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(*p, (Ruid2Id{BigUint(2), BigUint(3), false}));
+}
+
+TEST_F(PaperExample2Test, AreaRootClimbsToUpperArea) {
+  // "c is the root node (10, 9, true): ... the upper UID-local area's index
+  //  is (10-2)/4+1 or 3. The local fan-out ... is equal to 3. The local
+  //  index of p is (9-2)/3+1, which is equal to 3. The value is greater
+  //  than 1, so p is the non area root node (3, 3, false)."
+  auto p = RuidParent(Ruid2Id{BigUint(10), BigUint(9), true}, kappa_, k_);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(*p, (Ruid2Id{BigUint(3), BigUint(3), false}));
+}
+
+TEST_F(PaperExample2Test, ParentIsAreaRoot) {
+  // "c is the non-root node (3, 3, false): ... the index of p in the
+  //  UID-local area is (3-2)/3+1, which is equal to 1. This means that p is
+  //  the root of the considered UID-local area. ... From K, the value is
+  //  found to be 3, and p is the area root node (3, 3, true)."
+  auto p = RuidParent(Ruid2Id{BigUint(3), BigUint(3), false}, kappa_, k_);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(*p, (Ruid2Id{BigUint(3), BigUint(3), true}));
+}
+
+TEST_F(PaperExample2Test, ChainOfExampleStepsComposes) {
+  // Following the third case one more step: the parent of the area root
+  // (3, 3, true) lives in area (3-2)/4+1 = 1 with local (3-2)/3+1 = ... the
+  // fan-out of area 1 is 3, so local = 1: the main root (1, 1, true).
+  auto p = RuidParent(Ruid2Id{BigUint(3), BigUint(3), true}, kappa_, k_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, Ruid2RootId());
+}
+
+TEST_F(PaperExample2Test, MainRootHasNoParent) {
+  auto p = RuidParent(Ruid2RootId(), kappa_, k_);
+  EXPECT_FALSE(p.ok());
+  EXPECT_TRUE(p.status().IsNotFound());
+}
+
+TEST_F(PaperExample2Test, UnknownAreaIsAnError) {
+  auto p = RuidParent(Ruid2Id{BigUint(77), BigUint(5), false}, kappa_, k_);
+  EXPECT_FALSE(p.ok());
+  EXPECT_TRUE(p.status().IsNotFound());
+}
+
+TEST(Ruid2IdTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ((Ruid2Id{BigUint(2), BigUint(7), false}).ToString(),
+            "(2, 7, false)");
+  EXPECT_EQ(Ruid2RootId().ToString(), "(1, 1, true)");
+}
+
+TEST(Ruid2IdTest, EqualityAndHash) {
+  Ruid2Id a{BigUint(2), BigUint(7), false};
+  Ruid2Id b{BigUint(2), BigUint(7), false};
+  Ruid2Id c{BigUint(2), BigUint(7), true};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(Ruid2IdHash()(a), Ruid2IdHash()(b));
+  EXPECT_NE(Ruid2IdHash()(a), Ruid2IdHash()(c));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

@@ -1,0 +1,137 @@
+// E4: parameterized property sweep over the 2-level ruid — the Fig. 3
+// construction and Fig. 6 rparent must satisfy their contracts on every
+// topology and for every partitioning budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/ruid2.h"
+#include "testutil.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace core {
+namespace {
+
+// Parameter: (topology index, max_area_nodes, max_area_depth).
+using Param = std::tuple<int, uint64_t, uint64_t>;
+
+std::unique_ptr<xml::Document> MakeTree(int topology) {
+  switch (topology) {
+    case 0:
+      return xml::GenerateUniformTree(220, 3);
+    case 1: {
+      xml::RandomTreeConfig config;
+      config.node_budget = 260;
+      config.max_fanout = 7;
+      config.seed = 1234;
+      return xml::GenerateRandomTree(config);
+    }
+    case 2: {
+      xml::SkewedTreeConfig config;
+      config.node_budget = 240;
+      config.max_fanout = 40;
+      config.seed = 77;
+      return xml::GenerateSkewedTree(config);
+    }
+    case 3: {
+      xml::DeepTreeConfig config;
+      config.depth = 35;
+      config.siblings_per_level = 2;
+      return xml::GenerateDeepTree(config);
+    }
+    default:
+      return xml::GenerateDblpLike(35);
+  }
+}
+
+class Ruid2PropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    auto [topology, nodes, depth] = GetParam();
+    doc_ = MakeTree(topology);
+    PartitionOptions options;
+    options.max_area_nodes = nodes;
+    options.max_area_depth = depth;
+    scheme_ = std::make_unique<Ruid2Scheme>(options);
+    scheme_->Build(doc_->root());
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<Ruid2Scheme> scheme_;
+};
+
+TEST_P(Ruid2PropertyTest, RparentInvertsEveryEdge) {
+  for (xml::Node* n : testing::AllNodes(doc_->root())) {
+    if (n == doc_->root()) continue;
+    auto p = scheme_->Parent(scheme_->label(n));
+    ASSERT_TRUE(p.ok()) << scheme_->label(n).ToString();
+    EXPECT_EQ(*p, scheme_->label(n->parent()));
+  }
+}
+
+TEST_P(Ruid2PropertyTest, AncestorIdAgreesWithDom) {
+  auto nodes = testing::AllNodes(doc_->root());
+  for (size_t i = 0; i < nodes.size(); i += 11) {
+    for (size_t j = 0; j < nodes.size(); j += 13) {
+      EXPECT_EQ(
+          scheme_->IsAncestorId(scheme_->label(nodes[i]),
+                                scheme_->label(nodes[j])),
+          nodes[j]->HasAncestor(nodes[i]));
+    }
+  }
+}
+
+TEST_P(Ruid2PropertyTest, CompareIdsIsDocumentOrder) {
+  auto nodes = testing::AllNodes(doc_->root());
+  auto order = testing::DocOrderIndex(doc_->root());
+  for (size_t i = 0; i < nodes.size(); i += 9) {
+    for (size_t j = 0; j < nodes.size(); j += 17) {
+      int expected = testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      int actual =
+          scheme_->CompareIds(scheme_->label(nodes[i]), scheme_->label(nodes[j]));
+      EXPECT_EQ(expected < 0, actual < 0)
+          << scheme_->label(nodes[i]).ToString() << " vs "
+          << scheme_->label(nodes[j]).ToString();
+      EXPECT_EQ(expected == 0, actual == 0);
+    }
+  }
+}
+
+TEST_P(Ruid2PropertyTest, CompareIdsAntisymmetric) {
+  auto nodes = testing::AllNodes(doc_->root());
+  for (size_t i = 0; i < nodes.size(); i += 23) {
+    for (size_t j = 0; j < nodes.size(); j += 19) {
+      int ab =
+          scheme_->CompareIds(scheme_->label(nodes[i]), scheme_->label(nodes[j]));
+      int ba =
+          scheme_->CompareIds(scheme_->label(nodes[j]), scheme_->label(nodes[i]));
+      EXPECT_EQ(ab < 0, ba > 0);
+      EXPECT_EQ(ab == 0, ba == 0);
+    }
+  }
+}
+
+TEST_P(Ruid2PropertyTest, DepthMatchesDom) {
+  auto nodes = testing::AllNodes(doc_->root());
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    EXPECT_EQ(scheme_->DepthOf(scheme_->label(nodes[i])),
+              testing::DomAncestors(nodes[i]).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Ruid2PropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(8u, 64u, 100000u),
+                       ::testing::Values(2u, 5u, 1000u)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

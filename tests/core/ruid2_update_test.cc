@@ -1,0 +1,211 @@
+// Sec. 3.2: robustness with structural update. The incremental engine must
+// (a) keep identifiers consistent and (b) touch only the area where the
+// update lands.
+#include <gtest/gtest.h>
+
+#include "core/ruid2.h"
+#include "testutil.h"
+#include "util/random.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace core {
+namespace {
+
+PartitionOptions SmallAreas() {
+  PartitionOptions options;
+  options.max_area_nodes = 10;
+  options.max_area_depth = 2;
+  return options;
+}
+
+void CheckConsistency(Ruid2Scheme& scheme, xml::Node* root) {
+  Status audit = scheme.Validate(root);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  for (xml::Node* n : testing::AllNodes(root)) {
+    ASSERT_TRUE(scheme.HasLabel(n));
+    EXPECT_EQ(scheme.NodeById(scheme.label(n)), n);
+    if (n != root) {
+      auto p = scheme.Parent(scheme.label(n));
+      ASSERT_TRUE(p.ok());
+      EXPECT_EQ(*p, scheme.label(n->parent()));
+    }
+  }
+}
+
+TEST(Ruid2UpdateTest, InsertLeafRelabelsOnlyWithinArea) {
+  auto doc = xml::GenerateUniformTree(400, 3);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  size_t areas = scheme.partition().areas.size();
+  ASSERT_GT(areas, 10u);
+
+  // Insert before the first child of some deep node.
+  xml::Node* parent = doc->root()->children()[0]->children()[0];
+  xml::Node* leaf = doc->CreateElement("new");
+  auto report = scheme.InsertAndRelabel(doc.get(), parent, 0, leaf);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->areas_touched, 1u);
+  // The affected area holds at most max_area_nodes-ish members, so far
+  // fewer identifiers changed than the document holds.
+  EXPECT_LT(report->relabeled, 30u);
+  CheckConsistency(scheme, doc->root());
+  EXPECT_TRUE(scheme.HasLabel(leaf));
+}
+
+TEST(Ruid2UpdateTest, InsertSubtreeJoinsParentArea) {
+  auto doc = xml::GenerateUniformTree(200, 3);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+
+  xml::Node* sub = doc->CreateElement("sub");
+  ASSERT_TRUE(doc->AppendChild(sub, doc->CreateElement("s1")).ok());
+  ASSERT_TRUE(doc->AppendChild(sub, doc->CreateElement("s2")).ok());
+  xml::Node* parent = doc->root()->children()[1];
+  auto report = scheme.InsertAndRelabel(doc.get(), parent, 0, sub);
+  ASSERT_TRUE(report.ok());
+  CheckConsistency(scheme, doc->root());
+  // The whole inserted subtree is in one area, as plain members.
+  EXPECT_FALSE(scheme.label(sub).is_area_root);
+  EXPECT_FALSE(scheme.label(sub->children()[0]).is_area_root);
+}
+
+TEST(Ruid2UpdateTest, InsertIntoFullNodeGrowsLocalFanoutOnly) {
+  // Area-local k grows; the paper's point is that "the enlargement changes
+  // only the identifiers of the nodes in this area".
+  auto doc = xml::GenerateUniformTree(400, 3);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  uint64_t total = scheme.label_count();
+
+  xml::Node* parent = doc->root()->children()[2]->children()[1];
+  ASSERT_EQ(parent->fanout(), 3u);  // already at the local max
+  xml::Node* leaf = doc->CreateElement("overflow");
+  auto report =
+      scheme.InsertAndRelabel(doc.get(), parent, parent->fanout(), leaf);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->local_fanout_grew);
+  EXPECT_LT(report->relabeled, total / 4);
+  CheckConsistency(scheme, doc->root());
+}
+
+TEST(Ruid2UpdateTest, InsertionWithFreeSlotRelabelsNobody) {
+  auto doc = xml::GenerateUniformTree(300, 3);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  // Give a leaf its first child: no sibling shifts, no fan-out growth, so
+  // "if an appropriate space is available for the new node" (Sec. 3.2)
+  // nothing is relabeled.
+  xml::Node* leaf = nullptr;
+  xml::PreorderTraverse(doc->root(), [&](xml::Node* n, int) {
+    if (leaf == nullptr && n->fanout() == 0) leaf = n;
+    return leaf == nullptr;
+  });
+  ASSERT_NE(leaf, nullptr);
+  auto report = scheme.InsertAndRelabel(doc.get(), leaf, 0,
+                                        doc->CreateElement("first"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->relabeled, 0u);
+  CheckConsistency(scheme, doc->root());
+}
+
+TEST(Ruid2UpdateTest, DeleteLeafRelabelsOnlyWithinArea) {
+  auto doc = xml::GenerateUniformTree(400, 3);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  size_t before = scheme.label_count();
+
+  // Remove a mid-tree leaf's sibling subtree.
+  xml::Node* victim = doc->root()->children()[0]->children()[0];
+  auto report = scheme.RemoveAndRelabel(doc.get(), victim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->areas_touched, 1u);
+  EXPECT_LT(report->relabeled, 30u);
+  EXPECT_LT(scheme.label_count(), before);
+  CheckConsistency(scheme, doc->root());
+}
+
+TEST(Ruid2UpdateTest, DeleteSubtreeDropsItsAreasAndKRows) {
+  auto doc = xml::GenerateUniformTree(600, 3);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  size_t areas_before = scheme.ktable().size();
+
+  // Removing a child of the root kills a whole frame subtree.
+  xml::Node* victim = doc->root()->children()[0];
+  auto report = scheme.RemoveAndRelabel(doc.get(), victim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->areas_dropped, 0u);
+  EXPECT_EQ(scheme.ktable().size(), areas_before - report->areas_dropped);
+  CheckConsistency(scheme, doc->root());
+  // The victim and its descendants lost their labels.
+  EXPECT_FALSE(scheme.HasLabel(victim));
+}
+
+TEST(Ruid2UpdateTest, CannotRemoveRootOrUnlabeled) {
+  auto doc = testing::MustParse("<a><b/></a>");
+  Ruid2Scheme scheme;
+  scheme.Build(doc->root());
+  EXPECT_FALSE(scheme.RemoveAndRelabel(doc.get(), doc->root()).ok());
+  xml::Node* detached = doc->CreateElement("x");
+  EXPECT_FALSE(scheme.RemoveAndRelabel(doc.get(), detached).ok());
+  EXPECT_FALSE(
+      scheme.InsertAndRelabel(doc.get(), detached, 0, doc->CreateElement("y"))
+          .ok());
+}
+
+TEST(Ruid2UpdateTest, ExternalMutationRepairedByRelabelAndCount) {
+  auto doc = xml::GenerateUniformTree(300, 3);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+
+  // Mutate the DOM behind the scheme's back, then ask it to reconcile.
+  xml::Node* parent = doc->root()->children()[1];
+  ASSERT_TRUE(doc->InsertChild(parent, 0, doc->CreateElement("ext1")).ok());
+  xml::Node* victim = doc->root()->children()[2];
+  ASSERT_TRUE(doc->RemoveSubtree(victim).ok());
+  uint64_t changed = scheme.RelabelAndCount(doc->root());
+  EXPECT_LT(changed, 50u);
+  CheckConsistency(scheme, doc->root());
+}
+
+TEST(Ruid2UpdateTest, ManyRandomUpdatesStayConsistent) {
+  xml::RandomTreeConfig config;
+  config.node_budget = 250;
+  config.max_fanout = 4;
+  config.seed = 3;
+  auto doc = xml::GenerateRandomTree(config);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+
+  Rng rng(17);
+  for (int step = 0; step < 60; ++step) {
+    auto nodes = testing::AllNodes(doc->root());
+    xml::Node* target = nodes[rng.NextBounded(nodes.size())];
+    if (rng.NextBool(0.6) || target == doc->root()) {
+      size_t pos = rng.NextBounded(target->fanout() + 1);
+      auto report = scheme.InsertAndRelabel(
+          doc.get(), target, pos,
+          doc->CreateElement("u" + std::to_string(step)));
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+    } else {
+      auto report = scheme.RemoveAndRelabel(doc.get(), target);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+    }
+  }
+  CheckConsistency(scheme, doc->root());
+  // Orders must still agree with the DOM after the dust settles.
+  auto nodes = testing::AllNodes(doc->root());
+  auto order = testing::DocOrderIndex(doc->root());
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    for (size_t j = 0; j < nodes.size(); j += 11) {
+      int expected = testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      int actual = scheme.CompareOrder(nodes[i], nodes[j]);
+      EXPECT_EQ(expected < 0, actual < 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

@@ -1,0 +1,184 @@
+// E6: multilevel ruid (Def. 4 / Fig. 8).
+#include "core/ruidm.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace core {
+namespace {
+
+PartitionOptions TinyAreas() {
+  PartitionOptions options;
+  options.max_area_nodes = 6;
+  options.max_area_depth = 2;
+  return options;
+}
+
+TEST(RuidMIdTest, ToStringMatchesPaperNotation) {
+  RuidMId id;
+  id.theta = BigUint(2);
+  id.path.emplace_back(BigUint(4), false);
+  id.path.emplace_back(BigUint(7), true);
+  EXPECT_EQ(id.ToString(), "{2, (4, false), (7, true)}");
+}
+
+TEST(RuidMIdTest, OrderingAndEquality) {
+  RuidMId a, b;
+  a.theta = BigUint(2);
+  b.theta = BigUint(2);
+  a.path.emplace_back(BigUint(3), false);
+  b.path.emplace_back(BigUint(3), false);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a < b);
+  b.path.back().first = BigUint(4);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b);
+}
+
+TEST(RuidMSchemeTest, OneLevelIsPlainUid) {
+  auto doc = xml::GenerateUniformTree(50, 3);
+  RuidMScheme scheme(1, TinyAreas());
+  ASSERT_TRUE(scheme.Build(doc->root()).ok());
+  for (xml::Node* n : testing::AllNodes(doc->root())) {
+    EXPECT_TRUE(scheme.IdOf(n).path.empty());
+  }
+  EXPECT_EQ(scheme.IdOf(doc->root()).theta, BigUint(1));
+}
+
+TEST(RuidMSchemeTest, TwoLevelPathsHaveOnePair) {
+  auto doc = xml::GenerateUniformTree(120, 3);
+  RuidMScheme scheme(2, TinyAreas());
+  ASSERT_TRUE(scheme.Build(doc->root()).ok());
+  for (xml::Node* n : testing::AllNodes(doc->root())) {
+    EXPECT_EQ(scheme.IdOf(n).path.size(), 1u);
+  }
+}
+
+class RuidMLevelsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuidMLevelsTest, ParentInvertsEveryEdge) {
+  auto doc = xml::GenerateUniformTree(300, 3);
+  RuidMScheme scheme(GetParam(), TinyAreas());
+  ASSERT_TRUE(scheme.Build(doc->root()).ok());
+  for (xml::Node* n : testing::AllNodes(doc->root())) {
+    if (n == doc->root()) {
+      EXPECT_FALSE(scheme.Parent(scheme.IdOf(n)).ok());
+      continue;
+    }
+    auto p = scheme.Parent(scheme.IdOf(n));
+    ASSERT_TRUE(p.ok()) << scheme.IdOf(n).ToString() << ": "
+                        << p.status().ToString();
+    EXPECT_EQ(*p, scheme.IdOf(n->parent())) << scheme.IdOf(n).ToString();
+  }
+}
+
+TEST_P(RuidMLevelsTest, IdsUniqueAndIndexed) {
+  auto doc = xml::GenerateUniformTree(250, 3);
+  RuidMScheme scheme(GetParam(), TinyAreas());
+  ASSERT_TRUE(scheme.Build(doc->root()).ok());
+  for (xml::Node* n : testing::AllNodes(doc->root())) {
+    EXPECT_EQ(scheme.NodeById(scheme.IdOf(n)), n);
+  }
+  EXPECT_EQ(scheme.id_count(), 250u);
+}
+
+TEST_P(RuidMLevelsTest, AncestorAndOrderAgreeWithDom) {
+  xml::RandomTreeConfig config;
+  config.node_budget = 180;
+  config.max_fanout = 5;
+  config.seed = 31;
+  auto doc = xml::GenerateRandomTree(config);
+  RuidMScheme scheme(GetParam(), TinyAreas());
+  ASSERT_TRUE(scheme.Build(doc->root()).ok());
+  auto nodes = testing::AllNodes(doc->root());
+  auto order = testing::DocOrderIndex(doc->root());
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    for (size_t j = 0; j < nodes.size(); j += 11) {
+      EXPECT_EQ(scheme.IsAncestorId(scheme.IdOf(nodes[i]),
+                                    scheme.IdOf(nodes[j])),
+                nodes[j]->HasAncestor(nodes[i]));
+      int expected = testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      int actual = scheme.CompareIds(scheme.IdOf(nodes[i]),
+                                     scheme.IdOf(nodes[j]));
+      EXPECT_EQ(expected < 0, actual < 0);
+      EXPECT_EQ(expected == 0, actual == 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, RuidMLevelsTest, ::testing::Values(1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "l" + std::to_string(info.param);
+                         });
+
+TEST(RuidMSchemeTest, ComponentsShrinkWithMoreLevels) {
+  // Sec. 3.1 scalability: deeper stacking keeps every component small while
+  // a flat UID explodes.
+  xml::DeepTreeConfig config;
+  config.depth = 60;
+  config.siblings_per_level = 3;
+  auto doc = xml::GenerateDeepTree(config);
+
+  RuidMScheme flat(1, TinyAreas());
+  ASSERT_TRUE(flat.Build(doc->root()).ok());
+  uint64_t flat_bits = flat.MaxComponentBits();
+  ASSERT_GT(flat_bits, 64u);  // overflows machine integers
+
+  RuidMScheme three(3, TinyAreas());
+  ASSERT_TRUE(three.Build(doc->root()).ok());
+  EXPECT_LT(three.MaxComponentBits(), flat_bits);
+  EXPECT_LE(three.MaxComponentBits(), 64u);
+}
+
+TEST(RuidMSchemeTest, TopLevelShrinksPerLevel) {
+  auto doc = xml::GenerateUniformTree(600, 3);
+  size_t prev = 600;
+  for (int levels = 2; levels <= 4; ++levels) {
+    RuidMScheme scheme(levels, TinyAreas());
+    ASSERT_TRUE(scheme.Build(doc->root()).ok());
+    EXPECT_LT(scheme.top_level_size(), prev);
+    prev = scheme.top_level_size();
+  }
+}
+
+TEST(RuidMSchemeTest, Fig8StyleDecomposition) {
+  // Fig. 8: a 2-level identifier {θ, (a, true)} becomes
+  // {θ', (α, β), (a, true)} at 3 levels — the level-1 pair is preserved and
+  // only the area address is re-encoded.
+  auto doc = xml::GenerateUniformTree(400, 3);
+  PartitionOptions options = TinyAreas();
+  RuidMScheme two(2, options);
+  RuidMScheme three(3, options);
+  ASSERT_TRUE(two.Build(doc->root()).ok());
+  ASSERT_TRUE(three.Build(doc->root()).ok());
+  for (xml::Node* n : testing::AllNodes(doc->root())) {
+    const RuidMId& id2 = two.IdOf(n);
+    const RuidMId& id3 = three.IdOf(n);
+    ASSERT_EQ(id2.path.size(), 1u);
+    ASSERT_EQ(id3.path.size(), 2u);
+    // The level-1 component is identical in both encodings.
+    EXPECT_EQ(id2.path[0], id3.path[1]) << id2.ToString() << " vs "
+                                        << id3.ToString();
+  }
+}
+
+TEST(RuidMSchemeTest, RejectsZeroLevels) {
+  auto doc = testing::MustParse("<a/>");
+  RuidMScheme scheme(0);
+  EXPECT_FALSE(scheme.Build(doc->root()).ok());
+}
+
+TEST(RuidMSchemeTest, GlobalStateStaysSmall) {
+  auto doc = xml::GenerateUniformTree(500, 3);
+  RuidMScheme scheme(3, TinyAreas());
+  ASSERT_TRUE(scheme.Build(doc->root()).ok());
+  EXPECT_GT(scheme.GlobalStateBytes(), 0u);
+  EXPECT_LT(scheme.GlobalStateBytes(), 512u * 1024u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

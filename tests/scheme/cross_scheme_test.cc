@@ -1,0 +1,222 @@
+// Parameterized property sweep: every LabelingScheme must reproduce the
+// hierarchical orders of the DOM (parent-child, ancestor-descendant,
+// document order) from labels alone, across a range of topologies — the
+// defining property of a numbering scheme (Sec. 1 of the paper).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/ruid2.h"
+#include "core/ruidm.h"
+#include "scheme/dewey.h"
+#include "scheme/labeling.h"
+#include "scheme/ordpath.h"
+#include "scheme/prepost.h"
+#include "scheme/uid.h"
+#include "scheme/xiss.h"
+#include "testutil.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace scheme {
+namespace {
+
+using SchemeFactory = std::function<std::unique_ptr<LabelingScheme>()>;
+using TreeFactory = std::function<std::unique_ptr<xml::Document>()>;
+
+struct CaseParam {
+  std::string name;
+  SchemeFactory make_scheme;
+  TreeFactory make_tree;
+};
+
+class SchemePropertyTest : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(SchemePropertyTest, OrdersMatchDom) {
+  const CaseParam& param = GetParam();
+  auto doc = param.make_tree();
+  auto scheme = param.make_scheme();
+  scheme->Build(doc->root());
+
+  auto nodes = testing::AllNodes(doc->root());
+  auto order = testing::DocOrderIndex(doc->root());
+  ASSERT_GT(nodes.size(), 1u);
+
+  // Parent relation for every edge.
+  for (xml::Node* n : nodes) {
+    if (n->parent() != nullptr && !n->parent()->is_document()) {
+      EXPECT_TRUE(scheme->IsParent(n->parent(), n))
+          << scheme->name() << ": " << scheme->LabelString(n->parent())
+          << " should parent " << scheme->LabelString(n);
+      EXPECT_FALSE(scheme->IsParent(n, n->parent()));
+    }
+  }
+  // Sampled pairs: ancestor and order.
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    for (size_t j = 0; j < nodes.size(); j += 11) {
+      xml::Node* a = nodes[i];
+      xml::Node* b = nodes[j];
+      EXPECT_EQ(scheme->IsAncestor(a, b), b->HasAncestor(a))
+          << scheme->name() << " ancestor " << scheme->LabelString(a) << " vs "
+          << scheme->LabelString(b);
+      int expected = testing::DomCompareOrder(order, a, b);
+      int actual = scheme->CompareOrder(a, b);
+      EXPECT_EQ(expected < 0, actual < 0) << scheme->name();
+      EXPECT_EQ(expected == 0, actual == 0) << scheme->name();
+    }
+  }
+}
+
+TEST_P(SchemePropertyTest, RelabelAfterInsertIsConsistent) {
+  const CaseParam& param = GetParam();
+  auto doc = param.make_tree();
+  auto scheme = param.make_scheme();
+  scheme->Build(doc->root());
+
+  // Insert a node at the front of the root's children (worst case for most
+  // schemes), then verify consistency again.
+  xml::Node* x = doc->CreateElement("inserted");
+  ASSERT_TRUE(doc->InsertChild(doc->root(), 0, x).ok());
+  scheme->RelabelAndCount(doc->root());
+
+  auto nodes = testing::AllNodes(doc->root());
+  auto order = testing::DocOrderIndex(doc->root());
+  for (xml::Node* n : nodes) {
+    if (n->parent() != nullptr && !n->parent()->is_document()) {
+      EXPECT_TRUE(scheme->IsParent(n->parent(), n)) << scheme->name();
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); i += 9) {
+    int expected = testing::DomCompareOrder(order, nodes[i], x);
+    if (nodes[i] == x) continue;
+    EXPECT_EQ(expected < 0, scheme->CompareOrder(nodes[i], x) < 0)
+        << scheme->name();
+  }
+}
+
+TEST_P(SchemePropertyTest, RelabelAfterDeleteIsConsistent) {
+  const CaseParam& param = GetParam();
+  auto doc = param.make_tree();
+  auto scheme = param.make_scheme();
+  scheme->Build(doc->root());
+
+  // Remove the middle child of the root (with its whole subtree).
+  ASSERT_FALSE(doc->root()->children().empty());
+  xml::Node* victim =
+      doc->root()->children()[doc->root()->children().size() / 2];
+  ASSERT_TRUE(doc->RemoveSubtree(victim).ok());
+  scheme->RelabelAndCount(doc->root());
+
+  auto nodes = testing::AllNodes(doc->root());
+  auto order = testing::DocOrderIndex(doc->root());
+  for (xml::Node* n : nodes) {
+    if (n->parent() != nullptr && !n->parent()->is_document()) {
+      EXPECT_TRUE(scheme->IsParent(n->parent(), n)) << scheme->name();
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    for (size_t j = 0; j < nodes.size(); j += 13) {
+      int expected = testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      EXPECT_EQ(expected < 0, scheme->CompareOrder(nodes[i], nodes[j]) < 0)
+          << scheme->name();
+    }
+  }
+}
+
+TEST_P(SchemePropertyTest, LabelBitsPositive) {
+  const CaseParam& param = GetParam();
+  auto doc = param.make_tree();
+  auto scheme = param.make_scheme();
+  scheme->Build(doc->root());
+  EXPECT_GT(scheme->TotalLabelBits(), 0u);
+  EXPECT_GT(scheme->LabelBits(doc->root()), 0u);
+  EXPECT_FALSE(scheme->LabelString(doc->root()).empty());
+}
+
+std::vector<CaseParam> MakeCases() {
+  struct SchemeSpec {
+    std::string name;
+    SchemeFactory factory;
+  };
+  std::vector<SchemeSpec> schemes = {
+      {"uid", [] { return std::make_unique<UidScheme>(); }},
+      {"dewey", [] { return std::make_unique<DeweyScheme>(); }},
+      {"prepost", [] { return std::make_unique<PrePostScheme>(); }},
+      {"ordpath", [] { return std::make_unique<OrdpathScheme>(); }},
+      {"xiss", [] { return std::make_unique<XissScheme>(); }},
+      {"ruid2",
+       [] {
+         core::PartitionOptions options;
+         options.max_area_nodes = 24;
+         options.max_area_depth = 3;
+         return std::make_unique<core::Ruid2Scheme>(options);
+       }},
+      {"ruidm3",
+       [] {
+         core::PartitionOptions options;
+         options.max_area_nodes = 12;
+         options.max_area_depth = 2;
+         return std::make_unique<core::RuidMLabeling>(3, options);
+       }},
+  };
+  struct TreeSpec {
+    std::string name;
+    TreeFactory factory;
+  };
+  std::vector<TreeSpec> trees = {
+      {"uniform", [] { return xml::GenerateUniformTree(120, 3); }},
+      {"random",
+       [] {
+         xml::RandomTreeConfig config;
+         config.node_budget = 160;
+         config.max_fanout = 6;
+         config.seed = 99;
+         return xml::GenerateRandomTree(config);
+       }},
+      {"skewed",
+       [] {
+         xml::SkewedTreeConfig config;
+         config.node_budget = 140;
+         config.max_fanout = 30;
+         config.seed = 5;
+         return xml::GenerateSkewedTree(config);
+       }},
+      {"deep",
+       [] {
+         xml::DeepTreeConfig config;
+         config.depth = 25;
+         config.siblings_per_level = 2;
+         return xml::GenerateDeepTree(config);
+       }},
+      {"dblp", [] { return xml::GenerateDblpLike(30); }},
+      {"xmark",
+       [] {
+         xml::XmarkConfig config;
+         config.items = 20;
+         config.people = 12;
+         config.open_auctions = 10;
+         config.closed_auctions = 6;
+         config.categories = 4;
+         return xml::GenerateXmarkLike(config);
+       }},
+  };
+  std::vector<CaseParam> cases;
+  for (const auto& s : schemes) {
+    for (const auto& t : trees) {
+      cases.push_back({s.name + "_" + t.name, s.factory, t.factory});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemesAllTrees, SchemePropertyTest,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<CaseParam>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace scheme
+}  // namespace ruidx

@@ -1,0 +1,96 @@
+#include "scheme/dewey.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace scheme {
+namespace {
+
+TEST(DeweyLabelTest, CompareLexicographic) {
+  EXPECT_LT(DeweyCompare({1, 2}, {1, 3}), 0);
+  EXPECT_GT(DeweyCompare({1, 3}, {1, 2, 9}), 0);
+  EXPECT_EQ(DeweyCompare({1, 2}, {1, 2}), 0);
+  // A prefix precedes its extensions (ancestor before descendant).
+  EXPECT_LT(DeweyCompare({1}, {1, 1}), 0);
+}
+
+TEST(DeweyLabelTest, AncestorIsProperPrefix) {
+  EXPECT_TRUE(DeweyIsAncestor({1}, {1, 2}));
+  EXPECT_TRUE(DeweyIsAncestor({1, 2}, {1, 2, 3, 4}));
+  EXPECT_FALSE(DeweyIsAncestor({1, 2}, {1, 2}));
+  EXPECT_FALSE(DeweyIsAncestor({1, 2}, {1, 3, 2}));
+  EXPECT_FALSE(DeweyIsAncestor({1, 2, 3}, {1, 2}));
+}
+
+TEST(DeweySchemeTest, RootAndPaths) {
+  auto doc = testing::MustParse("<a><b><c/></b><d/></a>");
+  DeweyScheme dewey;
+  dewey.Build(doc->root());
+  xml::Node* a = doc->root();
+  xml::Node* b = a->children()[0];
+  xml::Node* c = b->children()[0];
+  xml::Node* d = a->children()[1];
+  EXPECT_EQ(dewey.LabelString(a), "1");
+  EXPECT_EQ(dewey.LabelString(b), "1.1");
+  EXPECT_EQ(dewey.LabelString(c), "1.1.1");
+  EXPECT_EQ(dewey.LabelString(d), "1.2");
+}
+
+TEST(DeweySchemeTest, RelationsAgreeWithDom) {
+  xml::RandomTreeConfig config;
+  config.node_budget = 250;
+  config.seed = 33;
+  auto doc = xml::GenerateRandomTree(config);
+  DeweyScheme dewey;
+  dewey.Build(doc->root());
+  auto nodes = testing::AllNodes(doc->root());
+  auto order = testing::DocOrderIndex(doc->root());
+  for (size_t i = 0; i < nodes.size(); i += 5) {
+    for (size_t j = 0; j < nodes.size(); j += 9) {
+      EXPECT_EQ(dewey.IsAncestor(nodes[i], nodes[j]),
+                nodes[j]->HasAncestor(nodes[i]));
+      int expected = testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      int actual = dewey.CompareOrder(nodes[i], nodes[j]);
+      EXPECT_EQ(expected < 0, actual < 0);
+      EXPECT_EQ(expected == 0, actual == 0);
+    }
+    if (nodes[i]->parent() != nullptr && !nodes[i]->parent()->is_document()) {
+      EXPECT_TRUE(dewey.IsParent(nodes[i]->parent(), nodes[i]));
+    }
+  }
+}
+
+TEST(DeweySchemeTest, InsertionRelabelsRightSiblingSubtrees) {
+  auto doc = testing::MustParse("<a><b/><c><e/><f/></c><d/></a>");
+  DeweyScheme dewey;
+  dewey.Build(doc->root());
+  // Insert before <c>: c (and its subtree) plus d shift.
+  xml::Node* x = doc->CreateElement("x");
+  ASSERT_TRUE(doc->InsertChild(doc->root(), 1, x).ok());
+  uint64_t changed = dewey.RelabelAndCount(doc->root());
+  EXPECT_EQ(changed, 4u);  // c, e, f, d
+}
+
+TEST(DeweySchemeTest, AppendAtEndIsFree) {
+  auto doc = testing::MustParse("<a><b/><c/></a>");
+  DeweyScheme dewey;
+  dewey.Build(doc->root());
+  ASSERT_TRUE(doc->AppendChild(doc->root(), doc->CreateElement("z")).ok());
+  EXPECT_EQ(dewey.RelabelAndCount(doc->root()), 0u);
+}
+
+TEST(DeweySchemeTest, LabelBitsGrowWithDepth) {
+  xml::DeepTreeConfig config;
+  config.depth = 30;
+  auto doc = xml::GenerateDeepTree(config);
+  DeweyScheme dewey;
+  dewey.Build(doc->root());
+  EXPECT_GT(dewey.TotalLabelBits(), 0u);
+}
+
+}  // namespace
+}  // namespace scheme
+}  // namespace ruidx

@@ -1,0 +1,187 @@
+#include "scheme/ordpath.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "util/random.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace scheme {
+namespace {
+
+TEST(OrdpathLabelTest, CompareAndAncestor) {
+  EXPECT_LT(OrdpathCompare({1, 1}, {1, 3}), 0);
+  EXPECT_LT(OrdpathCompare({1}, {1, 1}), 0);   // ancestor first
+  EXPECT_LT(OrdpathCompare({1, 2, 1}, {1, 3}), 0);  // caret orders between
+  EXPECT_GT(OrdpathCompare({1, 2, 1}, {1, 1}), 0);
+  EXPECT_EQ(OrdpathCompare({1, 5}, {1, 5}), 0);
+  EXPECT_LT(OrdpathCompare({1, -1}, {1, 1}), 0);  // negative components
+
+  EXPECT_TRUE(OrdpathIsAncestor({1}, {1, 2, 1}));
+  EXPECT_FALSE(OrdpathIsAncestor({1, 1}, {1, 3}));
+  EXPECT_FALSE(OrdpathIsAncestor({1, 1}, {1, 1}));
+}
+
+TEST(OrdpathLabelTest, LevelCountsOddsOnly) {
+  EXPECT_EQ(OrdpathLevel({1}), 1);
+  EXPECT_EQ(OrdpathLevel({1, 3}), 2);
+  EXPECT_EQ(OrdpathLevel({1, 2, 1}), 2);     // caret is not a level
+  EXPECT_EQ(OrdpathLevel({1, 2, 4, 1}), 2);  // stacked carets
+}
+
+void CheckStrictlyBetween(const OrdpathLabel& parent, const OrdpathLabel* l,
+                          const OrdpathLabel* r) {
+  OrdpathLabel mid = OrdpathBetween(parent, l, r);
+  EXPECT_TRUE(OrdpathIsAncestor(parent, mid));
+  EXPECT_NE(mid.back() % 2, 0) << "labels must end odd";
+  if (l != nullptr) {
+    EXPECT_LT(OrdpathCompare(*l, mid), 0);
+    EXPECT_FALSE(OrdpathIsAncestor(mid, *l));
+  }
+  if (r != nullptr) {
+    EXPECT_LT(OrdpathCompare(mid, *r), 0);
+    EXPECT_FALSE(OrdpathIsAncestor(mid, *r));
+  }
+}
+
+TEST(OrdpathLabelTest, BetweenBasicCases) {
+  OrdpathLabel parent{1};
+  OrdpathLabel a{1, 1}, b{1, 3}, c{1, 9};
+  CheckStrictlyBetween(parent, nullptr, nullptr);
+  CheckStrictlyBetween(parent, nullptr, &a);  // before first
+  CheckStrictlyBetween(parent, &c, nullptr);  // after last
+  CheckStrictlyBetween(parent, &a, &b);       // adjacent odds -> caret
+  CheckStrictlyBetween(parent, &a, &c);       // room for a plain odd
+}
+
+TEST(OrdpathLabelTest, BetweenCaretedBounds) {
+  OrdpathLabel parent{1};
+  OrdpathLabel plain{1, 5};
+  OrdpathLabel careted{1, 6, 1};
+  // Between [1,5] and [1,6,1]: must descend past the caret.
+  CheckStrictlyBetween(parent, &plain, &careted);
+  // Between [1,6,1] and [1,7].
+  OrdpathLabel seven{1, 7};
+  CheckStrictlyBetween(parent, &careted, &seven);
+  // Between two careted neighbours.
+  OrdpathLabel careted2{1, 6, 3};
+  CheckStrictlyBetween(parent, &careted, &careted2);
+  // Deeply stacked carets.
+  OrdpathLabel deep1{1, 6, 2, 1};
+  OrdpathLabel deep2{1, 6, 2, 3};
+  CheckStrictlyBetween(parent, &deep1, &deep2);
+}
+
+TEST(OrdpathLabelTest, RepeatedSplitsStayOrderedAtOnePosition) {
+  // Keep inserting at the same spot; labels must stay strictly ordered and
+  // existing ones must never need to change.
+  OrdpathLabel parent{1};
+  OrdpathLabel lo{1, 1};
+  OrdpathLabel hi{1, 3};
+  std::vector<OrdpathLabel> all{lo, hi};
+  OrdpathLabel left = lo;
+  for (int i = 0; i < 64; ++i) {
+    OrdpathLabel mid = OrdpathBetween(parent, &left, &hi);
+    EXPECT_LT(OrdpathCompare(left, mid), 0) << i;
+    EXPECT_LT(OrdpathCompare(mid, hi), 0) << i;
+    all.push_back(mid);
+    left = mid;  // next insert goes between the newest label and hi
+  }
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_NE(OrdpathCompare(all[i - 1], all[i]), 0);
+  }
+}
+
+TEST(OrdpathSchemeTest, InitialLabelsAreOddDewey) {
+  auto doc = ruidx::testing::MustParse("<a><b><c/></b><d/></a>");
+  OrdpathScheme scheme;
+  scheme.Build(doc->root());
+  xml::Node* a = doc->root();
+  EXPECT_EQ(scheme.LabelString(a), "1");
+  EXPECT_EQ(scheme.LabelString(a->children()[0]), "1.1");
+  EXPECT_EQ(scheme.LabelString(a->children()[0]->children()[0]), "1.1.1");
+  EXPECT_EQ(scheme.LabelString(a->children()[1]), "1.3");
+}
+
+TEST(OrdpathSchemeTest, InsertionsNeverRelabel) {
+  auto doc = xml::GenerateUniformTree(300, 3);
+  OrdpathScheme scheme;
+  scheme.Build(doc->root());
+  Rng rng(5);
+  for (int op = 0; op < 60; ++op) {
+    auto nodes = xml::CollectPreorder(doc->root());
+    xml::Node* parent = nodes[rng.NextBounded(nodes.size())];
+    ASSERT_TRUE(doc->InsertChild(parent, rng.NextBounded(parent->fanout() + 1),
+                                 doc->CreateElement("n"))
+                    .ok());
+    EXPECT_EQ(scheme.RelabelAndCount(doc->root()), 0u) << "op " << op;
+  }
+  // Full consistency after the storm.
+  auto nodes = ruidx::testing::AllNodes(doc->root());
+  auto order = ruidx::testing::DocOrderIndex(doc->root());
+  for (xml::Node* n : nodes) {
+    if (n->parent() != nullptr && !n->parent()->is_document()) {
+      EXPECT_TRUE(scheme.IsParent(n->parent(), n));
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    for (size_t j = 0; j < nodes.size(); j += 11) {
+      int expected = ruidx::testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      EXPECT_EQ(expected < 0, scheme.CompareOrder(nodes[i], nodes[j]) < 0);
+      EXPECT_EQ(scheme.IsAncestor(nodes[i], nodes[j]),
+                nodes[j]->HasAncestor(nodes[i]));
+    }
+  }
+}
+
+TEST(OrdpathSchemeTest, LabelsGrowUnderChurnButStayCorrect) {
+  auto doc = ruidx::testing::MustParse("<a><b/><c/></a>");
+  OrdpathScheme scheme;
+  scheme.Build(doc->root());
+  uint64_t bits_before = scheme.TotalLabelBits() / 3;
+  // Hammer one gap.
+  for (int op = 0; op < 100; ++op) {
+    ASSERT_TRUE(doc->InsertChild(doc->root(), 1, doc->CreateElement("x")).ok());
+    ASSERT_EQ(scheme.RelabelAndCount(doc->root()), 0u);
+  }
+  auto nodes = ruidx::testing::AllNodes(doc->root());
+  uint64_t max_bits = 0;
+  for (xml::Node* n : nodes) max_bits = std::max(max_bits, scheme.LabelBits(n));
+  EXPECT_GT(max_bits, bits_before) << "careting must cost label growth";
+  auto order = ruidx::testing::DocOrderIndex(doc->root());
+  for (size_t i = 0; i < nodes.size(); i += 3) {
+    for (size_t j = 0; j < nodes.size(); j += 5) {
+      int expected = ruidx::testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      EXPECT_EQ(expected < 0, scheme.CompareOrder(nodes[i], nodes[j]) < 0);
+    }
+  }
+}
+
+TEST(OrdpathSchemeTest, DeletionIsFree) {
+  auto doc = ruidx::testing::MustParse("<a><b><x/></b><c/><d/></a>");
+  OrdpathScheme scheme;
+  scheme.Build(doc->root());
+  ASSERT_TRUE(doc->RemoveSubtree(doc->root()->children()[0]).ok());
+  EXPECT_EQ(scheme.RelabelAndCount(doc->root()), 0u);
+  EXPECT_TRUE(scheme.IsParent(doc->root(), doc->root()->children()[0]));
+}
+
+TEST(OrdpathSchemeTest, SubtreeInsertGetsConsistentInterior) {
+  auto doc = ruidx::testing::MustParse("<a><b/><c/></a>");
+  OrdpathScheme scheme;
+  scheme.Build(doc->root());
+  xml::Node* sub = doc->CreateElement("sub");
+  ASSERT_TRUE(doc->AppendChild(sub, doc->CreateElement("s1")).ok());
+  ASSERT_TRUE(doc->AppendChild(sub, doc->CreateElement("s2")).ok());
+  ASSERT_TRUE(doc->InsertChild(doc->root(), 1, sub).ok());
+  EXPECT_EQ(scheme.RelabelAndCount(doc->root()), 0u);
+  EXPECT_TRUE(scheme.IsParent(doc->root(), sub));
+  EXPECT_TRUE(scheme.IsParent(sub, sub->children()[0]));
+  EXPECT_TRUE(scheme.IsAncestor(doc->root(), sub->children()[1]));
+  EXPECT_LT(scheme.CompareOrder(sub->children()[0], sub->children()[1]), 0);
+}
+
+}  // namespace
+}  // namespace scheme
+}  // namespace ruidx

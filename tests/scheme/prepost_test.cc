@@ -1,0 +1,93 @@
+#include "scheme/prepost.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace scheme {
+namespace {
+
+TEST(PrePostTest, SmallTreeRanks) {
+  auto doc = testing::MustParse("<a><b><c/></b><d/></a>");
+  PrePostScheme scheme;
+  scheme.Build(doc->root());
+  xml::Node* a = doc->root();
+  xml::Node* b = a->children()[0];
+  xml::Node* c = b->children()[0];
+  xml::Node* d = a->children()[1];
+  EXPECT_EQ(scheme.label(a).pre, 0u);
+  EXPECT_EQ(scheme.label(b).pre, 1u);
+  EXPECT_EQ(scheme.label(c).pre, 2u);
+  EXPECT_EQ(scheme.label(d).pre, 3u);
+  // Postorder: c, b, d, a.
+  EXPECT_EQ(scheme.label(c).post, 0u);
+  EXPECT_EQ(scheme.label(b).post, 1u);
+  EXPECT_EQ(scheme.label(d).post, 2u);
+  EXPECT_EQ(scheme.label(a).post, 3u);
+  EXPECT_EQ(scheme.label(a).level, 0u);
+  EXPECT_EQ(scheme.label(c).level, 2u);
+}
+
+TEST(PrePostTest, AncestorIsPreLessPostGreater) {
+  auto doc = testing::MustParse("<a><b><c/></b><d/></a>");
+  PrePostScheme scheme;
+  scheme.Build(doc->root());
+  xml::Node* a = doc->root();
+  xml::Node* b = a->children()[0];
+  xml::Node* c = b->children()[0];
+  xml::Node* d = a->children()[1];
+  EXPECT_TRUE(scheme.IsAncestor(a, c));
+  EXPECT_TRUE(scheme.IsAncestor(b, c));
+  EXPECT_FALSE(scheme.IsAncestor(b, d));
+  EXPECT_FALSE(scheme.IsAncestor(c, b));
+  EXPECT_TRUE(scheme.IsParent(b, c));
+  EXPECT_FALSE(scheme.IsParent(a, c));  // grandparent, not parent
+}
+
+TEST(PrePostTest, RelationsAgreeWithDom) {
+  xml::RandomTreeConfig config;
+  config.node_budget = 250;
+  config.seed = 8;
+  auto doc = xml::GenerateRandomTree(config);
+  PrePostScheme scheme;
+  scheme.Build(doc->root());
+  auto nodes = testing::AllNodes(doc->root());
+  auto order = testing::DocOrderIndex(doc->root());
+  for (size_t i = 0; i < nodes.size(); i += 5) {
+    for (size_t j = 0; j < nodes.size(); j += 9) {
+      EXPECT_EQ(scheme.IsAncestor(nodes[i], nodes[j]),
+                nodes[j]->HasAncestor(nodes[i]));
+      int expected = testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      int actual = scheme.CompareOrder(nodes[i], nodes[j]);
+      EXPECT_EQ(expected < 0, actual < 0);
+    }
+  }
+}
+
+TEST(PrePostTest, InsertionShiftsGlobally) {
+  // Pre/post ranks are global: inserting the first child of the root
+  // changes pre of everything after it and post of every ancestor.
+  auto doc = testing::MustParse("<a><b/><c/><d/></a>");
+  PrePostScheme scheme;
+  scheme.Build(doc->root());
+  xml::Node* x = doc->CreateElement("x");
+  ASSERT_TRUE(doc->InsertChild(doc->root(), 0, x).ok());
+  uint64_t changed = scheme.RelabelAndCount(doc->root());
+  EXPECT_EQ(changed, 4u);  // b, c, d shift pre+post; a's post shifts
+}
+
+TEST(PrePostTest, AppendAtDocumentEndStillShiftsAncestors) {
+  auto doc = testing::MustParse("<a><b/><c/></a>");
+  PrePostScheme scheme;
+  scheme.Build(doc->root());
+  ASSERT_TRUE(doc->AppendChild(doc->root(), doc->CreateElement("z")).ok());
+  // Appending at the very end shifts the postorder rank of every ancestor
+  // (just the root here).
+  EXPECT_EQ(scheme.RelabelAndCount(doc->root()), 1u);
+}
+
+}  // namespace
+}  // namespace scheme
+}  // namespace ruidx

@@ -1,0 +1,258 @@
+#include "scheme/uid.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "testutil.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace scheme {
+namespace {
+
+TEST(UidArithmeticTest, ParentFormula) {
+  // parent(i) = floor((i-2)/k) + 1, formula (1) of the paper.
+  EXPECT_EQ(UidParent(BigUint(2), 3), BigUint(1));
+  EXPECT_EQ(UidParent(BigUint(3), 3), BigUint(1));
+  EXPECT_EQ(UidParent(BigUint(4), 3), BigUint(1));
+  EXPECT_EQ(UidParent(BigUint(5), 3), BigUint(2));
+  EXPECT_EQ(UidParent(BigUint(8), 3), BigUint(3));
+  EXPECT_EQ(UidParent(BigUint(23), 3), BigUint(8));
+  EXPECT_EQ(UidParent(BigUint(26), 3), BigUint(9));
+}
+
+TEST(UidArithmeticTest, ChildInvertsParent) {
+  for (uint64_t k : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL}) {
+    BigUint node(1);
+    for (int depth = 0; depth < 5; ++depth) {
+      for (uint64_t j = 0; j < std::min<uint64_t>(k, 3); ++j) {
+        BigUint child = UidChild(node, k, j);
+        EXPECT_EQ(UidParent(child, k), node)
+            << "k=" << k << " j=" << j << " node=" << node.ToDecimalString();
+      }
+      node = UidChild(node, k, k - 1);  // descend along the rightmost child
+    }
+  }
+}
+
+TEST(UidArithmeticTest, LevelCountsParentSteps) {
+  EXPECT_EQ(UidLevel(BigUint(1), 3), 0u);
+  EXPECT_EQ(UidLevel(BigUint(4), 3), 1u);
+  EXPECT_EQ(UidLevel(BigUint(8), 3), 2u);
+  EXPECT_EQ(UidLevel(BigUint(23), 3), 3u);
+  // k = 1 degenerates to a chain: level = id - 1.
+  EXPECT_EQ(UidLevel(BigUint(5), 1), 4u);
+}
+
+TEST(UidArithmeticTest, IsAncestor) {
+  // With k=3: 1 -> 3 -> 8 -> 23.
+  EXPECT_TRUE(UidIsAncestor(BigUint(1), BigUint(23), 3));
+  EXPECT_TRUE(UidIsAncestor(BigUint(3), BigUint(23), 3));
+  EXPECT_TRUE(UidIsAncestor(BigUint(8), BigUint(23), 3));
+  EXPECT_FALSE(UidIsAncestor(BigUint(23), BigUint(8), 3));
+  EXPECT_FALSE(UidIsAncestor(BigUint(9), BigUint(23), 3));
+  EXPECT_FALSE(UidIsAncestor(BigUint(8), BigUint(8), 3));
+  EXPECT_FALSE(UidIsAncestor(BigUint(2), BigUint(23), 3));
+}
+
+TEST(UidArithmeticTest, CompareOrderSiblingsAndLevels) {
+  // Document order, k = 2: node 2 precedes node 3; the subtree of 2
+  // (ids 4, 5, ...) precedes node 3 even though 4, 5 > 3 numerically.
+  EXPECT_LT(UidCompareOrder(BigUint(2), BigUint(3), 2), 0);
+  EXPECT_LT(UidCompareOrder(BigUint(4), BigUint(3), 2), 0);
+  EXPECT_LT(UidCompareOrder(BigUint(5), BigUint(3), 2), 0);
+  EXPECT_GT(UidCompareOrder(BigUint(3), BigUint(4), 2), 0);
+  // Ancestors precede descendants.
+  EXPECT_LT(UidCompareOrder(BigUint(2), BigUint(4), 2), 0);
+  EXPECT_GT(UidCompareOrder(BigUint(4), BigUint(2), 2), 0);
+  EXPECT_EQ(UidCompareOrder(BigUint(7), BigUint(7), 2), 0);
+}
+
+// --- E1: the Fig. 1 insertion experiment, exact identifiers ---------------
+
+class UidFig1Test : public ::testing::Test {
+ protected:
+  // The tree of Fig. 1(a) (virtual nodes omitted): with k = 3, the real
+  // nodes carry UIDs 1, 2, 3, 8, 9, 23, 26, 27.
+  void SetUp() override {
+    doc_ = std::make_unique<xml::Document>();
+    root_ = doc_->CreateElement("n1");
+    a_ = doc_->CreateElement("n2");
+    b_ = doc_->CreateElement("n3");
+    c_ = doc_->CreateElement("n8");
+    d_ = doc_->CreateElement("n9");
+    e_ = doc_->CreateElement("n23");
+    f_ = doc_->CreateElement("n26");
+    g_ = doc_->CreateElement("n27");
+    ASSERT_TRUE(doc_->AppendChild(doc_->document_node(), root_).ok());
+    ASSERT_TRUE(doc_->AppendChild(root_, a_).ok());
+    ASSERT_TRUE(doc_->AppendChild(root_, b_).ok());
+    ASSERT_TRUE(doc_->AppendChild(b_, c_).ok());
+    ASSERT_TRUE(doc_->AppendChild(b_, d_).ok());
+    ASSERT_TRUE(doc_->AppendChild(c_, e_).ok());
+    ASSERT_TRUE(doc_->AppendChild(d_, f_).ok());
+    ASSERT_TRUE(doc_->AppendChild(d_, g_).ok());
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  xml::Node* root_;
+  xml::Node *a_, *b_, *c_, *d_, *e_, *f_, *g_;
+};
+
+TEST_F(UidFig1Test, BeforeInsertion) {
+  UidScheme uid(3);
+  uid.Build(root_);
+  EXPECT_EQ(uid.k(), 3u);
+  EXPECT_EQ(uid.label(root_), BigUint(1));
+  EXPECT_EQ(uid.label(a_), BigUint(2));
+  EXPECT_EQ(uid.label(b_), BigUint(3));
+  EXPECT_EQ(uid.label(c_), BigUint(8));
+  EXPECT_EQ(uid.label(d_), BigUint(9));
+  EXPECT_EQ(uid.label(e_), BigUint(23));
+  EXPECT_EQ(uid.label(f_), BigUint(26));
+  EXPECT_EQ(uid.label(g_), BigUint(27));
+}
+
+TEST_F(UidFig1Test, AfterInsertionMatchesFig1b) {
+  UidScheme uid(3);
+  uid.Build(root_);
+  // Insert a node between nodes 2 and 3 (Fig. 1(b)).
+  xml::Node* inserted = doc_->CreateElement("new");
+  ASSERT_TRUE(doc_->InsertChild(root_, 1, inserted).ok());
+  uint64_t changed = uid.RelabelAndCount(root_);
+  // "The previous nodes 3, 8, 9, 23, 26 and 27 are re-numerated as nodes
+  //  4, 11, 12, 32, 35, and 36, respectively."
+  EXPECT_EQ(uid.label(inserted), BigUint(3));
+  EXPECT_EQ(uid.label(b_), BigUint(4));
+  EXPECT_EQ(uid.label(c_), BigUint(11));
+  EXPECT_EQ(uid.label(d_), BigUint(12));
+  EXPECT_EQ(uid.label(e_), BigUint(32));
+  EXPECT_EQ(uid.label(f_), BigUint(35));
+  EXPECT_EQ(uid.label(g_), BigUint(36));
+  // Unchanged: root, node 2.
+  EXPECT_EQ(uid.label(root_), BigUint(1));
+  EXPECT_EQ(uid.label(a_), BigUint(2));
+  EXPECT_EQ(changed, 6u);
+}
+
+TEST_F(UidFig1Test, FanoutOverflowRenumbersEverything) {
+  UidScheme uid(3);
+  uid.Build(root_);
+  // A fourth child of node 9 overflows k = 3: k grows and every identifier
+  // below the root is recomputed.
+  ASSERT_TRUE(doc_->AppendChild(d_, doc_->CreateElement("x")).ok());
+  ASSERT_TRUE(doc_->AppendChild(root_, doc_->CreateElement("y")).ok());
+  ASSERT_TRUE(doc_->AppendChild(root_, doc_->CreateElement("z")).ok());
+  ASSERT_TRUE(doc_->AppendChild(root_, doc_->CreateElement("w")).ok());
+  // Root now has 5 children: k must become 5.
+  uint64_t changed = uid.RelabelAndCount(root_);
+  EXPECT_EQ(uid.k(), 5u);
+  // Everything below the first level changed; the root's direct children
+  // keep ids 2 and 3 ((1-1)*k + 2 + j is k-independent for the root).
+  EXPECT_EQ(changed, 5u);
+  EXPECT_EQ(uid.label(a_), BigUint(2));
+  EXPECT_EQ(uid.label(b_), BigUint(3));
+  EXPECT_EQ(uid.label(c_), BigUint(12));  // (3-1)*5+2
+}
+
+TEST(UidSchemeTest, LabelsAreUniqueAndInvertible) {
+  auto doc = xml::GenerateUniformTree(200, 4);
+  UidScheme uid;
+  uid.Build(doc->root());
+  std::unordered_set<std::string> seen;
+  for (xml::Node* n : testing::AllNodes(doc->root())) {
+    EXPECT_TRUE(seen.insert(uid.label(n).ToDecimalString()).second);
+    EXPECT_EQ(uid.NodeByLabel(uid.label(n)), n);
+  }
+  EXPECT_EQ(uid.NodeByLabel(uid.max_label() + 1), nullptr);
+}
+
+TEST(UidSchemeTest, ParentAndAncestorAgreeWithDom) {
+  xml::RandomTreeConfig config;
+  config.node_budget = 300;
+  config.max_fanout = 6;
+  config.seed = 15;
+  auto doc = xml::GenerateRandomTree(config);
+  UidScheme uid;
+  uid.Build(doc->root());
+  auto nodes = testing::AllNodes(doc->root());
+  for (xml::Node* n : nodes) {
+    if (n->parent() != nullptr && !n->parent()->is_document()) {
+      EXPECT_TRUE(uid.IsParent(n->parent(), n));
+      EXPECT_FALSE(uid.IsParent(n, n->parent()));
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); i += 17) {
+    for (size_t j = 0; j < nodes.size(); j += 13) {
+      EXPECT_EQ(uid.IsAncestor(nodes[i], nodes[j]),
+                nodes[j]->HasAncestor(nodes[i]))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(UidSchemeTest, CompareOrderAgreesWithDom) {
+  xml::RandomTreeConfig config;
+  config.node_budget = 150;
+  config.seed = 4;
+  auto doc = xml::GenerateRandomTree(config);
+  UidScheme uid;
+  uid.Build(doc->root());
+  auto nodes = testing::AllNodes(doc->root());
+  auto order = testing::DocOrderIndex(doc->root());
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    for (size_t j = 0; j < nodes.size(); j += 11) {
+      int expected = testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      int actual = uid.CompareOrder(nodes[i], nodes[j]);
+      EXPECT_EQ(expected < 0, actual < 0) << i << "," << j;
+      EXPECT_EQ(expected == 0, actual == 0) << i << "," << j;
+    }
+  }
+}
+
+TEST(UidSchemeTest, DeepTreeOverflowsUint64) {
+  // Sec. 1: identifier values grow at k^depth and "easily exceed the
+  // maximal manageable integer value" — the reason BigUint exists.
+  xml::DeepTreeConfig config;
+  config.depth = 48;
+  config.siblings_per_level = 3;
+  auto doc = xml::GenerateDeepTree(config);
+  UidScheme uid;
+  uid.Build(doc->root());
+  EXPECT_GT(uid.max_label().BitWidth(), 64);
+}
+
+TEST(UidSchemeTest, LabelBitsAccounting) {
+  auto doc = xml::GenerateUniformTree(50, 3);
+  UidScheme uid;
+  uid.Build(doc->root());
+  uint64_t total = 0;
+  for (xml::Node* n : testing::AllNodes(doc->root())) {
+    total += uid.LabelBits(n);
+  }
+  EXPECT_EQ(total, uid.TotalLabelBits());
+}
+
+TEST(UidSchemeTest, SingleNodeTree) {
+  auto doc = testing::MustParse("<only/>");
+  UidScheme uid;
+  uid.Build(doc->root());
+  EXPECT_EQ(uid.label(doc->root()), BigUint(1));
+  EXPECT_EQ(uid.k(), 1u);
+}
+
+TEST(UidSchemeTest, DeletionShrinksScope) {
+  auto doc = testing::MustParse("<a><b><x/><y/></b><c/><d/></a>");
+  UidScheme uid;
+  uid.Build(doc->root());
+  xml::Node* b = doc->root()->children()[0];
+  ASSERT_TRUE(doc->RemoveSubtree(b).ok());
+  uint64_t changed = uid.RelabelAndCount(doc->root());
+  // c and d shift left; their ids change. The removed nodes don't count.
+  EXPECT_EQ(changed, 2u);
+}
+
+}  // namespace
+}  // namespace scheme
+}  // namespace ruidx

@@ -1,0 +1,135 @@
+#include "scheme/xiss.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace scheme {
+namespace {
+
+TEST(XissTest, IntervalsNestProperly) {
+  auto doc = testing::MustParse("<a><b><c/></b><d/></a>");
+  XissScheme scheme;
+  scheme.Build(doc->root());
+  xml::Node* a = doc->root();
+  xml::Node* b = a->children()[0];
+  xml::Node* c = b->children()[0];
+  xml::Node* d = a->children()[1];
+  // Child intervals are contained in the parent interval.
+  EXPECT_GT(scheme.label(b).order, scheme.label(a).order);
+  EXPECT_LE(scheme.label(b).order + scheme.label(b).size,
+            scheme.label(a).order + scheme.label(a).size);
+  EXPECT_TRUE(scheme.IsAncestor(a, c));
+  EXPECT_TRUE(scheme.IsParent(b, c));
+  EXPECT_FALSE(scheme.IsParent(a, c));
+  EXPECT_FALSE(scheme.IsAncestor(b, d));
+}
+
+TEST(XissTest, RelationsAgreeWithDom) {
+  xml::RandomTreeConfig config;
+  config.node_budget = 250;
+  config.seed = 23;
+  auto doc = xml::GenerateRandomTree(config);
+  XissScheme scheme;
+  scheme.Build(doc->root());
+  auto nodes = testing::AllNodes(doc->root());
+  auto order = testing::DocOrderIndex(doc->root());
+  for (size_t i = 0; i < nodes.size(); i += 5) {
+    for (size_t j = 0; j < nodes.size(); j += 9) {
+      EXPECT_EQ(scheme.IsAncestor(nodes[i], nodes[j]),
+                nodes[j]->HasAncestor(nodes[i]));
+      int expected = testing::DomCompareOrder(order, nodes[i], nodes[j]);
+      int actual = scheme.CompareOrder(nodes[i], nodes[j]);
+      EXPECT_EQ(expected < 0, actual < 0);
+    }
+  }
+}
+
+TEST(XissTest, SmallInsertionAbsorbedByGap) {
+  auto doc = testing::MustParse("<a><b/><c/><d/></a>");
+  XissScheme scheme(/*slack=*/3.0, /*leaf_slack=*/8);
+  scheme.Build(doc->root());
+  xml::Node* x = doc->CreateElement("x");
+  ASSERT_TRUE(doc->InsertChild(doc->root(), 1, x).ok());
+  // The spare interval absorbs the new leaf: nobody is relabeled.
+  EXPECT_EQ(scheme.RelabelAndCount(doc->root()), 0u);
+  // And the new node's label must still be consistent.
+  EXPECT_TRUE(scheme.IsParent(doc->root(), x));
+  auto order = testing::DocOrderIndex(doc->root());
+  auto nodes = testing::AllNodes(doc->root());
+  for (xml::Node* n : nodes) {
+    int expected = testing::DomCompareOrder(order, n, x);
+    if (n == x) continue;
+    EXPECT_EQ(expected < 0, scheme.CompareOrder(n, x) < 0);
+  }
+}
+
+TEST(XissTest, OverflowForcesReEnumeration) {
+  auto doc = testing::MustParse("<a><b/><c/></a>");
+  XissScheme scheme(/*slack=*/1.0, /*leaf_slack=*/0);
+  scheme.Build(doc->root());
+  // With zero slack there is no gap: insertion in the middle must relabel.
+  xml::Node* x = doc->CreateElement("x");
+  ASSERT_TRUE(doc->InsertChild(doc->root(), 1, x).ok());
+  EXPECT_GT(scheme.RelabelAndCount(doc->root()), 0u);
+  // Consistency after the rebuild.
+  EXPECT_TRUE(scheme.IsParent(doc->root(), x));
+}
+
+TEST(XissTest, DeletionIsFree) {
+  auto doc = testing::MustParse("<a><b><x/><y/></b><c/><d/></a>");
+  XissScheme scheme;
+  scheme.Build(doc->root());
+  xml::Node* b = doc->root()->children()[0];
+  ASSERT_TRUE(doc->RemoveSubtree(b).ok());
+  // Freed intervals become slack; nobody is relabeled.
+  EXPECT_EQ(scheme.RelabelAndCount(doc->root()), 0u);
+}
+
+TEST(XissTest, SubtreeInsertionReusesDeletedInterval) {
+  // The natural order/size strength: a deletion frees its whole interval,
+  // and a later subtree insertion at the same spot slides into it without
+  // relabeling anyone.
+  auto doc = testing::MustParse("<a><b/><big><x/><y/><z/></big><c/></a>");
+  XissScheme scheme(/*slack=*/1.25, /*leaf_slack=*/4);
+  scheme.Build(doc->root());
+  xml::Node* big = doc->root()->children()[1];
+  ASSERT_TRUE(doc->RemoveSubtree(big).ok());
+  ASSERT_EQ(scheme.RelabelAndCount(doc->root()), 0u);
+
+  xml::Node* sub = doc->CreateElement("sub");
+  ASSERT_TRUE(doc->AppendChild(sub, doc->CreateElement("s1")).ok());
+  ASSERT_TRUE(doc->AppendChild(sub, doc->CreateElement("s2")).ok());
+  ASSERT_TRUE(doc->InsertChild(doc->root(), 1, sub).ok());
+  EXPECT_EQ(scheme.RelabelAndCount(doc->root()), 0u);
+  EXPECT_TRUE(scheme.IsParent(doc->root(), sub));
+  EXPECT_TRUE(scheme.IsAncestor(doc->root(), sub->children()[0]));
+  EXPECT_TRUE(scheme.IsParent(sub, sub->children()[1]));
+}
+
+TEST(XissTest, RepeatedInsertionsEventuallyOverflow) {
+  auto doc = testing::MustParse("<a><b/><c/></a>");
+  XissScheme scheme(/*slack=*/1.25, /*leaf_slack=*/2);
+  scheme.Build(doc->root());
+  uint64_t total_relabels = 0;
+  for (int i = 0; i < 40; ++i) {
+    xml::Node* x = doc->CreateElement("x");
+    ASSERT_TRUE(doc->InsertChild(doc->root(), 1, x).ok());
+    total_relabels += scheme.RelabelAndCount(doc->root());
+  }
+  // Some inserts were free, but the gaps are finite.
+  EXPECT_GT(total_relabels, 0u);
+  // Labels remain globally consistent afterwards.
+  auto nodes = testing::AllNodes(doc->root());
+  for (xml::Node* n : nodes) {
+    if (n->parent() != nullptr && !n->parent()->is_document()) {
+      EXPECT_TRUE(scheme.IsParent(n->parent(), n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scheme
+}  // namespace ruidx

@@ -1,0 +1,242 @@
+#include "storage/element_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "testutil.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace storage {
+namespace {
+
+core::PartitionOptions SmallAreas() {
+  core::PartitionOptions options;
+  options.max_area_nodes = 12;
+  options.max_area_depth = 3;
+  return options;
+}
+
+TEST(IdKeyCodecTest, RoundTripAndOrder) {
+  core::Ruid2Id a{BigUint(3), BigUint(7), false};
+  core::Ruid2Id b{BigUint(3), BigUint(8), false};
+  core::Ruid2Id c{BigUint(4), BigUint(1), true};
+  auto ka = EncodeIdKey(a);
+  auto kb = EncodeIdKey(b);
+  auto kc = EncodeIdKey(c);
+  ASSERT_TRUE(ka.ok() && kb.ok() && kc.ok());
+  EXPECT_EQ(DecodeIdKey(*ka), a);
+  EXPECT_EQ(DecodeIdKey(*kc), c);
+  // Bytewise order == (global, local) order.
+  EXPECT_LT(memcmp(ka->data(), kb->data(), BPlusTree::kKeySize), 0);
+  EXPECT_LT(memcmp(kb->data(), kc->data(), BPlusTree::kKeySize), 0);
+}
+
+TEST(IdKeyCodecTest, BigComponents) {
+  core::Ruid2Id big{BigUint::Pow(BigUint(2), 100), BigUint::Pow(BigUint(3), 60),
+                    true};
+  auto key = EncodeIdKey(big);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(DecodeIdKey(*key), big);
+  core::Ruid2Id too_big{BigUint::Pow(BigUint(2), 129), BigUint(1), false};
+  EXPECT_TRUE(EncodeIdKey(too_big).status().IsCapacityExceeded());
+}
+
+class ElementStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = xml::GenerateDblpLike(40);
+    scheme_ = std::make_unique<core::Ruid2Scheme>(SmallAreas());
+    scheme_->Build(doc_->root());
+    auto store = ElementStore::Create("", 32);
+    ASSERT_TRUE(store.ok());
+    store_ = store.MoveValueUnsafe();
+    ASSERT_TRUE(store_->BulkLoad(*scheme_, doc_->root()).ok());
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<core::Ruid2Scheme> scheme_;
+  std::unique_ptr<ElementStore> store_;
+};
+
+TEST_F(ElementStoreTest, BulkLoadStoresEveryNode) {
+  EXPECT_EQ(store_->record_count(), scheme_->label_count());
+  for (xml::Node* n : ruidx::testing::AllNodes(doc_->root())) {
+    auto record = store_->Get(scheme_->label(n));
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->name, n->name());
+    EXPECT_EQ(record->id, scheme_->label(n));
+    EXPECT_EQ(static_cast<xml::NodeType>(record->node_type), n->type());
+  }
+}
+
+TEST_F(ElementStoreTest, ParentPointersStored) {
+  for (xml::Node* n : ruidx::testing::AllNodes(doc_->root())) {
+    auto record = store_->Get(scheme_->label(n));
+    ASSERT_TRUE(record.ok());
+    if (n == doc_->root()) {
+      EXPECT_EQ(record->parent_id, record->id);
+    } else {
+      EXPECT_EQ(record->parent_id, scheme_->label(n->parent()));
+    }
+  }
+}
+
+TEST_F(ElementStoreTest, ExistsDistinguishesVirtualIds) {
+  auto real = store_->Exists(scheme_->label(doc_->root()->children()[0]));
+  ASSERT_TRUE(real.ok());
+  EXPECT_TRUE(*real);
+  auto fake = store_->Exists(core::Ruid2Id{BigUint(1), BigUint(99999), false});
+  ASSERT_TRUE(fake.ok());
+  EXPECT_FALSE(*fake);
+}
+
+TEST_F(ElementStoreTest, RuidAncestorCheckNeedsNoPageAccess) {
+  // Pick a deep node.
+  xml::Node* deep = doc_->root()->children()[5]->children()[0];
+  core::Ruid2Id a = scheme_->label(doc_->root());
+  core::Ruid2Id d = scheme_->label(deep);
+
+  ASSERT_TRUE(store_->Flush().ok());
+  store_->ResetStats();
+  EXPECT_TRUE(store_->IsAncestorViaRuid(*scheme_, a, d));
+  EXPECT_EQ(store_->logical_page_accesses(), 0u)
+      << "rparent must run without touching the store (Sec. 3.3)";
+
+  store_->ResetStats();
+  auto nav = store_->IsAncestorViaParentPointers(a, d);
+  ASSERT_TRUE(nav.ok());
+  EXPECT_TRUE(*nav);
+  EXPECT_GT(store_->logical_page_accesses(), 0u)
+      << "parent-pointer navigation must fetch records";
+}
+
+TEST_F(ElementStoreTest, BothAncestorChecksAgree) {
+  auto nodes = ruidx::testing::AllNodes(doc_->root());
+  for (size_t i = 0; i < nodes.size(); i += 13) {
+    for (size_t j = 0; j < nodes.size(); j += 17) {
+      core::Ruid2Id a = scheme_->label(nodes[i]);
+      core::Ruid2Id d = scheme_->label(nodes[j]);
+      bool via_ruid = store_->IsAncestorViaRuid(*scheme_, a, d);
+      auto via_nav = store_->IsAncestorViaParentPointers(a, d);
+      ASSERT_TRUE(via_nav.ok());
+      EXPECT_EQ(via_ruid, *via_nav) << i << "," << j;
+    }
+  }
+}
+
+TEST_F(ElementStoreTest, FetchAncestorsReturnsChain) {
+  xml::Node* deep = doc_->root()->children()[3]->children()[1];
+  auto chain = store_->FetchAncestors(*scheme_, scheme_->label(deep));
+  ASSERT_TRUE(chain.ok());
+  auto expected = ruidx::testing::DomAncestors(deep);
+  ASSERT_EQ(chain->size(), expected.size());
+  for (size_t i = 0; i < chain->size(); ++i) {
+    EXPECT_EQ((*chain)[i].id, scheme_->label(expected[i]));
+  }
+}
+
+TEST_F(ElementStoreTest, ScanAreaReturnsAreaMembers) {
+  // Area of the root: global index 1.
+  size_t count = 0;
+  ASSERT_TRUE(store_
+                  ->ScanArea(BigUint(1),
+                             [&](const ElementRecord& record) {
+                               EXPECT_EQ(record.id.global, BigUint(1));
+                               ++count;
+                               return true;
+                             })
+                  .ok());
+  // Non-root members of area 1 (the root is stored under global 1 too).
+  EXPECT_GT(count, 0u);
+  EXPECT_LT(count, store_->record_count());
+}
+
+TEST_F(ElementStoreTest, TextValuesRoundTrip) {
+  auto doc = ruidx::testing::MustParse("<a><b>hello &amp; bye</b></a>");
+  core::Ruid2Scheme scheme;
+  scheme.Build(doc->root());
+  auto store = ElementStore::Create("", 8);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+  xml::Node* text = doc->root()->children()[0]->children()[0];
+  auto record = (*store)->Get(scheme.label(text));
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->value, "hello & bye");
+}
+
+TEST(ElementStoreEdgeTest, PersistsAcrossReopen) {
+  std::string path = ::testing::TempDir() + "/ruidx_store_test.db";
+  std::remove(path.c_str());
+  auto doc = xml::GenerateDblpLike(60);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  uint64_t expected_count = 0;
+  {
+    auto store = ElementStore::Create(path, 16);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+    expected_count = (*store)->record_count();
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  {
+    auto reopened = ElementStore::Open(path, 16);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->record_count(), expected_count);
+    // Lookups and navigational checks still work after reopen.
+    xml::Node* deep = doc->root()->children()[30]->children()[0];
+    auto record = (*reopened)->Get(scheme.label(deep));
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->name, deep->name());
+    auto nav = (*reopened)->IsAncestorViaParentPointers(
+        scheme.label(doc->root()), scheme.label(deep));
+    ASSERT_TRUE(nav.ok());
+    EXPECT_TRUE(*nav);
+    // And new inserts land correctly.
+    ElementRecord extra;
+    extra.id = core::Ruid2Id{BigUint(999999), BigUint(2), false};
+    extra.parent_id = extra.id;
+    extra.name = "extra";
+    ASSERT_TRUE((*reopened)->Put(extra).ok());
+    auto back = (*reopened)->Get(extra.id);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->name, "extra");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ElementStoreEdgeTest, OpenRejectsGarbageFile) {
+  std::string path = ::testing::TempDir() + "/ruidx_garbage.db";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::vector<char> junk(kPageSize, 'x');
+    std::fwrite(junk.data(), 1, junk.size(), f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ElementStore::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ElementStoreEdgeTest, LargeDocumentManyPages) {
+  auto doc = xml::GenerateUniformTree(5000, 4);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  auto store = ElementStore::Create("", 16);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+  EXPECT_EQ((*store)->record_count(), 5000u);
+  // Spot-check lookups after evictions.
+  auto nodes = ruidx::testing::AllNodes(doc->root());
+  for (size_t i = 0; i < nodes.size(); i += 331) {
+    auto record = (*store)->Get(scheme.label(nodes[i]));
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->name, nodes[i]->name());
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ruidx

@@ -1,0 +1,105 @@
+// Failure injection: every storage layer must surface injected I/O errors
+// as Status, never crash, and recover once the fault clears.
+#include <gtest/gtest.h>
+
+#include "storage/bptree.h"
+#include "storage/buffer_pool.h"
+#include "storage/element_store.h"
+#include "storage/pager.h"
+
+namespace ruidx {
+namespace storage {
+namespace {
+
+BPlusTree::Key MakeKey(uint64_t v) {
+  BPlusTree::Key key{};
+  for (int i = 0; i < 8; ++i) {
+    key[31 - i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  return key;
+}
+
+TEST(FaultInjectionTest, PagerFailsOnCue) {
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  auto id = (*pager)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char buf[kPageSize] = {0};
+  (*pager)->InjectFaultAfter(0);
+  EXPECT_TRUE((*pager)->ReadPage(*id, buf).IsIOError());
+  EXPECT_TRUE((*pager)->WritePage(*id, buf).IsIOError());
+  (*pager)->InjectFaultAfter(~0ULL);
+  EXPECT_TRUE((*pager)->ReadPage(*id, buf).ok());
+}
+
+TEST(FaultInjectionTest, BufferPoolPropagatesReadError) {
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  // Two real pages; pool of one frame forces re-reads.
+  auto a = (*pager)->AllocatePage();
+  auto b = (*pager)->AllocatePage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  BufferPool pool(pager->get(), 1);
+  ASSERT_TRUE(pool.Fetch(*a).ok());
+  pool.Unpin(*a, false);
+  (*pager)->InjectFaultAfter(0);
+  auto failed = pool.Fetch(*b);
+  EXPECT_TRUE(failed.status().IsIOError());
+  (*pager)->InjectFaultAfter(~0ULL);
+  EXPECT_TRUE(pool.Fetch(*b).ok());
+  pool.Unpin(*b, false);
+}
+
+TEST(FaultInjectionTest, BPlusTreeInsertSurvivesLateFaults) {
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  // A tiny pool evicts constantly, so faults hit mid-operation.
+  BufferPool pool(pager->get(), 3);
+  auto tree = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree->Insert(MakeKey(i), i).ok());
+  }
+  (*pager)->InjectFaultAfter(20);
+  bool saw_error = false;
+  for (uint64_t i = 500; i < 1500; ++i) {
+    Status st = tree->Insert(MakeKey(i), i);
+    if (!st.ok()) {
+      EXPECT_TRUE(st.IsIOError()) << st.ToString();
+      saw_error = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_error);
+  // Clear the fault: previously committed keys are still readable.
+  (*pager)->InjectFaultAfter(~0ULL);
+  for (uint64_t i = 0; i < 500; i += 37) {
+    auto v = tree->Get(MakeKey(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(FaultInjectionTest, GetReportsErrorNotGarbage) {
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  BufferPool pool(pager->get(), 2);
+  auto tree = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree->Insert(MakeKey(i), i).ok());
+  }
+  (*pager)->InjectFaultAfter(0);
+  auto v = tree->Get(MakeKey(399));
+  // Either the page was cached (ok) or the read failed loudly; both are
+  // acceptable, silent wrong answers are not.
+  if (!v.ok()) {
+    EXPECT_TRUE(v.status().IsIOError());
+  } else {
+    EXPECT_EQ(*v, 399u);
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ruidx

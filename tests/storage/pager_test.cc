@@ -1,0 +1,85 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace ruidx {
+namespace storage {
+namespace {
+
+TEST(PagerTest, AllocateReadWrite) {
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  auto id = (*pager)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_EQ((*pager)->page_count(), 1u);
+
+  char out[kPageSize];
+  std::memset(out, 0xAB, sizeof(out));
+  ASSERT_TRUE((*pager)->WritePage(*id, out).ok());
+  char in[kPageSize];
+  ASSERT_TRUE((*pager)->ReadPage(*id, in).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST(PagerTest, FreshPagesAreZeroed) {
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  auto id = (*pager)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char in[kPageSize];
+  std::memset(in, 0x55, sizeof(in));
+  ASSERT_TRUE((*pager)->ReadPage(*id, in).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(in[i], 0);
+}
+
+TEST(PagerTest, ReadBeyondEofFails) {
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  char in[kPageSize];
+  EXPECT_TRUE((*pager)->ReadPage(3, in).IsOutOfRange());
+}
+
+TEST(PagerTest, StatsCountPhysicalIo) {
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  auto id = (*pager)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  (*pager)->ResetStats();
+  char buf[kPageSize] = {0};
+  ASSERT_TRUE((*pager)->WritePage(*id, buf).ok());
+  ASSERT_TRUE((*pager)->ReadPage(*id, buf).ok());
+  ASSERT_TRUE((*pager)->ReadPage(*id, buf).ok());
+  EXPECT_EQ((*pager)->stats().physical_writes, 1u);
+  EXPECT_EQ((*pager)->stats().physical_reads, 2u);
+}
+
+TEST(PagerTest, PersistsAcrossReopen) {
+  std::string path = ::testing::TempDir() + "/ruidx_pager_test.db";
+  std::remove(path.c_str());
+  {
+    auto pager = Pager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    auto id = (*pager)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    char buf[kPageSize];
+    std::memset(buf, 0x7E, sizeof(buf));
+    ASSERT_TRUE((*pager)->WritePage(*id, buf).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  {
+    auto pager = Pager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    EXPECT_EQ((*pager)->page_count(), 1u);
+    char buf[kPageSize];
+    ASSERT_TRUE((*pager)->ReadPage(0, buf).ok());
+    EXPECT_EQ(buf[17], 0x7E);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ruidx

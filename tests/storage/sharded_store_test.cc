@@ -1,0 +1,153 @@
+// Sec. 4 "Database file/table selection": (name, area) sharding.
+#include "storage/sharded_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testutil.h"
+#include "xml/generator.h"
+#include "xpath/name_index.h"
+
+namespace ruidx {
+namespace storage {
+namespace {
+
+core::PartitionOptions SmallAreas() {
+  core::PartitionOptions options;
+  options.max_area_nodes = 24;
+  options.max_area_depth = 3;
+  return options;
+}
+
+class ShardedStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = xml::GenerateDblpLike(120);
+    scheme_ = std::make_unique<core::Ruid2Scheme>(SmallAreas());
+    scheme_->Build(doc_->root());
+    auto store = ShardedElementStore::Create("");
+    ASSERT_TRUE(store.ok());
+    store_ = store.MoveValueUnsafe();
+    ASSERT_TRUE(store_->BulkLoad(*scheme_, doc_->root()).ok());
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<core::Ruid2Scheme> scheme_;
+  std::unique_ptr<ShardedElementStore> store_;
+};
+
+TEST_F(ShardedStoreTest, EveryRecordRoutable) {
+  EXPECT_EQ(store_->record_count(), scheme_->label_count());
+  EXPECT_GT(store_->shard_count(), 1u);
+  for (xml::Node* n : ruidx::testing::AllNodes(doc_->root())) {
+    auto record = store_->Get(n->name(), scheme_->label(n));
+    ASSERT_TRUE(record.ok()) << n->name();
+    EXPECT_EQ(record->id, scheme_->label(n));
+  }
+}
+
+TEST_F(ShardedStoreTest, GetWithWrongNameFails) {
+  xml::Node* some = doc_->root()->children()[0];
+  EXPECT_TRUE(
+      store_->Get("not-its-name", scheme_->label(some)).status().IsNotFound());
+}
+
+TEST_F(ShardedStoreTest, ScanNameReturnsExactlyThatName) {
+  xpath::NameIndex index(doc_->root());
+  for (const char* name : {"author", "title", "year", "article"}) {
+    size_t expected = index.Lookup(name).size();
+    size_t got = 0;
+    ASSERT_TRUE(store_
+                    ->ScanName(name,
+                               [&](const ElementRecord& record) {
+                                 EXPECT_EQ(record.name, name);
+                                 ++got;
+                                 return true;
+                               })
+                    .ok());
+    EXPECT_EQ(got, expected) << name;
+  }
+}
+
+TEST_F(ShardedStoreTest, ScanNameInAreaTouchesOneShard) {
+  // Pick an author and scan its (name, area) shard only.
+  xpath::NameIndex index(doc_->root());
+  ASSERT_FALSE(index.Lookup("author").empty());
+  xml::Node* author = index.Lookup("author")[0];
+  const BigUint& global = scheme_->label(author).global;
+  bool found = false;
+  ASSERT_TRUE(store_
+                  ->ScanNameInArea("author", global,
+                                   [&](const ElementRecord& record) {
+                                     EXPECT_EQ(record.name, "author");
+                                     EXPECT_EQ(record.id.global, global);
+                                     found |= record.id ==
+                                              scheme_->label(author);
+                                     return true;
+                                   })
+                  .ok());
+  EXPECT_TRUE(found);
+  // Unknown (name, area) pairs are simply empty.
+  size_t none = 0;
+  ASSERT_TRUE(store_
+                  ->ScanNameInArea("author", BigUint(99999999),
+                                   [&](const ElementRecord&) {
+                                     ++none;
+                                     return true;
+                                   })
+                  .ok());
+  EXPECT_EQ(none, 0u);
+}
+
+TEST_F(ShardedStoreTest, SelectionTouchesFewerPagesThanFullScan) {
+  // The Sec. 4 point: by-name selection reads only that name's small
+  // tables. Compare page accesses against scanning every shard.
+  store_->ResetStats();
+  size_t years = 0;
+  ASSERT_TRUE(store_->ScanName("year", [&](const ElementRecord&) {
+    ++years;
+    return true;
+  }).ok());
+  uint64_t selective_io = store_->logical_page_accesses();
+
+  store_->ResetStats();
+  size_t all = 0;
+  for (const char* name :
+       {"dblp", "article", "inproceedings", "book", "author", "title", "year",
+        ""}) {
+    (void)store_->ScanName(name, [&](const ElementRecord&) {
+      ++all;
+      return true;
+    });
+  }
+  uint64_t full_io = store_->logical_page_accesses();
+  EXPECT_GT(years, 0u);
+  EXPECT_EQ(all, store_->record_count());
+  EXPECT_LT(selective_io, full_io / 2);
+}
+
+TEST(ShardedStoreFileTest, FileBackedShardsWork) {
+  std::string dir = ::testing::TempDir() + "/ruidx_shards";
+  (void)std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  auto doc = ruidx::testing::MustParse("<a><b>x</b><b>y</b><c/></a>");
+  core::Ruid2Scheme scheme;
+  scheme.Build(doc->root());
+  auto store = ShardedElementStore::Create(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+  size_t bs = 0;
+  ASSERT_TRUE((*store)
+                  ->ScanName("b",
+                             [&](const ElementRecord&) {
+                               ++bs;
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(bs, 2u);
+  (void)std::system(("rm -rf " + dir).c_str());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ruidx

@@ -1,0 +1,113 @@
+// Shared helpers for the test suite: document construction from XML text,
+// DOM-based ground truth for orders and axes, and deterministic workloads.
+#ifndef RUIDX_TESTS_TESTUTIL_H_
+#define RUIDX_TESTS_TESTUTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/dom.h"
+#include "xml/parser.h"
+
+namespace ruidx {
+namespace testing {
+
+/// Parses `text` or fails the current test.
+inline std::unique_ptr<xml::Document> MustParse(const std::string& text) {
+  auto result = xml::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return nullptr;
+  return result.MoveValueUnsafe();
+}
+
+/// serial -> document-order position of every node under `root`.
+inline std::unordered_map<uint32_t, size_t> DocOrderIndex(xml::Node* root) {
+  std::unordered_map<uint32_t, size_t> order;
+  size_t pos = 0;
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    order[n->serial()] = pos++;
+    return true;
+  });
+  return order;
+}
+
+/// Ground-truth document-order comparison through the DOM.
+inline int DomCompareOrder(const std::unordered_map<uint32_t, size_t>& order,
+                           const xml::Node* a, const xml::Node* b) {
+  size_t pa = order.at(a->serial());
+  size_t pb = order.at(b->serial());
+  if (pa == pb) return 0;
+  return pa < pb ? -1 : 1;
+}
+
+/// Ground-truth descendants (proper) through the DOM.
+inline std::vector<xml::Node*> DomDescendants(xml::Node* n) {
+  std::vector<xml::Node*> out;
+  xml::PreorderTraverse(n, [&](xml::Node* x, int) {
+    if (x != n) out.push_back(x);
+    return true;
+  });
+  return out;
+}
+
+/// Ground-truth ancestors (proper), nearest first.
+inline std::vector<xml::Node*> DomAncestors(xml::Node* n) {
+  std::vector<xml::Node*> out;
+  for (xml::Node* p = n->parent(); p != nullptr && !p->is_document();
+       p = p->parent()) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+/// Ground-truth preceding axis (document order before n, ancestors excluded).
+inline std::vector<xml::Node*> DomPreceding(xml::Node* root, xml::Node* n) {
+  auto order = DocOrderIndex(root);
+  std::vector<xml::Node*> ancestors = DomAncestors(n);
+  std::vector<xml::Node*> out;
+  xml::PreorderTraverse(root, [&](xml::Node* x, int) {
+    if (x != n && order.at(x->serial()) < order.at(n->serial()) &&
+        std::find(ancestors.begin(), ancestors.end(), x) == ancestors.end()) {
+      out.push_back(x);
+    }
+    return true;
+  });
+  return out;
+}
+
+/// Ground-truth following axis (document order after n, descendants excluded).
+inline std::vector<xml::Node*> DomFollowing(xml::Node* root, xml::Node* n) {
+  auto order = DocOrderIndex(root);
+  std::vector<xml::Node*> out;
+  xml::PreorderTraverse(root, [&](xml::Node* x, int) {
+    if (order.at(x->serial()) > order.at(n->serial()) && !x->HasAncestor(n)) {
+      out.push_back(x);
+    }
+    return true;
+  });
+  return out;
+}
+
+/// Sorts a node list by serial, for set-style comparisons.
+inline std::vector<xml::Node*> SortedBySerial(std::vector<xml::Node*> nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const xml::Node* a, const xml::Node* b) {
+              return a->serial() < b->serial();
+            });
+  return nodes;
+}
+
+/// All nodes of the tree in document order.
+inline std::vector<xml::Node*> AllNodes(xml::Node* root) {
+  return xml::CollectPreorder(root);
+}
+
+}  // namespace testing
+}  // namespace ruidx
+
+#endif  // RUIDX_TESTS_TESTUTIL_H_

@@ -1,0 +1,183 @@
+#include "util/biguint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ruidx {
+namespace {
+
+TEST(BigUintTest, DefaultIsZero) {
+  BigUint z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_TRUE(z.FitsUint64());
+  EXPECT_EQ(z.ToUint64(), 0u);
+  EXPECT_EQ(z.BitWidth(), 0);
+  EXPECT_EQ(z.ToDecimalString(), "0");
+}
+
+TEST(BigUintTest, SmallValueRoundTrip) {
+  BigUint v(123456789);
+  EXPECT_FALSE(v.IsZero());
+  EXPECT_TRUE(v.FitsUint64());
+  EXPECT_EQ(v.ToUint64(), 123456789u);
+  EXPECT_EQ(v.ToDecimalString(), "123456789");
+}
+
+TEST(BigUintTest, MaxUint64StaysInline) {
+  BigUint v(~0ULL);
+  EXPECT_TRUE(v.FitsUint64());
+  EXPECT_EQ(v.ToDecimalString(), "18446744073709551615");
+  EXPECT_EQ(v.BitWidth(), 64);
+}
+
+TEST(BigUintTest, AdditionCarriesAcrossWords) {
+  BigUint v(~0ULL);
+  v += 1;
+  EXPECT_FALSE(v.FitsUint64());
+  EXPECT_EQ(v.ToDecimalString(), "18446744073709551616");  // 2^64
+  EXPECT_EQ(v.BitWidth(), 65);
+  EXPECT_EQ(v.WordCount(), 2);
+}
+
+TEST(BigUintTest, SubtractionBorrowsAndShrinks) {
+  BigUint v(~0ULL);
+  v += 1;             // 2^64
+  v -= 1;             // back to 2^64 - 1
+  EXPECT_TRUE(v.FitsUint64());
+  EXPECT_EQ(v.ToUint64(), ~0ULL);
+}
+
+TEST(BigUintTest, SubtractBigFromBig) {
+  BigUint a = BigUint::Pow(BigUint(10), 30);
+  BigUint b = BigUint::Pow(BigUint(10), 29);
+  BigUint diff = a - b;
+  EXPECT_EQ(diff.ToDecimalString(), "900000000000000000000000000000");
+}
+
+TEST(BigUintTest, MultiplyByWord) {
+  BigUint v(1);
+  for (int i = 0; i < 25; ++i) v *= 10;
+  EXPECT_EQ(v.ToDecimalString(), "10000000000000000000000000");
+}
+
+TEST(BigUintTest, FullMultiply) {
+  BigUint a = BigUint::Pow(BigUint(2), 100);
+  BigUint b = BigUint::Pow(BigUint(2), 60);
+  BigUint p = a * b;
+  EXPECT_EQ(p, BigUint::Pow(BigUint(2), 160));
+  EXPECT_EQ(p.BitWidth(), 161);
+}
+
+TEST(BigUintTest, MultiplyByZeroResets) {
+  BigUint v = BigUint::Pow(BigUint(7), 40);
+  v *= uint64_t{0};
+  EXPECT_TRUE(v.IsZero());
+  EXPECT_TRUE(v.FitsUint64());
+}
+
+TEST(BigUintTest, DivModByWord) {
+  BigUint v = BigUint::Pow(BigUint(10), 25);
+  uint64_t rem = 123;
+  v += 123;
+  BigUint q = v.DivMod(1000, &rem);
+  EXPECT_EQ(rem, 123u);
+  EXPECT_EQ(q.ToDecimalString(), "10000000000000000000000");
+}
+
+TEST(BigUintTest, DivisionRoundTripsMultiplication) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    BigUint v(rng.Next());
+    v *= rng.Next() | 1;
+    v += rng.NextBounded(1000);
+    uint64_t d = rng.Next() | 1;
+    uint64_t rem = 0;
+    BigUint q = v.DivMod(d, &rem);
+    EXPECT_EQ(q * d + rem, v);
+    EXPECT_LT(rem, d);
+  }
+}
+
+TEST(BigUintTest, CompareOrdersByMagnitude) {
+  BigUint small(42);
+  BigUint big = BigUint::Pow(BigUint(2), 70);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_LE(small, BigUint(42));
+  EXPECT_GE(small, BigUint(42));
+  EXPECT_EQ(small, BigUint(42));
+  EXPECT_NE(small, big);
+}
+
+TEST(BigUintTest, PowMatchesRepeatedMultiplication) {
+  BigUint expected(1);
+  for (int i = 0; i < 37; ++i) expected *= 3;
+  EXPECT_EQ(BigUint::Pow(BigUint(3), 37), expected);
+  EXPECT_EQ(BigUint::Pow(BigUint(5), 0), BigUint(1));
+  EXPECT_EQ(BigUint::Pow(BigUint(0), 5), BigUint(0));
+  EXPECT_EQ(BigUint::Pow(BigUint(0), 0), BigUint(1));  // convention
+}
+
+TEST(BigUintTest, FromDecimalStringRoundTrip) {
+  const std::string digits = "123456789012345678901234567890123456789";
+  auto parsed = BigUint::FromDecimalString(digits);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToDecimalString(), digits);
+}
+
+TEST(BigUintTest, FromDecimalStringRejectsGarbage) {
+  EXPECT_FALSE(BigUint::FromDecimalString("").ok());
+  EXPECT_FALSE(BigUint::FromDecimalString("12a3").ok());
+  EXPECT_FALSE(BigUint::FromDecimalString("-5").ok());
+}
+
+TEST(BigUintTest, CopyAndMoveSemantics) {
+  BigUint big = BigUint::Pow(BigUint(2), 200);
+  BigUint copy = big;
+  EXPECT_EQ(copy, big);
+  BigUint moved = std::move(copy);
+  EXPECT_EQ(moved, big);
+  // Self-assignment is a no-op.
+  moved = *&moved;
+  EXPECT_EQ(moved, big);
+  // Assigning small over big releases the heap representation.
+  moved = BigUint(5);
+  EXPECT_TRUE(moved.FitsUint64());
+  EXPECT_EQ(moved.ToUint64(), 5u);
+}
+
+TEST(BigUintTest, HashDistinguishesValues) {
+  BigUint a(1), b(2);
+  EXPECT_NE(a.Hash(), b.Hash());
+  BigUint big1 = BigUint::Pow(BigUint(2), 100);
+  BigUint big2 = big1 + 1;
+  EXPECT_NE(big1.Hash(), big2.Hash());
+  EXPECT_EQ(big1.Hash(), (big2 - 1).Hash());
+}
+
+TEST(BigUintTest, ModuloOperator) {
+  BigUint v = BigUint::Pow(BigUint(10), 20) + 7;
+  EXPECT_EQ(v % 10, 7u);
+  EXPECT_EQ(v % 2, 1u);
+}
+
+TEST(BigUintTest, UidScaleValues) {
+  // The magnitude the original UID reaches on a deep tree: k=100, depth 20.
+  BigUint id(1);
+  for (int d = 0; d < 20; ++d) {
+    id = (id - 1) * uint64_t{100} + 2;  // leftmost child
+  }
+  EXPECT_GT(id.BitWidth(), 64);
+  // parent^20 brings it back to the root.
+  for (int d = 0; d < 20; ++d) {
+    id = (id - 2) / 100 + 1;
+  }
+  EXPECT_EQ(id, BigUint(1));
+}
+
+}  // namespace
+}  // namespace ruidx

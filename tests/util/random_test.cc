@@ -1,0 +1,103 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace ruidx {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Rng rng(5);
+  std::map<uint64_t, int> histogram;
+  for (int i = 0; i < 10000; ++i) ++histogram[rng.NextBounded(8)];
+  EXPECT_EQ(histogram.size(), 8u);
+  for (const auto& [v, count] : histogram) {
+    // Each bucket should get roughly 1250; allow generous slack.
+    EXPECT_GT(count, 900) << "value " << v;
+    EXPECT_LT(count, 1700) << "value " << v;
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.NextInRange(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(21);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(31);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.2)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.2, 0.03);
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  ZipfGenerator zipf(100, 0.9, 42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 100u);
+  }
+}
+
+TEST(ZipfTest, SkewFavoursLowRanks) {
+  ZipfGenerator zipf(1000, 0.99, 7);
+  uint64_t low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Next();
+    if (v < 10) ++low;
+    if (v >= 500) ++high;
+  }
+  EXPECT_GT(low, high * 2);
+}
+
+TEST(ZipfTest, Deterministic) {
+  ZipfGenerator a(50, 0.8, 3), b(50, 0.8, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace ruidx

@@ -1,0 +1,95 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/result.h"
+
+namespace ruidx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "Parse error: bad token");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualObservable) {
+  Status a = Status::IOError("disk gone");
+  Status b = a;
+  EXPECT_EQ(b.code(), a.code());
+  EXPECT_EQ(b.message(), a.message());
+}
+
+Status Fails() { return Status::NotFound("nope"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UsesReturnNotOk(bool fail) {
+  RUIDX_RETURN_NOT_OK(fail ? Fails() : Succeeds());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(false).ok());
+  EXPECT_TRUE(UsesReturnNotOk(true).IsNotFound());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = ParsePositive(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 4);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+Result<int> Doubled(int v) {
+  RUIDX_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> good = Doubled(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_TRUE(Doubled(0).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace ruidx

@@ -1,0 +1,59 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ruidx {
+namespace {
+
+TEST(TablePrinterTest, RendersTitleHeaderAndRows) {
+  TablePrinter t("demo table");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  std::ostringstream out;
+  t.Print(out);
+  std::string s = out.str();
+  EXPECT_NE(s.find("demo table"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t("align");
+  t.SetHeader({"a", "b"});
+  t.AddRow({"longvalue", "x"});
+  std::ostringstream out;
+  t.Print(out);
+  std::string s = out.str();
+  // The header cell "a" must be padded to the width of "longvalue".
+  size_t header_line = s.find("a ");
+  ASSERT_NE(header_line, std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.5, 3), "0.500");
+}
+
+TEST(TablePrinterTest, FormatCountInsertsSeparators) {
+  EXPECT_EQ(TablePrinter::FormatCount(0), "0");
+  EXPECT_EQ(TablePrinter::FormatCount(999), "999");
+  EXPECT_EQ(TablePrinter::FormatCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::FormatCount(1234567), "1,234,567");
+}
+
+TEST(TablePrinterTest, ShortRowsTolerated) {
+  TablePrinter t("short");
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::ostringstream out;
+  t.Print(out);  // must not crash
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ruidx

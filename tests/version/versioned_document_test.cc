@@ -1,0 +1,161 @@
+#include "version/versioned_document.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "util/random.h"
+#include "xml/generator.h"
+#include "xml/serializer.h"
+
+namespace ruidx {
+namespace version {
+namespace {
+
+const char* kBase =
+    "<site><people><person id=\"p1\"><name>Ann</name></person>"
+    "<person id=\"p2\"><name>Bob</name></person></people>"
+    "<items><item id=\"i1\"/></items></site>";
+
+core::PartitionOptions SmallAreas() {
+  core::PartitionOptions options;
+  options.max_area_nodes = 8;
+  options.max_area_depth = 2;
+  return options;
+}
+
+TEST(VersionedDocumentTest, InsertByIdentifier) {
+  auto vdoc = VersionedDocument::FromXml(kBase, SmallAreas());
+  ASSERT_TRUE(vdoc.ok()) << vdoc.status().ToString();
+  // Address the <people> element via a query-free route: child of root.
+  const auto& scheme = (*vdoc)->scheme();
+  xml::Node* people = (*vdoc)->document()->root()->children()[0];
+  auto new_id = (*vdoc)->Insert(scheme.label(people), 2,
+                                "<person id=\"p3\"><name>Cyd</name></person>");
+  ASSERT_TRUE(new_id.ok()) << new_id.status().ToString();
+  EXPECT_EQ((*vdoc)->version(), 1u);
+  EXPECT_NE((*vdoc)->ToXml().find("Cyd"), std::string::npos);
+  // The returned identifier resolves to the inserted node.
+  xml::Node* inserted = scheme.NodeById(*new_id);
+  ASSERT_NE(inserted, nullptr);
+  EXPECT_EQ(*inserted->GetAttribute("id"), "p3");
+}
+
+TEST(VersionedDocumentTest, DeleteByIdentifier) {
+  auto vdoc = VersionedDocument::FromXml(kBase, SmallAreas());
+  ASSERT_TRUE(vdoc.ok());
+  xml::Node* p1 =
+      (*vdoc)->document()->root()->children()[0]->children()[0];
+  ASSERT_TRUE((*vdoc)->Delete((*vdoc)->scheme().label(p1)).ok());
+  EXPECT_EQ((*vdoc)->ToXml().find("Ann"), std::string::npos);
+  EXPECT_NE((*vdoc)->ToXml().find("Bob"), std::string::npos);
+}
+
+TEST(VersionedDocumentTest, UnknownIdentifiersFail) {
+  auto vdoc = VersionedDocument::FromXml(kBase, SmallAreas());
+  ASSERT_TRUE(vdoc.ok());
+  core::Ruid2Id bogus{BigUint(77), BigUint(5), false};
+  EXPECT_TRUE((*vdoc)->Insert(bogus, 0, "<x/>").status().IsNotFound());
+  EXPECT_TRUE((*vdoc)->Delete(bogus).IsNotFound());
+  EXPECT_FALSE((*vdoc)->Insert((*vdoc)->scheme().label(
+                                   (*vdoc)->document()->root()),
+                               0, "not xml")
+                   .ok());
+}
+
+TEST(VersionedDocumentTest, JournalReplayConverges) {
+  // Site A edits; site B starts from the same base text and replays A's
+  // journal. Content and identifiers converge — the "stable identifiers"
+  // application of Sec. 4.
+  auto site_a = VersionedDocument::FromXml(kBase, SmallAreas());
+  ASSERT_TRUE(site_a.ok());
+  const auto& scheme_a = (*site_a)->scheme();
+  xml::Node* people = (*site_a)->document()->root()->children()[0];
+  xml::Node* items = (*site_a)->document()->root()->children()[1];
+
+  ASSERT_TRUE((*site_a)
+                  ->Insert(scheme_a.label(people), 0,
+                           "<person id=\"p0\"><name>Zed</name></person>")
+                  .ok());
+  ASSERT_TRUE((*site_a)
+                  ->Insert(scheme_a.label(items), 1, "<item id=\"i2\"/>")
+                  .ok());
+  // Delete Bob, addressed by the identifier he has *after* the first two
+  // operations.
+  xml::Node* bob = nullptr;
+  for (xml::Node* person : people->children()) {
+    if (person->is_element() && person->GetAttribute("id") != nullptr &&
+        *person->GetAttribute("id") == "p2") {
+      bob = person;
+    }
+  }
+  ASSERT_NE(bob, nullptr);
+  ASSERT_TRUE((*site_a)->Delete(scheme_a.label(bob)).ok());
+  ASSERT_EQ((*site_a)->journal().size(), 3u);
+
+  auto site_b = VersionedDocument::FromXml(kBase, SmallAreas());
+  ASSERT_TRUE(site_b.ok());
+  ASSERT_TRUE((*site_b)->ApplyAll((*site_a)->journal()).ok());
+
+  EXPECT_EQ((*site_b)->ToXml(), (*site_a)->ToXml());
+  // Identifiers converge too: every node of A has the same id in B.
+  xml::PreorderTraverse((*site_a)->document()->root(), [&](xml::Node* n, int) {
+    const core::Ruid2Id& id = (*site_a)->scheme().label(n);
+    xml::Node* twin = (*site_b)->scheme().NodeById(id);
+    EXPECT_NE(twin, nullptr) << id.ToString();
+    if (twin != nullptr) {
+      EXPECT_EQ(twin->name(), n->name()) << id.ToString();
+    }
+    return true;
+  });
+}
+
+TEST(VersionedDocumentTest, ManyEditsKeepRelabelingLocal) {
+  // Build a bigger base and hammer it with edits; the accumulated relabel
+  // count stays far below ops * document size.
+  auto base_doc = xml::GenerateUniformTree(800, 3);
+  std::string base_xml = xml::Serialize(base_doc->document_node());
+  auto vdoc = VersionedDocument::FromXml(base_xml, SmallAreas());
+  ASSERT_TRUE(vdoc.ok());
+
+  const int kOps = 50;
+  Rng rng(21);
+  for (int i = 0; i < kOps; ++i) {
+    auto nodes = xml::CollectPreorder((*vdoc)->document()->root());
+    xml::Node* target = nodes[rng.NextBounded(nodes.size())];
+    core::Ruid2Id id = (*vdoc)->scheme().label(target);
+    if (rng.NextBool(0.7) || target == (*vdoc)->document()->root()) {
+      ASSERT_TRUE((*vdoc)
+                      ->Insert(id, rng.NextBounded(target->fanout() + 1),
+                               "<edit n=\"" + std::to_string(i) + "\"/>")
+                      .ok());
+    } else {
+      ASSERT_TRUE((*vdoc)->Delete(id).ok());
+    }
+  }
+  EXPECT_EQ((*vdoc)->version(), static_cast<uint64_t>(kOps));
+  EXPECT_LT((*vdoc)->total_relabeled(), 800u * kOps / 20);
+  // The scheme is still fully consistent.
+  xml::PreorderTraverse((*vdoc)->document()->root(), [&](xml::Node* n, int) {
+    EXPECT_EQ((*vdoc)->scheme().NodeById((*vdoc)->scheme().label(n)), n);
+    return true;
+  });
+}
+
+TEST(OperationTest, ToStringReadable) {
+  Operation op;
+  op.kind = Operation::Kind::kInsert;
+  op.sequence = 7;
+  op.parent = core::Ruid2Id{BigUint(2), BigUint(3), false};
+  op.position = 1;
+  op.payload = "<x/>";
+  EXPECT_EQ(op.ToString(), "#7 insert <x/> under (2, 3, false) at 1");
+  Operation del;
+  del.kind = Operation::Kind::kDelete;
+  del.sequence = 8;
+  del.target = core::Ruid2Id{BigUint(4), BigUint(9), true};
+  EXPECT_EQ(del.ToString(), "#8 delete (4, 9, true)");
+}
+
+}  // namespace
+}  // namespace version
+}  // namespace ruidx

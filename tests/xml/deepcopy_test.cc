@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "xml/generator.h"
+#include "xml/serializer.h"
+
+namespace ruidx {
+namespace xml {
+namespace {
+
+TEST(DeepCopyTest, CopiesStructureAttributesAndText) {
+  auto src = testing::MustParse(
+      "<a x=\"1\"><b y=\"2\">text</b><!--c--><?pi d?></a>");
+  Document dst;
+  Node* copy = DeepCopy(&dst, src->root());
+  ASSERT_NE(copy, nullptr);
+  ASSERT_TRUE(dst.AppendChild(dst.document_node(), copy).ok());
+  EXPECT_EQ(Serialize(dst.document_node()),
+            Serialize(src->document_node()));
+}
+
+TEST(DeepCopyTest, CopyIsIndependent) {
+  auto src = testing::MustParse("<a><b/></a>");
+  Document dst;
+  Node* copy = DeepCopy(&dst, src->root());
+  ASSERT_TRUE(dst.AppendChild(dst.document_node(), copy).ok());
+  // Mutating the copy leaves the source untouched.
+  ASSERT_TRUE(dst.AppendChild(copy, dst.CreateElement("new")).ok());
+  EXPECT_EQ(src->root()->fanout(), 1u);
+  EXPECT_EQ(copy->fanout(), 2u);
+}
+
+TEST(DeepCopyTest, RejectsDocumentAndAttributeRoots) {
+  auto src = testing::MustParse("<a x=\"1\"/>");
+  Document dst;
+  EXPECT_EQ(DeepCopy(&dst, src->document_node()), nullptr);
+  EXPECT_EQ(DeepCopy(&dst, src->root()->attributes()[0]), nullptr);
+}
+
+TEST(DeepCopyTest, VeryDeepChainDoesNotOverflow) {
+  DeepTreeConfig config;
+  config.depth = 100000;
+  config.siblings_per_level = 0;
+  auto src = GenerateDeepTree(config);
+  Document dst;
+  Node* copy = DeepCopy(&dst, src->root());
+  ASSERT_NE(copy, nullptr);
+  ASSERT_TRUE(dst.AppendChild(dst.document_node(), copy).ok());
+  EXPECT_EQ(dst.CountAttachedNodes(), src->CountAttachedNodes());
+}
+
+TEST(SerializerDeepTest, VeryDeepChainSerializes) {
+  DeepTreeConfig config;
+  config.depth = 100000;
+  config.siblings_per_level = 0;
+  auto doc = GenerateDeepTree(config);
+  std::string text = Serialize(doc->document_node());
+  EXPECT_GT(text.size(), 100000u * 18);  // ~<section></section> per level
+  // And it parses back (the parser is already iterative).
+  auto reparsed = Parse(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)->CountAttachedNodes(), doc->CountAttachedNodes());
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace ruidx

@@ -1,0 +1,172 @@
+#include "xml/dom.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace ruidx {
+namespace xml {
+namespace {
+
+TEST(DomTest, CreateAndAppend) {
+  Document doc;
+  Node* root = doc.CreateElement("root");
+  ASSERT_TRUE(doc.AppendChild(doc.document_node(), root).ok());
+  EXPECT_EQ(doc.root(), root);
+  Node* child = doc.CreateElement("child");
+  ASSERT_TRUE(doc.AppendChild(root, child).ok());
+  EXPECT_EQ(child->parent(), root);
+  EXPECT_EQ(root->fanout(), 1u);
+  EXPECT_EQ(child->IndexInParent(), 0);
+}
+
+TEST(DomTest, SerialsAreUniqueAndMonotonic) {
+  Document doc;
+  Node* a = doc.CreateElement("a");
+  Node* b = doc.CreateElement("b");
+  Node* t = doc.CreateText("x");
+  EXPECT_LT(a->serial(), b->serial());
+  EXPECT_LT(b->serial(), t->serial());
+  EXPECT_EQ(doc.serial_count(), 4u);  // document node + 3
+}
+
+TEST(DomTest, InsertChildAtPosition) {
+  Document doc;
+  Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.AppendChild(doc.document_node(), root).ok());
+  Node* a = doc.CreateElement("a");
+  Node* c = doc.CreateElement("c");
+  ASSERT_TRUE(doc.AppendChild(root, a).ok());
+  ASSERT_TRUE(doc.AppendChild(root, c).ok());
+  Node* b = doc.CreateElement("b");
+  ASSERT_TRUE(doc.InsertChild(root, 1, b).ok());
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[0]->name(), "a");
+  EXPECT_EQ(root->children()[1]->name(), "b");
+  EXPECT_EQ(root->children()[2]->name(), "c");
+}
+
+TEST(DomTest, InsertRejectsBadPositions) {
+  Document doc;
+  Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.AppendChild(doc.document_node(), root).ok());
+  Node* x = doc.CreateElement("x");
+  EXPECT_TRUE(doc.InsertChild(root, 5, x).IsOutOfRange());
+}
+
+TEST(DomTest, InsertRejectsAttachedChild) {
+  Document doc;
+  Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.AppendChild(doc.document_node(), root).ok());
+  Node* x = doc.CreateElement("x");
+  ASSERT_TRUE(doc.AppendChild(root, x).ok());
+  EXPECT_TRUE(doc.AppendChild(root, x).IsInvalidArgument());
+}
+
+TEST(DomTest, InsertRejectsCycles) {
+  Document doc;
+  Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.AppendChild(doc.document_node(), root).ok());
+  Node* a = doc.CreateElement("a");
+  ASSERT_TRUE(doc.AppendChild(root, a).ok());
+  // Detach root's subtree and try to reattach it under a descendant.
+  ASSERT_TRUE(doc.RemoveSubtree(a).ok());
+  Node* b = doc.CreateElement("b");
+  ASSERT_TRUE(doc.AppendChild(a, b).ok());
+  EXPECT_TRUE(doc.InsertChild(b, 0, a).IsInvalidArgument());
+  EXPECT_TRUE(doc.InsertChild(a, 0, a).IsInvalidArgument());
+}
+
+TEST(DomTest, RemoveSubtreeDetaches) {
+  auto doc = testing::MustParse("<a><b><c/></b><d/></a>");
+  Node* root = doc->root();
+  Node* b = root->children()[0];
+  ASSERT_TRUE(doc->RemoveSubtree(b).ok());
+  EXPECT_EQ(root->children().size(), 1u);
+  EXPECT_EQ(b->parent(), nullptr);
+  // The subtree stays intact and can be re-inserted.
+  EXPECT_EQ(b->children().size(), 1u);
+  ASSERT_TRUE(doc->AppendChild(root, b).ok());
+  EXPECT_EQ(root->children().size(), 2u);
+}
+
+TEST(DomTest, RemoveDetachedFails) {
+  Document doc;
+  Node* a = doc.CreateElement("a");
+  EXPECT_TRUE(doc.RemoveSubtree(a).IsInvalidArgument());
+}
+
+TEST(DomTest, Attributes) {
+  Document doc;
+  Node* e = doc.CreateElement("e");
+  ASSERT_TRUE(doc.SetAttribute(e, "id", "1").ok());
+  ASSERT_TRUE(doc.SetAttribute(e, "name", "x").ok());
+  ASSERT_TRUE(doc.SetAttribute(e, "id", "2").ok());  // overwrite
+  EXPECT_EQ(e->attributes().size(), 2u);
+  ASSERT_NE(e->GetAttribute("id"), nullptr);
+  EXPECT_EQ(*e->GetAttribute("id"), "2");
+  EXPECT_EQ(e->GetAttribute("missing"), nullptr);
+  Node* t = doc.CreateText("v");
+  EXPECT_TRUE(doc.SetAttribute(t, "a", "b").IsInvalidArgument());
+}
+
+TEST(DomTest, TextContentConcatenatesDescendants) {
+  auto doc = testing::MustParse("<a>x<b>y</b>z</a>");
+  EXPECT_EQ(doc->root()->TextContent(), "xyz");
+}
+
+TEST(DomTest, HasAncestor) {
+  auto doc = testing::MustParse("<a><b><c/></b></a>");
+  Node* a = doc->root();
+  Node* b = a->children()[0];
+  Node* c = b->children()[0];
+  EXPECT_TRUE(c->HasAncestor(a));
+  EXPECT_TRUE(c->HasAncestor(b));
+  EXPECT_FALSE(a->HasAncestor(c));
+  EXPECT_FALSE(c->HasAncestor(c));
+}
+
+TEST(DomTest, PreorderTraverseOrderAndSkip) {
+  auto doc = testing::MustParse("<a><b><c/><d/></b><e/></a>");
+  std::vector<std::string> names;
+  PreorderTraverse(doc->root(), [&](Node* n, int) {
+    names.push_back(n->name());
+    return true;
+  });
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+
+  names.clear();
+  PreorderTraverse(doc->root(), [&](Node* n, int) {
+    names.push_back(n->name());
+    return n->name() != "b";  // skip b's subtree
+  });
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "e"}));
+}
+
+TEST(DomTest, PreorderDepths) {
+  auto doc = testing::MustParse("<a><b><c/></b></a>");
+  std::vector<int> depths;
+  PreorderTraverse(doc->root(), [&](Node*, int d) {
+    depths.push_back(d);
+    return true;
+  });
+  EXPECT_EQ(depths, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DomTest, CountAttachedNodes) {
+  auto doc = testing::MustParse("<a><b x=\"1\"/>text<c/></a>");
+  EXPECT_EQ(doc->CountAttachedNodes(false), 4u);  // a, b, text, c
+  EXPECT_EQ(doc->CountAttachedNodes(true), 5u);   // + attribute x
+}
+
+TEST(DomTest, FirstChildElement) {
+  auto doc = testing::MustParse("<a>t<b/><c/><b/></a>");
+  Node* b = doc->root()->FirstChildElement("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b, doc->root()->children()[1]);
+  EXPECT_EQ(doc->root()->FirstChildElement("zzz"), nullptr);
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace ruidx

@@ -1,0 +1,118 @@
+#include "xml/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/serializer.h"
+#include "xml/stats.h"
+
+namespace ruidx {
+namespace xml {
+namespace {
+
+TEST(GeneratorTest, UniformTreeShape) {
+  auto doc = GenerateUniformTree(40, 3);
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(s.node_count, 40u);
+  EXPECT_EQ(s.max_fanout, 3u);
+}
+
+TEST(GeneratorTest, UniformSingleNode) {
+  auto doc = GenerateUniformTree(1, 4);
+  EXPECT_EQ(ComputeStats(doc->root()).node_count, 1u);
+}
+
+TEST(GeneratorTest, RandomTreeBudgetAndFanout) {
+  RandomTreeConfig config;
+  config.node_budget = 500;
+  config.max_fanout = 5;
+  config.seed = 9;
+  auto doc = GenerateRandomTree(config);
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(s.node_count, 500u);
+  EXPECT_LE(s.max_fanout, 5u);
+}
+
+TEST(GeneratorTest, RandomTreeDeterministic) {
+  RandomTreeConfig config;
+  config.node_budget = 200;
+  config.seed = 77;
+  auto a = GenerateRandomTree(config);
+  auto b = GenerateRandomTree(config);
+  EXPECT_EQ(Serialize(a->document_node()), Serialize(b->document_node()));
+}
+
+TEST(GeneratorTest, RandomTreeDifferentSeedsDiffer) {
+  RandomTreeConfig config;
+  config.node_budget = 200;
+  config.seed = 1;
+  auto a = GenerateRandomTree(config);
+  config.seed = 2;
+  auto b = GenerateRandomTree(config);
+  EXPECT_NE(Serialize(a->document_node()), Serialize(b->document_node()));
+}
+
+TEST(GeneratorTest, RandomTreeWithText) {
+  RandomTreeConfig config;
+  config.node_budget = 300;
+  config.text_probability = 0.5;
+  auto doc = GenerateRandomTree(config);
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_GT(s.node_count, s.element_count);  // some text nodes exist
+}
+
+TEST(GeneratorTest, SkewedTreeHasWideNode) {
+  SkewedTreeConfig config;
+  config.node_budget = 2000;
+  config.max_fanout = 150;
+  auto doc = GenerateSkewedTree(config);
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(s.node_count, 2000u);
+  EXPECT_EQ(s.max_fanout, 150u);                // root is forced wide
+  EXPECT_LT(s.avg_fanout, s.max_fanout / 2.0);  // the typical node is narrow
+}
+
+TEST(GeneratorTest, DeepTreeDepthAndRecursion) {
+  DeepTreeConfig config;
+  config.depth = 40;
+  config.siblings_per_level = 2;
+  auto doc = GenerateDeepTree(config);
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_GE(s.max_depth, 39u);
+  EXPECT_EQ(s.max_tag_recursion, 40u);  // the <section> spine
+}
+
+TEST(GeneratorTest, DblpShape) {
+  auto doc = GenerateDblpLike(100);
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(doc->root()->name(), "dblp");
+  EXPECT_EQ(doc->root()->fanout(), 100u);
+  EXPECT_EQ(s.max_fanout, 100u);  // the flat root dominates
+  // Every record has at least author+title+year.
+  EXPECT_GT(s.element_count, 400u);
+}
+
+TEST(GeneratorTest, XmarkShape) {
+  XmarkConfig config;
+  auto doc = GenerateXmarkLike(config);
+  Node* site = doc->root();
+  EXPECT_EQ(site->name(), "site");
+  ASSERT_NE(site->FirstChildElement("regions"), nullptr);
+  ASSERT_NE(site->FirstChildElement("people"), nullptr);
+  ASSERT_NE(site->FirstChildElement("open_auctions"), nullptr);
+  ASSERT_NE(site->FirstChildElement("closed_auctions"), nullptr);
+  ASSERT_NE(site->FirstChildElement("categories"), nullptr);
+  EXPECT_EQ(site->FirstChildElement("people")->fanout(), config.people);
+  TreeStats s = ComputeStats(site);
+  EXPECT_GT(s.max_tag_recursion, 1u);  // nested categories
+}
+
+TEST(GeneratorTest, XmarkDeterministic) {
+  XmarkConfig config;
+  auto a = GenerateXmarkLike(config);
+  auto b = GenerateXmarkLike(config);
+  EXPECT_EQ(Serialize(a->document_node()), Serialize(b->document_node()));
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace ruidx

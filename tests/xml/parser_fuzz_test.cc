@@ -1,0 +1,129 @@
+// Fuzz-lite: random mutations of valid documents must never crash the
+// parser — every input either parses or returns a ParseError with a
+// position. (A seeded deterministic sweep, not a coverage-guided fuzzer.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+#include "xml/generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace ruidx {
+namespace xml {
+namespace {
+
+std::string Mutate(const std::string& base, Rng* rng) {
+  std::string out = base;
+  int edits = 1 + static_cast<int>(rng->NextBounded(4));
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng->NextBounded(out.size());
+    switch (rng->NextBounded(4)) {
+      case 0:  // flip a byte to a structural character
+        out[pos] = "<>&\"'/=[]!?-"[rng->NextBounded(12)];
+        break;
+      case 1:  // delete a span
+        out.erase(pos, 1 + rng->NextBounded(5));
+        break;
+      case 2:  // duplicate a span
+        out.insert(pos, out.substr(pos, 1 + rng->NextBounded(8)));
+        break;
+      default:  // insert random bytes (including NULs and high bytes)
+        out.insert(pos, 1, static_cast<char>(rng->NextBounded(256)));
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(ParserFuzzTest, MutatedDocumentsNeverCrash) {
+  xml::RandomTreeConfig config;
+  config.node_budget = 120;
+  config.text_probability = 0.4;
+  config.seed = 2002;
+  auto doc = GenerateRandomTree(config);
+  std::string base = Serialize(doc->document_node());
+
+  Rng rng(424242);
+  int parsed_ok = 0;
+  int rejected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = Mutate(base, &rng);
+    auto result = Parse(mutated);
+    if (result.ok()) {
+      ++parsed_ok;
+      // Whatever parsed must re-serialize and re-parse.
+      auto round = Parse(Serialize((*result)->document_node()));
+      EXPECT_TRUE(round.ok());
+    } else {
+      ++rejected;
+      EXPECT_TRUE(result.status().IsParseError() ||
+                  result.status().IsInvalidArgument())
+          << result.status().ToString();
+    }
+  }
+  // Both outcomes must actually occur, or the harness is broken.
+  EXPECT_GT(parsed_ok, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ParserFuzzTest, PathologicalInputs) {
+  const char* cases[] = {
+      "",
+      "<",
+      ">",
+      "<>",
+      "</>",
+      "<a",
+      "<a ",
+      "<a b",
+      "<a b=",
+      "<a b=>",
+      "<a b='",
+      "<!",
+      "<!-",
+      "<!--",
+      "<![CDATA[",
+      "<?",
+      "<?xml",
+      "&",
+      "&amp",
+      "<a>&#x;</a>",
+      "<a>&#xFFFFFFFFFFFF;</a>",
+      "<a><b></a></b>",
+      "<a/><a/>",
+      "<a xmlns:=''/>",
+      "\xFF\xFE<a/>",
+      "<a>\x00</a>",
+  };
+  for (const char* text : cases) {
+    auto result = Parse(text);
+    // Must terminate and must not be OK-with-garbage for clearly broken
+    // inputs; a few of these are actually rejected, none may crash.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedBrokenInputTerminates) {
+  std::string text;
+  for (int i = 0; i < 20000; ++i) text += "<a>";
+  auto result = Parse(text);
+  EXPECT_FALSE(result.ok());  // 20000 unclosed elements
+}
+
+TEST(ParserFuzzTest, HugeAttributeAndTextPayloads) {
+  std::string big(300000, 'x');
+  auto with_attr = Parse("<a v=\"" + big + "\"/>");
+  ASSERT_TRUE(with_attr.ok());
+  EXPECT_EQ(*(*with_attr)->root()->GetAttribute("v"), big);
+  auto with_text = Parse("<a>" + big + "</a>");
+  ASSERT_TRUE(with_text.ok());
+  EXPECT_EQ((*with_text)->root()->TextContent(), big);
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace ruidx

@@ -1,0 +1,175 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "xml/serializer.h"
+
+namespace ruidx {
+namespace xml {
+namespace {
+
+TEST(ParserTest, MinimalDocument) {
+  auto doc = testing::MustParse("<a/>");
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(doc->root()->name(), "a");
+  EXPECT_EQ(doc->root()->children().size(), 0u);
+}
+
+TEST(ParserTest, NestedElements) {
+  auto doc = testing::MustParse("<a><b><c/></b><d/></a>");
+  Node* a = doc->root();
+  ASSERT_EQ(a->children().size(), 2u);
+  EXPECT_EQ(a->children()[0]->name(), "b");
+  EXPECT_EQ(a->children()[1]->name(), "d");
+  EXPECT_EQ(a->children()[0]->children()[0]->name(), "c");
+}
+
+TEST(ParserTest, AttributesBothQuoteStyles) {
+  auto doc = testing::MustParse("<a x=\"1\" y='two'/>");
+  EXPECT_EQ(*doc->root()->GetAttribute("x"), "1");
+  EXPECT_EQ(*doc->root()->GetAttribute("y"), "two");
+}
+
+TEST(ParserTest, TextAndEntities) {
+  auto doc = testing::MustParse("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>");
+  EXPECT_EQ(doc->root()->TextContent(), "1 < 2 && 3 > 2");
+}
+
+TEST(ParserTest, QuotAposEntities) {
+  auto doc = testing::MustParse("<a attr='&quot;&apos;'>&quot;</a>");
+  EXPECT_EQ(*doc->root()->GetAttribute("attr"), "\"'");
+  EXPECT_EQ(doc->root()->TextContent(), "\"");
+}
+
+TEST(ParserTest, NumericCharacterReferences) {
+  auto doc = testing::MustParse("<a>&#65;&#x42;&#x3B1;</a>");
+  EXPECT_EQ(doc->root()->TextContent(), "AB\xCE\xB1");  // A B alpha
+}
+
+TEST(ParserTest, CData) {
+  auto doc = testing::MustParse("<a><![CDATA[<not> & parsed]]></a>");
+  EXPECT_EQ(doc->root()->TextContent(), "<not> & parsed");
+}
+
+TEST(ParserTest, CommentsKeptByDefault) {
+  auto doc = testing::MustParse("<a><!-- note --><b/></a>");
+  ASSERT_EQ(doc->root()->children().size(), 2u);
+  EXPECT_EQ(doc->root()->children()[0]->type(), NodeType::kComment);
+  EXPECT_EQ(doc->root()->children()[0]->value(), " note ");
+}
+
+TEST(ParserTest, CommentsDroppedWhenAsked) {
+  ParseOptions options;
+  options.keep_comments = false;
+  auto result = Parse("<a><!-- note --><b/></a>", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->root()->children().size(), 1u);
+}
+
+TEST(ParserTest, ProcessingInstructions) {
+  auto doc = testing::MustParse("<a><?target data here?></a>");
+  ASSERT_EQ(doc->root()->children().size(), 1u);
+  Node* pi = doc->root()->children()[0];
+  EXPECT_EQ(pi->type(), NodeType::kProcessingInstruction);
+  EXPECT_EQ(pi->name(), "target");
+  EXPECT_EQ(pi->value(), "data here");
+}
+
+TEST(ParserTest, XmlDeclarationAndDoctypeSkipped) {
+  auto doc = testing::MustParse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE a [ <!ELEMENT a EMPTY> ]>\n"
+      "<a/>");
+  EXPECT_EQ(doc->root()->name(), "a");
+}
+
+TEST(ParserTest, WhitespaceTextSkippedByDefault) {
+  auto doc = testing::MustParse("<a>\n  <b/>\n</a>");
+  EXPECT_EQ(doc->root()->children().size(), 1u);
+}
+
+TEST(ParserTest, WhitespaceTextKeptWhenAsked) {
+  ParseOptions options;
+  options.skip_whitespace_text = false;
+  auto result = Parse("<a>\n  <b/>\n</a>", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->root()->children().size(), 3u);
+}
+
+TEST(ParserTest, NamespacePrefixesAreLiteral) {
+  auto doc = testing::MustParse("<ns:a xmlns:ns=\"urn:x\"><ns:b/></ns:a>");
+  EXPECT_EQ(doc->root()->name(), "ns:a");
+  EXPECT_EQ(doc->root()->children()[0]->name(), "ns:b");
+}
+
+// --- error cases -----------------------------------------------------------
+
+TEST(ParserTest, MismatchedCloseTag) {
+  auto r = Parse("<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_NE(r.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserTest, UnclosedElement) {
+  EXPECT_FALSE(Parse("<a><b>").ok());
+}
+
+TEST(ParserTest, MultipleRoots) {
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+}
+
+TEST(ParserTest, EmptyInput) { EXPECT_FALSE(Parse("").ok()); }
+
+TEST(ParserTest, TextOutsideRoot) { EXPECT_FALSE(Parse("<a/>junk").ok()); }
+
+TEST(ParserTest, DuplicateAttribute) {
+  EXPECT_FALSE(Parse("<a x=\"1\" x=\"2\"/>").ok());
+}
+
+TEST(ParserTest, UnknownEntity) {
+  auto r = Parse("<a>&unknown;</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown entity"), std::string::npos);
+}
+
+TEST(ParserTest, RawLessThanInAttribute) {
+  EXPECT_FALSE(Parse("<a x=\"a<b\"/>").ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineAndColumn) {
+  auto r = Parse("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("3:"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(ParserTest, UnterminatedComment) {
+  EXPECT_FALSE(Parse("<a><!-- never closed </a>").ok());
+}
+
+TEST(ParserTest, UnterminatedCData) {
+  EXPECT_FALSE(Parse("<a><![CDATA[ stuck </a>").ok());
+}
+
+TEST(ParserTest, BadCharacterReference) {
+  EXPECT_FALSE(Parse("<a>&#xZZ;</a>").ok());
+  EXPECT_FALSE(Parse("<a>&#;</a>").ok());
+  EXPECT_FALSE(Parse("<a>&#1114112;</a>").ok());  // beyond U+10FFFF
+}
+
+TEST(ParserTest, RoundTripThroughSerializer) {
+  const std::string text =
+      "<site><people><person id=\"p1\"><name>A &amp; B</name></person>"
+      "</people><regions/></site>";
+  auto doc = testing::MustParse(text);
+  std::string serialized = Serialize(doc->document_node());
+  auto doc2 = testing::MustParse(serialized);
+  EXPECT_EQ(Serialize(doc2->document_node()), serialized);
+  EXPECT_EQ(doc->CountAttachedNodes(true), doc2->CountAttachedNodes(true));
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace ruidx

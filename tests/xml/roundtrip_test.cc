@@ -1,0 +1,105 @@
+// Property: serialize(parse(serialize(doc))) is a fixpoint, and parsing
+// preserves the topology statistics, across every generator.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "testutil.h"
+#include "xml/generator.h"
+#include "xml/serializer.h"
+#include "xml/stats.h"
+
+namespace ruidx {
+namespace xml {
+namespace {
+
+using DocFactory = std::function<std::unique_ptr<Document>()>;
+
+struct Param {
+  std::string name;
+  DocFactory factory;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RoundTripTest, SerializeParseSerializeIsFixpoint) {
+  auto doc = GetParam().factory();
+  std::string first = Serialize(doc->document_node());
+  auto reparsed = Parse(first);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  std::string second = Serialize((*reparsed)->document_node());
+  EXPECT_EQ(first, second);
+}
+
+TEST_P(RoundTripTest, StatsSurviveRoundTrip) {
+  auto doc = GetParam().factory();
+  TreeStats before = ComputeStats(doc->root());
+  auto reparsed = Parse(Serialize(doc->document_node()));
+  ASSERT_TRUE(reparsed.ok());
+  TreeStats after = ComputeStats((*reparsed)->root());
+  EXPECT_EQ(before.node_count, after.node_count);
+  EXPECT_EQ(before.element_count, after.element_count);
+  EXPECT_EQ(before.max_depth, after.max_depth);
+  EXPECT_EQ(before.max_fanout, after.max_fanout);
+  EXPECT_EQ(before.max_tag_recursion, after.max_tag_recursion);
+}
+
+TEST_P(RoundTripTest, PrettySerializationReparses) {
+  auto doc = GetParam().factory();
+  SerializeOptions options;
+  options.pretty = true;
+  options.declaration = true;
+  auto reparsed = Parse(Serialize(doc->document_node(), options));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  // Whitespace-only text introduced by pretty printing is skipped on parse,
+  // so element structure is identical.
+  TreeStats before = ComputeStats(doc->root());
+  TreeStats after = ComputeStats((*reparsed)->root());
+  EXPECT_EQ(before.element_count, after.element_count);
+  EXPECT_EQ(before.max_depth, after.max_depth);
+}
+
+std::vector<Param> MakeCases() {
+  return {
+      {"uniform", [] { return GenerateUniformTree(300, 3); }},
+      {"random",
+       [] {
+         RandomTreeConfig config;
+         config.node_budget = 400;
+         config.text_probability = 0.4;
+         config.seed = 77;
+         return GenerateRandomTree(config);
+       }},
+      {"skewed",
+       [] {
+         SkewedTreeConfig config;
+         config.node_budget = 350;
+         config.max_fanout = 60;
+         return GenerateSkewedTree(config);
+       }},
+      {"deep",
+       [] {
+         DeepTreeConfig config;
+         config.depth = 50;
+         return GenerateDeepTree(config);
+       }},
+      {"dblp", [] { return GenerateDblpLike(40); }},
+      {"xmark",
+       [] {
+         XmarkConfig config;
+         config.items = 25;
+         return GenerateXmarkLike(config);
+       }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, RoundTripTest,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<Param>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace xml
+}  // namespace ruidx

@@ -1,0 +1,73 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace ruidx {
+namespace xml {
+namespace {
+
+TEST(SerializerTest, EmptyElement) {
+  auto doc = testing::MustParse("<a/>");
+  EXPECT_EQ(Serialize(doc->document_node()), "<a/>");
+}
+
+TEST(SerializerTest, NestedCompact) {
+  auto doc = testing::MustParse("<a><b>x</b><c/></a>");
+  EXPECT_EQ(Serialize(doc->document_node()), "<a><b>x</b><c/></a>");
+}
+
+TEST(SerializerTest, AttributesEscaped) {
+  Document doc;
+  Node* e = doc.CreateElement("e");
+  ASSERT_TRUE(doc.AppendChild(doc.document_node(), e).ok());
+  ASSERT_TRUE(doc.SetAttribute(e, "q", "a\"b&c<d").ok());
+  EXPECT_EQ(Serialize(doc.document_node()),
+            "<e q=\"a&quot;b&amp;c&lt;d\"/>");
+}
+
+TEST(SerializerTest, TextEscaped) {
+  Document doc;
+  Node* e = doc.CreateElement("e");
+  ASSERT_TRUE(doc.AppendChild(doc.document_node(), e).ok());
+  ASSERT_TRUE(doc.AppendChild(e, doc.CreateText("1 < 2 & 3 > 2")).ok());
+  EXPECT_EQ(Serialize(doc.document_node()),
+            "<e>1 &lt; 2 &amp; 3 &gt; 2</e>");
+}
+
+TEST(SerializerTest, CommentsAndPIs) {
+  auto doc = testing::MustParse("<a><!--c--><?pi data?></a>");
+  EXPECT_EQ(Serialize(doc->document_node()), "<a><!--c--><?pi data?></a>");
+}
+
+TEST(SerializerTest, Declaration) {
+  auto doc = testing::MustParse("<a/>");
+  SerializeOptions options;
+  options.declaration = true;
+  EXPECT_EQ(Serialize(doc->document_node(), options),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+}
+
+TEST(SerializerTest, PrettyIndents) {
+  auto doc = testing::MustParse("<a><b><c/></b></a>");
+  SerializeOptions options;
+  options.pretty = true;
+  EXPECT_EQ(Serialize(doc->document_node(), options),
+            "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+}
+
+TEST(SerializerTest, SubtreeSerialization) {
+  auto doc = testing::MustParse("<a><b><c/></b></a>");
+  EXPECT_EQ(Serialize(doc->root()->children()[0]), "<b><c/></b>");
+}
+
+TEST(SerializerTest, EscapeHelpers) {
+  EXPECT_EQ(EscapeText("a&b<c>d"), "a&amp;b&lt;c&gt;d");
+  EXPECT_EQ(EscapeAttribute("a\"b&c"), "a&quot;b&amp;c");
+  EXPECT_EQ(EscapeText("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace ruidx

@@ -1,0 +1,71 @@
+#include "xml/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace ruidx {
+namespace xml {
+namespace {
+
+TEST(StatsTest, SingleNode) {
+  auto doc = testing::MustParse("<a/>");
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(s.node_count, 1u);
+  EXPECT_EQ(s.element_count, 1u);
+  EXPECT_EQ(s.leaf_count, 1u);
+  EXPECT_EQ(s.max_depth, 0u);
+  EXPECT_EQ(s.max_fanout, 0u);
+  EXPECT_EQ(s.max_tag_recursion, 1u);
+}
+
+TEST(StatsTest, CountsAndDepths) {
+  auto doc = testing::MustParse("<a><b><c/><d/></b><e/></a>");
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(s.node_count, 5u);
+  EXPECT_EQ(s.leaf_count, 3u);
+  EXPECT_EQ(s.max_depth, 2u);
+  EXPECT_EQ(s.max_fanout, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_fanout, 2.0);
+}
+
+TEST(StatsTest, FanoutHistogram) {
+  auto doc = testing::MustParse("<a><b><c/><d/><e/></b><f/></a>");
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(s.fanout_histogram.at(2), 1u);  // a
+  EXPECT_EQ(s.fanout_histogram.at(3), 1u);  // b
+  EXPECT_EQ(s.max_fanout, 3u);
+}
+
+TEST(StatsTest, TagRecursion) {
+  auto doc = testing::MustParse(
+      "<sec><p/><sec><sec><p/></sec></sec><other/></sec>");
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(s.max_tag_recursion, 3u);  // sec > sec > sec
+}
+
+TEST(StatsTest, RecursionResetAcrossBranches) {
+  // Two sibling branches each with one nested "x": recursion depth is 2,
+  // not 3 (the counter must pop when leaving a branch).
+  auto doc = testing::MustParse("<x><x/><x/></x>");
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(s.max_tag_recursion, 2u);
+}
+
+TEST(StatsTest, TextNodesCounted) {
+  auto doc = testing::MustParse("<a>hi<b>there</b></a>");
+  TreeStats s = ComputeStats(doc->root());
+  EXPECT_EQ(s.node_count, 4u);
+  EXPECT_EQ(s.element_count, 2u);
+}
+
+TEST(StatsTest, ToStringMentionsKeyNumbers) {
+  auto doc = testing::MustParse("<a><b/></a>");
+  std::string str = ComputeStats(doc->root()).ToString();
+  EXPECT_NE(str.find("nodes=2"), std::string::npos);
+  EXPECT_NE(str.find("max_depth=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace ruidx

@@ -1,0 +1,99 @@
+// Sec. 3.5: "element1/*/element2 ... we can avoid scanning the entire
+// collection of available elements to find the parent of element2. We need
+// only to list the grandparents, by applying rparent() twice" — the
+// backward child-chain rewrite must agree with ground truth.
+#include <gtest/gtest.h>
+
+#include "core/ruid2.h"
+#include "testutil.h"
+#include "xml/generator.h"
+#include "xpath/dom_eval.h"
+#include "xpath/name_index.h"
+#include "xpath/ruid_eval.h"
+
+namespace ruidx {
+namespace xpath {
+namespace {
+
+class ChildChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    xml::XmarkConfig config;
+    config.items = 40;
+    config.people = 25;
+    config.open_auctions = 20;
+    doc_ = xml::GenerateXmarkLike(config);
+    core::PartitionOptions options;
+    options.max_area_nodes = 16;
+    options.max_area_depth = 3;
+    scheme_ = std::make_unique<core::Ruid2Scheme>(options);
+    scheme_->Build(doc_->root());
+    index_ = std::make_unique<NameIndex>(doc_->root());
+    dom_eval_ = std::make_unique<DomEvaluator>(doc_.get());
+    ruid_eval_ = std::make_unique<RuidEvaluator>(doc_.get(), scheme_.get());
+    ruid_eval_->SetNameIndex(index_.get());
+  }
+
+  void CheckAgainstDom(const char* query) {
+    auto expected = dom_eval_->Evaluate(query);
+    auto actual = ruid_eval_->Evaluate(query);
+    ASSERT_TRUE(expected.ok() && actual.ok()) << query;
+    EXPECT_EQ(*actual, *expected) << query;
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<core::Ruid2Scheme> scheme_;
+  std::unique_ptr<NameIndex> index_;
+  std::unique_ptr<DomEvaluator> dom_eval_;
+  std::unique_ptr<RuidEvaluator> ruid_eval_;
+};
+
+TEST_F(ChildChainTest, PlainChains) {
+  CheckAgainstDom("/site/people/person");
+  CheckAgainstDom("/site/people/person/name");
+  CheckAgainstDom("/site/open_auctions/open_auction/bidder/increase");
+}
+
+TEST_F(ChildChainTest, ThePapersStarExample) {
+  // element1/*/element2 with exactly one buffer element between.
+  CheckAgainstDom("/site/*/person");
+  CheckAgainstDom("/site/*/*/name");
+  CheckAgainstDom("/site/*/open_auction/*/increase");
+}
+
+TEST_F(ChildChainTest, WrongNamesYieldEmpty) {
+  auto r = ruid_eval_->Evaluate("/nosuch/people/person");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  // Path longer than the tree is deep.
+  auto r2 = ruid_eval_->Evaluate("/site/*/*/*/*/*/*/*/*/*/name");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+TEST_F(ChildChainTest, ChainsWithPredicatesFallBack) {
+  CheckAgainstDom("/site/people/person[@id=\"person3\"]/name");
+  CheckAgainstDom("/site/people/person[2]");
+}
+
+TEST_F(ChildChainTest, RelativeChainsNotRewritten) {
+  // The rewrite requires the document-node context; relative evaluation
+  // from an element still works through navigation.
+  auto people = dom_eval_->Evaluate("/site/people");
+  ASSERT_TRUE(people.ok());
+  auto expected = dom_eval_->Evaluate("person/name", (*people)[0]);
+  auto actual = ruid_eval_->Evaluate("person/name", (*people)[0]);
+  ASSERT_TRUE(expected.ok() && actual.ok());
+  EXPECT_EQ(*actual, *expected);
+}
+
+TEST_F(ChildChainTest, CountsCandidatesNotDocument) {
+  ruid_eval_->ResetCounters();
+  ASSERT_TRUE(ruid_eval_->Evaluate("/site/people/person/name").ok());
+  // Work is proportional to the name candidates, far below document size.
+  EXPECT_LT(ruid_eval_->ids_generated(), scheme_->label_count() / 4);
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace ruidx

@@ -1,0 +1,140 @@
+#include "xpath/eval_common.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace ruidx {
+namespace xpath {
+namespace {
+
+class EvalCommonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = ruidx::testing::MustParse(
+        "<a id=\"1\">hello<b/><!--c--><?p d?></a>");
+    a_ = doc_->root();
+    text_ = a_->children()[0];
+    b_ = a_->children()[1];
+    comment_ = a_->children()[2];
+    pi_ = a_->children()[3];
+    attr_ = a_->attributes()[0];
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  xml::Node *a_, *text_, *b_, *comment_, *pi_, *attr_;
+};
+
+TEST_F(EvalCommonTest, NameTestMatchesElementsOnly) {
+  NodeTest test{NodeTestKind::kName, "b"};
+  EXPECT_TRUE(MatchesTest(b_, test, Axis::kChild));
+  EXPECT_FALSE(MatchesTest(a_, test, Axis::kChild));
+  EXPECT_FALSE(MatchesTest(text_, test, Axis::kChild));
+}
+
+TEST_F(EvalCommonTest, AnyNameIsPrincipalNodeType) {
+  NodeTest star{NodeTestKind::kAnyName, ""};
+  EXPECT_TRUE(MatchesTest(b_, star, Axis::kChild));
+  EXPECT_FALSE(MatchesTest(text_, star, Axis::kChild));
+  EXPECT_FALSE(MatchesTest(comment_, star, Axis::kChild));
+  // On the attribute axis, * matches attributes.
+  EXPECT_TRUE(MatchesTest(attr_, star, Axis::kAttribute));
+  EXPECT_FALSE(MatchesTest(b_, star, Axis::kAttribute));
+}
+
+TEST_F(EvalCommonTest, NodeTestMatchesEverythingButAttributes) {
+  NodeTest any{NodeTestKind::kAnyNode, ""};
+  EXPECT_TRUE(MatchesTest(a_, any, Axis::kChild));
+  EXPECT_TRUE(MatchesTest(text_, any, Axis::kChild));
+  EXPECT_TRUE(MatchesTest(comment_, any, Axis::kChild));
+  EXPECT_TRUE(MatchesTest(pi_, any, Axis::kChild));
+  EXPECT_FALSE(MatchesTest(attr_, any, Axis::kChild));
+  EXPECT_TRUE(MatchesTest(attr_, any, Axis::kAttribute));
+}
+
+TEST_F(EvalCommonTest, TypeTests) {
+  EXPECT_TRUE(MatchesTest(text_, {NodeTestKind::kText, ""}, Axis::kChild));
+  EXPECT_TRUE(
+      MatchesTest(comment_, {NodeTestKind::kComment, ""}, Axis::kChild));
+  EXPECT_TRUE(MatchesTest(pi_, {NodeTestKind::kPi, ""}, Axis::kChild));
+  EXPECT_FALSE(MatchesTest(b_, {NodeTestKind::kText, ""}, Axis::kChild));
+}
+
+TEST_F(EvalCommonTest, AttributePredicates) {
+  Predicate exists;
+  exists.kind = Predicate::Kind::kAttrExists;
+  exists.name = "id";
+  EXPECT_TRUE(MatchesPredicate(a_, exists));
+  EXPECT_FALSE(MatchesPredicate(b_, exists));
+
+  Predicate equals;
+  equals.kind = Predicate::Kind::kAttrEquals;
+  equals.name = "id";
+  equals.value = "1";
+  EXPECT_TRUE(MatchesPredicate(a_, equals));
+  equals.value = "2";
+  EXPECT_FALSE(MatchesPredicate(a_, equals));
+}
+
+TEST_F(EvalCommonTest, ChildExistsAndTextEquals) {
+  Predicate child;
+  child.kind = Predicate::Kind::kChildExists;
+  child.name = "b";
+  EXPECT_TRUE(MatchesPredicate(a_, child));
+  child.name = "zz";
+  EXPECT_FALSE(MatchesPredicate(a_, child));
+
+  Predicate text;
+  text.kind = Predicate::Kind::kTextEquals;
+  text.value = "hello";
+  EXPECT_TRUE(MatchesPredicate(a_, text));
+  text.value = "bye";
+  EXPECT_FALSE(MatchesPredicate(a_, text));
+}
+
+TEST_F(EvalCommonTest, ApplyPredicatesPositional) {
+  std::vector<xml::Node*> nodes{text_, b_, comment_};
+  Predicate second;
+  second.kind = Predicate::Kind::kPosition;
+  second.position = 2;
+  auto out = ApplyPredicates(nodes, {second});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], b_);
+
+  Predicate beyond;
+  beyond.kind = Predicate::Kind::kPosition;
+  beyond.position = 9;
+  EXPECT_TRUE(ApplyPredicates(nodes, {beyond}).empty());
+}
+
+TEST_F(EvalCommonTest, PredicatesComposeLeftToRight) {
+  // [position][filter]: position first narrows to one, filter may drop it.
+  std::vector<xml::Node*> nodes{a_, b_};
+  Predicate first;
+  first.kind = Predicate::Kind::kPosition;
+  first.position = 1;
+  Predicate has_id;
+  has_id.kind = Predicate::Kind::kAttrExists;
+  has_id.name = "id";
+  EXPECT_EQ(ApplyPredicates(nodes, {first, has_id}).size(), 1u);
+  EXPECT_EQ(ApplyPredicates(nodes, {has_id, first}).size(), 1u);
+  Predicate second;
+  second.kind = Predicate::Kind::kPosition;
+  second.position = 2;
+  // nodes[1] = b has no id: [2][@id] -> empty; [@id][2] -> empty too.
+  EXPECT_TRUE(ApplyPredicates(nodes, {second, has_id}).empty());
+  EXPECT_TRUE(ApplyPredicates(nodes, {has_id, second}).empty());
+}
+
+TEST_F(EvalCommonTest, DedupKeepsFirstOccurrence) {
+  std::vector<xml::Node*> nodes{a_, b_, a_, b_, text_};
+  auto out = DedupNodes(nodes);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], a_);
+  EXPECT_EQ(out[1], b_);
+  EXPECT_EQ(out[2], text_);
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace ruidx

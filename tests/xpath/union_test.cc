@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/ruid2.h"
+#include "testutil.h"
+#include "xpath/dom_eval.h"
+#include "xpath/name_index.h"
+#include "xpath/parser.h"
+#include "xpath/ruid_eval.h"
+
+namespace ruidx {
+namespace xpath {
+namespace {
+
+TEST(UnionParseTest, SplitsOnTopLevelBars) {
+  auto expr = ParseUnion("//a | //b|c/d");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  ASSERT_EQ(expr->paths.size(), 3u);
+  EXPECT_TRUE(expr->paths[0].absolute);
+  EXPECT_FALSE(expr->paths[2].absolute);
+  EXPECT_EQ(expr->ToString(),
+            "/descendant-or-self::node()/child::a | "
+            "/descendant-or-self::node()/child::b | child::c/child::d");
+}
+
+TEST(UnionParseTest, BarInsideLiteralIsNotASeparator) {
+  auto expr = ParseUnion("//a[@x=\"p|q\"] | //b");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  ASSERT_EQ(expr->paths.size(), 2u);
+  EXPECT_EQ(expr->paths[0].steps[1].predicates[0].value, "p|q");
+}
+
+TEST(UnionParseTest, Errors) {
+  EXPECT_FALSE(ParseUnion("//a | ").ok());
+  EXPECT_FALSE(ParseUnion(" | //a").ok());
+  EXPECT_FALSE(ParseUnion("//a[@x=\"unterminated | //b").ok());
+}
+
+class UnionEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = ruidx::testing::MustParse(
+        "<site><people><person id=\"p1\"><name>Ann</name></person></people>"
+        "<items><item id=\"i1\"/><item id=\"i2\"/></items></site>");
+    core::PartitionOptions options;
+    options.max_area_nodes = 6;
+    options.max_area_depth = 2;
+    scheme_ = std::make_unique<core::Ruid2Scheme>(options);
+    scheme_->Build(doc_->root());
+    dom_eval_ = std::make_unique<DomEvaluator>(doc_.get());
+    ruid_eval_ = std::make_unique<RuidEvaluator>(doc_.get(), scheme_.get());
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<core::Ruid2Scheme> scheme_;
+  std::unique_ptr<DomEvaluator> dom_eval_;
+  std::unique_ptr<RuidEvaluator> ruid_eval_;
+};
+
+TEST_F(UnionEvalTest, MergesInDocumentOrder) {
+  // items come after person in document order even though listed first.
+  auto via_dom = dom_eval_->Evaluate("//item | //person");
+  ASSERT_TRUE(via_dom.ok());
+  ASSERT_EQ(via_dom->size(), 3u);
+  EXPECT_EQ((*via_dom)[0]->name(), "person");
+  EXPECT_EQ((*via_dom)[1]->name(), "item");
+
+  auto via_ruid = ruid_eval_->Evaluate("//item | //person");
+  ASSERT_TRUE(via_ruid.ok());
+  EXPECT_EQ(*via_ruid, *via_dom);
+}
+
+TEST_F(UnionEvalTest, OverlappingBranchesDeduplicate) {
+  auto r = dom_eval_->Evaluate("//person | //people/person | //person[@id]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  auto r2 = ruid_eval_->Evaluate("//person | //people/person | //person[@id]");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, *r);
+}
+
+TEST_F(UnionEvalTest, WorksWithNameIndex) {
+  NameIndex index(doc_->root());
+  ruid_eval_->SetNameIndex(&index);
+  auto expected = dom_eval_->Evaluate("//name | //item");
+  auto actual = ruid_eval_->Evaluate("//name | //item");
+  ASSERT_TRUE(expected.ok() && actual.ok());
+  EXPECT_EQ(*actual, *expected);
+}
+
+TEST_F(UnionEvalTest, SinglePathStillWorksThroughUnionGrammar) {
+  auto r = ruid_eval_->Evaluate("/site/people/person/name");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0]->TextContent(), "Ann");
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace ruidx

@@ -1,0 +1,133 @@
+#include "xpath/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ruidx {
+namespace xpath {
+namespace {
+
+LocationPath MustParsePath(const std::string& text) {
+  auto r = ParsePath(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : LocationPath{};
+}
+
+TEST(XPathParserTest, SimpleAbsolutePath) {
+  LocationPath p = MustParsePath("/site/people/person");
+  EXPECT_TRUE(p.absolute);
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[0].test.kind, NodeTestKind::kName);
+  EXPECT_EQ(p.steps[0].test.name, "site");
+  EXPECT_EQ(p.steps[2].test.name, "person");
+}
+
+TEST(XPathParserTest, RelativePath) {
+  LocationPath p = MustParsePath("a/b");
+  EXPECT_FALSE(p.absolute);
+  ASSERT_EQ(p.steps.size(), 2u);
+}
+
+TEST(XPathParserTest, DoubleSlashExpandsToDescendantOrSelf) {
+  LocationPath p = MustParsePath("//item");
+  EXPECT_TRUE(p.absolute);
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(p.steps[0].test.kind, NodeTestKind::kAnyNode);
+  EXPECT_EQ(p.steps[1].test.name, "item");
+
+  LocationPath q = MustParsePath("a//b");
+  ASSERT_EQ(q.steps.size(), 3u);
+  EXPECT_EQ(q.steps[1].axis, Axis::kDescendantOrSelf);
+}
+
+TEST(XPathParserTest, ExplicitAxes) {
+  LocationPath p = MustParsePath(
+      "ancestor::x/following-sibling::y/preceding::node()/child::*");
+  ASSERT_EQ(p.steps.size(), 4u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kAncestor);
+  EXPECT_EQ(p.steps[1].axis, Axis::kFollowingSibling);
+  EXPECT_EQ(p.steps[2].axis, Axis::kPreceding);
+  EXPECT_EQ(p.steps[2].test.kind, NodeTestKind::kAnyNode);
+  EXPECT_EQ(p.steps[3].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[3].test.kind, NodeTestKind::kAnyName);
+}
+
+TEST(XPathParserTest, Abbreviations) {
+  LocationPath p = MustParsePath("../.");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kParent);
+  EXPECT_EQ(p.steps[1].axis, Axis::kSelf);
+
+  LocationPath q = MustParsePath("person/@id");
+  ASSERT_EQ(q.steps.size(), 2u);
+  EXPECT_EQ(q.steps[1].axis, Axis::kAttribute);
+  EXPECT_EQ(q.steps[1].test.name, "id");
+}
+
+TEST(XPathParserTest, NodeTypeTests) {
+  LocationPath p = MustParsePath("text()/comment()/processing-instruction()");
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[0].test.kind, NodeTestKind::kText);
+  EXPECT_EQ(p.steps[1].test.kind, NodeTestKind::kComment);
+  EXPECT_EQ(p.steps[2].test.kind, NodeTestKind::kPi);
+}
+
+TEST(XPathParserTest, Predicates) {
+  LocationPath q = MustParsePath(
+      "person[@id=\"p1\"][2]/name[text()='A']/record[author]");
+  ASSERT_EQ(q.steps.size(), 3u);
+  ASSERT_EQ(q.steps[0].predicates.size(), 2u);
+  EXPECT_EQ(q.steps[0].predicates[0].kind, Predicate::Kind::kAttrEquals);
+  EXPECT_EQ(q.steps[0].predicates[0].name, "id");
+  EXPECT_EQ(q.steps[0].predicates[0].value, "p1");
+  EXPECT_EQ(q.steps[0].predicates[1].kind, Predicate::Kind::kPosition);
+  EXPECT_EQ(q.steps[0].predicates[1].position, 2u);
+  ASSERT_EQ(q.steps[1].predicates.size(), 1u);
+  EXPECT_EQ(q.steps[1].predicates[0].kind, Predicate::Kind::kTextEquals);
+  EXPECT_EQ(q.steps[1].predicates[0].value, "A");
+  ASSERT_EQ(q.steps[2].predicates.size(), 1u);
+  EXPECT_EQ(q.steps[2].predicates[0].kind, Predicate::Kind::kChildExists);
+  EXPECT_EQ(q.steps[2].predicates[0].name, "author");
+}
+
+TEST(XPathParserTest, ToStringCanonicalForm) {
+  LocationPath p = MustParsePath("//item[@id=\"i1\"]");
+  EXPECT_EQ(p.ToString(),
+            "/descendant-or-self::node()/child::item[@id=\"i1\"]");
+  LocationPath q = MustParsePath("a/../@b");
+  EXPECT_EQ(q.ToString(), "child::a/parent::node()/attribute::b");
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(ParsePath("").ok());
+  EXPECT_FALSE(ParsePath("a/").ok());
+  EXPECT_FALSE(ParsePath("a[").ok());
+  EXPECT_FALSE(ParsePath("a[0]").ok());       // positions are 1-based
+  EXPECT_FALSE(ParsePath("a[@]").ok());
+  EXPECT_FALSE(ParsePath("bogus::a").ok());   // unknown axis
+  EXPECT_FALSE(ParsePath("a[text()]").ok());  // text() predicate needs '='
+  EXPECT_FALSE(ParsePath("foo()/x").ok());    // unknown node type test
+  EXPECT_FALSE(ParsePath("a[@x='unterminated]").ok());
+}
+
+TEST(XPathParserTest, BareSlashSelectsRoot) {
+  auto r = ParsePath("/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->absolute);
+  EXPECT_TRUE(r->steps.empty());
+}
+
+TEST(XPathParserTest, ReverseAxisClassification) {
+  EXPECT_TRUE(IsReverseAxis(Axis::kAncestor));
+  EXPECT_TRUE(IsReverseAxis(Axis::kPreceding));
+  EXPECT_TRUE(IsReverseAxis(Axis::kPrecedingSibling));
+  EXPECT_TRUE(IsReverseAxis(Axis::kParent));
+  EXPECT_FALSE(IsReverseAxis(Axis::kChild));
+  EXPECT_FALSE(IsReverseAxis(Axis::kFollowing));
+  EXPECT_FALSE(IsReverseAxis(Axis::kDescendantOrSelf));
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace ruidx
