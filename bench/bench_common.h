@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/ruid2.h"
 #include "util/table_printer.h"
@@ -17,6 +20,63 @@
 
 namespace ruidx {
 namespace bench {
+
+/// Machine-readable companion to the printed tables: collects named scalar
+/// metrics and writes them as BENCH_<name>.json, so the perf trajectory of
+/// each bench can be tracked across PRs by diffing checked-in files.
+///
+/// Format:
+///   {"bench": "<name>", "metrics": [
+///     {"name": "...", "value": <number>, "unit": "..."}, ...]}
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Metric(const std::string& name, double value,
+              const std::string& unit = "") {
+    metrics_.push_back({name, value, unit});
+  }
+
+  /// Writes BENCH_<name>.json under `dir` (default: working directory).
+  /// Returns the path written, or an empty string on I/O failure.
+  std::string Write(const std::string& dir = ".") const {
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"metrics\": [";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\n    {\"name\": \"" << metrics_[i].name << "\", \"value\": ";
+      // Integral values print without a fraction so diffs stay clean.
+      double v = metrics_[i].value;
+      if (v == static_cast<double>(static_cast<long long>(v))) {
+        os << static_cast<long long>(v);
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        os << buf;
+      }
+      os << ", \"unit\": \"" << metrics_[i].unit << "\"}";
+    }
+    os << "\n  ]\n}\n";
+    std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::string body = os.str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
+    return path;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string bench_name_;
+  std::vector<Entry> metrics_;
+};
 
 inline std::unique_ptr<xml::Document> MakeTopology(const std::string& name,
                                                    uint64_t scale) {

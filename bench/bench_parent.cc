@@ -2,6 +2,7 @@
 // "more complicated than the one in the original UID", but both run
 // entirely in main memory, so "the distinction is not significant".
 // Measures per-operation cost of parent and full ancestor-chain recovery.
+#include <chrono>
 #include <vector>
 
 #include "bench_common.h"
@@ -57,13 +58,40 @@ void PrintTables() {
   table.AddRow({"ruid rparent", "Fig. 6", "kappa + table K"});
   table.AddRow({"dewey parent", "drop last component", "none"});
   table.Print();
+  BenchJsonWriter json("parent");
   for (const char* topology : {"uniform", "deep"}) {
     Fixture& fixture = GetFixture(topology);
     std::printf("'%s': ruid global state = %llu bytes, areas = %zu\n",
                 topology,
                 static_cast<unsigned long long>(fixture.ruid.GlobalStateBytes()),
                 fixture.ruid.partition().areas.size());
+    json.Metric(std::string("global_state_bytes_") + topology,
+                static_cast<double>(fixture.ruid.GlobalStateBytes()), "bytes");
+    json.Metric(std::string("areas_") + topology,
+                static_cast<double>(fixture.ruid.partition().areas.size()));
+    // Deterministic per-op timing over the fixed sample, for the cross-PR
+    // JSON trail (google-benchmark numbers below are interactive-only).
+    auto time_ms = [](auto&& fn) {
+      auto t0 = std::chrono::steady_clock::now();
+      fn();
+      auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(t1 - t0).count();
+    };
+    double parent_ms = time_ms([&] {
+      for (xml::Node* n : fixture.sample) {
+        benchmark::DoNotOptimize(fixture.ruid.Parent(fixture.ruid.label(n)));
+      }
+    });
+    double chain_ms = time_ms([&] {
+      for (xml::Node* n : fixture.sample) {
+        benchmark::DoNotOptimize(fixture.ruid.Ancestors(fixture.ruid.label(n)));
+      }
+    });
+    json.Metric(std::string("rparent_sample_ms_") + topology, parent_ms, "ms");
+    json.Metric(std::string("rancestor_sample_ms_") + topology, chain_ms,
+                "ms");
   }
+  json.Write();
   std::printf("\n(timings below; see EXPERIMENTS.md for discussion)\n");
 }
 

@@ -1,0 +1,104 @@
+#include "core/ancestor_path_cache.h"
+
+namespace ruidx {
+namespace core {
+
+std::vector<Ruid2Id> AncestorPathCache::UncachedChain(const Ruid2Id& id,
+                                                      uint64_t kappa,
+                                                      const KTable& k) {
+  std::vector<Ruid2Id> chain;
+  Ruid2Id cur = id;
+  while (!(cur == Ruid2RootId())) {
+    auto parent = RuidParent(cur, kappa, k);
+    if (!parent.ok()) break;
+    cur = parent.MoveValueUnsafe();
+    chain.push_back(cur);
+  }
+  return chain;
+}
+
+const std::vector<Ruid2Id>* AncestorPathCache::AreaRootAncestors(
+    const BigUint& global, uint64_t kappa, const KTable& k) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = chains_.find(global);
+    if (it != chains_.end()) {
+      ++hits_;
+      return &it->second;
+    }
+    ++misses_;
+  }
+  // Compute outside the lock (the chain walk is the expensive part), then
+  // publish. A racing computation of the same area yields the same chain,
+  // and unordered_map entries are node-stable, so returned pointers survive
+  // concurrent insertions.
+  const KRow* row = k.Find(global);
+  std::vector<Ruid2Id> chain;
+  if (row != nullptr) {
+    chain = UncachedChain(Ruid2Id{global, row->root_local, true}, kappa, k);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return &chains_.try_emplace(global, std::move(chain)).first->second;
+}
+
+std::vector<Ruid2Id> AncestorPathCache::Ancestors(const Ruid2Id& id,
+                                                  uint64_t kappa,
+                                                  const KTable& k) const {
+  if (!enabled_) return UncachedChain(id, kappa, k);
+  std::vector<Ruid2Id> chain;
+  // Climb within the node's own area until the area root (or the main root)
+  // is reached; this part is node-specific and stays uncached.
+  Ruid2Id cur = id;
+  while (!cur.is_area_root) {
+    auto parent = RuidParent(cur, kappa, k);
+    if (!parent.ok()) return chain;
+    cur = parent.MoveValueUnsafe();
+    chain.push_back(cur);
+  }
+  if (cur == Ruid2RootId()) return chain;
+  // From the area root upward every node of the area shares one chain.
+  const std::vector<Ruid2Id>* tail = AreaRootAncestors(cur.global, kappa, k);
+  chain.insert(chain.end(), tail->begin(), tail->end());
+  return chain;
+}
+
+void AncestorPathCache::OnUpdate(const UpdateReport& report) {
+  if (report.relabeled > 0 || report.areas_dropped > 0 ||
+      report.local_fanout_grew) {
+    Clear();
+  }
+}
+
+void AncestorPathCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!chains_.empty()) ++invalidations_;
+  chains_.clear();
+}
+
+void AncestorPathCache::set_enabled(bool enabled) {
+  enabled_ = enabled;
+  if (!enabled) Clear();
+}
+
+uint64_t AncestorPathCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t AncestorPathCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t AncestorPathCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
+}
+
+size_t AncestorPathCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chains_.size();
+}
+
+}  // namespace core
+}  // namespace ruidx

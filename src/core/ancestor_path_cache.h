@@ -1,0 +1,102 @@
+// Per-area memoization of frame ancestor chains.
+//
+// rparent() (Fig. 6) recovers a node's ancestors by repeated BigUint
+// division, and every Ancestors/CompareIds/axis/join call re-derives the
+// same chains from scratch. But by Defs. 1-3 every node of a UID-local area
+// shares the ancestor chain of its area root from the area root upward: the
+// only per-node work is the short climb inside the node's own area (bounded
+// by the partition's area-depth budget). This cache memoizes, per area
+// global index, the proper-ancestor chain of the area root, so the frame
+// part of every chain is computed once per area instead of once per call.
+//
+// Invalidation is driven by the Sec. 3.2 update accounting (UpdateReport):
+// a cached chain embeds area-root identifiers (whose locals change when an
+// area is re-enumerated), K-row root_local values, and per-area fan-outs,
+// so any update that relabels existing nodes, drops areas, or grows a local
+// fan-out flushes the cache wholesale. Updates that only append fresh
+// labels (relabeled == 0, no drops, no fan-out growth) leave every cached
+// chain valid.
+#ifndef RUIDX_CORE_ANCESTOR_PATH_CACHE_H_
+#define RUIDX_CORE_ANCESTOR_PATH_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ruid2_id.h"
+
+namespace ruidx {
+namespace core {
+
+class AncestorPathCache {
+ public:
+  AncestorPathCache() = default;
+
+  // The cache is per-scheme memo state guarded by a mutex; copied or moved
+  // schemes start with a cold cache (only the enabled flag carries over).
+  AncestorPathCache(const AncestorPathCache& o) : enabled_(o.enabled_) {}
+  AncestorPathCache(AncestorPathCache&& o) noexcept : enabled_(o.enabled_) {}
+  AncestorPathCache& operator=(const AncestorPathCache& o) {
+    enabled_ = o.enabled_;
+    Clear();
+    return *this;
+  }
+  AncestorPathCache& operator=(AncestorPathCache&& o) noexcept {
+    enabled_ = o.enabled_;
+    Clear();
+    return *this;
+  }
+
+  /// Full proper-ancestor chain of `id`, nearest first — the rancestor()
+  /// result. Climbs inside the node's own area with rparent, then appends
+  /// the memoized chain of the area root.
+  std::vector<Ruid2Id> Ancestors(const Ruid2Id& id, uint64_t kappa,
+                                 const KTable& k) const;
+
+  /// Proper-ancestor chain of the root of the area with global index
+  /// `global`, nearest first. The pointer stays valid until the next
+  /// Invalidate()/Clear() (entries are node-stable).
+  const std::vector<Ruid2Id>* AreaRootAncestors(const BigUint& global,
+                                                uint64_t kappa,
+                                                const KTable& k) const;
+
+  /// Invalidation hook for the incremental-update paths: flushes every
+  /// entry when the report shows relabels, dropped areas, or local fan-out
+  /// growth; keeps the cache warm for append-only updates.
+  void OnUpdate(const UpdateReport& report);
+
+  /// Drops every cached chain (full rebuilds, external relabeling).
+  void Clear();
+
+  /// Disabling turns every lookup into a cold rparent() walk — the
+  /// uncached baseline the benchmarks compare against.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_; }
+
+  // --- statistics (for tests and the bench tables) --------------------------
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t invalidations() const;
+  size_t entry_count() const;
+
+ private:
+  /// Cold chain computation by repeated rparent, no memoization.
+  static std::vector<Ruid2Id> UncachedChain(const Ruid2Id& id, uint64_t kappa,
+                                            const KTable& k);
+
+  bool enabled_ = true;
+  /// Guards chains_ and the counters; Ancestors() must be callable from
+  /// concurrent readers (the bulk pipelines share one scheme).
+  mutable std::mutex mu_;
+  mutable std::unordered_map<BigUint, std::vector<Ruid2Id>, BigUintHash>
+      chains_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace core
+}  // namespace ruidx
+
+#endif  // RUIDX_CORE_ANCESTOR_PATH_CACHE_H_

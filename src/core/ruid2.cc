@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "scheme/uid.h"
+#include "util/thread_pool.h"
 
 namespace ruidx {
 namespace core {
@@ -55,32 +56,32 @@ void Ruid2Scheme::DropLabel(xml::Node* n) {
   labels_.erase(it);
 }
 
-uint64_t Ruid2Scheme::RenumberArea(uint32_t area_idx, bool* fanout_grew) {
-  Partition::Area& area = partition_.areas[area_idx];
-  assert(area.root != nullptr && "renumbering a dropped area");
+Ruid2Scheme::AreaEnumeration Ruid2Scheme::EnumerateArea(
+    uint32_t area_idx) const {
+  const Partition::Area& area = partition_.areas[area_idx];
+  assert(area.root != nullptr && "enumerating a dropped area");
   const BigUint& area_global = area_globals_[area_idx];
+  AreaEnumeration e;
+  e.area_idx = area_idx;
 
   // Recompute the local maximal fan-out over expanding members. The paper
   // only ever *enlarges* k_i (shrinking would relabel for no benefit).
   uint64_t max_fanout = 1;
-  uint64_t members = 1;
   xml::PreorderTraverse(area.root, [&](xml::Node* n, int depth) {
     if (depth > 0 && partition_.IsAreaRoot(n)) return false;  // leaf here
     max_fanout = std::max<uint64_t>(max_fanout, n->fanout());
     return true;
   });
-  if (max_fanout > area.local_fanout) {
-    area.local_fanout = max_fanout;
-    if (fanout_grew != nullptr) *fanout_grew = true;
+  e.fanout = area.local_fanout;
+  if (max_fanout > e.fanout) {
+    e.fanout = max_fanout;
+    e.fanout_grew = true;
   }
-  uint64_t k = area.local_fanout;
-  if (KRow* row = ktable_.FindMutable(area_global)) {
-    row->fanout = k;
-  }
+  uint64_t k = e.fanout;
 
   // Local enumeration (Fig. 3, lines 4-13): the area root is index 1; the
   // j-th child of an expanding member with index L gets UidChild(L, k, j).
-  uint64_t changed = 0;
+  uint64_t members = 1;
   struct Frame {
     xml::Node* node;
     BigUint local;
@@ -97,24 +98,51 @@ uint64_t Ruid2Scheme::RenumberArea(uint32_t area_idx, bool* fanout_grew) {
       auto rit = partition_.rooted_area.find(c->serial());
       if (rit != partition_.rooted_area.end()) {
         // c roots a child area: identifier (g_child, local-in-this-area,
-        // true); keep its K row's root_local in sync.
-        const BigUint& child_global = area_globals_[rit->second];
-        if (KRow* row = ktable_.FindMutable(child_global)) {
-          row->root_local = local;
-        }
-        SetLabel(c, Ruid2Id{child_global, std::move(local), true}, &changed);
+        // true); its K row's root_local is patched during the apply step.
+        e.child_root_locals.emplace_back(rit->second, local);
+        e.labels.emplace_back(
+            c, Ruid2Id{area_globals_[rit->second], std::move(local), true});
         // Do not descend: c's children belong to the child area.
       } else {
-        SetLabel(c, Ruid2Id{area_global, local, false}, &changed);
+        e.labels.emplace_back(c, Ruid2Id{area_global, local, false});
         stack.push_back({c, std::move(local)});
       }
     }
   }
-  area.member_count = members;
+  e.member_count = members;
+  return e;
+}
+
+uint64_t Ruid2Scheme::ApplyEnumeration(const AreaEnumeration& e,
+                                       bool* fanout_grew) {
+  Partition::Area& area = partition_.areas[e.area_idx];
+  if (e.fanout_grew) {
+    area.local_fanout = e.fanout;
+    if (fanout_grew != nullptr) *fanout_grew = true;
+  }
+  if (KRow* row = ktable_.FindMutable(area_globals_[e.area_idx])) {
+    row->fanout = e.fanout;
+  }
+  for (const auto& [child_area, root_local] : e.child_root_locals) {
+    if (KRow* row = ktable_.FindMutable(area_globals_[child_area])) {
+      row->root_local = root_local;
+    }
+  }
+  uint64_t changed = 0;
+  for (const auto& [node, id] : e.labels) {
+    SetLabel(node, id, &changed);
+  }
+  area.member_count = e.member_count;
   return changed;
 }
 
-void Ruid2Scheme::Build(xml::Node* root) {
+uint64_t Ruid2Scheme::RenumberArea(uint32_t area_idx, bool* fanout_grew) {
+  return ApplyEnumeration(EnumerateArea(area_idx), fanout_grew);
+}
+
+void Ruid2Scheme::Build(xml::Node* root) { Build(root, nullptr); }
+
+void Ruid2Scheme::Build(xml::Node* root, util::ThreadPool* pool) {
   auto partition = PartitionTree(root, options_);
   assert(partition.ok() && "invalid partition options");
   partition_ = partition.MoveValueUnsafe();
@@ -123,6 +151,7 @@ void Ruid2Scheme::Build(xml::Node* root) {
   ktable_.Clear();
   area_by_global_.clear();
   area_globals_.assign(partition_.areas.size(), BigUint(0));
+  ancestor_cache_.Clear();
 
   kappa_ = std::max<uint64_t>(1, partition_.FrameFanout());
 
@@ -152,8 +181,18 @@ void Ruid2Scheme::Build(xml::Node* root) {
   // The main root is (1, 1, true) by Def. 3.
   SetLabel(root, Ruid2RootId(), nullptr);
 
-  for (uint32_t i = 0; i < partition_.areas.size(); ++i) {
-    RenumberArea(i, nullptr);
+  // Local enumeration of every area. Areas share no members besides their
+  // roots (enumerated in the *upper* area), so EnumerateArea calls are
+  // independent pure computations — the BigUint-heavy half of the build —
+  // and run concurrently. The apply step merges serially in area order,
+  // which makes the result identical for every thread count.
+  std::vector<AreaEnumeration> enumerations(partition_.areas.size());
+  util::ThreadPool::ParallelFor(
+      pool, partition_.areas.size(), [&](size_t i) {
+        enumerations[i] = EnumerateArea(static_cast<uint32_t>(i));
+      });
+  for (const AreaEnumeration& e : enumerations) {
+    ApplyEnumeration(e, nullptr);
   }
 }
 
@@ -184,27 +223,17 @@ Result<Ruid2Id> Ruid2Scheme::Parent(const Ruid2Id& id) const {
 }
 
 std::vector<Ruid2Id> Ruid2Scheme::Ancestors(const Ruid2Id& id) const {
-  std::vector<Ruid2Id> chain;
-  Ruid2Id cur = id;
-  while (!(cur == Ruid2RootId())) {
-    auto parent = Parent(cur);
-    if (!parent.ok()) break;
-    cur = parent.MoveValueUnsafe();
-    chain.push_back(cur);
-  }
-  return chain;
+  return ancestor_cache_.Ancestors(id, kappa_, ktable_);
 }
 
 bool Ruid2Scheme::IsAncestorId(const Ruid2Id& a, const Ruid2Id& d) const {
   if (a == d) return false;
-  Ruid2Id cur = d;
-  while (!(cur == Ruid2RootId())) {
-    auto parent = Parent(cur);
-    if (!parent.ok()) return false;
-    cur = parent.MoveValueUnsafe();
-    if (cur == a) return true;
+  // a is a proper ancestor of d iff it appears on d's ancestor chain; the
+  // frame part of the chain comes from the per-area cache.
+  for (const Ruid2Id& anc : Ancestors(d)) {
+    if (anc == a) return true;
   }
-  return a == Ruid2RootId() && !(d == Ruid2RootId());
+  return false;
 }
 
 uint64_t Ruid2Scheme::DepthOf(const Ruid2Id& id) const {
@@ -298,6 +327,7 @@ Result<UpdateReport> Ruid2Scheme::InsertAndRelabel(xml::Document* doc,
   UpdateReport report;
   report.areas_touched = 1;
   report.relabeled = RenumberArea(area, &report.local_fanout_grew);
+  ancestor_cache_.OnUpdate(report);
   return report;
 }
 
@@ -343,6 +373,7 @@ Result<UpdateReport> Ruid2Scheme::RemoveAndRelabel(xml::Document* doc,
   RUIDX_RETURN_NOT_OK(doc->RemoveSubtree(victim));
   report.areas_touched = 1;
   report.relabeled = RenumberArea(area, &report.local_fanout_grew);
+  ancestor_cache_.OnUpdate(report);
   return report;
 }
 
@@ -465,6 +496,7 @@ uint64_t Ruid2Scheme::RelabelAndCount(xml::Node* root) {
   });
 
   // Deletions.
+  UpdateReport report;
   std::vector<uint32_t> gone;
   for (const auto& [serial, id] : labels_) {
     if (!in_tree.contains(serial)) gone.push_back(serial);
@@ -483,6 +515,7 @@ uint64_t Ruid2Scheme::RelabelAndCount(xml::Node* root) {
     auto rit = partition_.rooted_area.find(serial);
     if (rit != partition_.rooted_area.end()) {
       uint32_t dead = rit->second;
+      ++report.areas_dropped;
       const BigUint& dead_global = area_globals_[dead];
       ktable_.Erase(dead_global);
       area_by_global_.erase(dead_global);
@@ -509,8 +542,11 @@ uint64_t Ruid2Scheme::RelabelAndCount(xml::Node* root) {
   uint64_t changed = 0;
   for (uint32_t area : dirty_areas) {
     if (partition_.areas[area].root == nullptr) continue;
-    changed += RenumberArea(area, nullptr);
+    ++report.areas_touched;
+    changed += RenumberArea(area, &report.local_fanout_grew);
   }
+  report.relabeled = changed;
+  ancestor_cache_.OnUpdate(report);
   return changed;
 }
 

@@ -13,63 +13,21 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/ancestor_path_cache.h"
 #include "core/ktable.h"
 #include "core/partition.h"
+#include "core/ruid2_id.h"
 #include "scheme/labeling.h"
 #include "util/biguint.h"
 #include "util/result.h"
 #include "xml/dom.h"
 
 namespace ruidx {
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 namespace core {
-
-/// \brief A full 2-level ruid (Def. 3): (g_i, l_i, r_i).
-struct Ruid2Id {
-  BigUint global;
-  BigUint local;
-  bool is_area_root = false;
-
-  bool operator==(const Ruid2Id& o) const {
-    return is_area_root == o.is_area_root && global == o.global &&
-           local == o.local;
-  }
-  bool operator!=(const Ruid2Id& o) const { return !(*this == o); }
-
-  /// "(g, l, r)" in the notation of the paper.
-  std::string ToString() const;
-
-  size_t Hash() const {
-    size_t h = global.Hash();
-    h = h * 1099511628211ULL ^ local.Hash();
-    return h * 2 + (is_area_root ? 1 : 0);
-  }
-};
-
-struct Ruid2IdHash {
-  size_t operator()(const Ruid2Id& id) const { return id.Hash(); }
-};
-
-/// The identifier of the main root, (1, 1, true).
-Ruid2Id Ruid2RootId();
-
-/// rparent() — the Fig. 6 algorithm as a pure function of (κ, K). Given the
-/// identifier of a node, computes the identifier of its parent entirely in
-/// main memory. Fails for the main root and for identifiers whose area has
-/// no K row.
-Result<Ruid2Id> RuidParent(const Ruid2Id& id, uint64_t kappa, const KTable& k);
-
-/// \brief Outcome of an incremental structural update (Sec. 3.2 accounting).
-struct UpdateReport {
-  /// Previously labeled nodes whose identifier changed.
-  uint64_t relabeled = 0;
-  /// Areas whose local enumeration was redone.
-  uint64_t areas_touched = 0;
-  /// True when the insertion overflowed the area's local fan-out and k_i had
-  /// to be enlarged.
-  bool local_fanout_grew = false;
-  /// Areas (and their K rows) dropped because a deletion removed them.
-  uint64_t areas_dropped = 0;
-};
 
 /// \brief 2-level ruid over a DOM tree.
 ///
@@ -84,6 +42,12 @@ class Ruid2Scheme : public scheme::LabelingScheme {
   // --- LabelingScheme ------------------------------------------------------
   std::string name() const override { return "ruid2"; }
   void Build(xml::Node* root) override;
+  /// Parallel build: UID-local areas are independent by construction
+  /// (Defs. 1-3), so their local enumerations run concurrently on `pool`
+  /// (pure per-area computation), followed by a deterministic serial merge
+  /// in area order. A null pool (or a one-worker pool) is the serial path;
+  /// results are bit-identical for every thread count.
+  void Build(xml::Node* root, util::ThreadPool* pool);
   bool IsParent(const xml::Node* p, const xml::Node* c) const override;
   bool IsAncestor(const xml::Node* a, const xml::Node* d) const override;
   int CompareOrder(const xml::Node* a, const xml::Node* b) const override;
@@ -99,7 +63,9 @@ class Ruid2Scheme : public scheme::LabelingScheme {
   /// rparent() of Fig. 6. Fails for the main root identifier.
   Result<Ruid2Id> Parent(const Ruid2Id& id) const;
 
-  /// rancestor(): the chain of proper ancestors, nearest first.
+  /// rancestor(): the chain of proper ancestors, nearest first. Served from
+  /// the per-area ancestor-path cache: only the climb inside the node's own
+  /// area costs fresh rparent() divisions.
   std::vector<Ruid2Id> Ancestors(const Ruid2Id& id) const;
 
   /// True iff a is a proper ancestor of d, by identifier arithmetic.
@@ -119,6 +85,11 @@ class Ruid2Scheme : public scheme::LabelingScheme {
   const KTable& ktable() const { return ktable_; }
   const Partition& partition() const { return partition_; }
   const PartitionOptions& options() const { return options_; }
+
+  /// The per-area ancestor-path cache behind Ancestors/CompareIds/
+  /// IsAncestorId. Exposed for statistics and for benchmarking the uncached
+  /// baseline (set_enabled(false)); invalidation is automatic.
+  AncestorPathCache& ancestor_cache() const { return ancestor_cache_; }
 
   const Ruid2Id& label(const xml::Node* n) const {
     return labels_.at(n->serial());
@@ -163,6 +134,29 @@ class Ruid2Scheme : public scheme::LabelingScheme {
   Status Validate(xml::Node* root) const;
 
  private:
+  /// The pure half of area (re-)enumeration: walks one area and computes
+  /// the labels every member should carry, the area's (possibly grown)
+  /// local fan-out, and the root_local patches owed to child-area K rows —
+  /// without mutating any scheme state. Reads only immutable-during-build
+  /// structures, so independent areas can be enumerated on worker threads.
+  struct AreaEnumeration {
+    uint32_t area_idx = 0;
+    uint64_t fanout = 1;
+    bool fanout_grew = false;
+    uint64_t member_count = 1;
+    /// (node, id) in local enumeration order, area root excluded.
+    std::vector<std::pair<xml::Node*, Ruid2Id>> labels;
+    /// Child areas rooted inside this area: (child area idx, root_local).
+    std::vector<std::pair<uint32_t, BigUint>> child_root_locals;
+  };
+  AreaEnumeration EnumerateArea(uint32_t area_idx) const;
+
+  /// The mutating half: publishes an enumeration into the label maps, the
+  /// partition, and table K. Must run serially (callers order by area
+  /// index, which makes parallel builds deterministic). Returns the number
+  /// of previously labeled nodes whose identifier changed.
+  uint64_t ApplyEnumeration(const AreaEnumeration& e, bool* fanout_grew);
+
   /// Re-enumerates the local indices of one area in place. Returns the
   /// number of previously labeled nodes whose identifier changed.
   uint64_t RenumberArea(uint32_t area_idx, bool* fanout_grew);
@@ -185,6 +179,9 @@ class Ruid2Scheme : public scheme::LabelingScheme {
   std::unordered_map<BigUint, uint32_t, BigUintHash> area_by_global_;
   /// area index -> global index (inverse of area_by_global_).
   std::vector<BigUint> area_globals_;
+  /// Memoized frame ancestor chains, one per area; invalidated by the
+  /// update paths through UpdateReport.
+  mutable AncestorPathCache ancestor_cache_;
 };
 
 }  // namespace core

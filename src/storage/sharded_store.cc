@@ -1,5 +1,7 @@
 #include "storage/sharded_store.h"
 
+#include "util/thread_pool.h"
+
 namespace ruidx {
 namespace storage {
 
@@ -11,6 +13,7 @@ Result<std::unique_ptr<ShardedElementStore>> ShardedElementStore::Create(
 
 Result<ElementStore*> ShardedElementStore::ShardFor(const ShardKey& key,
                                                     bool create) {
+  std::lock_guard<std::mutex> lock(shards_mu_);
   auto it = shards_.find(key);
   if (it != shards_.end()) return it->second.get();
   if (!create) return Status::NotFound("no shard for " + key.name);
@@ -34,20 +37,51 @@ Status ShardedElementStore::Put(const ElementRecord& record) {
 }
 
 Status ShardedElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
-                                     xml::Node* root) {
-  Status status = Status::OK();
+                                     xml::Node* root,
+                                     util::ThreadPool* pool) {
+  // Stage 1 (serial): partition the records per (name, global) shard. The
+  // traversal is document order, so each shard's record list is in document
+  // order regardless of how stage 3 is scheduled.
+  std::map<ShardKey, std::vector<ElementRecord>> groups;
   xml::PreorderTraverse(root, [&](xml::Node* n, int) {
-    if (!status.ok()) return false;
     ElementRecord record;
     record.id = scheme.label(n);
     record.parent_id = (n == root) ? record.id : scheme.label(n->parent());
     record.node_type = static_cast<uint8_t>(n->type());
     record.name = n->name();
     if (!n->is_element()) record.value = n->value();
-    status = Put(record);
-    return status.ok();
+    groups[ShardKey{record.name, record.id.global}].push_back(
+        std::move(record));
+    return true;
   });
-  return status;
+
+  // Stage 2 (serial): create every shard up front, so the parallel stage
+  // never touches the shard map.
+  std::vector<std::pair<ElementStore*, const std::vector<ElementRecord>*>>
+      jobs;
+  jobs.reserve(groups.size());
+  for (const auto& [key, records] : groups) {
+    RUIDX_ASSIGN_OR_RETURN(ElementStore * shard, ShardFor(key, /*create=*/true));
+    jobs.emplace_back(shard, &records);
+  }
+
+  // Stage 3 (parallel): each shard is loaded whole by one worker — no two
+  // workers ever share an ElementStore, so the stores need no locks.
+  std::vector<Status> statuses(jobs.size(), Status::OK());
+  util::ThreadPool::ParallelFor(pool, jobs.size(), [&](size_t i) {
+    auto [shard, records] = jobs[i];
+    for (const ElementRecord& record : *records) {
+      Status st = shard->Put(record);
+      if (!st.ok()) {
+        statuses[i] = std::move(st);
+        return;
+      }
+    }
+  });
+  for (Status& st : statuses) {
+    RUIDX_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
 }
 
 Result<ElementRecord> ShardedElementStore::Get(const std::string& name,

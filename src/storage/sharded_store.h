@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,10 @@
 #include "storage/element_store.h"
 
 namespace ruidx {
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 namespace storage {
 
 class ShardedElementStore {
@@ -33,8 +38,14 @@ class ShardedElementStore {
   /// Routes the record to the (name, global) shard.
   Status Put(const ElementRecord& record);
 
-  /// Loads every labeled node of the document.
-  Status BulkLoad(const core::Ruid2Scheme& scheme, xml::Node* root);
+  /// Loads every labeled node of the document. With a pool, records are
+  /// first partitioned per (name, global) shard in document order, the
+  /// shards are created serially, and then each shard is loaded whole by
+  /// one worker — shards never share an ElementStore, so the only lock in
+  /// the pipeline is the shard-map mutex. Shard contents are identical for
+  /// every thread count (each shard sees its records in document order).
+  Status BulkLoad(const core::Ruid2Scheme& scheme, xml::Node* root,
+                  util::ThreadPool* pool = nullptr);
 
   /// Point lookup: needs the record's name to select the shard (the name is
   /// part of the "table name" in the paper's design).
@@ -74,6 +85,9 @@ class ShardedElementStore {
 
   std::string dir_;
   size_t pool_pages_;
+  /// Guards shards_ (the map itself, not the stores: during a parallel
+  /// BulkLoad every ElementStore is owned by exactly one worker).
+  std::mutex shards_mu_;
   std::map<ShardKey, std::unique_ptr<ElementStore>> shards_;
 };
 

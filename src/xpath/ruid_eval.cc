@@ -87,6 +87,9 @@ std::vector<xml::Node*> RuidEvaluator::GenerateAxis(xml::Node* n, Axis axis) {
       }
       break;
     }
+    // Ancestor/ordering axes below resolve through Ruid2Scheme::Ancestors /
+    // CompareIds, which serve the frame tail of each chain from the scheme's
+    // AncestorPathCache (one memoized chain per area).
     case Axis::kAncestor:
       out = axes_.Ancestors(id);
       break;

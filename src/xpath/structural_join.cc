@@ -1,7 +1,6 @@
 #include "xpath/structural_join.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "xml/dom.h"
 
@@ -38,45 +37,79 @@ JoinResult StackJoin(std::vector<xml::Node*> ancestors,
 
 }  // namespace
 
-JoinResult StructuralJoinRuid(const core::Ruid2Scheme& scheme,
-                              std::vector<xml::Node*> ancestors,
-                              std::vector<xml::Node*> descendants) {
-  // Derive each node's root-to-node identifier chain once, by repeated
-  // rparent (identifier arithmetic only). Document order is lexicographic
-  // on sibling locals (Fig. 10 / Lemma 2) and ancestorship is the proper-
-  // prefix relation, so the join itself runs on plain vector compares.
-  std::unordered_map<const xml::Node*, std::vector<core::Ruid2Id>> chains;
-  auto chain_of = [&](xml::Node* n) -> const std::vector<core::Ruid2Id>& {
-    auto it = chains.find(n);
-    if (it != chains.end()) return it->second;
+namespace {
+
+/// A join input annotated with its root-to-node identifier chain, computed
+/// exactly once per input element — the comparators below run on plain
+/// vector compares, with no per-comparison rparent() calls or hash lookups.
+struct ChainedNode {
+  xml::Node* node;
+  std::vector<core::Ruid2Id> chain;  // root first, the node itself last
+};
+
+std::vector<ChainedNode> AnnotateChains(const core::Ruid2Scheme& scheme,
+                                        const std::vector<xml::Node*>& nodes) {
+  std::vector<ChainedNode> out;
+  out.reserve(nodes.size());
+  for (xml::Node* n : nodes) {
+    // Ancestors() serves the frame part of the chain from the per-area
+    // ancestor-path cache; only the within-area climb costs divisions.
     std::vector<core::Ruid2Id> chain = scheme.Ancestors(scheme.label(n));
     std::reverse(chain.begin(), chain.end());
     chain.push_back(scheme.label(n));
-    return chains.emplace(n, std::move(chain)).first->second;
-  };
-  for (xml::Node* n : ancestors) chain_of(n);
-  for (xml::Node* n : descendants) chain_of(n);
+    out.push_back(ChainedNode{n, std::move(chain)});
+  }
+  return out;
+}
 
-  auto less = [&](xml::Node* a, xml::Node* b) {
-    const auto& ca = chains.at(a);
-    const auto& cb = chains.at(b);
-    size_t n = std::min(ca.size(), cb.size());
-    for (size_t i = 0; i < n; ++i) {
-      if (!(ca[i] == cb[i])) return ca[i].local < cb[i].local;
+/// Document order is lexicographic on sibling locals (Fig. 10 / Lemma 2).
+bool ChainLess(const ChainedNode& a, const ChainedNode& b) {
+  size_t n = std::min(a.chain.size(), b.chain.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!(a.chain[i] == b.chain[i])) return a.chain[i].local < b.chain[i].local;
+  }
+  return a.chain.size() < b.chain.size();  // ancestors precede descendants
+}
+
+/// Ancestorship is the proper-prefix relation on chains.
+bool ChainContains(const ChainedNode& a, const ChainedNode& d) {
+  if (a.chain.size() >= d.chain.size()) return false;
+  for (size_t i = 0; i < a.chain.size(); ++i) {
+    if (!(a.chain[i] == d.chain[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+JoinResult StructuralJoinRuid(const core::Ruid2Scheme& scheme,
+                              std::vector<xml::Node*> ancestors,
+                              std::vector<xml::Node*> descendants) {
+  std::vector<ChainedNode> anc = AnnotateChains(scheme, ancestors);
+  std::vector<ChainedNode> desc = AnnotateChains(scheme, descendants);
+  std::sort(anc.begin(), anc.end(), ChainLess);
+  std::sort(desc.begin(), desc.end(), ChainLess);
+
+  JoinResult out;
+  out.reserve(desc.size());  // every surviving descendant emits >= 1 pair
+  std::vector<const ChainedNode*> stack;
+  size_t ai = 0;
+  for (const ChainedNode& d : desc) {
+    // Admit every ancestor candidate that starts before d.
+    while (ai < anc.size() && ChainLess(anc[ai], d)) {
+      const ChainedNode* a = &anc[ai++];
+      while (!stack.empty() && !ChainContains(*stack.back(), *a)) {
+        stack.pop_back();
+      }
+      stack.push_back(a);
     }
-    return ca.size() < cb.size();  // ancestors precede descendants
-  };
-  auto contains = [&](xml::Node* a, xml::Node* d) {
-    const auto& ca = chains.at(a);
-    const auto& cd = chains.at(d);
-    if (ca.size() >= cd.size()) return false;
-    for (size_t i = 0; i < ca.size(); ++i) {
-      if (!(ca[i] == cd[i])) return false;
+    // Retire stack entries that do not contain d.
+    while (!stack.empty() && !ChainContains(*stack.back(), d)) {
+      stack.pop_back();
     }
-    return true;
-  };
-  return StackJoin(std::move(ancestors), std::move(descendants), less,
-                   contains);
+    for (const ChainedNode* a : stack) out.emplace_back(a->node, d.node);
+  }
+  return out;
 }
 
 JoinResult StructuralJoinInterval(const scheme::XissScheme& scheme,

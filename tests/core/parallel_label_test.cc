@@ -1,0 +1,116 @@
+// Serial vs. parallel labeling equivalence: building with threads=1 and
+// threads=N must produce *identical* identifiers — asserted node by node in
+// document order (a deterministic ordering check, not set equality) — and
+// identical global state (κ, table K).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ruid2.h"
+#include "core/ruidm.h"
+#include "testutil.h"
+#include "util/thread_pool.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace core {
+namespace {
+
+PartitionOptions SmallAreas() {
+  PartitionOptions options;
+  options.max_area_nodes = 24;
+  options.max_area_depth = 3;
+  return options;
+}
+
+std::unique_ptr<xml::Document> MakeDoc(const std::string& topology) {
+  if (topology == "dblp") return xml::GenerateDblpLike(400);
+  if (topology == "random") {
+    xml::RandomTreeConfig config;
+    config.node_budget = 3000;
+    config.max_fanout = 6;
+    config.seed = 99;
+    return xml::GenerateRandomTree(config);
+  }
+  if (topology == "deep") {
+    xml::DeepTreeConfig config;
+    config.depth = 60;
+    config.siblings_per_level = 3;
+    return xml::GenerateDeepTree(config);
+  }
+  return xml::GenerateUniformTree(2000, 4);
+}
+
+class ParallelLabelTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelLabelTest, Ruid2SerialAndParallelBuildsAreIdentical) {
+  auto doc = MakeDoc(GetParam());
+  Ruid2Scheme serial(SmallAreas());
+  serial.Build(doc->root());
+
+  for (size_t threads : {2, 4, 7}) {
+    util::ThreadPool pool(threads);
+    Ruid2Scheme parallel(SmallAreas());
+    parallel.Build(doc->root(), &pool);
+
+    ASSERT_EQ(parallel.kappa(), serial.kappa());
+    ASSERT_EQ(parallel.label_count(), serial.label_count());
+    // Deterministic ordering assertion: walk the document in order and
+    // require the exact same identifier at every position.
+    for (xml::Node* n : ruidx::testing::AllNodes(doc->root())) {
+      ASSERT_EQ(parallel.label(n), serial.label(n))
+          << "node <" << n->name() << "> differs at " << threads
+          << " threads: " << parallel.label(n).ToString() << " vs "
+          << serial.label(n).ToString();
+    }
+    // Table K must agree row for row (rows are sorted by global index).
+    ASSERT_EQ(parallel.ktable().size(), serial.ktable().size());
+    for (size_t i = 0; i < serial.ktable().rows().size(); ++i) {
+      ASSERT_EQ(parallel.ktable().rows()[i], serial.ktable().rows()[i])
+          << "K row " << i << " differs at " << threads << " threads";
+    }
+    ASSERT_TRUE(parallel.Validate(doc->root()).ok());
+  }
+}
+
+TEST_P(ParallelLabelTest, RuidMSerialAndParallelBuildsAreIdentical) {
+  auto doc = MakeDoc(GetParam());
+  RuidMScheme serial(3, SmallAreas());
+  ASSERT_TRUE(serial.Build(doc->root()).ok());
+
+  util::ThreadPool pool(4);
+  RuidMScheme parallel(3, SmallAreas());
+  ASSERT_TRUE(parallel.Build(doc->root(), &pool).ok());
+
+  ASSERT_EQ(parallel.id_count(), serial.id_count());
+  for (xml::Node* n : ruidx::testing::AllNodes(doc->root())) {
+    ASSERT_EQ(parallel.IdOf(n), serial.IdOf(n))
+        << "node <" << n->name() << ">: " << parallel.IdOf(n).ToString()
+        << " vs " << serial.IdOf(n).ToString();
+  }
+}
+
+TEST_P(ParallelLabelTest, ParallelBuildSurvivesRepeatedRebuilds) {
+  // Rebuilding on the same pool must stay deterministic (the pool is
+  // stateless between Build calls).
+  auto doc = MakeDoc(GetParam());
+  util::ThreadPool pool(4);
+  Ruid2Scheme first(SmallAreas());
+  first.Build(doc->root(), &pool);
+  for (int round = 0; round < 3; ++round) {
+    Ruid2Scheme again(SmallAreas());
+    again.Build(doc->root(), &pool);
+    for (xml::Node* n : ruidx::testing::AllNodes(doc->root())) {
+      ASSERT_EQ(again.label(n), first.label(n));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ParallelLabelTest,
+                         ::testing::Values("uniform", "random", "deep",
+                                           "dblp"));
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

@@ -1,0 +1,126 @@
+// Serial vs. parallel ShardedElementStore::BulkLoad equivalence: with
+// threads=1 and threads=N the resulting stores must hold identical shards
+// with identical record *sequences* (deterministic ordering assertion via
+// ScanName, which walks shards and records in identifier order).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/sharded_store.h"
+#include "testutil.h"
+#include "util/thread_pool.h"
+#include "xml/generator.h"
+#include "xpath/name_index.h"
+
+namespace ruidx {
+namespace storage {
+namespace {
+
+core::PartitionOptions SmallAreas() {
+  core::PartitionOptions options;
+  options.max_area_nodes = 24;
+  options.max_area_depth = 3;
+  return options;
+}
+
+/// Flattens a store into an ordered trace: one line per record, in
+/// ScanName order per name. Two equal traces mean equal shard contents
+/// *and* equal orderings.
+std::vector<std::string> Trace(ShardedElementStore* store,
+                               const std::set<std::string>& names) {
+  std::vector<std::string> out;
+  for (const std::string& name : names) {
+    Status st = store->ScanName(name, [&](const ElementRecord& record) {
+      out.push_back(name + "|" + record.id.ToString() + "|" +
+                    record.parent_id.ToString() + "|" +
+                    std::to_string(record.node_type) + "|" + record.value);
+      return true;
+    });
+    EXPECT_TRUE(st.ok());
+  }
+  return out;
+}
+
+std::set<std::string> AllNames(xml::Node* root) {
+  std::set<std::string> names;
+  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+    names.insert(n->name());
+    return true;
+  });
+  return names;
+}
+
+TEST(ParallelBulkLoadTest, SerialAndParallelLoadsProduceIdenticalStores) {
+  auto doc = xml::GenerateDblpLike(300);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  std::set<std::string> names = AllNames(doc->root());
+
+  auto serial = ShardedElementStore::Create("");
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE((*serial)->BulkLoad(scheme, doc->root(), nullptr).ok());
+  std::vector<std::string> want = Trace(serial->get(), names);
+  ASSERT_EQ((*serial)->record_count(), scheme.label_count());
+
+  for (size_t threads : {2, 4, 8}) {
+    util::ThreadPool pool(threads);
+    auto parallel = ShardedElementStore::Create("");
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_TRUE((*parallel)->BulkLoad(scheme, doc->root(), &pool).ok());
+    EXPECT_EQ((*parallel)->shard_count(), (*serial)->shard_count());
+    EXPECT_EQ((*parallel)->record_count(), (*serial)->record_count());
+    // Deterministic ordering assertion, not set equality.
+    EXPECT_EQ(Trace(parallel->get(), names), want)
+        << "store trace differs at " << threads << " threads";
+  }
+}
+
+TEST(ParallelBulkLoadTest, ParallelLoadServesPointLookups) {
+  xml::RandomTreeConfig config;
+  config.node_budget = 2500;
+  config.max_fanout = 6;
+  config.seed = 512;
+  config.text_probability = 0.2;
+  auto doc = xml::GenerateRandomTree(config);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+
+  util::ThreadPool pool(4);
+  auto store = ShardedElementStore::Create("");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root(), &pool).ok());
+  EXPECT_EQ((*store)->record_count(), scheme.label_count());
+  for (xml::Node* n : ruidx::testing::AllNodes(doc->root())) {
+    auto record = (*store)->Get(n->name(), scheme.label(n));
+    ASSERT_TRUE(record.ok()) << n->name();
+    EXPECT_EQ(record->id, scheme.label(n));
+  }
+}
+
+TEST(ParallelBulkLoadTest, FileBackedParallelLoad) {
+  std::string dir = ::testing::TempDir() + "/ruidx_parallel_shards";
+  (void)std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  auto doc = xml::GenerateDblpLike(120);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  util::ThreadPool pool(3);
+  auto store = ShardedElementStore::Create(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root(), &pool).ok());
+  size_t authors = 0;
+  ASSERT_TRUE((*store)
+                  ->ScanName("author",
+                             [&](const ElementRecord&) {
+                               ++authors;
+                               return true;
+                             })
+                  .ok());
+  EXPECT_GT(authors, 0u);
+  (void)std::system(("rm -rf " + dir).c_str());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ruidx

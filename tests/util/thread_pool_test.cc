@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ruidx {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> seen(kN);
+  ThreadPool::ParallelFor(&pool, kN, [&](size_t i) { seen[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNullPoolRunsInline) {
+  std::vector<size_t> order;
+  ThreadPool::ParallelFor(nullptr, 5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  ThreadPool::ParallelFor(&pool, 0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SequentialParallelForCallsShareOnePool) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<uint64_t> sum{0};
+    ThreadPool::ParallelFor(&pool, 1000,
+                            [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 1000ull * 1001 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, UnevenTaskCostsStillComplete) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  // Skewed costs: index 0 does ~all the work; claiming indices one at a
+  // time keeps the other workers busy with the cheap tail.
+  ThreadPool::ParallelFor(&pool, 64, [&](size_t i) {
+    uint64_t spin = (i == 0) ? 100000 : 10;
+    uint64_t acc = 0;
+    for (uint64_t j = 0; j < spin; ++j) acc += j;
+    total.fetch_add(acc > 0 || spin == 0 ? 1 : 1);
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ruidx
