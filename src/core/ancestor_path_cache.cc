@@ -62,6 +62,60 @@ std::vector<Ruid2Id> AncestorPathCache::Ancestors(const Ruid2Id& id,
   return chain;
 }
 
+const AncestorPathCache::PackedChainEntry*
+AncestorPathCache::PackedAreaRootAncestors(uint64_t global, uint64_t kappa,
+                                           const KTable& k) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = packed_chains_.find(global);
+    if (it != packed_chains_.end()) {
+      ++hits_;
+      return &it->second;
+    }
+    ++misses_;
+  }
+  // Compute outside the lock, then publish; same reasoning as the BigUint
+  // twin above (racing computations agree, entries are node-stable).
+  PackedChainEntry entry;
+  if (const PackedKRow* row = k.FindPacked(global)) {
+    PackedRuid2Id root{global, row->root_local | PackedRuid2Id::kRootBit};
+    entry.ok = PackedRuidAncestors(root, kappa, k, &entry.chain);
+    if (!entry.ok) entry.chain.clear();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return &packed_chains_.try_emplace(global, std::move(entry)).first->second;
+}
+
+bool AncestorPathCache::AncestorsPacked(const PackedRuid2Id& id,
+                                        uint64_t kappa, const KTable& k,
+                                        std::vector<PackedRuid2Id>* out) const {
+  out->clear();
+  if (!enabled_) return PackedRuidAncestors(id, kappa, k, out);
+  // Climb within the node's own area — node-specific, uncached, and pure
+  // uint64 division.
+  PackedRuid2Id cur = id;
+  while (!cur.is_area_root()) {
+    PackedRuid2Id parent;
+    switch (PackedRuidParent(cur, kappa, k, &parent)) {
+      case PackedParentStatus::kOk:
+        cur = parent;
+        out->push_back(cur);
+        continue;
+      case PackedParentStatus::kFallback:
+        return false;
+      case PackedParentStatus::kMainRoot:
+      case PackedParentStatus::kNoParentInArea:
+        return true;  // chain ends here, as in the BigUint climb
+    }
+  }
+  if (cur == PackedRuid2RootId()) return true;
+  // From the area root upward every node of the area shares one chain.
+  const PackedChainEntry* tail = PackedAreaRootAncestors(cur.global, kappa, k);
+  if (!tail->ok) return false;
+  out->insert(out->end(), tail->chain.begin(), tail->chain.end());
+  return true;
+}
+
 void AncestorPathCache::OnUpdate(const UpdateReport& report) {
   if (report.relabeled > 0 || report.areas_dropped > 0 ||
       report.local_fanout_grew) {
@@ -71,8 +125,9 @@ void AncestorPathCache::OnUpdate(const UpdateReport& report) {
 
 void AncestorPathCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!chains_.empty()) ++invalidations_;
+  if (!chains_.empty() || !packed_chains_.empty()) ++invalidations_;
   chains_.clear();
+  packed_chains_.clear();
 }
 
 void AncestorPathCache::set_enabled(bool enabled) {
@@ -97,7 +152,7 @@ uint64_t AncestorPathCache::invalidations() const {
 
 size_t AncestorPathCache::entry_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return chains_.size();
+  return chains_.size() + packed_chains_.size();
 }
 
 }  // namespace core

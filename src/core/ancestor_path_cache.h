@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/packed_ruid2_id.h"
 #include "core/ruid2_id.h"
 
 namespace ruidx {
@@ -53,6 +54,15 @@ class AncestorPathCache {
   /// the memoized chain of the area root.
   std::vector<Ruid2Id> Ancestors(const Ruid2Id& id, uint64_t kappa,
                                  const KTable& k) const;
+
+  /// Packed-identifier variant: writes the full proper-ancestor chain of
+  /// `id`, nearest first, into *out using pure uint64 arithmetic and the
+  /// packed per-area memo. Returns false (with *out unspecified) when any
+  /// identifier on the chain is outside the packed range — the caller then
+  /// uses Ancestors(). Shares the hit/miss/invalidate accounting with the
+  /// BigUint chains.
+  bool AncestorsPacked(const PackedRuid2Id& id, uint64_t kappa,
+                       const KTable& k, std::vector<PackedRuid2Id>* out) const;
 
   /// Proper-ancestor chain of the root of the area with global index
   /// `global`, nearest first. The pointer stays valid until the next
@@ -85,12 +95,30 @@ class AncestorPathCache {
   static std::vector<Ruid2Id> UncachedChain(const Ruid2Id& id, uint64_t kappa,
                                             const KTable& k);
 
+  /// A memoized packed area chain. `ok == false` is a cached negative: the
+  /// area's root chain leaves the packed range, so packed queries against it
+  /// fall back without re-deriving the failure every call.
+  struct PackedChainEntry {
+    bool ok = false;
+    std::vector<PackedRuid2Id> chain;
+  };
+
+  /// Packed twin of AreaRootAncestors over packed_chains_. The returned
+  /// entry is node-stable until the next Clear().
+  const PackedChainEntry* PackedAreaRootAncestors(uint64_t global,
+                                                  uint64_t kappa,
+                                                  const KTable& k) const;
+
   bool enabled_ = true;
-  /// Guards chains_ and the counters; Ancestors() must be callable from
-  /// concurrent readers (the bulk pipelines share one scheme).
+  /// Guards chains_, packed_chains_, and the counters; Ancestors() must be
+  /// callable from concurrent readers (the bulk pipelines share one scheme).
   mutable std::mutex mu_;
   mutable std::unordered_map<BigUint, std::vector<Ruid2Id>, BigUintHash>
       chains_;
+  /// Per-area chains in packed form, for areas whose whole root chain fits
+  /// the packed range. Separate from chains_ so each path pays only its own
+  /// representation; an area queried through both APIs may appear in both.
+  mutable std::unordered_map<uint64_t, PackedChainEntry> packed_chains_;
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
   uint64_t invalidations_ = 0;

@@ -6,12 +6,50 @@ namespace ruidx {
 namespace core {
 
 namespace {
+
 struct GlobalLess {
   bool operator()(const KRow& row, const BigUint& g) const {
     return row.global < g;
   }
 };
+
+struct PackedGlobalLess {
+  bool operator()(const PackedKRow& row, uint64_t g) const {
+    return row.global < g;
+  }
+};
+
+constexpr uint64_t kPackedLocalLimit = uint64_t{1} << 63;
+
 }  // namespace
+
+void KTable::SyncPacked(const KRow& row) {
+  if (!row.global.FitsUint64()) return;  // never had a mirror entry
+  uint64_t g = row.global.ToUint64();
+  bool packable =
+      row.root_local.FitsUint64() && row.root_local.ToUint64() < kPackedLocalLimit;
+  auto it = std::lower_bound(packed_rows_.begin(), packed_rows_.end(), g,
+                             PackedGlobalLess());
+  bool present = it != packed_rows_.end() && it->global == g;
+  if (packable) {
+    PackedKRow mirror{g, row.root_local.ToUint64(), row.fanout};
+    if (present) {
+      *it = mirror;
+    } else {
+      packed_rows_.insert(it, mirror);
+    }
+  } else if (present) {
+    packed_rows_.erase(it);
+  }
+}
+
+void KTable::ErasePacked(const BigUint& global) {
+  if (!global.FitsUint64()) return;
+  uint64_t g = global.ToUint64();
+  auto it = std::lower_bound(packed_rows_.begin(), packed_rows_.end(), g,
+                             PackedGlobalLess());
+  if (it != packed_rows_.end() && it->global == g) packed_rows_.erase(it);
+}
 
 void KTable::Upsert(KRow row) {
   auto it = std::lower_bound(rows_.begin(), rows_.end(), row.global,
@@ -19,13 +57,17 @@ void KTable::Upsert(KRow row) {
   if (it != rows_.end() && it->global == row.global) {
     *it = std::move(row);
   } else {
-    rows_.insert(it, std::move(row));
+    it = rows_.insert(it, std::move(row));
   }
+  SyncPacked(*it);
 }
 
 void KTable::Erase(const BigUint& global) {
   auto it = std::lower_bound(rows_.begin(), rows_.end(), global, GlobalLess());
-  if (it != rows_.end() && it->global == global) rows_.erase(it);
+  if (it != rows_.end() && it->global == global) {
+    rows_.erase(it);
+    ErasePacked(global);
+  }
 }
 
 const KRow* KTable::Find(const BigUint& global) const {
@@ -34,10 +76,35 @@ const KRow* KTable::Find(const BigUint& global) const {
   return nullptr;
 }
 
-KRow* KTable::FindMutable(const BigUint& global) {
-  auto it = std::lower_bound(rows_.begin(), rows_.end(), global, GlobalLess());
-  if (it != rows_.end() && it->global == global) return &*it;
+const PackedKRow* KTable::FindPacked(uint64_t global) const {
+  // Branchless binary search: rparent probes this on every call with
+  // effectively random globals, so a conditional-move halving loop beats
+  // std::lower_bound's unpredictable branches.
+  const PackedKRow* base = packed_rows_.data();
+  size_t n = packed_rows_.size();
+  while (n > 1) {
+    size_t half = n / 2;
+    base = (base[half].global <= global) ? base + half : base;
+    n -= half;
+  }
+  if (n == 1 && base->global == global) return base;
   return nullptr;
+}
+
+bool KTable::SetFanout(const BigUint& global, uint64_t fanout) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), global, GlobalLess());
+  if (it == rows_.end() || !(it->global == global)) return false;
+  it->fanout = fanout;
+  SyncPacked(*it);
+  return true;
+}
+
+bool KTable::SetRootLocal(const BigUint& global, BigUint root_local) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), global, GlobalLess());
+  if (it == rows_.end() || !(it->global == global)) return false;
+  it->root_local = std::move(root_local);
+  SyncPacked(*it);
+  return true;
 }
 
 uint64_t KTable::SizeInBytes() const {

@@ -23,8 +23,21 @@ struct KRow {
   bool operator==(const KRow&) const = default;
 };
 
+/// The machine-word mirror of a K row, for the packed rparent fast path.
+/// Only rows whose global index fits in 64 bits and whose root_local fits
+/// in 63 bits (the packed local range) have one.
+struct PackedKRow {
+  uint64_t global;
+  uint64_t root_local;
+  uint64_t fanout;
+};
+
 /// Rows kept sorted by global index ("the table K is sorted according to the
-/// global index"), looked up by binary search.
+/// global index"), looked up by binary search. A parallel sorted vector of
+/// PackedKRow mirrors every row within the packed range, so the fast path
+/// binary-searches plain uint64 keys; the two representations are kept in
+/// sync by routing every mutation through Upsert/Erase/SetFanout/
+/// SetRootLocal.
 class KTable {
  public:
   /// Inserts or replaces the row for `row.global`.
@@ -36,9 +49,17 @@ class KTable {
   /// The row for `global`, or nullptr.
   const KRow* Find(const BigUint& global) const;
 
-  /// Mutable access to the row for `global`, or nullptr. Callers must not
-  /// modify the key (`global`).
-  KRow* FindMutable(const BigUint& global);
+  /// The packed mirror row for `global`, or nullptr when the row is absent
+  /// *or* outside the packed range (callers fall back to Find()).
+  const PackedKRow* FindPacked(uint64_t global) const;
+
+  /// Updates the fan-out of the row for `global`; returns false when the
+  /// row is absent.
+  bool SetFanout(const BigUint& global, uint64_t fanout);
+
+  /// Updates the root_local of the row for `global`; returns false when the
+  /// row is absent.
+  bool SetRootLocal(const BigUint& global, BigUint root_local);
 
   /// True iff some area with global index `global` has its root at local
   /// index `local` in the upper area (the existence test of rchildren,
@@ -50,13 +71,24 @@ class KTable {
 
   size_t size() const { return rows_.size(); }
   const std::vector<KRow>& rows() const { return rows_; }
-  void Clear() { rows_.clear(); }
+  /// Number of rows mirrored into the packed fast path (for stats/tests).
+  size_t packed_size() const { return packed_rows_.size(); }
+  void Clear() {
+    rows_.clear();
+    packed_rows_.clear();
+  }
 
   /// Approximate main-memory footprint, reported by the benchmarks.
   uint64_t SizeInBytes() const;
 
  private:
+  /// Re-derives the packed mirror entry for `row` (insert, update, or drop
+  /// when the row left the packed range).
+  void SyncPacked(const KRow& row);
+  void ErasePacked(const BigUint& global);
+
   std::vector<KRow> rows_;
+  std::vector<PackedKRow> packed_rows_;  // sorted by global
 };
 
 }  // namespace core

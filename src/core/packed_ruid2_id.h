@@ -1,0 +1,150 @@
+// The packed 128-bit identifier fast path.
+//
+// The multilevel scheme exists precisely to keep per-level indices small:
+// with fan-out adjustment (Sec. 2.3) real global and local indices almost
+// always fit in a machine word, yet Ruid2Id carries two BigUints and every
+// hot path — rparent (Fig. 6), ancestor chains, order comparison, B+tree
+// keys, structural joins — pays for multi-word code paths. PackedRuid2Id is
+// the trivially-copyable 16-byte common case: a 64-bit global index plus a
+// 63-bit local index and a 1-bit root indicator sharing the second word.
+// Parent recovery on a packed identifier is two hardware divides and a
+// handful of compares, with zero allocation.
+//
+// Overflow fallback rule: an identifier is packable iff its global index
+// fits in 64 bits and its local index in 63 bits; a K row participates in
+// the fast path iff its global and root_local satisfy the same bounds. The
+// moment either bound is exceeded — or a K row is missing — the packed
+// routines report kFallback/false and the caller reruns the untouched
+// BigUint path, so both paths always agree (property-tested, including at
+// and across the 2^63/2^64 boundaries).
+#ifndef RUIDX_CORE_PACKED_RUID2_ID_H_
+#define RUIDX_CORE_PACKED_RUID2_ID_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "core/ktable.h"
+#include "core/ruid2_id.h"
+
+namespace ruidx {
+namespace core {
+
+/// \brief The packed form of a 2-level ruid: (g_i, l_i, r_i) in two words.
+struct PackedRuid2Id {
+  /// Bit 63 of `local_bits` is the root indicator; the low 63 bits are the
+  /// local index. Keeping the flag in the same word makes equality two
+  /// 64-bit compares.
+  static constexpr uint64_t kRootBit = uint64_t{1} << 63;
+  static constexpr uint64_t kLocalMask = kRootBit - 1;
+
+  uint64_t global = 0;
+  uint64_t local_bits = 0;
+
+  uint64_t local() const { return local_bits & kLocalMask; }
+  bool is_area_root() const { return (local_bits & kRootBit) != 0; }
+
+  bool operator==(const PackedRuid2Id& o) const {
+    return global == o.global && local_bits == o.local_bits;
+  }
+  bool operator!=(const PackedRuid2Id& o) const { return !(*this == o); }
+};
+
+static_assert(std::is_trivially_copyable_v<PackedRuid2Id>);
+static_assert(sizeof(PackedRuid2Id) == 16);
+
+/// The packed main-root identifier (1, 1, true).
+inline PackedRuid2Id PackedRuid2RootId() {
+  return PackedRuid2Id{1, 1 | PackedRuid2Id::kRootBit};
+}
+
+/// Packs `id` when its components are within the packed range (global
+/// < 2^64, local < 2^63). Returns false — leaving *out untouched — for
+/// identifiers that need the BigUint form.
+inline bool PackRuid2Id(const Ruid2Id& id, PackedRuid2Id* out) {
+  if (!id.global.FitsUint64() || !id.local.FitsUint64()) return false;
+  uint64_t local = id.local.ToUint64();
+  if ((local & PackedRuid2Id::kRootBit) != 0) return false;
+  out->global = id.global.ToUint64();
+  out->local_bits = local | (id.is_area_root ? PackedRuid2Id::kRootBit : 0);
+  return true;
+}
+
+/// Inverse of PackRuid2Id (total: every packed value unpacks).
+inline Ruid2Id UnpackRuid2Id(const PackedRuid2Id& id) {
+  return Ruid2Id{BigUint(id.global), BigUint(id.local()), id.is_area_root()};
+}
+
+/// Outcome of a packed rparent attempt.
+enum class PackedParentStatus {
+  kOk,            ///< *out holds the parent identifier.
+  kMainRoot,      ///< the input is the main root (NotFound in the Result API)
+  kNoParentInArea,///< local index < 2 (InvalidArgument in the Result API)
+  kFallback,      ///< outside the packed range — rerun the BigUint path
+};
+
+/// rparent() (Fig. 6) entirely in uint64 arithmetic. Every quantity it
+/// computes is bounded by its inputs, so the only fallback triggers are a
+/// missing/unpackable K row or a frame parent below the UID domain.
+inline PackedParentStatus PackedRuidParent(const PackedRuid2Id& id,
+                                           uint64_t kappa, const KTable& k,
+                                           PackedRuid2Id* out) {
+  if (id == PackedRuid2RootId()) return PackedParentStatus::kMainRoot;
+  uint64_t g = id.global;
+  if (id.is_area_root()) {
+    // Fig. 6, lines 1-5: the parent lives in the upper area, found by the
+    // original UID parent formula over the frame.
+    if (g < 2) return PackedParentStatus::kFallback;
+    g = (g - 2) / kappa + 1;
+  }
+  const PackedKRow* row = k.FindPacked(g);
+  if (row == nullptr) return PackedParentStatus::kFallback;
+  uint64_t local = id.local();
+  if (local < 2) return PackedParentStatus::kNoParentInArea;
+  // Fig. 6, lines 6-13.
+  uint64_t l = (local - 2) / row->fanout + 1;
+  if (l == 1) {
+    *out = PackedRuid2Id{g, row->root_local | PackedRuid2Id::kRootBit};
+  } else {
+    *out = PackedRuid2Id{g, l};
+  }
+  return PackedParentStatus::kOk;
+}
+
+/// rancestor() on packed identifiers: appends the proper-ancestor chain of
+/// `id`, nearest first, to *out. Returns false (leaving *out in an
+/// unspecified state) when any step leaves the packed range; the caller
+/// must then rerun the BigUint path.
+bool PackedRuidAncestors(const PackedRuid2Id& id, uint64_t kappa,
+                         const KTable& k, std::vector<PackedRuid2Id>* out);
+
+/// The original UID parent formula (1) on machine words; requires id >= 2.
+inline uint64_t PackedUidParent(uint64_t id, uint64_t k) {
+  return (id - 2) / k + 1;
+}
+
+/// UidIsAncestor on machine words (identical climb, no allocation).
+inline bool PackedUidIsAncestor(uint64_t a, uint64_t d, uint64_t k) {
+  if (d <= a) return false;
+  uint64_t cur = d;
+  while (cur > a) cur = PackedUidParent(cur, k);
+  return cur == a;
+}
+
+/// UidCompareOrder (Fig. 10) on machine words.
+int PackedUidCompareOrder(uint64_t a, uint64_t b, uint64_t k);
+
+/// \name Packed fast-path switch
+/// Process-wide toggle consulted by every layer that has a packed fast path
+/// (rparent, the ancestor-path cache, storage key encoding, structural
+/// joins). On by default; benchmarks and equivalence tests flip it to time
+/// and cross-check the pure-BigUint path.
+/// @{
+bool PackedFastPathEnabled();
+void SetPackedFastPathEnabled(bool enabled);
+/// @}
+
+}  // namespace core
+}  // namespace ruidx
+
+#endif  // RUIDX_CORE_PACKED_RUID2_ID_H_

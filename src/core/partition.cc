@@ -134,7 +134,12 @@ bool FindPromotionCandidate(const Partition& p, uint32_t area_idx,
     if (count < 2) continue;
     uint64_t depth = 0;
     for (const xml::Node* x = node; x != area.root; x = x->parent()) ++depth;
-    if (best == nullptr || depth > best_depth) {
+    // Ties broken by serial: `counts` is keyed by pointer, so its iteration
+    // order varies between structurally identical trees, and a first-seen
+    // tie-break would make the partition (hence every identifier built on
+    // it) nondeterministic.
+    if (best == nullptr || depth > best_depth ||
+        (depth == best_depth && node->serial() < best->serial())) {
       best = node;
       best_depth = depth;
     }

@@ -120,13 +120,9 @@ uint64_t Ruid2Scheme::ApplyEnumeration(const AreaEnumeration& e,
     area.local_fanout = e.fanout;
     if (fanout_grew != nullptr) *fanout_grew = true;
   }
-  if (KRow* row = ktable_.FindMutable(area_globals_[e.area_idx])) {
-    row->fanout = e.fanout;
-  }
+  ktable_.SetFanout(area_globals_[e.area_idx], e.fanout);
   for (const auto& [child_area, root_local] : e.child_root_locals) {
-    if (KRow* row = ktable_.FindMutable(area_globals_[child_area])) {
-      row->root_local = root_local;
-    }
+    ktable_.SetRootLocal(area_globals_[child_area], root_local);
   }
   uint64_t changed = 0;
   for (const auto& [node, id] : e.labels) {
@@ -197,6 +193,24 @@ void Ruid2Scheme::Build(xml::Node* root, util::ThreadPool* pool) {
 }
 
 Result<Ruid2Id> RuidParent(const Ruid2Id& id, uint64_t kappa, const KTable& k) {
+  if (PackedFastPathEnabled()) {
+    PackedRuid2Id packed;
+    if (PackRuid2Id(id, &packed)) {
+      PackedRuid2Id parent;
+      switch (PackedRuidParent(packed, kappa, k, &parent)) {
+        case PackedParentStatus::kOk:
+          return UnpackRuid2Id(parent);
+        case PackedParentStatus::kMainRoot:
+          return Status::NotFound("the main root has no parent");
+        case PackedParentStatus::kNoParentInArea:
+          return Status::InvalidArgument("local index " +
+                                         std::to_string(packed.local()) +
+                                         " has no parent in its area");
+        case PackedParentStatus::kFallback:
+          break;  // outside the packed range: take the BigUint path below
+      }
+    }
+  }
   if (id == Ruid2RootId()) {
     return Status::NotFound("the main root has no parent");
   }
@@ -223,11 +237,45 @@ Result<Ruid2Id> Ruid2Scheme::Parent(const Ruid2Id& id) const {
 }
 
 std::vector<Ruid2Id> Ruid2Scheme::Ancestors(const Ruid2Id& id) const {
+  if (PackedFastPathEnabled()) {
+    PackedRuid2Id packed;
+    std::vector<PackedRuid2Id> chain;
+    if (PackRuid2Id(id, &packed) &&
+        ancestor_cache_.AncestorsPacked(packed, kappa_, ktable_, &chain)) {
+      std::vector<Ruid2Id> out;
+      out.reserve(chain.size());
+      for (const PackedRuid2Id& anc : chain) out.push_back(UnpackRuid2Id(anc));
+      return out;
+    }
+  }
   return ancestor_cache_.Ancestors(id, kappa_, ktable_);
+}
+
+bool Ruid2Scheme::AncestorsPacked(const Ruid2Id& id,
+                                  std::vector<PackedRuid2Id>* out) const {
+  if (!PackedFastPathEnabled()) return false;
+  PackedRuid2Id packed;
+  if (!PackRuid2Id(id, &packed)) return false;
+  out->clear();
+  return ancestor_cache_.AncestorsPacked(packed, kappa_, ktable_, out);
 }
 
 bool Ruid2Scheme::IsAncestorId(const Ruid2Id& a, const Ruid2Id& d) const {
   if (a == d) return false;
+  if (PackedFastPathEnabled()) {
+    PackedRuid2Id pd;
+    std::vector<PackedRuid2Id> chain;
+    if (PackRuid2Id(d, &pd) &&
+        ancestor_cache_.AncestorsPacked(pd, kappa_, ktable_, &chain)) {
+      PackedRuid2Id pa;
+      // d's complete chain is packed, so an unpackable a cannot be on it.
+      if (!PackRuid2Id(a, &pa)) return false;
+      for (const PackedRuid2Id& anc : chain) {
+        if (anc == pa) return true;
+      }
+      return false;
+    }
+  }
   // a is a proper ancestor of d iff it appears on d's ancestor chain; the
   // frame part of the chain comes from the per-area cache.
   for (const Ruid2Id& anc : Ancestors(d)) {
@@ -242,6 +290,31 @@ uint64_t Ruid2Scheme::DepthOf(const Ruid2Id& id) const {
 
 int Ruid2Scheme::CompareIds(const Ruid2Id& a, const Ruid2Id& b) const {
   if (a == b) return 0;
+  if (PackedFastPathEnabled()) {
+    PackedRuid2Id pa, pb;
+    if (PackRuid2Id(a, &pa) && PackRuid2Id(b, &pb)) {
+      // Lemma 3 shortcut on machine words.
+      if (pa.global != pb.global &&
+          !PackedUidIsAncestor(pa.global, pb.global, kappa_) &&
+          !PackedUidIsAncestor(pb.global, pa.global, kappa_)) {
+        return PackedUidCompareOrder(pa.global, pb.global, kappa_);
+      }
+      // Fig. 10 fallback on packed chains (root first, the node last).
+      std::vector<PackedRuid2Id> ca, cb;
+      if (ancestor_cache_.AncestorsPacked(pa, kappa_, ktable_, &ca) &&
+          ancestor_cache_.AncestorsPacked(pb, kappa_, ktable_, &cb)) {
+        std::reverse(ca.begin(), ca.end());
+        ca.push_back(pa);
+        std::reverse(cb.begin(), cb.end());
+        cb.push_back(pb);
+        size_t i = 0;
+        while (i < ca.size() && i < cb.size() && ca[i] == cb[i]) ++i;
+        if (i == ca.size()) return -1;  // a is an ancestor of b
+        if (i == cb.size()) return 1;
+        return ca[i].local() < cb[i].local() ? -1 : 1;
+      }
+    }
+  }
   // Lemma 3: when the two areas are neither equal nor frame-ancestor
   // related, the frame order decides the document order outright.
   const BigUint& ta = a.global;

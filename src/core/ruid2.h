@@ -15,6 +15,7 @@
 
 #include "core/ancestor_path_cache.h"
 #include "core/ktable.h"
+#include "core/packed_ruid2_id.h"
 #include "core/partition.h"
 #include "core/ruid2_id.h"
 #include "scheme/labeling.h"
@@ -67,6 +68,14 @@ class Ruid2Scheme : public scheme::LabelingScheme {
   /// the per-area ancestor-path cache: only the climb inside the node's own
   /// area costs fresh rparent() divisions.
   std::vector<Ruid2Id> Ancestors(const Ruid2Id& id) const;
+
+  /// Packed rancestor(): writes the proper-ancestor chain of `id`, nearest
+  /// first, as 16-byte packed identifiers into *out with no per-element
+  /// allocation. Returns false (with *out unspecified) when `id` or any
+  /// ancestor is outside the packed range or the fast path is disabled —
+  /// callers then use Ancestors().
+  bool AncestorsPacked(const Ruid2Id& id,
+                       std::vector<PackedRuid2Id>* out) const;
 
   /// True iff a is a proper ancestor of d, by identifier arithmetic.
   bool IsAncestorId(const Ruid2Id& a, const Ruid2Id& d) const;

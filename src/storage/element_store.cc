@@ -51,8 +51,40 @@ uint16_t ReadU16(const uint8_t** cursor) {
 
 }  // namespace
 
+namespace {
+
+/// Writes `v` big-endian into out[0..15] (high 8 bytes zero). The key
+/// format is unchanged — this is byte-for-byte what ToBytesBE produces for
+/// single-word values, without the per-byte loop.
+inline void StoreU64KeyHalfBE(uint8_t* out, uint64_t v) {
+  std::memset(out, 0, 8);
+  uint64_t be = __builtin_bswap64(v);
+  std::memcpy(out + 8, &be, 8);
+}
+
+/// Reads a 16-byte big-endian key half; single-word values (the packed
+/// common case) decode with one byte swap instead of 16 BigUint steps.
+inline BigUint LoadKeyHalfBE(const uint8_t* in) {
+  static constexpr uint8_t kZeros[8] = {0};
+  if (std::memcmp(in, kZeros, 8) == 0) {
+    uint64_t be;
+    std::memcpy(&be, in + 8, 8);
+    return BigUint(__builtin_bswap64(be));
+  }
+  return BigUint::FromBytesBE(in, 16);
+}
+
+}  // namespace
+
 Result<BPlusTree::Key> EncodeIdKey(const core::Ruid2Id& id) {
   BPlusTree::Key key{};
+  if (core::PackedFastPathEnabled() && id.global.FitsUint64() &&
+      id.local.FitsUint64()) {
+    StoreU64KeyHalfBE(key.data(), id.global.ToUint64());
+    StoreU64KeyHalfBE(key.data() + 16, id.local.ToUint64());
+    key[32] = id.is_area_root ? 1 : 0;
+    return key;
+  }
   if (!id.global.ToBytesBE(key.data(), 16)) {
     return Status::CapacityExceeded("global index exceeds 128 bits");
   }
@@ -65,8 +97,13 @@ Result<BPlusTree::Key> EncodeIdKey(const core::Ruid2Id& id) {
 
 core::Ruid2Id DecodeIdKey(const BPlusTree::Key& key) {
   core::Ruid2Id id;
-  id.global = BigUint::FromBytesBE(key.data(), 16);
-  id.local = BigUint::FromBytesBE(key.data() + 16, 16);
+  if (core::PackedFastPathEnabled()) {
+    id.global = LoadKeyHalfBE(key.data());
+    id.local = LoadKeyHalfBE(key.data() + 16);
+  } else {
+    id.global = BigUint::FromBytesBE(key.data(), 16);
+    id.local = BigUint::FromBytesBE(key.data() + 16, 16);
+  }
   id.is_area_root = key[32] != 0;
   return id;
 }

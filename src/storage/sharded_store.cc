@@ -1,9 +1,29 @@
 #include "storage/sharded_store.h"
 
+#include <thread>
+#include <unordered_map>
+
 #include "util/thread_pool.h"
 
 namespace ruidx {
 namespace storage {
+
+namespace {
+
+/// Builds the record for one labeled node (shared by the serial and
+/// parallel bulk-load paths).
+ElementRecord MakeRecord(const core::Ruid2Scheme& scheme, xml::Node* n,
+                         xml::Node* root) {
+  ElementRecord record;
+  record.id = scheme.label(n);
+  record.parent_id = (n == root) ? record.id : scheme.label(n->parent());
+  record.node_type = static_cast<uint8_t>(n->type());
+  record.name = n->name();
+  if (!n->is_element()) record.value = n->value();
+  return record;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<ShardedElementStore>> ShardedElementStore::Create(
     const std::string& dir, size_t buffer_pool_pages_per_shard) {
@@ -39,30 +59,53 @@ Status ShardedElementStore::Put(const ElementRecord& record) {
 Status ShardedElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
                                      xml::Node* root,
                                      util::ThreadPool* pool) {
-  // Stage 1 (serial): partition the records per (name, global) shard. The
-  // traversal is document order, so each shard's record list is in document
-  // order regardless of how stage 3 is scheduled.
-  std::map<ShardKey, std::vector<ElementRecord>> groups;
+  // With no worker to hand shards to — a null/one-worker pool, or a machine
+  // with a single hardware thread (where extra workers only thrash) — load
+  // directly in document order. No grouping pass, no intermediate buffers.
+  if (pool == nullptr || pool->size() <= 1 ||
+      std::thread::hardware_concurrency() <= 1) {
+    Status status = Status::OK();
+    xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+      status = Put(MakeRecord(scheme, n, root));
+      return status.ok();
+    });
+    return status;
+  }
+
+  // Stage 1 (serial): partition the records into per-shard vectors in ONE
+  // pass — each record is built once and moved, never copied, and the shard
+  // key is resolved through a hash index instead of a tree of string
+  // compares. The traversal is document order, so each shard's record list
+  // is in document order regardless of how stage 3 is scheduled.
+  struct ShardKeyHash {
+    size_t operator()(const ShardKey& key) const {
+      return std::hash<std::string>()(key.name) * 1099511628211ULL ^
+             key.global.Hash();
+    }
+  };
+  struct ShardKeyEq {
+    bool operator()(const ShardKey& a, const ShardKey& b) const {
+      return a.name == b.name && a.global == b.global;
+    }
+  };
+  std::unordered_map<ShardKey, size_t, ShardKeyHash, ShardKeyEq> group_index;
+  std::vector<std::vector<ElementRecord>> groups;
   xml::PreorderTraverse(root, [&](xml::Node* n, int) {
-    ElementRecord record;
-    record.id = scheme.label(n);
-    record.parent_id = (n == root) ? record.id : scheme.label(n->parent());
-    record.node_type = static_cast<uint8_t>(n->type());
-    record.name = n->name();
-    if (!n->is_element()) record.value = n->value();
-    groups[ShardKey{record.name, record.id.global}].push_back(
-        std::move(record));
+    ElementRecord record = MakeRecord(scheme, n, root);
+    auto [it, fresh] = group_index.try_emplace(
+        ShardKey{record.name, record.id.global}, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(std::move(record));
     return true;
   });
 
   // Stage 2 (serial): create every shard up front, so the parallel stage
   // never touches the shard map.
   std::vector<std::pair<ElementStore*, const std::vector<ElementRecord>*>>
-      jobs;
-  jobs.reserve(groups.size());
-  for (const auto& [key, records] : groups) {
+      jobs(groups.size());
+  for (const auto& [key, idx] : group_index) {
     RUIDX_ASSIGN_OR_RETURN(ElementStore * shard, ShardFor(key, /*create=*/true));
-    jobs.emplace_back(shard, &records);
+    jobs[idx] = {shard, &groups[idx]};
   }
 
   // Stage 3 (parallel): each shard is loaded whole by one worker — no two

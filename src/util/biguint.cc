@@ -267,6 +267,12 @@ BigUint& BigUint::operator*=(const BigUint& o) {
 
 BigUint BigUint::DivMod(uint64_t divisor, uint64_t* remainder) const {
   assert(divisor != 0 && "division by zero");
+  if (size_ == 1) {
+    // Single-word dividend: one hardware divide, no allocation, no Trim.
+    uint64_t v = words()[0];
+    if (remainder != nullptr) *remainder = v % divisor;
+    return BigUint(v / divisor);
+  }
   BigUint q;
   q.Reserve(size_);
   q.size_ = size_;

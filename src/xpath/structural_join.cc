@@ -80,11 +80,119 @@ bool ChainContains(const ChainedNode& a, const ChainedNode& d) {
   return true;
 }
 
+/// The packed fast path stores every root-to-node chain of one join input
+/// in a single contiguous arena of 16-byte packed identifiers — one buffer
+/// per input, no per-node std::vector<BigUint> — with (offset, length)
+/// entries per node. Comparators run on flat uint64 words.
+struct PackedChainSet {
+  struct Item {
+    xml::Node* node;
+    uint32_t offset;
+    uint32_t length;
+  };
+  std::vector<core::PackedRuid2Id> arena;
+  std::vector<Item> items;
+
+  const core::PackedRuid2Id* chain(const Item& item) const {
+    return arena.data() + item.offset;
+  }
+};
+
+/// Annotates `nodes` with packed chains. Returns false when any identifier
+/// on any chain leaves the packed range (or the fast path is off); the
+/// caller then reruns the BigUint annotation for both inputs.
+bool AnnotatePackedChains(const core::Ruid2Scheme& scheme,
+                          const std::vector<xml::Node*>& nodes,
+                          PackedChainSet* out) {
+  out->items.reserve(nodes.size());
+  std::vector<core::PackedRuid2Id> chain;
+  for (xml::Node* n : nodes) {
+    const core::Ruid2Id& label = scheme.label(n);
+    if (!scheme.AncestorsPacked(label, &chain)) return false;
+    core::PackedRuid2Id self;
+    if (!core::PackRuid2Id(label, &self)) return false;
+    uint32_t offset = static_cast<uint32_t>(out->arena.size());
+    // AncestorsPacked is nearest-first; the arena stores root first.
+    out->arena.insert(out->arena.end(), chain.rbegin(), chain.rend());
+    out->arena.push_back(self);
+    out->items.push_back(PackedChainSet::Item{
+        n, offset, static_cast<uint32_t>(chain.size() + 1)});
+  }
+  return true;
+}
+
+/// ChainLess on packed arena spans (same order as the BigUint ChainLess).
+bool PackedChainLess(const PackedChainSet& sa, const PackedChainSet::Item& a,
+                     const PackedChainSet& sb, const PackedChainSet::Item& b) {
+  const core::PackedRuid2Id* pa = sa.chain(a);
+  const core::PackedRuid2Id* pb = sb.chain(b);
+  uint32_t n = std::min(a.length, b.length);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (pa[i] != pb[i]) return pa[i].local() < pb[i].local();
+  }
+  return a.length < b.length;  // ancestors precede descendants
+}
+
+/// Proper-prefix test on packed arena spans.
+bool PackedChainContains(const PackedChainSet& sa,
+                         const PackedChainSet::Item& a,
+                         const PackedChainSet& sb,
+                         const PackedChainSet::Item& b) {
+  if (a.length >= b.length) return false;
+  const core::PackedRuid2Id* pa = sa.chain(a);
+  const core::PackedRuid2Id* pb = sb.chain(b);
+  for (uint32_t i = 0; i < a.length; ++i) {
+    if (pa[i] != pb[i]) return false;
+  }
+  return true;
+}
+
+JoinResult PackedStackJoin(PackedChainSet anc, PackedChainSet desc) {
+  std::sort(anc.items.begin(), anc.items.end(),
+            [&](const PackedChainSet::Item& x, const PackedChainSet::Item& y) {
+              return PackedChainLess(anc, x, anc, y);
+            });
+  std::sort(desc.items.begin(), desc.items.end(),
+            [&](const PackedChainSet::Item& x, const PackedChainSet::Item& y) {
+              return PackedChainLess(desc, x, desc, y);
+            });
+  JoinResult out;
+  out.reserve(desc.items.size());
+  std::vector<const PackedChainSet::Item*> stack;
+  size_t ai = 0;
+  for (const PackedChainSet::Item& d : desc.items) {
+    while (ai < anc.items.size() &&
+           PackedChainLess(anc, anc.items[ai], desc, d)) {
+      const PackedChainSet::Item* a = &anc.items[ai++];
+      while (!stack.empty() &&
+             !PackedChainContains(anc, *stack.back(), anc, *a)) {
+        stack.pop_back();
+      }
+      stack.push_back(a);
+    }
+    while (!stack.empty() &&
+           !PackedChainContains(anc, *stack.back(), desc, d)) {
+      stack.pop_back();
+    }
+    for (const PackedChainSet::Item* a : stack) {
+      out.emplace_back(a->node, d.node);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 JoinResult StructuralJoinRuid(const core::Ruid2Scheme& scheme,
                               std::vector<xml::Node*> ancestors,
                               std::vector<xml::Node*> descendants) {
+  if (core::PackedFastPathEnabled()) {
+    PackedChainSet anc, desc;
+    if (AnnotatePackedChains(scheme, ancestors, &anc) &&
+        AnnotatePackedChains(scheme, descendants, &desc)) {
+      return PackedStackJoin(std::move(anc), std::move(desc));
+    }
+  }
   std::vector<ChainedNode> anc = AnnotateChains(scheme, ancestors);
   std::vector<ChainedNode> desc = AnnotateChains(scheme, descendants);
   std::sort(anc.begin(), anc.end(), ChainLess);

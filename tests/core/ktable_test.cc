@@ -49,14 +49,52 @@ TEST(KTableTest, EraseRemovesRow) {
   EXPECT_EQ(k.size(), 1u);
 }
 
-TEST(KTableTest, FindMutableAllowsInPlaceUpdate) {
+TEST(KTableTest, SettersUpdateInPlace) {
   KTable k;
   k.Upsert({BigUint(4), BigUint(2), 3});
-  KRow* row = k.FindMutable(BigUint(4));
-  ASSERT_NE(row, nullptr);
-  row->fanout = 9;
+  EXPECT_TRUE(k.SetFanout(BigUint(4), 9));
   EXPECT_EQ(k.Find(BigUint(4))->fanout, 9u);
-  EXPECT_EQ(k.FindMutable(BigUint(5)), nullptr);
+  EXPECT_TRUE(k.SetRootLocal(BigUint(4), BigUint(6)));
+  EXPECT_EQ(k.Find(BigUint(4))->root_local, BigUint(6));
+  EXPECT_FALSE(k.SetFanout(BigUint(5), 1));
+  EXPECT_FALSE(k.SetRootLocal(BigUint(5), BigUint(1)));
+}
+
+TEST(KTableTest, PackedMirrorTracksRows) {
+  KTable k;
+  k.Upsert({BigUint(4), BigUint(2), 3});
+  const PackedKRow* packed = k.FindPacked(4);
+  ASSERT_NE(packed, nullptr);
+  EXPECT_EQ(packed->root_local, 2u);
+  EXPECT_EQ(packed->fanout, 3u);
+  EXPECT_EQ(k.packed_size(), 1u);
+
+  // Setters keep the mirror in sync.
+  k.SetFanout(BigUint(4), 9);
+  EXPECT_EQ(k.FindPacked(4)->fanout, 9u);
+  k.SetRootLocal(BigUint(4), BigUint(7));
+  EXPECT_EQ(k.FindPacked(4)->root_local, 7u);
+
+  // A root_local outside the packed 63-bit range evicts the mirror entry
+  // (the row itself stays findable), and packing back restores it.
+  BigUint huge_local = BigUint::Pow(BigUint(2), 63);
+  k.SetRootLocal(BigUint(4), huge_local);
+  EXPECT_EQ(k.FindPacked(4), nullptr);
+  ASSERT_NE(k.Find(BigUint(4)), nullptr);
+  EXPECT_EQ(k.Find(BigUint(4))->root_local, huge_local);
+  k.SetRootLocal(BigUint(4), BigUint((uint64_t{1} << 63) - 1));
+  ASSERT_NE(k.FindPacked(4), nullptr);
+  EXPECT_EQ(k.FindPacked(4)->root_local, (uint64_t{1} << 63) - 1);
+
+  // A global outside 64 bits never gets a mirror entry.
+  BigUint huge_global = BigUint::Pow(BigUint(2), 100);
+  k.Upsert({huge_global, BigUint(3), 5});
+  EXPECT_EQ(k.packed_size(), 1u);
+
+  // Erase drops the mirror entry with the row.
+  k.Erase(BigUint(4));
+  EXPECT_EQ(k.FindPacked(4), nullptr);
+  EXPECT_EQ(k.packed_size(), 0u);
 }
 
 TEST(KTableTest, IsAreaRootSlot) {

@@ -1,0 +1,335 @@
+// The packed fast path must be invisible: every operation with
+// SetPackedFastPathEnabled(true) must return exactly what the pure BigUint
+// path returns — same values, same status codes, same messages — including
+// on trees engineered to overflow the packed range (locals past 2^63,
+// globals past 2^64) where individual steps fall back mid-chain.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/packed_ruid2_id.h"
+#include "core/ruid2.h"
+#include "storage/element_store.h"
+#include "testutil.h"
+#include "util/random.h"
+#include "xml/generator.h"
+#include "xpath/structural_join.h"
+
+namespace ruidx {
+namespace core {
+namespace {
+
+/// Restores the process-wide toggle no matter how a test exits.
+class ScopedFastPath {
+ public:
+  explicit ScopedFastPath(bool enabled) : saved_(PackedFastPathEnabled()) {
+    SetPackedFastPathEnabled(enabled);
+  }
+  ~ScopedFastPath() { SetPackedFastPathEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+BigUint Pow2(int bits) {
+  BigUint v(1);
+  for (int i = 0; i < bits; ++i) v *= uint64_t{2};
+  return v;
+}
+
+TEST(PackedRuid2IdTest, PackBoundaries) {
+  PackedRuid2Id p;
+  // local 2^63 - 1 is the largest packable local.
+  EXPECT_TRUE(PackRuid2Id(Ruid2Id{BigUint(7), Pow2(63) - 1, false}, &p));
+  EXPECT_EQ(p.local(), (uint64_t{1} << 63) - 1);
+  EXPECT_FALSE(p.is_area_root());
+  // local 2^63 collides with the root bit: not packable.
+  EXPECT_FALSE(PackRuid2Id(Ruid2Id{BigUint(7), Pow2(63), false}, &p));
+  // global 2^64 - 1 is the largest packable global.
+  EXPECT_TRUE(PackRuid2Id(Ruid2Id{Pow2(64) - 1, BigUint(5), true}, &p));
+  EXPECT_EQ(p.global, ~uint64_t{0});
+  EXPECT_TRUE(p.is_area_root());
+  EXPECT_EQ(p.local(), 5u);
+  // global 2^64 needs a second word: not packable.
+  EXPECT_FALSE(PackRuid2Id(Ruid2Id{Pow2(64), BigUint(5), true}, &p));
+}
+
+TEST(PackedRuid2IdTest, PackUnpackIsIdentity) {
+  std::vector<Ruid2Id> ids{
+      Ruid2RootId(),
+      Ruid2Id{BigUint(3), BigUint(12), false},
+      Ruid2Id{Pow2(64) - 1, Pow2(63) - 1, true},
+  };
+  for (const Ruid2Id& id : ids) {
+    PackedRuid2Id p;
+    ASSERT_TRUE(PackRuid2Id(id, &p));
+    EXPECT_EQ(UnpackRuid2Id(p), id) << id.ToString();
+  }
+  PackedRuid2Id root;
+  ASSERT_TRUE(PackRuid2Id(Ruid2RootId(), &root));
+  EXPECT_EQ(root, PackedRuid2RootId());
+}
+
+PartitionOptions SmallAreas() {
+  PartitionOptions options;
+  options.max_area_nodes = 24;
+  options.max_area_depth = 3;
+  return options;
+}
+
+/// A tree whose local indices overflow 2^63: one area holds a depth-45
+/// spine with fan-out 3, so spine locals grow like 3^depth (~2^71).
+std::unique_ptr<xml::Document> LocalOverflowDoc() {
+  xml::DeepTreeConfig config;
+  config.depth = 45;
+  config.siblings_per_level = 2;  // fanout 3 with the spine child
+  return xml::GenerateDeepTree(config);
+}
+
+PartitionOptions HugeAreas() {
+  PartitionOptions options;
+  options.max_area_nodes = 100000;
+  options.max_area_depth = 1000;
+  return options;
+}
+
+/// A partition whose global indices overflow 2^64: every node roots its own
+/// area, so the frame is the depth-45 tree itself and globals grow like
+/// kappa^depth.
+PartitionOptions TinyAreas() {
+  PartitionOptions options;
+  options.max_area_nodes = 2;
+  options.max_area_depth = 1;
+  return options;
+}
+
+/// Asserts that every id-level operation agrees between the packed fast
+/// path and the pure BigUint path on an already-built scheme.
+void ExpectPathsAgree(const Ruid2Scheme& scheme, xml::Node* root) {
+  std::vector<xml::Node*> nodes = ruidx::testing::AllNodes(root);
+  // Parent and Ancestors for every node.
+  for (xml::Node* n : nodes) {
+    const Ruid2Id& id = scheme.label(n);
+    Result<Ruid2Id> fast = [&] {
+      ScopedFastPath on(true);
+      return scheme.Parent(id);
+    }();
+    Result<Ruid2Id> slow = [&] {
+      ScopedFastPath off(false);
+      return scheme.Parent(id);
+    }();
+    ASSERT_EQ(fast.ok(), slow.ok()) << id.ToString();
+    if (fast.ok()) {
+      EXPECT_EQ(*fast, *slow) << id.ToString();
+    } else {
+      EXPECT_EQ(fast.status().code(), slow.status().code()) << id.ToString();
+      EXPECT_EQ(fast.status().message(), slow.status().message())
+          << id.ToString();
+    }
+    std::vector<Ruid2Id> fast_chain, slow_chain;
+    {
+      ScopedFastPath on(true);
+      fast_chain = scheme.Ancestors(id);
+    }
+    {
+      ScopedFastPath off(false);
+      slow_chain = scheme.Ancestors(id);
+    }
+    EXPECT_EQ(fast_chain, slow_chain) << id.ToString();
+  }
+  // Order and ancestorship on a deterministic sample of pairs.
+  Rng rng(2026);
+  for (int trial = 0; trial < 400; ++trial) {
+    xml::Node* a = nodes[rng.Next() % nodes.size()];
+    xml::Node* b = nodes[rng.Next() % nodes.size()];
+    const Ruid2Id& ia = scheme.label(a);
+    const Ruid2Id& ib = scheme.label(b);
+    int fast_cmp;
+    bool fast_anc;
+    {
+      ScopedFastPath on(true);
+      fast_cmp = scheme.CompareIds(ia, ib);
+      fast_anc = scheme.IsAncestorId(ia, ib);
+    }
+    ScopedFastPath off(false);
+    EXPECT_EQ(fast_cmp, scheme.CompareIds(ia, ib))
+        << ia.ToString() << " vs " << ib.ToString();
+    EXPECT_EQ(fast_anc, scheme.IsAncestorId(ia, ib))
+        << ia.ToString() << " vs " << ib.ToString();
+  }
+}
+
+TEST(PackedEquivalenceTest, AgreesOnTypicalTrees) {
+  for (const char* topology : {"dblp", "random", "uniform"}) {
+    std::unique_ptr<xml::Document> doc;
+    if (std::string(topology) == "dblp") {
+      doc = xml::GenerateDblpLike(150);
+    } else if (std::string(topology) == "random") {
+      xml::RandomTreeConfig config;
+      config.node_budget = 1200;
+      config.max_fanout = 6;
+      config.seed = 7;
+      doc = xml::GenerateRandomTree(config);
+    } else {
+      doc = xml::GenerateUniformTree(800, 4);
+    }
+    Ruid2Scheme scheme(SmallAreas());
+    scheme.Build(doc->root());
+    ExpectPathsAgree(scheme, doc->root());
+  }
+}
+
+TEST(PackedEquivalenceTest, AgreesWhenLocalsOverflow) {
+  auto doc = LocalOverflowDoc();
+  Ruid2Scheme scheme(HugeAreas());
+  scheme.Build(doc->root());
+  // The point of this topology: some locals must actually leave the packed
+  // range, otherwise the fallback arm is untested.
+  bool saw_unpackable = false;
+  scheme.ForEachLabeled([&](const xml::Node*, const Ruid2Id& id) {
+    PackedRuid2Id p;
+    if (!PackRuid2Id(id, &p)) saw_unpackable = true;
+  });
+  ASSERT_TRUE(saw_unpackable) << "topology no longer overflows 63-bit locals";
+  ExpectPathsAgree(scheme, doc->root());
+}
+
+TEST(PackedEquivalenceTest, AgreesWhenGlobalsOverflow) {
+  auto doc = LocalOverflowDoc();
+  Ruid2Scheme scheme(TinyAreas());
+  scheme.Build(doc->root());
+  bool saw_unpackable_global = false;
+  scheme.ForEachLabeled([&](const xml::Node*, const Ruid2Id& id) {
+    if (!id.global.FitsUint64()) saw_unpackable_global = true;
+  });
+  ASSERT_TRUE(saw_unpackable_global)
+      << "topology no longer overflows 64-bit globals";
+  ExpectPathsAgree(scheme, doc->root());
+}
+
+TEST(PackedEquivalenceTest, StructuralJoinAgrees) {
+  auto doc = xml::GenerateDblpLike(200);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  std::vector<xml::Node*> ancestors, descendants;
+  xml::PreorderTraverse(doc->root(), [&](xml::Node* n, int) {
+    if (n->name() == "article" || n->name() == "inproceedings") {
+      ancestors.push_back(n);
+    }
+    if (n->name() == "author") descendants.push_back(n);
+    return true;
+  });
+  ASSERT_FALSE(ancestors.empty());
+  ASSERT_FALSE(descendants.empty());
+  xpath::JoinResult fast, slow;
+  {
+    ScopedFastPath on(true);
+    fast = xpath::StructuralJoinRuid(scheme, ancestors, descendants);
+  }
+  {
+    ScopedFastPath off(false);
+    slow = xpath::StructuralJoinRuid(scheme, ancestors, descendants);
+  }
+  EXPECT_FALSE(fast.empty());
+  EXPECT_EQ(fast, slow);
+}
+
+TEST(PackedEquivalenceTest, StructuralJoinAgreesOnOverflowTree) {
+  auto doc = LocalOverflowDoc();
+  Ruid2Scheme scheme(HugeAreas());
+  scheme.Build(doc->root());
+  std::vector<xml::Node*> ancestors, descendants;
+  xml::PreorderTraverse(doc->root(), [&](xml::Node* n, int depth) {
+    if (depth % 3 == 0) ancestors.push_back(n);
+    if (n->children().empty()) descendants.push_back(n);
+    return true;
+  });
+  xpath::JoinResult fast, slow;
+  {
+    ScopedFastPath on(true);  // must fall back internally, not misbehave
+    fast = xpath::StructuralJoinRuid(scheme, ancestors, descendants);
+  }
+  {
+    ScopedFastPath off(false);
+    slow = xpath::StructuralJoinRuid(scheme, ancestors, descendants);
+  }
+  EXPECT_FALSE(fast.empty());
+  EXPECT_EQ(fast, slow);
+}
+
+TEST(PackedEquivalenceTest, ElementStoreKeysRoundTripAcrossBoundary) {
+  // Records whose components sit at and across the packed boundaries must
+  // round-trip identically whether keys are encoded by the packed fast path
+  // or the BigUint path — the two encoders must emit identical bytes.
+  std::vector<Ruid2Id> ids{
+      Ruid2RootId(),
+      Ruid2Id{BigUint(3), BigUint(900), false},
+      Ruid2Id{BigUint(3), Pow2(63) - 1, false},
+      Ruid2Id{BigUint(3), Pow2(63), false},      // local needs bignum
+      Ruid2Id{Pow2(64) - 1, BigUint(2), false},  // max packed global
+      Ruid2Id{Pow2(64), BigUint(2), false},      // global needs bignum
+      Ruid2Id{Pow2(64) + 5, Pow2(63) + 9, true},
+  };
+  for (bool fast : {true, false}) {
+    ScopedFastPath scoped(fast);
+    auto store = storage::ElementStore::Create("");
+    ASSERT_TRUE(store.ok());
+    for (const Ruid2Id& id : ids) {
+      storage::ElementRecord record;
+      record.id = id;
+      record.parent_id = id;
+      record.name = "e";
+      record.node_type = 1;
+      ASSERT_TRUE((*store)->Put(record).ok()) << id.ToString();
+    }
+    for (const Ruid2Id& id : ids) {
+      auto got = (*store)->Get(id);
+      ASSERT_TRUE(got.ok()) << id.ToString() << " fast=" << fast;
+      EXPECT_EQ(got->id, id);
+    }
+  }
+  // Cross-mode: written with the fast path, read with it disabled.
+  auto store = storage::ElementStore::Create("");
+  ASSERT_TRUE(store.ok());
+  {
+    ScopedFastPath on(true);
+    for (const Ruid2Id& id : ids) {
+      storage::ElementRecord record;
+      record.id = id;
+      record.parent_id = id;
+      record.name = "e";
+      record.node_type = 1;
+      ASSERT_TRUE((*store)->Put(record).ok());
+    }
+  }
+  ScopedFastPath off(false);
+  for (const Ruid2Id& id : ids) {
+    auto got = (*store)->Get(id);
+    ASSERT_TRUE(got.ok()) << id.ToString();
+    EXPECT_EQ(got->id, id);
+  }
+}
+
+TEST(PackedEquivalenceTest, RandomizedParentChainsAgree) {
+  // Randomized sweep across partition budgets: rebuild, then compare the
+  // full parent chain of every node between the two paths.
+  Rng rng(99);
+  for (int round = 0; round < 6; ++round) {
+    xml::RandomTreeConfig config;
+    config.node_budget = 400 + (rng.Next() % 600);
+    config.max_fanout = 2 + (rng.Next() % 7);
+    config.seed = rng.Next();
+    auto doc = xml::GenerateRandomTree(config);
+    PartitionOptions options;
+    options.max_area_nodes = 2 + (rng.Next() % 40);
+    options.max_area_depth = 1 + (rng.Next() % 5);
+    Ruid2Scheme scheme(options);
+    scheme.Build(doc->root());
+    ExpectPathsAgree(scheme, doc->root());
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ruidx

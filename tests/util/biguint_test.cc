@@ -165,6 +165,74 @@ TEST(BigUintTest, ModuloOperator) {
   EXPECT_EQ(v % 2, 1u);
 }
 
+TEST(BigUintTest, DecimalRoundTripAtWordBoundaries) {
+  // Values straddling the 1-word/2-word and 2-word/3-word boundaries must
+  // survive ToDecimalString -> FromDecimalString unchanged.
+  std::vector<BigUint> cases;
+  BigUint two64 = BigUint(1ull << 32) * (1ull << 32);        // 2^64
+  BigUint two128 = two64 * two64;                            // 2^128
+  cases.push_back(two64 - 1);   // max single word
+  cases.push_back(two64);       // min two words
+  cases.push_back(two64 + 1);
+  cases.push_back(two128 - 1);  // max two words
+  cases.push_back(two128);      // min three words
+  cases.push_back(two128 + 1);
+  for (const BigUint& v : cases) {
+    auto back = BigUint::FromDecimalString(v.ToDecimalString());
+    ASSERT_TRUE(back.ok()) << v.ToDecimalString();
+    EXPECT_EQ(*back, v) << v.ToDecimalString();
+  }
+}
+
+TEST(BigUintTest, BytesBERoundTripAtWordBoundaries) {
+  BigUint two64 = BigUint(1ull << 32) * (1ull << 32);
+  std::vector<BigUint> cases{BigUint(0),  BigUint(1),  two64 - 1,
+                             two64,       two64 + 1,   two64 * two64 - 1,
+                             two64 * two64};
+  for (const BigUint& v : cases) {
+    uint8_t buf[24];
+    ASSERT_TRUE(v.ToBytesBE(buf, sizeof(buf))) << v.ToDecimalString();
+    EXPECT_EQ(BigUint::FromBytesBE(buf, sizeof(buf)), v)
+        << v.ToDecimalString();
+  }
+  // A buffer narrower than the value must be refused, not truncated.
+  uint8_t narrow[8];
+  EXPECT_FALSE(two64.ToBytesBE(narrow, sizeof(narrow)));
+  EXPECT_TRUE((two64 - 1).ToBytesBE(narrow, sizeof(narrow)));
+}
+
+TEST(BigUintTest, MulDivRoundTripAtWordBoundaries) {
+  // (a * b) / b == a with zero remainder, for a spanning the word boundary
+  // and word-sized divisors b (DivMod only takes uint64 divisors).
+  BigUint two64 = BigUint(1ull << 32) * (1ull << 32);
+  std::vector<BigUint> as{BigUint(1),  two64 - 2, two64 - 1,
+                          two64,       two64 + 1, two64 * two64 - 1};
+  std::vector<uint64_t> bs{1, 2, 3, 1ull << 32, ~0ull - 1, ~0ull};
+  for (const BigUint& a : as) {
+    for (uint64_t b : bs) {
+      uint64_t rem = 7;
+      BigUint q = (a * b).DivMod(b, &rem);
+      EXPECT_EQ(q, a) << a.ToDecimalString() << " * " << b;
+      EXPECT_EQ(rem, 0u) << a.ToDecimalString() << " * " << b;
+    }
+  }
+}
+
+TEST(BigUintTest, SingleWordDivModMatchesHardware) {
+  // The single-word early-out must agree with plain uint64 arithmetic.
+  std::vector<uint64_t> vs{0, 1, 2, 99, 1ull << 32, ~0ull - 1, ~0ull};
+  std::vector<uint64_t> ds{1, 2, 7, 1ull << 31, ~0ull};
+  for (uint64_t v : vs) {
+    for (uint64_t d : ds) {
+      uint64_t rem = 1;
+      BigUint q = BigUint(v).DivMod(d, &rem);
+      EXPECT_TRUE(q.FitsUint64());
+      EXPECT_EQ(q.ToUint64(), v / d) << v << " / " << d;
+      EXPECT_EQ(rem, v % d) << v << " % " << d;
+    }
+  }
+}
+
 TEST(BigUintTest, UidScaleValues) {
   // The magnitude the original UID reaches on a deep tree: k=100, depth 20.
   BigUint id(1);
