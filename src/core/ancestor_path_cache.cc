@@ -1,5 +1,7 @@
 #include "core/ancestor_path_cache.h"
 
+#include "util/dcheck.h"
+
 namespace ruidx {
 namespace core {
 
@@ -41,6 +43,34 @@ const std::vector<Ruid2Id>* AncestorPathCache::AreaRootAncestors(
   return &chains_.try_emplace(global, std::move(chain)).first->second;
 }
 
+void AncestorPathCache::AppendAreaRootChain(const BigUint& global,
+                                            uint64_t kappa, const KTable& k,
+                                            std::vector<Ruid2Id>* chain) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = chains_.find(global);
+    if (it != chains_.end()) {
+      ++hits_;
+      chain->insert(chain->end(), it->second.begin(), it->second.end());
+      return;
+    }
+    ++misses_;
+  }
+  // Compute outside the lock (the chain walk is the expensive part), then
+  // publish and copy in one critical section: a concurrent Clear() may
+  // destroy the map entry the moment the lock drops, so the caller's copy
+  // must be taken before it does.
+  const KRow* row = k.Find(global);
+  std::vector<Ruid2Id> tail;
+  if (row != nullptr) {
+    tail = UncachedChain(Ruid2Id{global, row->root_local, true}, kappa, k);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<Ruid2Id>& stored =
+      chains_.try_emplace(global, std::move(tail)).first->second;
+  chain->insert(chain->end(), stored.begin(), stored.end());
+}
+
 std::vector<Ruid2Id> AncestorPathCache::Ancestors(const Ruid2Id& id,
                                                   uint64_t kappa,
                                                   const KTable& k) const {
@@ -56,9 +86,9 @@ std::vector<Ruid2Id> AncestorPathCache::Ancestors(const Ruid2Id& id,
     chain.push_back(cur);
   }
   if (cur == Ruid2RootId()) return chain;
-  // From the area root upward every node of the area shares one chain.
-  const std::vector<Ruid2Id>* tail = AreaRootAncestors(cur.global, kappa, k);
-  chain.insert(chain.end(), tail->begin(), tail->end());
+  // From the area root upward every node of the area shares one chain,
+  // copied under the cache lock (readers may race an invalidation).
+  AppendAreaRootChain(cur.global, kappa, k, &chain);
   return chain;
 }
 
@@ -86,6 +116,37 @@ AncestorPathCache::PackedAreaRootAncestors(uint64_t global, uint64_t kappa,
   return &packed_chains_.try_emplace(global, std::move(entry)).first->second;
 }
 
+bool AncestorPathCache::AppendPackedAreaRootChain(
+    uint64_t global, uint64_t kappa, const KTable& k,
+    std::vector<PackedRuid2Id>* out) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = packed_chains_.find(global);
+    if (it != packed_chains_.end()) {
+      ++hits_;
+      if (!it->second.ok) return false;
+      out->insert(out->end(), it->second.chain.begin(),
+                  it->second.chain.end());
+      return true;
+    }
+    ++misses_;
+  }
+  // Compute outside the lock, publish and copy in one critical section —
+  // same lifetime reasoning as the BigUint twin above.
+  PackedChainEntry entry;
+  if (const PackedKRow* row = k.FindPacked(global)) {
+    PackedRuid2Id root{global, row->root_local | PackedRuid2Id::kRootBit};
+    entry.ok = PackedRuidAncestors(root, kappa, k, &entry.chain);
+    if (!entry.ok) entry.chain.clear();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const PackedChainEntry& stored =
+      packed_chains_.try_emplace(global, std::move(entry)).first->second;
+  if (!stored.ok) return false;
+  out->insert(out->end(), stored.chain.begin(), stored.chain.end());
+  return true;
+}
+
 bool AncestorPathCache::AncestorsPacked(const PackedRuid2Id& id,
                                         uint64_t kappa, const KTable& k,
                                         std::vector<PackedRuid2Id>* out) const {
@@ -109,17 +170,24 @@ bool AncestorPathCache::AncestorsPacked(const PackedRuid2Id& id,
     }
   }
   if (cur == PackedRuid2RootId()) return true;
-  // From the area root upward every node of the area shares one chain.
-  const PackedChainEntry* tail = PackedAreaRootAncestors(cur.global, kappa, k);
-  if (!tail->ok) return false;
-  out->insert(out->end(), tail->chain.begin(), tail->chain.end());
-  return true;
+  // From the area root upward every node of the area shares one chain,
+  // copied under the cache lock (readers may race an invalidation).
+  return AppendPackedAreaRootChain(cur.global, kappa, k, out);
 }
 
 void AncestorPathCache::OnUpdate(const UpdateReport& report) {
   if (report.relabeled > 0 || report.areas_dropped > 0 ||
       report.local_fanout_grew) {
-    Clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!chains_.empty() || !packed_chains_.empty()) ++invalidations_;
+    chains_.clear();
+    packed_chains_.clear();
+    // An update that relabeled, dropped areas, or grew a fan-out may have
+    // changed any cached chain; nothing may survive the flush. Checked under
+    // the same lock — a concurrent reader may legitimately repopulate the
+    // instant it is released.
+    RUIDX_DCHECK(chains_.empty() && packed_chains_.empty(),
+                 "cache entries survived invalidation");
   }
 }
 

@@ -66,7 +66,10 @@ class AncestorPathCache {
 
   /// Proper-ancestor chain of the root of the area with global index
   /// `global`, nearest first. The pointer stays valid until the next
-  /// Invalidate()/Clear() (entries are node-stable).
+  /// Invalidate()/Clear() (entries are node-stable) — so this form is for
+  /// single-threaded callers (tests, the invariant verifier); concurrent
+  /// readers go through Ancestors()/AncestorsPacked(), which copy the
+  /// memoized tail while holding the cache lock.
   const std::vector<Ruid2Id>* AreaRootAncestors(const BigUint& global,
                                                 uint64_t kappa,
                                                 const KTable& k) const;
@@ -91,6 +94,9 @@ class AncestorPathCache {
   size_t entry_count() const;
 
  private:
+  /// Corruption injection for the invariant-verifier tests (defined there).
+  friend class AncestorPathCacheTestPeer;
+
   /// Cold chain computation by repeated rparent, no memoization.
   static std::vector<Ruid2Id> UncachedChain(const Ruid2Id& id, uint64_t kappa,
                                             const KTable& k);
@@ -104,10 +110,24 @@ class AncestorPathCache {
   };
 
   /// Packed twin of AreaRootAncestors over packed_chains_. The returned
-  /// entry is node-stable until the next Clear().
+  /// entry is node-stable until the next Clear(); single-threaded callers
+  /// only, like its BigUint twin.
   const PackedChainEntry* PackedAreaRootAncestors(uint64_t global,
                                                   uint64_t kappa,
                                                   const KTable& k) const;
+
+  /// Appends the memoized chain of area `global` to *chain, copying under
+  /// mu_ so a concurrent Clear()/OnUpdate() cannot destroy the entry
+  /// mid-copy (computes and publishes the chain first on a miss).
+  void AppendAreaRootChain(const BigUint& global, uint64_t kappa,
+                           const KTable& k,
+                           std::vector<Ruid2Id>* chain) const;
+
+  /// Packed twin of AppendAreaRootChain; returns the entry's `ok` flag
+  /// (false = cached negative, caller falls back to BigUint).
+  bool AppendPackedAreaRootChain(uint64_t global, uint64_t kappa,
+                                 const KTable& k,
+                                 std::vector<PackedRuid2Id>* out) const;
 
   bool enabled_ = true;
   /// Guards chains_, packed_chains_, and the counters; Ancestors() must be

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/dcheck.h"
+
 namespace ruidx {
 namespace core {
 
@@ -51,6 +53,18 @@ void KTable::ErasePacked(const BigUint& global) {
   if (it != packed_rows_.end() && it->global == g) packed_rows_.erase(it);
 }
 
+bool KTable::PackedMirrorAgrees(const KRow& row) const {
+  if (!row.global.FitsUint64()) {
+    return true;  // outside the mirror's key space by definition
+  }
+  const PackedKRow* mirror = FindPacked(row.global.ToUint64());
+  bool packable =
+      row.root_local.FitsUint64() && row.root_local.ToUint64() < kPackedLocalLimit;
+  if (!packable) return mirror == nullptr;
+  return mirror != nullptr && mirror->root_local == row.root_local.ToUint64() &&
+         mirror->fanout == row.fanout;
+}
+
 void KTable::Upsert(KRow row) {
   auto it = std::lower_bound(rows_.begin(), rows_.end(), row.global,
                              GlobalLess());
@@ -60,6 +74,13 @@ void KTable::Upsert(KRow row) {
     it = rows_.insert(it, std::move(row));
   }
   SyncPacked(*it);
+  size_t i = static_cast<size_t>(it - rows_.begin());
+  RUIDX_DCHECK(i == 0 || rows_[i - 1].global < rows_[i].global,
+               "K rows out of order after Upsert");
+  RUIDX_DCHECK(i + 1 >= rows_.size() || rows_[i].global < rows_[i + 1].global,
+               "K rows out of order after Upsert");
+  RUIDX_DCHECK(PackedMirrorAgrees(rows_[i]),
+               "packed mirror stale after Upsert");
 }
 
 void KTable::Erase(const BigUint& global) {
@@ -68,6 +89,9 @@ void KTable::Erase(const BigUint& global) {
     rows_.erase(it);
     ErasePacked(global);
   }
+  RUIDX_DCHECK(
+      !global.FitsUint64() || FindPacked(global.ToUint64()) == nullptr,
+      "packed mirror row survived Erase");
 }
 
 const KRow* KTable::Find(const BigUint& global) const {
@@ -96,6 +120,7 @@ bool KTable::SetFanout(const BigUint& global, uint64_t fanout) {
   if (it == rows_.end() || !(it->global == global)) return false;
   it->fanout = fanout;
   SyncPacked(*it);
+  RUIDX_DCHECK(PackedMirrorAgrees(*it), "packed mirror stale after SetFanout");
   return true;
 }
 
@@ -104,6 +129,8 @@ bool KTable::SetRootLocal(const BigUint& global, BigUint root_local) {
   if (it == rows_.end() || !(it->global == global)) return false;
   it->root_local = std::move(root_local);
   SyncPacked(*it);
+  RUIDX_DCHECK(PackedMirrorAgrees(*it),
+               "packed mirror stale after SetRootLocal");
   return true;
 }
 

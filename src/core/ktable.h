@@ -73,6 +73,12 @@ class KTable {
   const std::vector<KRow>& rows() const { return rows_; }
   /// Number of rows mirrored into the packed fast path (for stats/tests).
   size_t packed_size() const { return packed_rows_.size(); }
+
+  /// True iff the packed mirror holds exactly what it should for `row`:
+  /// a byte-equal PackedKRow when (global, root_local) are within the
+  /// packed range, and no entry otherwise. Probed by the mutation-point
+  /// RUIDX_DCHECKs and by the analysis::CheckDocumentInvariants verifier.
+  bool PackedMirrorAgrees(const KRow& row) const;
   void Clear() {
     rows_.clear();
     packed_rows_.clear();
@@ -82,6 +88,9 @@ class KTable {
   uint64_t SizeInBytes() const;
 
  private:
+  /// Corruption injection for the invariant-verifier tests (defined there).
+  friend class KTableTestPeer;
+
   /// Re-derives the packed mirror entry for `row` (insert, update, or drop
   /// when the row left the packed range).
   void SyncPacked(const KRow& row);

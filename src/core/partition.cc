@@ -119,33 +119,38 @@ bool FindPromotionCandidate(const Partition& p, uint32_t area_idx,
                             uint32_t* out_serial) {
   const Partition::Area& area = p.areas[area_idx];
   // Count, for every member on the path from each child-area root up to the
-  // area root (exclusive), how many child areas pass through it.
-  std::unordered_map<const xml::Node*, uint64_t> counts;
+  // area root (exclusive), how many child areas pass through it. The map is
+  // lookup-only: candidate selection below walks the DOM, never the map, so
+  // no decision depends on hash-iteration order over addresses.
+  std::unordered_map<uint32_t, uint64_t> counts;
   for (uint32_t child_idx : area.child_areas) {
     const xml::Node* r = p.areas[child_idx].root;
     for (const xml::Node* x = r->parent(); x != nullptr && x != area.root;
          x = x->parent()) {
-      ++counts[x];
+      ++counts[x->serial()];
     }
   }
-  const xml::Node* best = nullptr;
+  // Deepest member with >= 2 child areas passing through, ties broken by
+  // serial. Crossing nodes all lie between a child-area root and the area
+  // root, so descent can stop at nested area roots.
+  uint32_t best_serial = 0;
   uint64_t best_depth = 0;
-  for (const auto& [node, count] : counts) {
-    if (count < 2) continue;
-    uint64_t depth = 0;
-    for (const xml::Node* x = node; x != area.root; x = x->parent()) ++depth;
-    // Ties broken by serial: `counts` is keyed by pointer, so its iteration
-    // order varies between structurally identical trees, and a first-seen
-    // tie-break would make the partition (hence every identifier built on
-    // it) nondeterministic.
-    if (best == nullptr || depth > best_depth ||
-        (depth == best_depth && node->serial() < best->serial())) {
-      best = node;
-      best_depth = depth;
+  bool found = false;
+  xml::PreorderTraverse(area.root, [&](xml::Node* n, int depth) {
+    if (depth > 0 && p.rooted_area.contains(n->serial())) return false;
+    auto it = counts.find(n->serial());
+    if (it == counts.end() || it->second < 2) return true;
+    uint64_t d = static_cast<uint64_t>(depth);
+    if (!found || d > best_depth ||
+        (d == best_depth && n->serial() < best_serial)) {
+      best_serial = n->serial();
+      best_depth = d;
+      found = true;
     }
-  }
-  if (best == nullptr) return false;
-  *out_serial = best->serial();
+    return true;
+  });
+  if (!found) return false;
+  *out_serial = best_serial;
   return true;
 }
 

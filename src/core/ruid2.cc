@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "scheme/uid.h"
+#include "util/dcheck.h"
 #include "util/thread_pool.h"
 
 namespace ruidx {
@@ -129,6 +130,13 @@ uint64_t Ruid2Scheme::ApplyEnumeration(const AreaEnumeration& e,
     SetLabel(node, id, &changed);
   }
   area.member_count = e.member_count;
+  // Every published label must still be uniquely indexed, and the K row the
+  // enumeration wrote must reflect the fan-out it enumerated with.
+  RUIDX_DCHECK(labels_.size() == by_id_.size(),
+               "label/index bijection broken by ApplyEnumeration");
+  RUIDX_DCHECK(ktable_.Find(area_globals_[e.area_idx]) != nullptr &&
+                   ktable_.Find(area_globals_[e.area_idx])->fanout == e.fanout,
+               "K fan-out stale after ApplyEnumeration");
   return changed;
 }
 
@@ -182,6 +190,7 @@ void Ruid2Scheme::Build(xml::Node* root, util::ThreadPool* pool) {
   // independent pure computations — the BigUint-heavy half of the build —
   // and run concurrently. The apply step merges serially in area order,
   // which makes the result identical for every thread count.
+  // lint: disjoint-writes — worker i writes only enumerations[i].
   std::vector<AreaEnumeration> enumerations(partition_.areas.size());
   util::ThreadPool::ParallelFor(
       pool, partition_.areas.size(), [&](size_t i) {
@@ -401,6 +410,16 @@ Result<UpdateReport> Ruid2Scheme::InsertAndRelabel(xml::Document* doc,
   report.areas_touched = 1;
   report.relabeled = RenumberArea(area, &report.local_fanout_grew);
   ancestor_cache_.OnUpdate(report);
+  // The inserted subtree must have been labeled by the re-enumeration, and
+  // rparent must invert the new edge immediately.
+  RUIDX_DCHECK(labels_.contains(child->serial()),
+               "inserted node left unlabeled");
+  RUIDX_DCHECK(
+      [&] {
+        auto parent_id = Parent(labels_.at(child->serial()));
+        return parent_id.ok() && *parent_id == labels_.at(parent->serial());
+      }(),
+      "rparent does not invert the inserted edge");
   return report;
 }
 
@@ -447,6 +466,12 @@ Result<UpdateReport> Ruid2Scheme::RemoveAndRelabel(xml::Document* doc,
   report.areas_touched = 1;
   report.relabeled = RenumberArea(area, &report.local_fanout_grew);
   ancestor_cache_.OnUpdate(report);
+  // Cascading deletion must leave no label behind and keep the index a
+  // bijection; the victim's subtree was dropped above.
+  RUIDX_DCHECK(!labels_.contains(victim->serial()),
+               "removed node still labeled");
+  RUIDX_DCHECK(labels_.size() == by_id_.size(),
+               "label/index bijection broken by RemoveAndRelabel");
   return report;
 }
 
@@ -620,6 +645,8 @@ uint64_t Ruid2Scheme::RelabelAndCount(xml::Node* root) {
   }
   report.relabeled = changed;
   ancestor_cache_.OnUpdate(report);
+  RUIDX_DCHECK(labels_.size() == by_id_.size(),
+               "label/index bijection broken by RelabelAndCount");
   return changed;
 }
 

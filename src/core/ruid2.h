@@ -143,6 +143,9 @@ class Ruid2Scheme : public scheme::LabelingScheme {
   Status Validate(xml::Node* root) const;
 
  private:
+  /// Corruption injection for the invariant-verifier tests (defined there).
+  friend class Ruid2SchemeTestPeer;
+
   /// The pure half of area (re-)enumeration: walks one area and computes
   /// the labels every member should carry, the area's (possibly grown)
   /// local fan-out, and the root_local patches owed to child-area K rows —

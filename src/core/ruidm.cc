@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "util/dcheck.h"
+
 namespace ruidx {
 namespace core {
 
@@ -177,6 +179,9 @@ Status RuidMScheme::Build(xml::Node* root, util::ThreadPool* pool) {
     by_id_[id] = n;
     return true;
   });
+  // Two distinct nodes mapping to one identifier would collapse in by_id_.
+  RUIDX_DCHECK(ids_.size() == by_id_.size(),
+               "duplicate multilevel identifier after build");
   return Status::OK();
 }
 
@@ -336,6 +341,12 @@ uint64_t RuidMLabeling::RelabelAndCount(xml::Node* root) {
     return true;
   });
   Build(root);
+  // Every surviving node must carry a fresh identifier after the rebuild.
+  RUIDX_DCHECK(std::all_of(old_ids.begin(), old_ids.end(),
+                           [&](const auto& p) {
+                             return scheme_.HasId(p.first);
+                           }),
+               "node lost its identifier across a relabel");
   uint64_t changed = 0;
   for (const auto& [node, id] : old_ids) {
     if (!scheme_.IdMatches(node, id)) ++changed;

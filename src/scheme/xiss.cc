@@ -17,8 +17,10 @@ constexpr uint64_t kMaxSize = uint64_t{1} << 62;
 }  // namespace
 
 uint64_t XissScheme::RequiredSize(const xml::Node* n) const {
-  // Iterative postorder with memoization (documents can be arbitrarily deep).
-  std::unordered_map<const xml::Node*, uint64_t> memo;
+  // Iterative postorder with memoization (documents can be arbitrarily
+  // deep). The memo is keyed by serial and lookup-only — all traversal goes
+  // through the DOM, never through the map.
+  std::unordered_map<uint32_t, uint64_t> memo;
   struct Frame {
     const xml::Node* node;
     bool entering;
@@ -29,7 +31,7 @@ uint64_t XissScheme::RequiredSize(const xml::Node* n) const {
     stack.pop_back();
     if (f.entering) {
       if (f.node->children().empty()) {
-        memo[f.node] = leaf_slack_;
+        memo[f.node->serial()] = leaf_slack_;
         continue;
       }
       stack.push_back({f.node, false});
@@ -39,22 +41,22 @@ uint64_t XissScheme::RequiredSize(const xml::Node* n) const {
     } else {
       unsigned __int128 sum = 0;
       for (const xml::Node* c : f.node->children()) {
-        sum += memo.at(c) + 1;
+        sum += memo.at(c->serial()) + 1;
       }
       double scaled = static_cast<double>(sum) * slack_;
       uint64_t size = scaled >= static_cast<double>(kMaxSize)
                           ? kMaxSize
                           : static_cast<uint64_t>(std::ceil(scaled));
-      memo[f.node] = std::min(size, kMaxSize);
+      memo[f.node->serial()] = std::min(size, kMaxSize);
     }
   }
-  return memo.at(n);
+  return memo.at(n->serial());
 }
 
 void XissScheme::Assign(xml::Node* root,
                         std::unordered_map<uint32_t, XissLabel>* labels) const {
-  // Pass 1: subtree widths.
-  std::unordered_map<const xml::Node*, uint64_t> sizes;
+  // Pass 1: subtree widths (serial-keyed lookup table, DOM-driven walk).
+  std::unordered_map<uint32_t, uint64_t> sizes;
   {
     struct Frame {
       const xml::Node* node;
@@ -66,7 +68,7 @@ void XissScheme::Assign(xml::Node* root,
       stack.pop_back();
       if (f.entering) {
         if (f.node->children().empty()) {
-          sizes[f.node] = leaf_slack_;
+          sizes[f.node->serial()] = leaf_slack_;
           continue;
         }
         stack.push_back({f.node, false});
@@ -75,12 +77,14 @@ void XissScheme::Assign(xml::Node* root,
         }
       } else {
         unsigned __int128 sum = 0;
-        for (const xml::Node* c : f.node->children()) sum += sizes.at(c) + 1;
+        for (const xml::Node* c : f.node->children()) {
+          sum += sizes.at(c->serial()) + 1;
+        }
         double scaled = static_cast<double>(sum) * slack_;
         uint64_t size = scaled >= static_cast<double>(kMaxSize)
                             ? kMaxSize
                             : static_cast<uint64_t>(std::ceil(scaled));
-        sizes[f.node] = std::min(size, kMaxSize);
+        sizes[f.node->serial()] = std::min(size, kMaxSize);
       }
     }
   }
@@ -96,18 +100,18 @@ void XissScheme::Assign(xml::Node* root,
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    uint64_t my_size = sizes.at(f.node);
+    uint64_t my_size = sizes.at(f.node->serial());
     (*labels)[f.node->serial()] = {f.order, my_size, f.level};
     const auto& ch = f.node->children();
     if (ch.empty()) continue;
     uint64_t needed = 0;
-    for (xml::Node* c : ch) needed += sizes.at(c) + 1;
+    for (xml::Node* c : ch) needed += sizes.at(c->serial()) + 1;
     uint64_t extra = my_size > needed ? my_size - needed : 0;
     uint64_t pad = extra / (ch.size() + 1);
     uint64_t cursor = f.order + 1 + pad;
     for (xml::Node* c : ch) {
       stack.push_back({c, cursor, f.level + 1});
-      cursor += sizes.at(c) + 1 + pad;
+      cursor += sizes.at(c->serial()) + 1 + pad;
     }
   }
 }
@@ -193,8 +197,9 @@ bool XissScheme::TryGapInsert(xml::Node* n) {
     uint64_t order;
     uint32_t level;
   };
-  std::unordered_map<const xml::Node*, uint64_t> sizes;
-  // Compute sizes bottom-up for the new subtree only.
+  std::unordered_map<uint32_t, uint64_t> sizes;
+  // Compute sizes bottom-up for the new subtree only (serial-keyed lookup
+  // table, DOM-driven walk).
   {
     struct SFrame {
       const xml::Node* node;
@@ -206,7 +211,7 @@ bool XissScheme::TryGapInsert(xml::Node* n) {
       stack.pop_back();
       if (f.entering) {
         if (f.node->children().empty()) {
-          sizes[f.node] = leaf_slack_;
+          sizes[f.node->serial()] = leaf_slack_;
           continue;
         }
         stack.push_back({f.node, false});
@@ -215,11 +220,13 @@ bool XissScheme::TryGapInsert(xml::Node* n) {
         }
       } else {
         unsigned __int128 sum = 0;
-        for (const xml::Node* c : f.node->children()) sum += sizes.at(c) + 1;
+        for (const xml::Node* c : f.node->children()) {
+          sum += sizes.at(c->serial()) + 1;
+        }
         double scaled = static_cast<double>(sum) * slack_;
-        sizes[f.node] = scaled >= static_cast<double>(kMaxSize)
-                            ? kMaxSize
-                            : static_cast<uint64_t>(std::ceil(scaled));
+        sizes[f.node->serial()] = scaled >= static_cast<double>(kMaxSize)
+                                      ? kMaxSize
+                                      : static_cast<uint64_t>(std::ceil(scaled));
       }
     }
   }
@@ -227,11 +234,11 @@ bool XissScheme::TryGapInsert(xml::Node* n) {
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    labels_[f.node->serial()] = {f.order, sizes.at(f.node), f.level};
+    labels_[f.node->serial()] = {f.order, sizes.at(f.node->serial()), f.level};
     uint64_t cursor = f.order + 1;
     for (xml::Node* c : f.node->children()) {
       stack.push_back({c, cursor, f.level + 1});
-      cursor += sizes.at(c) + 1;
+      cursor += sizes.at(c->serial()) + 1;
     }
   }
   return true;

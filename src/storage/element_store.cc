@@ -303,6 +303,25 @@ Status ElementStore::ScanArea(
   return status;
 }
 
+Status ElementStore::ScanAll(
+    const std::function<bool(const BPlusTree::Key&, const ElementRecord&)>&
+        fn) {
+  BPlusTree::Key lo_key{};
+  BPlusTree::Key hi_key;
+  hi_key.fill(0xFF);
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(index_->Scan(
+      lo_key, hi_key, [&](const BPlusTree::Key& key, uint64_t location) {
+        auto record = ReadRecord(location);
+        if (!record.ok()) {
+          status = record.status();
+          return false;
+        }
+        return fn(key, *record);
+      }));
+  return status;
+}
+
 bool ElementStore::IsAncestorViaRuid(const core::Ruid2Scheme& scheme,
                                      const core::Ruid2Id& a,
                                      const core::Ruid2Id& d) const {

@@ -66,6 +66,13 @@ class ElementStore {
   Status ScanArea(const BigUint& global,
                   const std::function<bool(const ElementRecord&)>& fn);
 
+  /// Scans every record in index-key order, handing the caller both the raw
+  /// B+tree key and the decoded record — the invariant verifier checks that
+  /// the two agree and that keys ascend.
+  Status ScanAll(
+      const std::function<bool(const BPlusTree::Key&, const ElementRecord&)>&
+          fn);
+
   /// Ancestor check via identifier arithmetic (Fig. 6): runs entirely on
   /// the in-memory (κ, K) state — zero page accesses.
   bool IsAncestorViaRuid(const core::Ruid2Scheme& scheme,
@@ -99,6 +106,9 @@ class ElementStore {
   }
 
  private:
+  /// Corruption injection for the invariant-verifier tests (defined there).
+  friend class ElementStoreTestPeer;
+
   ElementStore() = default;
 
   Result<uint64_t> AppendRecord(const ElementRecord& record);

@@ -1,8 +1,10 @@
 #include "storage/sharded_store.h"
 
+#include <algorithm>
 #include <thread>
 #include <unordered_map>
 
+#include "util/dcheck.h"
 #include "util/thread_pool.h"
 
 namespace ruidx {
@@ -105,11 +107,19 @@ Status ShardedElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
       jobs(groups.size());
   for (const auto& [key, idx] : group_index) {
     RUIDX_ASSIGN_OR_RETURN(ElementStore * shard, ShardFor(key, /*create=*/true));
+    RUIDX_DCHECK(jobs[idx].first == nullptr,
+                 "two shard keys merged onto one bulk-load job");
     jobs[idx] = {shard, &groups[idx]};
   }
+  RUIDX_DCHECK(std::all_of(jobs.begin(), jobs.end(),
+                           [](const auto& j) {
+                             return j.first != nullptr && !j.second->empty();
+                           }),
+               "bulk-load merge left a group without a shard");
 
   // Stage 3 (parallel): each shard is loaded whole by one worker — no two
   // workers ever share an ElementStore, so the stores need no locks.
+  // lint: disjoint-writes — worker i touches only jobs[i] and statuses[i].
   std::vector<Status> statuses(jobs.size(), Status::OK());
   util::ThreadPool::ParallelFor(pool, jobs.size(), [&](size_t i) {
     auto [shard, records] = jobs[i];
@@ -138,6 +148,10 @@ Status ShardedElementStore::ScanName(
     const std::string& name,
     const std::function<bool(const ElementRecord&)>& fn) {
   // Shards are sorted by (name, global); iterate the contiguous name run.
+  // The map lock is held across the scan so that a concurrent Put creating
+  // fresh shards cannot invalidate the iteration (shard *contents* are not
+  // touched by map insertions — std::map nodes are stable).
+  std::lock_guard<std::mutex> lock(shards_mu_);
   auto it = shards_.lower_bound(ShardKey{name, BigUint(0)});
   for (; it != shards_.end() && it->first.name == name; ++it) {
     bool keep_going = true;
@@ -161,12 +175,14 @@ Status ShardedElementStore::ScanNameInArea(
 }
 
 uint64_t ShardedElementStore::record_count() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
   uint64_t total = 0;
   for (const auto& [key, shard] : shards_) total += shard->record_count();
   return total;
 }
 
 uint64_t ShardedElementStore::logical_page_accesses() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
   uint64_t total = 0;
   for (const auto& [key, shard] : shards_) {
     total += shard->logical_page_accesses();
@@ -175,6 +191,7 @@ uint64_t ShardedElementStore::logical_page_accesses() const {
 }
 
 void ShardedElementStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(shards_mu_);
   for (auto& [key, shard] : shards_) shard->ResetStats();
 }
 

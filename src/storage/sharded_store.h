@@ -60,7 +60,10 @@ class ShardedElementStore {
   Status ScanNameInArea(const std::string& name, const BigUint& global,
                         const std::function<bool(const ElementRecord&)>& fn);
 
-  size_t shard_count() const { return shards_.size(); }
+  size_t shard_count() const {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    return shards_.size();
+  }
   uint64_t record_count() const;
 
   /// Sum of logical page accesses across all shards (for the benchmarks).
@@ -86,8 +89,10 @@ class ShardedElementStore {
   std::string dir_;
   size_t pool_pages_;
   /// Guards shards_ (the map itself, not the stores: during a parallel
-  /// BulkLoad every ElementStore is owned by exactly one worker).
-  std::mutex shards_mu_;
+  /// BulkLoad every ElementStore is owned by exactly one worker). Every
+  /// walk over the map — scans, stats — must hold it too, so that readers
+  /// can run while Put() inserts fresh shards.
+  mutable std::mutex shards_mu_;
   std::map<ShardKey, std::unique_ptr<ElementStore>> shards_;
 };
 

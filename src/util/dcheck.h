@@ -1,0 +1,63 @@
+// RUIDX_DCHECK — debug-build invariant assertions for mutation points.
+//
+// The scheme's correctness rests on arithmetic identities (rparent inverts
+// edges, table K mirrors the partition, the packed mirror mirrors table K).
+// These macros let the mutation paths assert the local slice of those
+// identities where the mutation happens, so a violation aborts at the write
+// that introduced it instead of surfacing queries later. In Release builds
+// (NDEBUG) every macro compiles to nothing: condition expressions are not
+// evaluated, so arbitrarily expensive checks are free on the hot paths.
+//
+// The deep, whole-document verification lives in
+// src/analysis/invariant_checker.h; RUIDX_DCHECK is the cheap, always-armed
+// (in debug) complement at the places that mutate state.
+#ifndef RUIDX_UTIL_DCHECK_H_
+#define RUIDX_UTIL_DCHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Dchecks are on whenever NDEBUG is absent (Debug / sanitizer builds) and
+// can be forced into optimized builds with -DRUIDX_FORCE_DCHECKS for
+// soak-testing.
+#if !defined(NDEBUG) || defined(RUIDX_FORCE_DCHECKS)
+#define RUIDX_DCHECK_IS_ON 1
+#else
+#define RUIDX_DCHECK_IS_ON 0
+#endif
+
+#if RUIDX_DCHECK_IS_ON
+
+/// Aborts with file/line and `what` when `cond` is false.
+#define RUIDX_DCHECK(cond, what)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "%s:%d: RUIDX_DCHECK failed: %s — %s\n",         \
+                   __FILE__, __LINE__, #cond, what);                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Aborts when a Status (or Result) expression is not ok().
+#define RUIDX_DCHECK_OK(expr)                                               \
+  do {                                                                      \
+    auto ruidx_dcheck_status = (expr);                                      \
+    if (!ruidx_dcheck_status.ok()) {                                        \
+      std::fprintf(stderr, "%s:%d: RUIDX_DCHECK_OK failed: %s\n", __FILE__, \
+                   __LINE__, #expr);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#else  // release: both macros vanish, operands are never evaluated.
+
+#define RUIDX_DCHECK(cond, what) \
+  do {                           \
+  } while (0)
+#define RUIDX_DCHECK_OK(expr) \
+  do {                        \
+  } while (0)
+
+#endif  // RUIDX_DCHECK_IS_ON
+
+#endif  // RUIDX_UTIL_DCHECK_H_

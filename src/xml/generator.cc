@@ -125,7 +125,9 @@ std::unique_ptr<Document> GenerateDeepTree(const DeepTreeConfig& config) {
     }
     Node* next = doc->CreateElement("section");
     // The recursive child sits at a random position among its siblings.
-    size_t pos = static_cast<size_t>(rng.NextBounded(cur->fanout() + 1));
+    // DOM fan-out (insertion slot count), not identifier arithmetic.
+    size_t pos = static_cast<size_t>(
+        rng.NextBounded(cur->fanout() + 1));  // NOLINT(raw-id-arithmetic)
     Check(doc->InsertChild(cur, pos, next));
     cur = next;
   }

@@ -103,17 +103,18 @@ std::vector<xml::Node*> DomEvaluator::GenerateAxis(xml::Node* n, Axis axis) {
 
 void DomEvaluator::SortDocumentOrder(std::vector<xml::Node*>* nodes) {
   // Build a document-order index, slotting attributes right after their
-  // owner element.
-  std::unordered_map<const xml::Node*, uint64_t> order;
+  // owner element. Keyed by serial, not pointer: the comparator's behaviour
+  // must depend on the tree alone, never on node addresses.
+  std::unordered_map<uint32_t, uint64_t> order;
   uint64_t pos = 0;
   xml::PreorderTraverse(doc_->document_node(), [&](xml::Node* n, int) {
-    order[n] = pos++;
-    for (xml::Node* a : n->attributes()) order[a] = pos++;
+    order[n->serial()] = pos++;
+    for (xml::Node* a : n->attributes()) order[a->serial()] = pos++;
     return true;
   });
   std::sort(nodes->begin(), nodes->end(),
             [&](const xml::Node* a, const xml::Node* b) {
-              return order.at(a) < order.at(b);
+              return order.at(a->serial()) < order.at(b->serial());
             });
 }
 

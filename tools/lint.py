@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Project linter for ruidx: rules regex-checkable from single files.
+
+Rules (each with the hazard it guards against):
+
+  ptr-keyed-map
+      Maps keyed by node pointers (`std::unordered_map<xml::Node*, ...>` and
+      friends). Hash order over addresses varies run to run, so any iteration
+      becomes a nondeterminism hazard; key side tables by Node::serial()
+      (dense, stable across structural updates) instead. Pointer-keyed *sets*
+      used purely for membership remain legal.
+
+  raw-id-arithmetic
+      Arithmetic (+ - * / %) on variables whose names mark them as ruid
+      identifier components (global/local/kappa/fanout) outside src/core/.
+      Identifier arithmetic belongs to the core scheme (rparent and friends);
+      other layers must call the core API so the packed/BigUint paths stay in
+      lockstep.
+
+  threadpool-ref-capture
+      `ThreadPool::ParallelFor`/`Submit` call sites whose lambda captures by
+      reference (`[&]`) without a nearby mutex/atomic or an explicit
+      `// lint: disjoint-writes` annotation stating why unsynchronized
+      sharing is safe.
+
+  core-no-storage-include
+      src/core/ must not include storage headers: the paper's point is that
+      identifier arithmetic runs on (kappa, K) alone, so the core layer must
+      stay I/O-free. (Enforces the dependency direction storage -> core.)
+
+Escapes: a `// NOLINT(rule-name)` comment on the offending line, or the
+rule-specific annotation documented above.
+
+Usage:
+  lint.py --root <repo>             lint the repo (exit 1 on violations)
+  lint.py --root <repo> --self-test also check that every fixture under
+                                    tools/lint_fixtures/ trips its rule
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tools", "tests", "bench", "examples")
+SOURCE_EXTS = (".cc", ".h")
+
+POINTER_KEY = r"(?:const\s+)?(?:\w+::)*\w+\s*\*"
+RE_PTR_KEYED_MAP = re.compile(
+    r"\b(?:std::)?(?:unordered_)?map\s*<\s*" + POINTER_KEY + r"\s*,"
+)
+RE_RAW_ID_ARITH = re.compile(
+    r"\b\w*(?:global|local|kappa|fanout)\w*(?:\(\))?\s*[+\-*/%]\s*\d"
+)
+RE_THREADPOOL_CALL = re.compile(r"\bThreadPool::(?:ParallelFor|Submit)\s*\(")
+RE_REF_CAPTURE = re.compile(r"\[\s*&\s*[\],]")
+RE_SYNC_NEARBY = re.compile(r"mutex|atomic|lock_guard|unique_lock")
+RE_DISJOINT_NOTE = re.compile(r"//\s*lint:\s*disjoint-writes")
+RE_STORAGE_INCLUDE = re.compile(r'#include\s+"storage/')
+RE_NOLINT = re.compile(r"//\s*NOLINT\(([\w-]+)\)")
+
+
+class Violation:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def has_nolint(line, rule):
+    m = RE_NOLINT.search(line)
+    return m is not None and m.group(1) == rule
+
+
+def lint_file(root, rel_path, lines):
+    violations = []
+    in_core = rel_path.startswith("src/core/") or rel_path.startswith(
+        "src" + os.sep + "core" + os.sep
+    )
+
+    for i, line in enumerate(lines, start=1):
+        stripped = line.split("//", 1)[0] if "NOLINT" not in line else line
+
+        if RE_PTR_KEYED_MAP.search(stripped) and not has_nolint(
+            line, "ptr-keyed-map"
+        ):
+            violations.append(
+                Violation(
+                    rel_path,
+                    i,
+                    "ptr-keyed-map",
+                    "map keyed by a pointer: hash order over addresses is "
+                    "nondeterministic; key by Node::serial() instead",
+                )
+            )
+
+        if (
+            not in_core
+            and rel_path.startswith("src" + os.sep)
+            and RE_RAW_ID_ARITH.search(stripped)
+            and not has_nolint(line, "raw-id-arithmetic")
+        ):
+            violations.append(
+                Violation(
+                    rel_path,
+                    i,
+                    "raw-id-arithmetic",
+                    "raw arithmetic on an identifier component outside "
+                    "src/core/; call the core rparent/compare API instead",
+                )
+            )
+
+        if in_core and RE_STORAGE_INCLUDE.search(line) and not has_nolint(
+            line, "core-no-storage-include"
+        ):
+            violations.append(
+                Violation(
+                    rel_path,
+                    i,
+                    "core-no-storage-include",
+                    "src/core/ must not depend on storage headers (the "
+                    "identifier arithmetic layer is I/O-free)",
+                )
+            )
+
+        if RE_THREADPOOL_CALL.search(stripped):
+            # Look at the call site plus the lambda it opens (a window is
+            # enough: captures appear on the call line or the next few).
+            window = lines[i - 1 : i + 4]
+            context = lines[max(0, i - 8) : min(len(lines), i + 16)]
+            if (
+                any(RE_REF_CAPTURE.search(w) for w in window)
+                and not any(RE_SYNC_NEARBY.search(c) for c in context)
+                and not any(RE_DISJOINT_NOTE.search(c) for c in context)
+                and not any(
+                    has_nolint(w, "threadpool-ref-capture") for w in window
+                )
+            ):
+                violations.append(
+                    Violation(
+                        rel_path,
+                        i,
+                        "threadpool-ref-capture",
+                        "[&] capture handed to the thread pool with no "
+                        "mutex/atomic in sight; add synchronization or a "
+                        "'// lint: disjoint-writes' note explaining the "
+                        "per-worker disjointness",
+                    )
+                )
+
+    return violations
+
+
+def iter_source_files(root):
+    for top in SOURCE_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_tree(root):
+    violations = []
+    for path in iter_source_files(root):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        violations.extend(lint_file(root, rel, lines))
+    return violations
+
+
+def self_test(root):
+    """Every fixture must trip exactly the rule its filename names."""
+    fixture_dir = os.path.join(root, "tools", "lint_fixtures")
+    failures = []
+    fixtures = sorted(
+        f for f in os.listdir(fixture_dir) if f.endswith(SOURCE_EXTS)
+    )
+    if not fixtures:
+        return ["no fixtures found in " + fixture_dir]
+    for name in fixtures:
+        rule = os.path.splitext(name)[0].replace("bad_", "").replace("_", "-")
+        # Fixtures for path-scoped rules declare their pretended location.
+        with open(os.path.join(fixture_dir, name), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        pretend = "src/xpath/" + name
+        for line in lines:
+            m = re.match(r"//\s*lint-fixture-path:\s*(\S+)", line)
+            if m:
+                pretend = m.group(1)
+        found = lint_file(root, pretend, lines)
+        if not any(v.rule == rule for v in found):
+            failures.append(
+                f"fixture {name} did not trip rule {rule} "
+                f"(got: {[v.rule for v in found] or 'nothing'})"
+            )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="also verify the negative fixtures trip their rules",
+    )
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    violations = lint_tree(root)
+    for v in violations:
+        print(v)
+
+    failures = []
+    if args.self_test:
+        failures = self_test(root)
+        for f in failures:
+            print("self-test:", f)
+
+    if violations or failures:
+        print(
+            f"lint: {len(violations)} violation(s), "
+            f"{len(failures)} self-test failure(s)"
+        )
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+// Negative fixture: trips core-no-storage-include. The core identifier
+// layer must stay I/O-free; depending on storage inverts the layering.
+// lint-fixture-path: src/core/bad_core_no_storage_include.cc
+#include "storage/element_store.h"
+
+void CoreTouchingStorage() {}

@@ -1,0 +1,12 @@
+// Negative fixture: trips ptr-keyed-map. Keying a side table by node
+// address makes any iteration order depend on the allocator.
+#include <unordered_map>
+
+namespace xml {
+class Node;
+}
+
+void BuildOrderIndex() {
+  std::unordered_map<const xml::Node*, unsigned long> order;
+  (void)order;
+}

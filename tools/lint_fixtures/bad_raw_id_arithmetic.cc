@@ -1,0 +1,7 @@
+// Negative fixture: trips raw-id-arithmetic. Re-deriving a parent's local
+// index by hand outside src/core/ bypasses the packed/BigUint lockstep.
+// lint-fixture-path: src/xpath/bad_raw_id_arithmetic.cc
+
+unsigned long HandRolledParent(unsigned long local_index, unsigned long k) {
+  return (local_index - 2) / k + 1;
+}

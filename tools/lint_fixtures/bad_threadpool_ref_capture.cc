@@ -1,0 +1,18 @@
+// Negative fixture: trips threadpool-ref-capture. The [&] lambda mutates
+// shared state from every worker with no synchronization and no
+// disjointness note.
+
+namespace util {
+struct ThreadPool {
+  template <typename Fn>
+  static void ParallelFor(ThreadPool*, unsigned long, Fn&&);
+};
+}  // namespace util
+
+void CountInParallel(util::ThreadPool* pool) {
+  unsigned long total = 0;
+  util::ThreadPool::ParallelFor(pool, 100, [&](unsigned long) {
+    ++total;
+  });
+  (void)total;
+}

@@ -7,6 +7,7 @@
 //   ruidx_tool query    <file.xml> <xpath> [--engine dom|ruid|ruid-index]
 //   ruidx_tool fragment <file.xml> <xpath>           reconstruct a fragment
 //   ruidx_tool store    <file.xml> <out.db>          bulk-load element store
+//   ruidx_tool check    <file.xml> [options]         verify every invariant
 //
 // Common options: --max-area-nodes N (default 64), --max-area-depth D
 // (default 4), --no-adjust (disable the Sec. 2.3 fan-out adjustment).
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/invariant_checker.h"
 #include "core/fragment.h"
 #include "core/ruid2.h"
 #include "core/global_state.h"
@@ -52,6 +54,7 @@ int Usage() {
                "  fragment <file.xml> <xpath>\n"
                "  store    <file.xml> <out.db>\n"
                "  stream   <file.xml> <out.db>   (two-pass SAX, no DOM kept)\n"
+               "  check    <file.xml>            (structural invariant fsck)\n"
                "options: --max-area-nodes N  --max-area-depth D  --no-adjust\n");
   return 2;
 }
@@ -302,6 +305,39 @@ int CmdStream(const std::string& path, const std::vector<std::string>& args,
   return 0;
 }
 
+int CmdCheck(const std::string& path, const CommonOptions& options) {
+  auto doc = LoadDocument(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  xml::Node* root = (*doc)->root();
+  core::Ruid2Scheme scheme(options.partition);
+  scheme.Build(root);
+
+  analysis::CheckReport report;
+  Status st = analysis::CheckDocumentInvariants(scheme, root, {}, &report);
+  if (st.ok()) {
+    // Also verify the storage key contract over a fresh in-memory load.
+    auto store = storage::ElementStore::Create("");
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    st = (*store)->BulkLoad(scheme, root);
+    if (st.ok()) {
+      st = analysis::CheckStoreInvariants(scheme, root, store->get(), {},
+                                          &report);
+    }
+  }
+  if (!st.ok()) {
+    std::cout << "FAIL " << path << "\n  " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "OK " << path << "\n  " << report.Summary() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,5 +357,6 @@ int main(int argc, char** argv) {
   if (command == "fragment") return CmdFragment(file, rest, options);
   if (command == "store") return CmdStore(file, rest, options);
   if (command == "stream") return CmdStream(file, rest, options);
+  if (command == "check") return CmdCheck(file, options);
   return Usage();
 }
