@@ -693,6 +693,15 @@ Status CheckStoreInvariants(const Ruid2Scheme& scheme, xml::Node* root,
   }
   MarkPassed(report, "store-coverage");
   if (report != nullptr) report->nodes_checked += records;
+
+  // On-disk battery: flushes, then reads the file raw — page trailer
+  // checksums, LSN bounds, free-list shape, index/heap/free disjointness
+  // (see ElementStore::VerifyOnDisk).
+  RUIDX_RETURN_NOT_OK(store->VerifyOnDisk());
+  MarkPassed(report, "page-checksum");
+  MarkPassed(report, "lsn-monotonic");
+  MarkPassed(report, "free-list");
+  MarkPassed(report, "tree-reachability");
   return Status::OK();
 }
 

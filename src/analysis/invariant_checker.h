@@ -81,7 +81,9 @@ Status CheckDocumentInvariants(const core::Ruid2Scheme& scheme,
 /// Verifies a store loaded from (`scheme`, `root`): index keys strictly
 /// ascending, every key byte-exact with its record's identifier, every
 /// record backed by a labeled DOM node (name/type/parent agreement), and
-/// the record count equal to the label count.
+/// the record count equal to the label count. Then flushes the store and
+/// runs the on-disk battery (page checksums, LSN monotonicity, free-list
+/// sanity, index-page reachability) against the raw file image.
 Status CheckStoreInvariants(const core::Ruid2Scheme& scheme, xml::Node* root,
                             storage::ElementStore* store,
                             const CheckOptions& options = {},

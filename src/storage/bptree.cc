@@ -1,6 +1,9 @@
 #include "storage/bptree.h"
 
 #include <cstring>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace ruidx {
 namespace storage {
@@ -11,16 +14,21 @@ namespace {
 //   [0] u8  is_leaf
 //   [1] u8  reserved
 //   [2] u16 count
-// Leaf:      [4] u32 next_leaf, entries at 8: count * (key + u64 value)
-// Internal:  [4] u32 child0,    entries at 8: count * (key + u32 child)
-// Internal semantics: entry i holds the smallest key of child i+1.
-constexpr size_t kHeader = 8;
+// Leaf:      [4] u32 next_leaf, [8] u32 prev_leaf,
+//            entries at 12: count * (key + u64 value)
+// Internal:  [4] u32 child0,    [8] u32 reserved,
+//            entries at 12: count * (key + u32 child)
+// Internal semantics: entry i holds the smallest key of child i+1. The leaf
+// chain is doubly linked so an emptied leaf can be unlinked (and its page
+// reclaimed) without a second descent. Entries stay inside kPageUsableSize;
+// the page trailer belongs to the buffer pool.
+constexpr size_t kHeader = 12;
 constexpr size_t kLeafEntry = BPlusTree::kKeySize + 8;
 constexpr size_t kInnerEntry = BPlusTree::kKeySize + 4;
 constexpr uint16_t kLeafCapacity =
-    static_cast<uint16_t>((kPageSize - kHeader) / kLeafEntry);
+    static_cast<uint16_t>((kPageUsableSize - kHeader) / kLeafEntry);
 constexpr uint16_t kInnerCapacity =
-    static_cast<uint16_t>((kPageSize - kHeader) / kInnerEntry);
+    static_cast<uint16_t>((kPageUsableSize - kHeader) / kInnerEntry);
 
 bool IsLeaf(const uint8_t* page) { return page[0] == 1; }
 void SetLeaf(uint8_t* page, bool leaf) { page[0] = leaf ? 1 : 0; }
@@ -38,6 +46,13 @@ uint32_t Link(const uint8_t* page) {  // next_leaf or child0
   return v;
 }
 void SetLink(uint8_t* page, uint32_t v) { std::memcpy(page + 4, &v, 4); }
+
+uint32_t Prev(const uint8_t* page) {  // previous leaf in the chain
+  uint32_t v;
+  std::memcpy(&v, page + 8, 4);
+  return v;
+}
+void SetPrev(uint8_t* page, uint32_t v) { std::memcpy(page + 8, &v, 4); }
 
 uint8_t* LeafEntry(uint8_t* page, size_t i) {
   return page + kHeader + i * kLeafEntry;
@@ -109,6 +124,7 @@ Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
   SetLeaf(frame, true);
   SetCount(frame, 0);
   SetLink(frame, kInvalidPage);
+  SetPrev(frame, kInvalidPage);
   pool->Unpin(root, /*dirty=*/true);
   return BPlusTree(pool, root);
 }
@@ -181,13 +197,27 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(uint32_t page_id,
     }
     uint32_t right_id = *right_id_result;
     uint16_t keep = count / 2;
+    uint32_t old_next = Link(page);
     SetLeaf(right, true);
     SetCount(right, count - keep);
-    SetLink(right, Link(page));
+    SetLink(right, old_next);
+    SetPrev(right, page_id);
     std::memcpy(LeafEntry(right, 0), LeafEntry(page, keep),
                 (count - keep) * kLeafEntry);
     SetCount(page, keep);
     SetLink(page, right_id);
+    if (old_next != kInvalidPage) {
+      // Keep the chain doubly linked: the old successor's prev moves to
+      // the new right sibling.
+      auto next_page = pool_->Fetch(old_next);
+      if (!next_page.ok()) {
+        pool_->Unpin(page_id, true);
+        pool_->Unpin(right_id, true);
+        return next_page.status();
+      }
+      SetPrev(*next_page, right_id);
+      pool_->Unpin(old_next, true);
+    }
     // Insert into the correct half.
     uint8_t* target = page;
     size_t target_idx = idx;
@@ -298,7 +328,22 @@ Status BPlusTree::Insert(const Key& key, uint64_t value) {
 }
 
 Status BPlusTree::Erase(const Key& key) {
-  RUIDX_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(key));
+  // Descend, recording the ancestor chain so an emptied leaf can be
+  // removed from its parents without a second search.
+  std::vector<std::pair<uint32_t, size_t>> path;  // (internal page, slot)
+  uint32_t leaf_id = root_page_;
+  for (;;) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* node, pool_->Fetch(leaf_id));
+    if (IsLeaf(node)) {
+      pool_->Unpin(leaf_id, false);
+      break;
+    }
+    size_t slot = InnerChildIndex(node, key);
+    uint32_t child = InnerChild(node, slot);
+    pool_->Unpin(leaf_id, false);
+    path.emplace_back(leaf_id, slot);
+    leaf_id = child;
+  }
   RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(leaf_id));
   size_t idx = LeafLowerBound(page, key);
   uint16_t count = Count(page);
@@ -310,7 +355,77 @@ Status BPlusTree::Erase(const Key& key) {
                (count - idx - 1) * kLeafEntry);
   SetCount(page, count - 1);
   --entry_count_;
+  if (count - 1 > 0 || path.empty()) {
+    pool_->Unpin(leaf_id, true);
+    return Status::OK();
+  }
+  // The leaf is empty and is not the root: unlink it from the leaf chain,
+  // reclaim its page, and drop its slot from the ancestors.
+  uint32_t prev = Prev(page);
+  uint32_t next = Link(page);
   pool_->Unpin(leaf_id, true);
+  if (prev != kInvalidPage) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* p, pool_->Fetch(prev));
+    SetLink(p, next);
+    pool_->Unpin(prev, true);
+  }
+  if (next != kInvalidPage) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* n, pool_->Fetch(next));
+    SetPrev(n, prev);
+    pool_->Unpin(next, true);
+  }
+  RUIDX_RETURN_NOT_OK(pool_->FreePage(leaf_id));
+  // Remove the freed child from its parent. A parent whose only child was
+  // freed becomes childless: free it too and continue up the path.
+  while (!path.empty()) {
+    auto [parent_id, slot] = path.back();
+    path.pop_back();
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* parent, pool_->Fetch(parent_id));
+    uint16_t pcount = Count(parent);
+    if (slot == 0 && pcount == 0) {
+      if (path.empty()) {
+        // The root lost its last child: the tree is empty again — turn the
+        // root back into an empty leaf (the root page id never changes
+        // here, so the meta page stays valid).
+        SetLeaf(parent, true);
+        SetCount(parent, 0);
+        SetLink(parent, kInvalidPage);
+        SetPrev(parent, kInvalidPage);
+        pool_->Unpin(parent_id, true);
+        return Status::OK();
+      }
+      pool_->Unpin(parent_id, false);
+      RUIDX_RETURN_NOT_OK(pool_->FreePage(parent_id));
+      continue;
+    }
+    if (slot == 0) {
+      // child0 gone: promote child 1 into the header link, shift entries.
+      SetLink(parent, InnerChild(parent, 1));
+      std::memmove(InnerEntry(parent, 0), InnerEntry(parent, 1),
+                   (pcount - 1) * kInnerEntry);
+    } else {
+      // Entry slot-1 carried the freed child and its separator.
+      std::memmove(InnerEntry(parent, slot - 1), InnerEntry(parent, slot),
+                   (pcount - slot) * kInnerEntry);
+    }
+    SetCount(parent, pcount - 1);
+    pool_->Unpin(parent_id, true);
+    break;
+  }
+  // Collapse trivial roots: an internal root left with a single child
+  // hands the root role down and frees itself.
+  for (;;) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* root, pool_->Fetch(root_page_));
+    if (IsLeaf(root) || Count(root) > 0) {
+      pool_->Unpin(root_page_, false);
+      break;
+    }
+    uint32_t only_child = InnerChild(root, 0);
+    pool_->Unpin(root_page_, false);
+    uint32_t old_root = root_page_;
+    root_page_ = only_child;
+    RUIDX_RETURN_NOT_OK(pool_->FreePage(old_root));
+  }
   return Status::OK();
 }
 
@@ -350,6 +465,7 @@ Status BPlusTree::Validate() const {
     Key hi{};  // exclusive upper bound
   };
   uint64_t leaf_entries = 0;
+  std::unordered_set<uint32_t> leaf_pages;
   std::vector<Frame> stack{{root_page_, false, {}, false, {}}};
   while (!stack.empty()) {
     Frame f = stack.back();
@@ -377,6 +493,7 @@ Status BPlusTree::Validate() const {
     }
     if (status.ok() && leaf) {
       leaf_entries += count;
+      leaf_pages.insert(f.page_id);
     } else if (status.ok()) {
       // Push children with narrowed bounds: child i spans [key[i-1], key[i]).
       for (size_t i = 0; i <= count; ++i) {
@@ -404,6 +521,66 @@ Status BPlusTree::Validate() const {
     return Status::Corruption(
         "entry count mismatch: leaves hold " + std::to_string(leaf_entries) +
         ", tree believes " + std::to_string(entry_count_));
+  }
+  // The doubly-linked leaf chain must visit exactly the leaves reachable
+  // from the root, with consistent back links (an unlink bug would leave a
+  // freed page threaded in, or orphan a live leaf).
+  uint32_t chain = root_page_;
+  for (;;) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(chain));
+    bool leaf = IsLeaf(page);
+    uint32_t child = leaf ? kInvalidPage : InnerChild(page, 0);
+    pool_->Unpin(chain, false);
+    if (leaf) break;
+    chain = child;
+  }
+  uint32_t expect_prev = kInvalidPage;
+  size_t visited = 0;
+  while (chain != kInvalidPage) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(chain));
+    Status status = Status::OK();
+    if (!IsLeaf(page)) {
+      status = Status::Corruption("leaf chain reaches non-leaf page " +
+                                  std::to_string(chain));
+    } else if (leaf_pages.count(chain) == 0) {
+      status = Status::Corruption("leaf chain visits unreachable page " +
+                                  std::to_string(chain));
+    } else if (Prev(page) != expect_prev) {
+      status = Status::Corruption("broken prev link at leaf page " +
+                                  std::to_string(chain));
+    }
+    uint32_t next = Link(page);
+    pool_->Unpin(chain, false);
+    RUIDX_RETURN_NOT_OK(status);
+    if (++visited > leaf_pages.size()) {
+      return Status::Corruption("leaf chain cycle");
+    }
+    expect_prev = chain;
+    chain = next;
+  }
+  if (visited != leaf_pages.size()) {
+    return Status::Corruption(
+        "leaf chain visits " + std::to_string(visited) + " of " +
+        std::to_string(leaf_pages.size()) + " reachable leaves");
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CollectPages(std::unordered_set<uint32_t>* pages) const {
+  std::vector<uint32_t> stack{root_page_};
+  while (!stack.empty()) {
+    uint32_t page_id = stack.back();
+    stack.pop_back();
+    if (!pages->insert(page_id).second) {
+      return Status::Corruption("page " + std::to_string(page_id) +
+                                " reachable twice from the index root");
+    }
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(page_id));
+    if (!IsLeaf(page)) {
+      uint16_t count = Count(page);
+      for (size_t i = 0; i <= count; ++i) stack.push_back(InnerChild(page, i));
+    }
+    pool_->Unpin(page_id, false);
   }
   return Status::OK();
 }

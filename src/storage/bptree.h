@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 
 #include "storage/buffer_pool.h"
 #include "util/result.h"
@@ -37,8 +38,11 @@ class BPlusTree {
   /// Point lookup.
   Result<uint64_t> Get(const Key& key) const;
 
-  /// Removes a key (leaf-local; pages are not merged — deletions are rare
-  /// in the workloads and underflow only wastes space, never corrupts).
+  /// Removes a key. A leaf emptied by the removal is unlinked from the
+  /// (doubly-linked) leaf chain, dropped from its ancestors, and its page
+  /// handed to the pool's free list for reuse; trivial single-child roots
+  /// collapse. Delete-heavy storms therefore neither leak pages nor leave
+  /// empty leaves for scans to wade through.
   Status Erase(const Key& key);
 
   /// In-order scan over [lo, hi] inclusive. Stop early by returning false
@@ -51,6 +55,10 @@ class BPlusTree {
 
   /// Tree height (1 = root is a leaf).
   Result<int> Height() const;
+
+  /// Collects every page id reachable from the root (internal and leaf) —
+  /// the on-disk verifier proves these are disjoint from the free list.
+  Status CollectPages(std::unordered_set<uint32_t>* pages) const;
 
   /// Full structural check: keys sorted within every node, separator keys
   /// bound their subtrees, leaf chain in order, entry count consistent.

@@ -14,9 +14,72 @@ BufferPool::BufferPool(Pager* pager, size_t capacity)
 
 BufferPool::~BufferPool() { (void)FlushAll(); }
 
+void BufferPool::AttachWal(WriteAheadLog* wal) {
+  wal_ = wal;
+  txn_base_pages_ = pager_->page_count();
+}
+
+void BufferPool::Poison(const Status& status) {
+  // Only the durability protocol has state a later operation could corrupt
+  // further; standalone pools keep the historical propagate-and-retry
+  // behavior (the caller saw the error at the point of failure).
+  if (wal_ != nullptr && poison_.ok() && !status.ok()) poison_ = status;
+}
+
 void BufferPool::TouchLru(size_t frame_idx) {
   lru_.remove(frame_idx);
   lru_.push_front(frame_idx);
+}
+
+Status BufferPool::EnsureTransaction() {
+  if (wal_ == nullptr || wal_->in_transaction()) return Status::OK();
+  return wal_->BeginTransaction(txn_base_pages_);
+}
+
+Status BufferPool::JournalBeforeDirty(uint32_t page_id) {
+  if (journaled_.count(page_id) != 0) return Status::OK();
+  RUIDX_RETURN_NOT_OK(EnsureTransaction());
+  if (page_id >= txn_base_pages_) {
+    // Appended by this transaction: rollback truncates it away, no image.
+    journaled_.insert(page_id);
+    return Status::OK();
+  }
+  if (scratch_.size() < kPageSize) scratch_.resize(kPageSize);
+  RUIDX_RETURN_NOT_OK(pager_->ReadPage(page_id, scratch_.data()));
+  RUIDX_RETURN_NOT_OK(wal_->AppendPageImage(page_id, scratch_.data()));
+  journaled_.insert(page_id);
+  return Status::OK();
+}
+
+Status BufferPool::JournalFromBuffer(uint32_t page_id, const uint8_t* data) {
+  if (journaled_.count(page_id) != 0) return Status::OK();
+  RUIDX_RETURN_NOT_OK(EnsureTransaction());
+  if (page_id >= txn_base_pages_) {
+    journaled_.insert(page_id);
+    return Status::OK();
+  }
+  RUIDX_RETURN_NOT_OK(wal_->AppendPageImage(page_id, data));
+  journaled_.insert(page_id);
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(Frame& frame) {
+  if (wal_ != nullptr) {
+    if (journaled_.count(frame.page_id) == 0 &&
+        frame.page_id < txn_base_pages_) {
+      return Status::Internal("write-back of unjournaled page " +
+                              std::to_string(frame.page_id));
+    }
+    // Pre-images (and the Begin record naming the rollback page count) must
+    // be durable before the main file is touched.
+    RUIDX_RETURN_NOT_OK(wal_->Sync());
+    StampPageTrailer(frame.data.data(), wal_->AllocateLsn());
+  } else {
+    StampPageTrailer(frame.data.data(), 0);
+  }
+  RUIDX_RETURN_NOT_OK(pager_->WritePage(frame.page_id, frame.data.data()));
+  frame.dirty = false;
+  return Status::OK();
 }
 
 Result<size_t> BufferPool::FindFrame(uint32_t page_id, bool load) {
@@ -47,8 +110,11 @@ Result<size_t> BufferPool::FindFrame(uint32_t page_id, bool load) {
     }
     Frame& old = frames_[victim];
     if (old.dirty) {
-      RUIDX_RETURN_NOT_OK(pager_->WritePage(old.page_id, old.data.data()));
-      old.dirty = false;
+      Status st = WriteBack(old);
+      if (!st.ok()) {
+        Poison(st);
+        return st;
+      }
     }
     table_.erase(old.page_id);
     ++stats_.evictions;
@@ -58,7 +124,12 @@ Result<size_t> BufferPool::FindFrame(uint32_t page_id, bool load) {
   frame.pin_count = 0;
   frame.dirty = false;
   if (load) {
-    RUIDX_RETURN_NOT_OK(pager_->ReadPage(page_id, frame.data.data()));
+    Status st = pager_->ReadPage(page_id, frame.data.data());
+    if (st.ok()) st = VerifyPageTrailer(frame.data.data(), page_id);
+    if (!st.ok()) {
+      frame.page_id = kInvalidPage;  // leave the frame reusable
+      return st;
+    }
   } else {
     std::memset(frame.data.data(), 0, kPageSize);
   }
@@ -68,6 +139,7 @@ Result<size_t> BufferPool::FindFrame(uint32_t page_id, bool load) {
 }
 
 Result<uint8_t*> BufferPool::Fetch(uint32_t page_id) {
+  RUIDX_RETURN_NOT_OK(poison_);
   RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/true));
   ++frames_[idx].pin_count;
   return frames_[idx].data.data();
@@ -78,27 +150,129 @@ void BufferPool::Unpin(uint32_t page_id, bool dirty) {
   if (it == table_.end()) return;
   Frame& frame = frames_[it->second];
   if (frame.pin_count > 0) --frame.pin_count;
+  if (dirty && !frame.dirty && wal_ != nullptr && poison_.ok()) {
+    // First dirtying of this frame: capture the page's committed on-disk
+    // content in the journal before any write-back may overwrite it. (A
+    // frame that is already dirty was journaled when it first got dirty.)
+    Status st = JournalBeforeDirty(page_id);
+    if (!st.ok()) Poison(st);
+  }
   frame.dirty = frame.dirty || dirty;
 }
 
 Result<uint32_t> BufferPool::AllocatePinned(uint8_t** frame_out) {
+  RUIDX_RETURN_NOT_OK(poison_);
+  {
+    Status st = EnsureTransaction();
+    if (!st.ok()) {
+      Poison(st);
+      return st;
+    }
+  }
+  if (free_head_ != kInvalidPage) {
+    // Reuse the head of the free list instead of growing the file.
+    uint32_t page_id = free_head_;
+    RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/true));
+    Frame& frame = frames_[idx];
+    uint32_t magic;
+    std::memcpy(&magic, frame.data.data(), 4);
+    if (magic != kFreePageMagic) {
+      return Status::Corruption("free-list head page " +
+                                std::to_string(page_id) +
+                                " lacks the FREE marker");
+    }
+    uint32_t next;
+    std::memcpy(&next, frame.data.data() + 4, 4);
+    if (wal_ != nullptr) {
+      // The frame holds the committed FREE marker (it was either just
+      // loaded, or freed-and-journaled earlier this transaction).
+      Status st = JournalFromBuffer(page_id, frame.data.data());
+      if (!st.ok()) {
+        Poison(st);
+        return st;
+      }
+    }
+    free_head_ = next;
+    --free_count_;
+    std::memset(frame.data.data(), 0, kPageSize);
+    ++frame.pin_count;
+    frame.dirty = true;
+    *frame_out = frame.data.data();
+    return page_id;
+  }
   RUIDX_ASSIGN_OR_RETURN(uint32_t page_id, pager_->AllocatePage());
   RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/false));
   Frame& frame = frames_[idx];
+  if (wal_ != nullptr) journaled_.insert(page_id);
   ++frame.pin_count;
   frame.dirty = true;
   *frame_out = frame.data.data();
   return page_id;
 }
 
-Status BufferPool::FlushAll() {
-  for (Frame& frame : frames_) {
-    if (frame.page_id != kInvalidPage && frame.dirty) {
-      RUIDX_RETURN_NOT_OK(pager_->WritePage(frame.page_id, frame.data.data()));
-      frame.dirty = false;
+Status BufferPool::FreePage(uint32_t page_id) {
+  RUIDX_RETURN_NOT_OK(poison_);
+  if (page_id == kInvalidPage) {
+    return Status::InvalidArgument("freeing invalid page id");
+  }
+  RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/true));
+  Frame& frame = frames_[idx];
+  if (frame.pin_count > 0) {
+    return Status::Internal("freeing pinned page " + std::to_string(page_id));
+  }
+  if (wal_ != nullptr) {
+    Status st = JournalFromBuffer(page_id, frame.data.data());
+    if (!st.ok()) {
+      Poison(st);
+      return st;
     }
   }
-  return pager_->Sync();
+  std::memset(frame.data.data(), 0, kPageSize);
+  std::memcpy(frame.data.data(), &kFreePageMagic, 4);
+  std::memcpy(frame.data.data() + 4, &free_head_, 4);
+  frame.dirty = true;
+  free_head_ = page_id;
+  ++free_count_;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  RUIDX_RETURN_NOT_OK(poison_);
+  if (wal_ == nullptr) {
+    for (Frame& frame : frames_) {
+      if (frame.page_id != kInvalidPage && frame.dirty) {
+        RUIDX_RETURN_NOT_OK(WriteBack(frame));
+      }
+    }
+    return pager_->Sync();
+  }
+  bool any_dirty =
+      std::any_of(frames_.begin(), frames_.end(), [](const Frame& f) {
+        return f.page_id != kInvalidPage && f.dirty;
+      });
+  if (!wal_->in_transaction() && !any_dirty) return pager_->Sync();
+  // The atomic commit: journal durable -> new pages into the main file ->
+  // main file durable -> checkpoint (the journal truncation is the commit
+  // point). Any failure poisons the pool: a half-committed state must not
+  // accept further writes it could no longer roll back.
+  Status st = [&]() -> Status {
+    RUIDX_RETURN_NOT_OK(wal_->Sync());
+    for (Frame& frame : frames_) {
+      if (frame.page_id != kInvalidPage && frame.dirty) {
+        RUIDX_RETURN_NOT_OK(WriteBack(frame));
+      }
+    }
+    RUIDX_RETURN_NOT_OK(pager_->Sync());
+    RUIDX_RETURN_NOT_OK(wal_->Checkpoint());
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    Poison(st);
+    return st;
+  }
+  journaled_.clear();
+  txn_base_pages_ = pager_->page_count();
+  return Status::OK();
 }
 
 }  // namespace storage

@@ -2,15 +2,27 @@
 // Pager. Logical page accesses that hit the pool cost no physical I/O — the
 // quantity the E12 benchmark contrasts between identifier arithmetic and
 // record fetches.
+//
+// With a WriteAheadLog attached (AttachWal) the pool additionally runs the
+// durability protocol: the pre-image of every about-to-be-dirtied committed
+// page is journaled before the frame's first write-back can touch the main
+// file, every write-back stamps the page trailer (LSN + CRC32C), FlushAll
+// becomes the atomic commit (journal-sync -> write-back -> file-sync ->
+// checkpoint), and any failure inside that protocol *poisons* the pool: the
+// error is sticky and every later Fetch/AllocatePinned/FlushAll returns it,
+// because continuing after a half-done commit step could publish state that
+// recovery can no longer roll back.
 #ifndef RUIDX_STORAGE_BUFFER_POOL_H_
 #define RUIDX_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/pager.h"
+#include "storage/wal.h"
 #include "util/result.h"
 
 namespace ruidx {
@@ -22,6 +34,11 @@ struct BufferPoolStats {
   uint64_t evictions = 0;
 };
 
+/// Pages on the free list carry this marker in their first 4 bytes and the
+/// next free page's id (or kInvalidPage) in the following 4 — so the
+/// on-disk free chain is walkable by the integrity checker.
+constexpr uint32_t kFreePageMagic = 0x46524545;  // "FREE"
+
 class BufferPool {
  public:
   /// \param pager must outlive the pool.
@@ -31,17 +48,42 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
   ~BufferPool();
 
+  /// Enables the durability protocol. `wal` must outlive the pool and must
+  /// be attached before the first mutation through this pool.
+  void AttachWal(WriteAheadLog* wal);
+
   /// Returns a pinned pointer to the page's frame. Call Unpin when done.
+  /// Page content past kPageUsableSize is the trailer — hands off.
   Result<uint8_t*> Fetch(uint32_t page_id);
 
-  /// Releases a pin; `dirty` marks the frame for write-back.
+  /// Releases a pin; `dirty` marks the frame for write-back (journaling the
+  /// page's pre-image first when a WAL is attached).
   void Unpin(uint32_t page_id, bool dirty);
 
-  /// Allocates a fresh page and returns it pinned (zeroed).
+  /// Allocates a page — reusing the free list before growing the file —
+  /// and returns it pinned (zeroed).
   Result<uint32_t> AllocatePinned(uint8_t** frame);
 
-  /// Writes back all dirty frames.
+  /// Puts `page_id` at the head of the free list for later reuse. The page
+  /// must not be pinned; its prior content is gone after commit.
+  Status FreePage(uint32_t page_id);
+
+  /// Writes back all dirty frames. With a WAL attached this is the atomic
+  /// commit: sync the journal, write back + sync the main file, checkpoint.
   Status FlushAll();
+
+  /// The pool's sticky failure state: OK, or the first durability-protocol
+  /// error (also returned by every subsequent Fetch/AllocatePinned/
+  /// FlushAll/FreePage).
+  const Status& status() const { return poison_; }
+
+  /// Reinstalls a persisted free list (called when re-opening a store).
+  void RestoreFreeList(uint32_t head, uint64_t count) {
+    free_head_ = head;
+    free_count_ = count;
+  }
+  uint32_t free_head() const { return free_head_; }
+  uint64_t free_page_count() const { return free_count_; }
 
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
@@ -59,11 +101,33 @@ class BufferPool {
   Result<size_t> FindFrame(uint32_t page_id, bool load);
   void TouchLru(size_t frame_idx);
 
+  /// Stamps the trailer and writes the frame to the main file; with a WAL,
+  /// first makes sure every journal record is durable (pre-images must hit
+  /// the disk before the pages they cover are overwritten).
+  Status WriteBack(Frame& frame);
+  /// Journals `page_id`'s on-disk pre-image if this transaction has not
+  /// yet; pages the transaction itself appended need no image (rollback
+  /// truncates them away).
+  Status JournalBeforeDirty(uint32_t page_id);
+  /// Same, but takes the pre-image from an already-loaded clean frame,
+  /// saving the re-read.
+  Status JournalFromBuffer(uint32_t page_id, const uint8_t* data);
+  /// Opens the WAL transaction (records the rollback page count) if needed.
+  Status EnsureTransaction();
+  void Poison(const Status& status);
+
   Pager* pager_;
+  WriteAheadLog* wal_ = nullptr;
   size_t capacity_;
   std::vector<Frame> frames_;
   std::unordered_map<uint32_t, size_t> table_;  // page id -> frame index
   std::list<size_t> lru_;                       // most recent at front
+  std::unordered_set<uint32_t> journaled_;      // this txn's covered pages
+  uint32_t txn_base_pages_ = 0;  // durable page count at txn start
+  uint32_t free_head_ = kInvalidPage;
+  uint64_t free_count_ = 0;
+  Status poison_;
+  std::vector<uint8_t> scratch_;  // pre-image read buffer
   BufferPoolStats stats_;
 };
 

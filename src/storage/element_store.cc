@@ -1,6 +1,9 @@
 #include "storage/element_store.h"
 
 #include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
 namespace ruidx {
 namespace storage {
@@ -8,8 +11,9 @@ namespace storage {
 namespace {
 
 // Heap page layout: [0] u16 slot_count, [2] u16 data_start (records grow
-// down from kPageSize). Slot i is a u16 offset at 4 + 2*i; a record's
-// length is implicit in its serialization.
+// down from kPageUsableSize — the trailer past it belongs to the buffer
+// pool). Slot i is a u16 offset at 4 + 2*i; a record's length is implicit
+// in its serialization.
 constexpr size_t kHeapHeader = 4;
 
 uint16_t SlotCount(const uint8_t* page) {
@@ -21,7 +25,7 @@ void SetSlotCount(uint8_t* page, uint16_t v) { std::memcpy(page, &v, 2); }
 uint16_t DataStart(const uint8_t* page) {
   uint16_t v;
   std::memcpy(&v, page + 2, 2);
-  return v == 0 ? static_cast<uint16_t>(kPageSize) : v;
+  return v == 0 ? static_cast<uint16_t>(kPageUsableSize) : v;
 }
 void SetDataStart(uint8_t* page, uint16_t v) { std::memcpy(page + 2, &v, 2); }
 uint16_t SlotOffset(const uint8_t* page, size_t i) {
@@ -109,28 +113,61 @@ core::Ruid2Id DecodeIdKey(const BPlusTree::Key& key) {
 }
 
 namespace {
-// Meta page (page 0) layout: magic, index root, entry count, heap cursor.
-constexpr uint32_t kMetaMagic = 0x52585331;  // "RXS1"
+// Meta page (page 0) layout:
+//   [0..4)   u32 magic
+//   [4..8)   u32 index root page
+//   [8..16)  u64 index entry count
+//   [16..20) u32 current heap page
+//   [20..24) u32 free-list head page
+//   [24..32) u64 free-list length
+constexpr uint32_t kMetaMagic = 0x52585332;  // "RXS2"
+constexpr size_t kMetaSize = 32;
+
+/// The sidecar journal lives next to the store file; anonymous temp-backed
+/// stores get an anonymous temp journal.
+std::string WalPathFor(const std::string& path) {
+  return path.empty() ? std::string() : path + ".wal";
+}
 }  // namespace
 
 Status ElementStore::WriteMeta() {
-  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(0));
-  std::memcpy(page, &kMetaMagic, 4);
+  uint8_t meta[kMetaSize];
+  std::memset(meta, 0, sizeof(meta));
+  std::memcpy(meta, &kMetaMagic, 4);
   uint32_t root = index_->root_page();
-  std::memcpy(page + 4, &root, 4);
+  std::memcpy(meta + 4, &root, 4);
   uint64_t count = index_->entry_count();
-  std::memcpy(page + 8, &count, 8);
-  std::memcpy(page + 16, &current_heap_page_, 4);
-  pool_->Unpin(0, /*dirty=*/true);
+  std::memcpy(meta + 8, &count, 8);
+  std::memcpy(meta + 16, &current_heap_page_, 4);
+  uint32_t free_head = pool_->free_head();
+  std::memcpy(meta + 20, &free_head, 4);
+  uint64_t free_count = pool_->free_page_count();
+  std::memcpy(meta + 24, &free_count, 8);
+  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(0));
+  // Only dirty (and so journal) the meta page when something changed —
+  // a read-only Flush then commits nothing.
+  bool changed = std::memcmp(page, meta, kMetaSize) != 0;
+  if (changed) std::memcpy(page, meta, kMetaSize);
+  pool_->Unpin(0, changed);
   return Status::OK();
 }
 
 Result<std::unique_ptr<ElementStore>> ElementStore::Create(
     const std::string& path, size_t buffer_pool_pages) {
   auto store = std::unique_ptr<ElementStore>(new ElementStore());
-  RUIDX_ASSIGN_OR_RETURN(store->pager_, Pager::Open(path));
+  auto injector = std::make_shared<IoFaultInjector>();
+  RUIDX_ASSIGN_OR_RETURN(store->pager_,
+                         Pager::Open(path, PagerOpenOptions{}, injector));
+  RUIDX_ASSIGN_OR_RETURN(store->wal_,
+                         WriteAheadLog::Open(WalPathFor(path), injector));
+  if (store->wal_->recovery_plan().has_transaction ||
+      store->wal_->recovery_plan().torn_tail) {
+    // A fresh store must not inherit the journal of a deleted predecessor.
+    RUIDX_RETURN_NOT_OK(store->wal_->Checkpoint());
+  }
   store->pool_ =
       std::make_unique<BufferPool>(store->pager_.get(), buffer_pool_pages);
+  store->pool_->AttachWal(store->wal_.get());
   // Reserve page 0 for the metadata header.
   uint8_t* meta = nullptr;
   RUIDX_ASSIGN_OR_RETURN(uint32_t meta_page, store->pool_->AllocatePinned(&meta));
@@ -147,9 +184,35 @@ Result<std::unique_ptr<ElementStore>> ElementStore::Create(
 Result<std::unique_ptr<ElementStore>> ElementStore::Open(
     const std::string& path, size_t buffer_pool_pages) {
   auto store = std::unique_ptr<ElementStore>(new ElementStore());
-  RUIDX_ASSIGN_OR_RETURN(store->pager_, Pager::Open(path));
+  auto injector = std::make_shared<IoFaultInjector>();
+  RUIDX_ASSIGN_OR_RETURN(store->wal_,
+                         WriteAheadLog::Open(WalPathFor(path), injector));
+  const WriteAheadLog::RecoveryPlan& plan = store->wal_->recovery_plan();
+  PagerOpenOptions options;
+  // A torn final write in the main file is only acceptable when a journal
+  // transaction is about to overwrite/truncate it; otherwise strict.
+  options.zero_pad_partial_tail = plan.has_transaction;
+  RUIDX_ASSIGN_OR_RETURN(store->pager_, Pager::Open(path, options, injector));
+  if (plan.has_transaction) {
+    // Roll back the uncommitted transaction: re-apply the journaled
+    // pre-images (the committed content of every page the transaction
+    // touched), truncate pages it appended, make it durable, and only
+    // then drop the journal.
+    for (const auto& [page_id, image] : plan.pre_images) {
+      if (page_id >= plan.base_page_count) continue;  // truncated below
+      RUIDX_RETURN_NOT_OK(
+          store->pager_->WritePage(page_id, image.data()));  // NOLINT(wal-bypass)
+    }
+    if (store->pager_->page_count() > plan.base_page_count) {
+      RUIDX_RETURN_NOT_OK(
+          store->pager_->TruncateToPages(plan.base_page_count));
+    }
+    RUIDX_RETURN_NOT_OK(store->pager_->Sync());
+    RUIDX_RETURN_NOT_OK(store->wal_->Checkpoint());
+  }
   store->pool_ =
       std::make_unique<BufferPool>(store->pager_.get(), buffer_pool_pages);
+  store->pool_->AttachWal(store->wal_.get());
   RUIDX_ASSIGN_OR_RETURN(uint8_t* page, store->pool_->Fetch(0));
   uint32_t magic = 0;
   std::memcpy(&magic, page, 4);
@@ -159,10 +222,15 @@ Result<std::unique_ptr<ElementStore>> ElementStore::Open(
   }
   uint32_t root = 0;
   uint64_t count = 0;
+  uint32_t free_head = kInvalidPage;
+  uint64_t free_count = 0;
   std::memcpy(&root, page + 4, 4);
   std::memcpy(&count, page + 8, 8);
   std::memcpy(&store->current_heap_page_, page + 16, 4);
+  std::memcpy(&free_head, page + 20, 4);
+  std::memcpy(&free_count, page + 24, 8);
   store->pool_->Unpin(0, false);
+  store->pool_->RestoreFreeList(free_head, free_count);
   store->index_ = std::make_unique<BPlusTree>(
       BPlusTree::Attach(store->pool_.get(), root, count));
   return store;
@@ -170,7 +238,7 @@ Result<std::unique_ptr<ElementStore>> ElementStore::Open(
 
 Result<uint64_t> ElementStore::AppendRecord(const ElementRecord& record) {
   size_t need = SerializedSize(record);
-  if (need + kHeapHeader + 2 > kPageSize) {
+  if (need + kHeapHeader + 2 > kPageUsableSize) {
     return Status::CapacityExceeded("record larger than a page");
   }
   uint8_t* page = nullptr;
@@ -187,7 +255,7 @@ Result<uint64_t> ElementStore::AppendRecord(const ElementRecord& record) {
   if (page_id == kInvalidPage) {
     RUIDX_ASSIGN_OR_RETURN(page_id, pool_->AllocatePinned(&page));
     SetSlotCount(page, 0);
-    SetDataStart(page, static_cast<uint16_t>(kPageSize));
+    SetDataStart(page, static_cast<uint16_t>(kPageUsableSize));
     current_heap_page_ = page_id;
   }
   uint16_t slot = SlotCount(page);
@@ -245,6 +313,11 @@ Status ElementStore::Put(const ElementRecord& record) {
   RUIDX_ASSIGN_OR_RETURN(uint64_t location, AppendRecord(record));
   RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(record.id));
   return index_->Insert(key, location);
+}
+
+Status ElementStore::Remove(const core::Ruid2Id& id) {
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(id));
+  return index_->Erase(key);
 }
 
 Result<ElementRecord> ElementStore::Get(const core::Ruid2Id& id) {
@@ -352,6 +425,107 @@ Result<std::vector<ElementRecord>> ElementStore::FetchAncestors(
 Status ElementStore::Flush() {
   RUIDX_RETURN_NOT_OK(WriteMeta());
   return pool_->FlushAll();
+}
+
+Status ElementStore::VerifyOnDisk() {
+  // The checks read the flushed image raw through the pager, so the pool's
+  // cached copies must be on disk first.
+  RUIDX_RETURN_NOT_OK(Flush());
+  const uint32_t page_count = pager_->page_count();
+  const uint64_t lsn_bound = wal_->next_lsn();
+  std::vector<uint8_t> page(kPageSize);
+
+  // [page-checksum] + [lsn-monotonic]: every page either carries a valid
+  // trailer checksum (CRC 0 = never stamped, i.e. written raw/zero) and
+  // every stamped LSN lies below the journal's counter.
+  for (uint32_t id = 0; id < page_count; ++id) {
+    RUIDX_RETURN_NOT_OK(pager_->ReadPage(id, page.data()));
+    Status trailer = VerifyPageTrailer(page.data(), id);
+    if (!trailer.ok()) {
+      return Status::Corruption("[page-checksum] " + trailer.message());
+    }
+    uint64_t lsn = PageTrailerLsn(page.data());
+    if (lsn >= lsn_bound) {
+      return Status::Corruption(
+          "[lsn-monotonic] page " + std::to_string(id) + " stamped with LSN " +
+          std::to_string(lsn) + " >= journal counter " +
+          std::to_string(lsn_bound));
+    }
+  }
+
+  // [free-list]: walk from the meta's head — in bounds, never page 0, FREE
+  // markers present, acyclic, and the recorded length agrees.
+  std::unordered_set<uint32_t> free_pages;
+  uint32_t cursor = pool_->free_head();
+  while (cursor != kInvalidPage) {
+    if (cursor == 0 || cursor >= page_count) {
+      return Status::Corruption("[free-list] link to out-of-range page " +
+                                std::to_string(cursor));
+    }
+    if (!free_pages.insert(cursor).second) {
+      return Status::Corruption("[free-list] cycle through page " +
+                                std::to_string(cursor));
+    }
+    if (free_pages.size() > page_count) {
+      return Status::Corruption("[free-list] longer than the file");
+    }
+    RUIDX_RETURN_NOT_OK(pager_->ReadPage(cursor, page.data()));
+    uint32_t magic;
+    std::memcpy(&magic, page.data(), 4);
+    if (magic != kFreePageMagic) {
+      return Status::Corruption("[free-list] page " + std::to_string(cursor) +
+                                " lacks the FREE marker");
+    }
+    std::memcpy(&cursor, page.data() + 4, 4);
+  }
+  if (free_pages.size() != pool_->free_page_count()) {
+    return Status::Corruption(
+        "[free-list] meta records " +
+        std::to_string(pool_->free_page_count()) + " free pages, walk found " +
+        std::to_string(free_pages.size()));
+  }
+
+  // [tree-reachability]: index pages form a tree (CollectPages rejects
+  // shared pages), stay in bounds, and never alias page 0, a free page, or
+  // a heap page holding a live record.
+  std::unordered_set<uint32_t> index_pages;
+  RUIDX_RETURN_NOT_OK(index_->CollectPages(&index_pages));
+  for (uint32_t id : index_pages) {
+    if (id == 0 || id >= page_count) {
+      return Status::Corruption("[tree-reachability] index page " +
+                                std::to_string(id) + " out of range");
+    }
+    if (free_pages.count(id) != 0) {
+      return Status::Corruption("[tree-reachability] index page " +
+                                std::to_string(id) + " is on the free list");
+    }
+  }
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(index_->Scan(
+      BPlusTree::Key{},
+      [] {
+        BPlusTree::Key k;
+        k.fill(0xFF);
+        return k;
+      }(),
+      [&](const BPlusTree::Key&, uint64_t location) {
+        uint32_t heap_page = static_cast<uint32_t>(location >> 16);
+        if (heap_page == 0 || heap_page >= page_count) {
+          status = Status::Corruption("[tree-reachability] record on "
+                                      "out-of-range heap page " +
+                                      std::to_string(heap_page));
+          return false;
+        }
+        if (free_pages.count(heap_page) != 0 ||
+            index_pages.count(heap_page) != 0) {
+          status = Status::Corruption(
+              "[tree-reachability] heap page " + std::to_string(heap_page) +
+              " aliases a free or index page");
+          return false;
+        }
+        return true;
+      }));
+  return status;
 }
 
 }  // namespace storage

@@ -18,6 +18,7 @@
 #include "storage/bptree.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/wal.h"
 #include "xml/dom.h"
 
 namespace ruidx {
@@ -46,12 +47,21 @@ class ElementStore {
   static Result<std::unique_ptr<ElementStore>> Create(
       const std::string& path, size_t buffer_pool_pages = 64);
 
-  /// Re-opens a store previously Create()d and Flush()ed at `path`.
+  /// Re-opens a store previously Create()d and Flush()ed at `path`. Runs
+  /// crash recovery first: if the sidecar journal ("<path>.wal") holds a
+  /// transaction, the main file is rolled back to the last committed state
+  /// (pre-images re-applied, appended pages truncated, torn journal tails
+  /// discarded) before the metadata is read.
   static Result<std::unique_ptr<ElementStore>> Open(
       const std::string& path, size_t buffer_pool_pages = 64);
 
   /// Inserts or replaces a record.
   Status Put(const ElementRecord& record);
+
+  /// Removes a record's index entry (NotFound if absent). The heap copy
+  /// becomes dead space until compaction; the index page an emptied leaf
+  /// occupied is reclaimed through the pool's free list.
+  Status Remove(const core::Ruid2Id& id);
 
   /// Point lookup by identifier.
   Result<ElementRecord> Get(const core::Ruid2Id& id);
@@ -90,7 +100,22 @@ class ElementStore {
   Result<std::vector<ElementRecord>> FetchAncestors(
       const core::Ruid2Scheme& scheme, const core::Ruid2Id& id);
 
+  /// Commits: persists the metadata and runs the pool's atomic commit
+  /// protocol (journal sync -> write-back -> file sync -> checkpoint).
+  /// When this returns OK the store's state survives any crash.
   Status Flush();
+
+  /// On-disk integrity checks over the flushed image, read raw through the
+  /// pager: page trailer checksums, LSN bounds (every stamp below the
+  /// journal's LSN counter), free-list well-formedness (FREE markers,
+  /// acyclic, length agrees), and index-page reachability disjoint from
+  /// the free list. Returns Corruption("[invariant-name] ...").
+  Status VerifyOnDisk();
+
+  /// Arms the shared fault injector covering every physical operation of
+  /// both the main file and the journal — the crash-point matrix test
+  /// sweeps `ops` over the whole range. UINT64_MAX disarms.
+  void InjectFaultAfter(uint64_t ops) { pager_->InjectFaultAfter(ops); }
 
   uint64_t record_count() const { return index_->entry_count(); }
   const PagerStats& pager_stats() const { return pager_->stats(); }
@@ -115,7 +140,11 @@ class ElementStore {
   Result<ElementRecord> ReadRecord(uint64_t location);
   Status WriteMeta();
 
+  // Destruction order matters: the pool's destructor runs a final commit
+  // through the journal, so pool_ must die before wal_ (and both before
+  // pager_) — members are destroyed in reverse declaration order.
   std::unique_ptr<Pager> pager_;
+  std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BPlusTree> index_;
   uint32_t current_heap_page_ = kInvalidPage;

@@ -1,12 +1,48 @@
 #include "storage/pager.h"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <memory>
+#include <vector>
+
+#include "util/crc32c.h"
 
 namespace ruidx {
 namespace storage {
 
-Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+void StampPageTrailer(uint8_t* page, uint64_t lsn) {
+  std::memcpy(page + kPageUsableSize, &lsn, 8);
+  uint32_t crc = util::Crc32c(page, kPageUsableSize + 8);
+  if (crc == 0) crc = 1;  // 0 is reserved for "never stamped"
+  std::memcpy(page + kPageUsableSize + 8, &crc, 4);
+}
+
+Status VerifyPageTrailer(const uint8_t* page, uint32_t page_id) {
+  uint32_t stored;
+  std::memcpy(&stored, page + kPageUsableSize + 8, 4);
+  if (stored == 0) return Status::OK();  // unstamped (fresh or raw write)
+  uint32_t computed = util::Crc32c(page, kPageUsableSize + 8);
+  if (computed == 0) computed = 1;
+  if (computed != stored) {
+    return Status::Corruption("page " + std::to_string(page_id) +
+                              " checksum mismatch");
+  }
+  return Status::OK();
+}
+
+uint64_t PageTrailerLsn(const uint8_t* page) {
+  uint32_t stored;
+  std::memcpy(&stored, page + kPageUsableSize + 8, 4);
+  if (stored == 0) return 0;
+  uint64_t lsn;
+  std::memcpy(&lsn, page + kPageUsableSize, 8);
+  return lsn;
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(
+    const std::string& path, const PagerOpenOptions& options,
+    std::shared_ptr<IoFaultInjector> injector) {
   std::FILE* file;
   if (path.empty()) {
     file = std::tmpfile();
@@ -17,12 +53,29 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
     if (file == nullptr) file = std::fopen(path.c_str(), "wb+");
     if (file == nullptr) return Status::IOError("cannot open " + path);
   }
-  auto pager = std::unique_ptr<Pager>(new Pager(file));
+  if (injector == nullptr) injector = std::make_shared<IoFaultInjector>();
+  auto pager = std::unique_ptr<Pager>(new Pager(file, std::move(injector)));
   if (std::fseek(file, 0, SEEK_END) != 0) {
     return Status::IOError("seek failed on " + path);
   }
   long size = std::ftell(file);
   if (size < 0) return Status::IOError("ftell failed on " + path);
+  long tail = size % kPageSize;
+  if (tail != 0) {
+    if (!options.zero_pad_partial_tail) {
+      return Status::Corruption(
+          "page file " + (path.empty() ? "<temp>" : path) + " is " +
+          std::to_string(size) + " bytes, not a multiple of the page size (" +
+          std::to_string(kPageSize) + "): torn final write");
+    }
+    // Recovery mode: pad the torn tail with zeros so the journal's
+    // pre-images can be applied over whole pages.
+    std::vector<char> pad(static_cast<size_t>(kPageSize - tail), 0);
+    if (std::fwrite(pad.data(), pad.size(), 1, file) != 1) {
+      return Status::IOError("cannot zero-pad torn tail of " + path);
+    }
+    size += static_cast<long>(pad.size());
+  }
   pager->page_count_ = static_cast<uint32_t>(size / kPageSize);
   return pager;
 }
@@ -36,20 +89,12 @@ Result<uint32_t> Pager::AllocatePage() {
   std::memset(zeros, 0, sizeof(zeros));
   uint32_t id = page_count_;
   RUIDX_RETURN_NOT_OK(WritePage(id, zeros));
-  page_count_ = id + 1;
   ++stats_.allocations;
   return id;
 }
 
-bool Pager::ShouldFail() {
-  if (fault_countdown_ == ~0ULL) return false;
-  if (fault_countdown_ == 0) return true;
-  --fault_countdown_;
-  return false;
-}
-
 Status Pager::ReadPage(uint32_t id, void* buffer) {
-  if (ShouldFail()) return Status::IOError("injected fault (read)");
+  if (injector_->ShouldFail()) return Status::IOError("injected fault (read)");
   if (id >= page_count_) {
     return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
   }
@@ -64,7 +109,7 @@ Status Pager::ReadPage(uint32_t id, void* buffer) {
 }
 
 Status Pager::WritePage(uint32_t id, const void* buffer) {
-  if (ShouldFail()) return Status::IOError("injected fault (write)");
+  if (injector_->ShouldFail()) return Status::IOError("injected fault (write)");
   if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
     return Status::IOError("seek failed");
   }
@@ -72,11 +117,27 @@ Status Pager::WritePage(uint32_t id, const void* buffer) {
     return Status::IOError("short write on page " + std::to_string(id));
   }
   ++stats_.physical_writes;
+  if (id >= page_count_) page_count_ = id + 1;
   return Status::OK();
 }
 
 Status Pager::Sync() {
+  if (injector_->ShouldFail()) return Status::IOError("injected fault (sync)");
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  if (::fsync(fileno(file_)) != 0) return Status::IOError("fsync failed");
+  ++stats_.syncs;
+  return Status::OK();
+}
+
+Status Pager::TruncateToPages(uint32_t pages) {
+  if (injector_->ShouldFail()) {
+    return Status::IOError("injected fault (truncate)");
+  }
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  if (::ftruncate(fileno(file_), static_cast<off_t>(pages) * kPageSize) != 0) {
+    return Status::IOError("ftruncate failed");
+  }
+  page_count_ = pages;
   return Status::OK();
 }
 

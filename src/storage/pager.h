@@ -21,18 +21,72 @@ namespace storage {
 constexpr uint32_t kPageSize = 4096;
 constexpr uint32_t kInvalidPage = 0xFFFFFFFFu;
 
+/// Every page reserves its last 12 bytes for a durability trailer written
+/// by the buffer pool at write-back time:
+///   [kPageUsableSize      .. +8)  u64 LSN of the commit that wrote it
+///   [kPageUsableSize + 8  .. +4)  u32 CRC32C over bytes [0, usable+8)
+/// A stored CRC of 0 marks a page that was never stamped (all-zero fresh
+/// pages, raw pager writes in tests); such pages are exempt from
+/// verification. Layers that lay out page content must stay within
+/// kPageUsableSize.
+constexpr uint32_t kPageTrailerSize = 12;
+constexpr uint32_t kPageUsableSize = kPageSize - kPageTrailerSize;
+
+/// Writes the LSN + CRC trailer into `page` (kPageSize bytes).
+void StampPageTrailer(uint8_t* page, uint64_t lsn);
+/// Checks the trailer; Corruption on CRC mismatch. Unstamped pages pass.
+Status VerifyPageTrailer(const uint8_t* page, uint32_t page_id);
+/// The LSN stored in the trailer (0 for unstamped pages).
+uint64_t PageTrailerLsn(const uint8_t* page);
+
+/// A countdown of I/O operations shared by every file the storage stack
+/// touches (page file + write-ahead log), so a single InjectFaultAfter(N)
+/// can place a simulated crash between ANY two physical operations of a
+/// workload — the crash-point matrix test iterates N over the whole range.
+class IoFaultInjector {
+ public:
+  /// After `ops` further operations, every subsequent one fails until
+  /// re-armed with ops = UINT64_MAX (the disarmed state).
+  void Arm(uint64_t ops) { countdown_ = ops; }
+
+  /// Consumes one unit of the fault budget; true when this op must fail.
+  bool ShouldFail() {
+    if (countdown_ == ~0ULL) return false;
+    if (countdown_ == 0) return true;
+    --countdown_;
+    return false;
+  }
+
+ private:
+  uint64_t countdown_ = ~0ULL;
+};
+
 struct PagerStats {
   uint64_t physical_reads = 0;
   uint64_t physical_writes = 0;
   uint64_t allocations = 0;
+  uint64_t syncs = 0;
+};
+
+struct PagerOpenOptions {
+  /// A file whose size is not a multiple of kPageSize is normally rejected
+  /// as Corruption (a torn final write). Recovery opens with this set after
+  /// confirming the WAL holds a transaction to roll back: the partial tail
+  /// is zero-padded to a page boundary so the journal's pre-images can be
+  /// applied over it.
+  bool zero_pad_partial_tail = false;
 };
 
 /// \brief A file of fixed-size pages.
 class Pager {
  public:
   /// Opens (creating if needed) the page file at `path`. Pass the empty
-  /// string for an anonymous in-memory-backed temporary file.
-  static Result<std::unique_ptr<Pager>> Open(const std::string& path);
+  /// string for an anonymous in-memory-backed temporary file. `injector`
+  /// lets several files share one fault budget; pass nullptr to get a
+  /// private one.
+  static Result<std::unique_ptr<Pager>> Open(
+      const std::string& path, const PagerOpenOptions& options = {},
+      std::shared_ptr<IoFaultInjector> injector = nullptr);
 
   ~Pager();
   Pager(const Pager&) = delete;
@@ -44,31 +98,38 @@ class Pager {
   /// Reads page `id` into `buffer` (kPageSize bytes).
   Status ReadPage(uint32_t id, void* buffer);
 
-  /// Writes `buffer` (kPageSize bytes) to page `id`.
+  /// Writes `buffer` (kPageSize bytes) to page `id`. Extends the file (and
+  /// page_count) when id is past the current end.
   Status WritePage(uint32_t id, const void* buffer);
 
-  /// Flushes OS buffers.
+  /// Flushes stdio and OS buffers down to the device (fsync).
   Status Sync();
+
+  /// Shrinks the file to exactly `pages` pages (recovery rollback of
+  /// allocations made by an uncommitted transaction).
+  Status TruncateToPages(uint32_t pages);
 
   uint32_t page_count() const { return page_count_; }
   const PagerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PagerStats{}; }
 
-  /// Fault injection for tests: after `ops` further physical reads/writes,
-  /// every subsequent I/O fails with an injected IOError until cleared with
-  /// ops = UINT64_MAX. Layers above must propagate, not crash.
-  void InjectFaultAfter(uint64_t ops) { fault_countdown_ = ops; }
+  /// Fault injection for tests: after `ops` further physical operations
+  /// (reads, writes, syncs — on this file and any file sharing the
+  /// injector), every subsequent one fails with an injected IOError until
+  /// cleared with ops = UINT64_MAX. Layers above must propagate, not crash.
+  void InjectFaultAfter(uint64_t ops) { injector_->Arm(ops); }
+  const std::shared_ptr<IoFaultInjector>& fault_injector() const {
+    return injector_;
+  }
 
  private:
-  explicit Pager(std::FILE* file) : file_(file) {}
-
-  /// Consumes one unit of the fault budget; true when this op must fail.
-  bool ShouldFail();
+  Pager(std::FILE* file, std::shared_ptr<IoFaultInjector> injector)
+      : file_(file), injector_(std::move(injector)) {}
 
   std::FILE* file_;
+  std::shared_ptr<IoFaultInjector> injector_;
   uint32_t page_count_ = 0;
   PagerStats stats_;
-  uint64_t fault_countdown_ = ~0ULL;
 };
 
 }  // namespace storage

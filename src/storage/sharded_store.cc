@@ -1,8 +1,10 @@
 #include "storage/sharded_store.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "util/dcheck.h"
 #include "util/thread_pool.h"
@@ -31,6 +33,68 @@ Result<std::unique_ptr<ShardedElementStore>> ShardedElementStore::Create(
     const std::string& dir, size_t buffer_pool_pages_per_shard) {
   return std::unique_ptr<ShardedElementStore>(
       new ShardedElementStore(dir, buffer_pool_pages_per_shard));
+}
+
+Result<std::unique_ptr<ShardedElementStore>> ShardedElementStore::Open(
+    const std::string& dir, size_t buffer_pool_pages_per_shard) {
+  if (dir.empty()) {
+    return Status::InvalidArgument(
+        "cannot reopen a temp-backed sharded store");
+  }
+  auto store = std::unique_ptr<ShardedElementStore>(
+      new ShardedElementStore(dir, buffer_pool_pages_per_shard));
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list shard directory " + dir + ": " +
+                           ec.message());
+  }
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".shard") {
+      continue;
+    }
+    // "<name>-<global>.shard": the global index never contains '-', so the
+    // last dash splits name from global (names themselves may contain one,
+    // and text/value shards have an empty name: "-18.shard").
+    std::string stem = entry.path().stem().string();
+    size_t dash = stem.rfind('-');
+    if (dash == std::string::npos || dash + 1 == stem.size()) {
+      return Status::Corruption("unparsable shard file name: " +
+                                entry.path().string());
+    }
+    auto global = BigUint::FromDecimalString(stem.substr(dash + 1));
+    if (!global.ok()) {
+      return Status::Corruption("unparsable shard file name: " +
+                                entry.path().string());
+    }
+    RUIDX_ASSIGN_OR_RETURN(
+        std::unique_ptr<ElementStore> shard,
+        ElementStore::Open(entry.path().string(), buffer_pool_pages_per_shard));
+    store->shards_.emplace(ShardKey{stem.substr(0, dash), *global},
+                           std::move(shard));
+  }
+  return store;
+}
+
+Status ShardedElementStore::Flush() {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (auto& [key, shard] : shards_) {
+    RUIDX_RETURN_NOT_OK(shard->Flush());
+  }
+  return Status::OK();
+}
+
+Status ShardedElementStore::VerifyOnDisk() {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (auto& [key, shard] : shards_) {
+    Status st = shard->VerifyOnDisk();
+    if (!st.ok()) {
+      return Status::Corruption("shard " + key.name + "-" +
+                                key.global.ToDecimalString() + ": " +
+                                st.message());
+    }
+  }
+  return Status::OK();
 }
 
 Result<ElementStore*> ShardedElementStore::ShardFor(const ShardKey& key,

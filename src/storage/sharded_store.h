@@ -35,6 +35,19 @@ class ShardedElementStore {
   static Result<std::unique_ptr<ShardedElementStore>> Create(
       const std::string& dir, size_t buffer_pool_pages_per_shard = 16);
 
+  /// Re-opens every "<name>-<global>.shard" file under `dir`, running each
+  /// shard's crash recovery. Shard identity is parsed back out of the file
+  /// name; an unparsable .shard file is Corruption.
+  static Result<std::unique_ptr<ShardedElementStore>> Open(
+      const std::string& dir, size_t buffer_pool_pages_per_shard = 16);
+
+  /// Commits every shard (each shard's own atomic commit protocol).
+  Status Flush();
+
+  /// Runs each shard's on-disk invariant checks (see
+  /// ElementStore::VerifyOnDisk); stops at the first violation.
+  Status VerifyOnDisk();
+
   /// Routes the record to the (name, global) shard.
   Status Put(const ElementRecord& record);
 

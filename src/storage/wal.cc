@@ -1,0 +1,258 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace ruidx {
+namespace storage {
+
+namespace {
+
+// Header (24 bytes, survives every checkpoint):
+//   [0..4)   u32 magic "RWA1"
+//   [4..8)   u32 reserved (0)
+//   [8..16)  u64 next_lsn as of the last checkpoint
+//   [16..20) u32 CRC32C over bytes [0..16)
+//   [20..24) u32 reserved (0)
+constexpr uint32_t kWalMagic = 0x52574131;  // "RWA1"
+constexpr long kWalHeaderSize = 24;
+
+// Record header (20 bytes), followed by the type-specific payload:
+//   [0]      u8  type (1 = Begin, 2 = PageImage)
+//   [1..4)   pad (0)
+//   [4..12)  u64 lsn
+//   [12..16) u32 arg: Begin -> base_page_count, PageImage -> page_id
+//   [16..20) u32 CRC32C over the header (crc field zeroed) + payload
+constexpr uint8_t kRecordBegin = 1;
+constexpr uint8_t kRecordPageImage = 2;
+constexpr size_t kRecordHeaderSize = 20;
+
+uint32_t RecordCrc(const uint8_t* header, const uint8_t* payload,
+                   size_t payload_len) {
+  uint8_t scratch[kRecordHeaderSize];
+  std::memcpy(scratch, header, kRecordHeaderSize);
+  std::memset(scratch + 16, 0, 4);
+  uint32_t crc = util::Crc32c(scratch, kRecordHeaderSize);
+  if (payload_len > 0) crc = util::Crc32c(payload, payload_len, crc);
+  return crc;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, std::shared_ptr<IoFaultInjector> injector) {
+  std::FILE* file;
+  if (path.empty()) {
+    file = std::tmpfile();
+    if (file == nullptr) return Status::IOError("tmpfile() failed");
+  } else {
+    file = std::fopen(path.c_str(), "rb+");
+    if (file == nullptr) file = std::fopen(path.c_str(), "wb+");
+    if (file == nullptr) return Status::IOError("cannot open wal " + path);
+  }
+  if (injector == nullptr) injector = std::make_shared<IoFaultInjector>();
+  auto wal = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(file, std::move(injector)));
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed on wal " + path);
+  }
+  long size = std::ftell(file);
+  if (size < 0) return Status::IOError("ftell failed on wal " + path);
+  if (size < kWalHeaderSize) {
+    // Fresh (or header torn before it was ever synced — nothing could have
+    // been journaled after it, so the log is empty either way).
+    RUIDX_RETURN_NOT_OK(wal->WriteHeader());
+    if (std::fflush(file) != 0) return Status::IOError("wal fflush failed");
+    wal->append_offset_ = kWalHeaderSize;
+    return wal;
+  }
+  uint8_t header[kWalHeaderSize];
+  if (std::fseek(file, 0, SEEK_SET) != 0 ||
+      std::fread(header, kWalHeaderSize, 1, file) != 1) {
+    return Status::IOError("cannot read wal header of " + path);
+  }
+  uint32_t magic;
+  std::memcpy(&magic, header, 4);
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, header + 16, 4);
+  if (magic != kWalMagic || stored_crc != util::Crc32c(header, 16)) {
+    return Status::Corruption("not a wal file: " + path);
+  }
+  std::memcpy(&wal->next_lsn_, header + 8, 8);
+  RUIDX_RETURN_NOT_OK(wal->ScanExisting(size));
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::ScanExisting(long file_size) {
+  long offset = kWalHeaderSize;
+  uint64_t max_lsn = 0;
+  bool first = true;
+  while (offset + static_cast<long>(kRecordHeaderSize) <= file_size) {
+    uint8_t header[kRecordHeaderSize];
+    if (std::fseek(file_, offset, SEEK_SET) != 0 ||
+        std::fread(header, kRecordHeaderSize, 1, file_) != 1) {
+      plan_.torn_tail = true;
+      break;
+    }
+    uint8_t type = header[0];
+    size_t payload_len;
+    if (type == kRecordBegin) {
+      payload_len = 0;
+    } else if (type == kRecordPageImage) {
+      payload_len = kPageSize;
+    } else {
+      plan_.torn_tail = true;
+      break;
+    }
+    std::vector<uint8_t> payload(payload_len);
+    if (payload_len > 0 &&
+        (offset + static_cast<long>(kRecordHeaderSize + payload_len) >
+             file_size ||
+         std::fread(payload.data(), payload_len, 1, file_) != 1)) {
+      plan_.torn_tail = true;
+      break;
+    }
+    uint32_t stored_crc;
+    std::memcpy(&stored_crc, header + 16, 4);
+    if (stored_crc != RecordCrc(header, payload.data(), payload_len)) {
+      plan_.torn_tail = true;
+      break;
+    }
+    uint64_t lsn;
+    uint32_t arg;
+    std::memcpy(&lsn, header + 4, 8);
+    std::memcpy(&arg, header + 12, 4);
+    if (first && type != kRecordBegin) {
+      // A page image can never be synced before its Begin; treat as torn.
+      plan_.torn_tail = true;
+      break;
+    }
+    if (type == kRecordBegin) {
+      plan_.has_transaction = true;
+      plan_.base_page_count = arg;
+    } else {
+      plan_.pre_images.emplace_back(arg, std::move(payload));
+    }
+    if (lsn > max_lsn) max_lsn = lsn;
+    first = false;
+    offset += static_cast<long>(kRecordHeaderSize + payload_len);
+  }
+  if (offset < file_size && !plan_.torn_tail) plan_.torn_tail = true;
+  if (max_lsn + 1 > next_lsn_) next_lsn_ = max_lsn + 1;
+  // New appends overwrite any torn tail.
+  append_offset_ = offset;
+  return Status::OK();
+}
+
+Status WriteAheadLog::WriteHeader() {
+  if (injector_->ShouldFail()) {
+    return Status::IOError("injected fault (wal header)");
+  }
+  uint8_t header[kWalHeaderSize];
+  std::memset(header, 0, sizeof(header));
+  std::memcpy(header, &kWalMagic, 4);
+  std::memcpy(header + 8, &next_lsn_, 8);
+  uint32_t crc = util::Crc32c(header, 16);
+  std::memcpy(header + 16, &crc, 4);
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, sizeof(header), 1, file_) != 1) {
+    return Status::IOError("wal header write failed");
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendRecord(uint8_t type, uint64_t lsn, uint32_t arg,
+                                   const uint8_t* payload,
+                                   size_t payload_len) {
+  if (injector_->ShouldFail()) {
+    return Status::IOError("injected fault (wal append)");
+  }
+  uint8_t header[kRecordHeaderSize];
+  std::memset(header, 0, sizeof(header));
+  header[0] = type;
+  std::memcpy(header + 4, &lsn, 8);
+  std::memcpy(header + 12, &arg, 4);
+  uint32_t crc = RecordCrc(header, payload, payload_len);
+  std::memcpy(header + 16, &crc, 4);
+  if (std::fseek(file_, append_offset_, SEEK_SET) != 0 ||
+      std::fwrite(header, sizeof(header), 1, file_) != 1 ||
+      (payload_len > 0 && std::fwrite(payload, payload_len, 1, file_) != 1)) {
+    return Status::IOError("wal append failed");
+  }
+  append_offset_ += static_cast<long>(kRecordHeaderSize + payload_len);
+  unsynced_ = true;
+  ++stats_.records_appended;
+  return Status::OK();
+}
+
+Status WriteAheadLog::BeginTransaction(uint32_t base_page_count) {
+  if (in_transaction_) return Status::OK();
+  if (plan_.has_transaction) {
+    return Status::Internal(
+        "wal still holds an unrecovered transaction; roll back and "
+        "Checkpoint() first");
+  }
+  RUIDX_RETURN_NOT_OK(AppendRecord(kRecordBegin, AllocateLsn(),
+                                   base_page_count, nullptr, 0));
+  in_transaction_ = true;
+  txn_base_page_count_ = base_page_count;
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendPageImage(uint32_t page_id, const uint8_t* image) {
+  if (!in_transaction_) {
+    return Status::Internal("wal page image outside a transaction");
+  }
+  return AppendRecord(kRecordPageImage, AllocateLsn(), page_id, image,
+                      kPageSize);
+}
+
+Status WriteAheadLog::Sync() {
+  if (!unsynced_) return Status::OK();
+  if (injector_->ShouldFail()) return Status::IOError("injected fault (wal sync)");
+  if (std::fflush(file_) != 0) return Status::IOError("wal fflush failed");
+  if (::fsync(fileno(file_)) != 0) return Status::IOError("wal fsync failed");
+  unsynced_ = false;
+  ++stats_.syncs;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Checkpoint() {
+  // Persist the LSN counter, then truncate the records away. The truncate
+  // is the commit point: once it lands, the main file (already written and
+  // synced by the caller) *is* the committed state and there is nothing to
+  // roll back.
+  RUIDX_RETURN_NOT_OK(WriteHeader());
+  if (injector_->ShouldFail()) {
+    return Status::IOError("injected fault (wal checkpoint sync)");
+  }
+  if (std::fflush(file_) != 0) return Status::IOError("wal fflush failed");
+  if (::fsync(fileno(file_)) != 0) return Status::IOError("wal fsync failed");
+  if (injector_->ShouldFail()) {
+    return Status::IOError("injected fault (wal truncate)");
+  }
+  if (::ftruncate(fileno(file_), kWalHeaderSize) != 0) {
+    return Status::IOError("wal truncate failed");
+  }
+  if (injector_->ShouldFail()) {
+    return Status::IOError("injected fault (wal post-truncate sync)");
+  }
+  if (::fsync(fileno(file_)) != 0) return Status::IOError("wal fsync failed");
+  append_offset_ = kWalHeaderSize;
+  in_transaction_ = false;
+  txn_base_page_count_ = 0;
+  unsynced_ = false;
+  plan_ = RecoveryPlan{};
+  ++stats_.checkpoints;
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace ruidx

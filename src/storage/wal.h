@@ -1,0 +1,113 @@
+// Page-granular write-ahead log (rollback journal) for the element store.
+//
+// Before the buffer pool overwrites any page of the main file that was part
+// of the last committed state, the page's *pre-image* is appended here and
+// fsynced. Commit (BufferPool::FlushAll) then writes the new pages, fsyncs
+// the main file, and checkpoints the journal — truncating it back to its
+// header. The truncation is the commit point: a journal holding a valid
+// transaction means the main file may contain uncommitted writes, and
+// recovery (ElementStore::Open) rolls them back by re-applying the
+// pre-images and truncating pages the transaction had appended. A journal
+// holding only a header means the main file is exactly the committed state.
+//
+// Every record carries a CRC32C; recovery replays the longest valid prefix
+// and discards the torn tail — safe because a pre-image is always durable
+// in the journal before the corresponding main-file page is touched.
+#ifndef RUIDX_STORAGE_WAL_H_
+#define RUIDX_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/pager.h"
+#include "util/result.h"
+
+namespace ruidx {
+namespace storage {
+
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t syncs = 0;
+  uint64_t checkpoints = 0;
+};
+
+class WriteAheadLog {
+ public:
+  /// What a scan of the journal found at open time. `pre_images` is the
+  /// longest CRC-valid prefix of page records, in append order.
+  struct RecoveryPlan {
+    bool has_transaction = false;
+    uint32_t base_page_count = 0;  // main-file pages when the txn began
+    bool torn_tail = false;        // an invalid record ended the scan
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> pre_images;
+  };
+
+  /// Opens (creating if needed) the journal at `path`; empty string means
+  /// an anonymous temp file. Scans any existing content into the recovery
+  /// plan. `injector` shares a fault budget with the main file's Pager.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, std::shared_ptr<IoFaultInjector> injector);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// The transaction found on disk at open time. Callers that find
+  /// has_transaction must roll back and then Checkpoint() before using the
+  /// log for new transactions.
+  const RecoveryPlan& recovery_plan() const { return plan_; }
+
+  /// Starts a transaction (appends a Begin record) if none is open.
+  /// `base_page_count` is the main file's durable page count — recovery
+  /// truncates back to it.
+  Status BeginTransaction(uint32_t base_page_count);
+  bool in_transaction() const { return in_transaction_; }
+  uint32_t txn_base_page_count() const { return txn_base_page_count_; }
+
+  /// Appends the pre-image of a main-file page (kPageSize bytes).
+  Status AppendPageImage(uint32_t page_id, const uint8_t* image);
+
+  /// fsyncs appended records. No-op when nothing is pending.
+  Status Sync();
+
+  /// Ends the transaction: persists the LSN counter in the header and
+  /// truncates the journal back to just the header. The truncation is the
+  /// commit point of the enclosing FlushAll.
+  Status Checkpoint();
+
+  /// Hands out the next LSN for a page-trailer stamp.
+  uint64_t AllocateLsn() { return next_lsn_++; }
+  /// Exclusive upper bound for every LSN stamped so far.
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  const WalStats& stats() const { return stats_; }
+
+ private:
+  WriteAheadLog(std::FILE* file, std::shared_ptr<IoFaultInjector> injector)
+      : file_(file), injector_(std::move(injector)) {}
+
+  Status WriteHeader();
+  Status AppendRecord(uint8_t type, uint64_t lsn, uint32_t arg,
+                      const uint8_t* payload, size_t payload_len);
+  /// Reads the valid prefix into plan_ and positions append_offset_.
+  Status ScanExisting(long file_size);
+
+  std::FILE* file_;
+  std::shared_ptr<IoFaultInjector> injector_;
+  RecoveryPlan plan_;
+  uint64_t next_lsn_ = 1;
+  long append_offset_ = 0;
+  bool in_transaction_ = false;
+  uint32_t txn_base_page_count_ = 0;
+  bool unsynced_ = false;
+  WalStats stats_;
+};
+
+}  // namespace storage
+}  // namespace ruidx
+
+#endif  // RUIDX_STORAGE_WAL_H_

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <map>
+#include <vector>
 
 #include "util/random.h"
 
@@ -166,6 +167,89 @@ TEST_F(BPlusTreeTest, ReverseSequentialInsert) {
     auto v = tree_->Get(MakeKey(i));
     ASSERT_TRUE(v.ok()) << i;
     EXPECT_EQ(*v, i);
+  }
+}
+
+TEST_F(BPlusTreeTest, EraseReclaimsEmptyLeaves) {
+  // Regression: Erase used to be leaf-local — a delete storm left every
+  // emptied leaf allocated and chained, so the file never shrank and scans
+  // waded through ghosts. Emptied leaves must now land on the free list.
+  const uint64_t n = 2000;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_->Insert(MakeKey(i), i).ok());
+  }
+  const uint32_t pages_grown = pager_->page_count();
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_->Erase(MakeKey(i)).ok()) << i;
+  }
+  EXPECT_EQ(tree_->entry_count(), 0u);
+  EXPECT_GT(pool_->free_page_count(), 0u);
+  auto height = tree_->Height();
+  ASSERT_TRUE(height.ok());
+  EXPECT_EQ(*height, 1);  // collapsed back to a single empty leaf
+  ASSERT_TRUE(tree_->Validate().ok());
+  EXPECT_TRUE(tree_->Get(MakeKey(0)).status().IsNotFound());
+
+  // Reinsertion must reuse the freed pages instead of growing the file.
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_->Insert(MakeKey(i), i + 1).ok());
+  }
+  EXPECT_EQ(pager_->page_count(), pages_grown);
+  ASSERT_TRUE(tree_->Validate().ok());
+  for (uint64_t i = 0; i < n; i += 37) {
+    auto v = tree_->Get(MakeKey(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, i + 1);
+  }
+}
+
+TEST_F(BPlusTreeTest, ScansSkipReclaimedLeaves) {
+  // Carve holes that empty interior leaves, then prove a full scan sees
+  // exactly the survivors, in order, without stumbling over freed pages.
+  const uint64_t n = 1500;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_->Insert(MakeKey(i), i).ok());
+  }
+  for (uint64_t i = 200; i < 800; ++i) {
+    ASSERT_TRUE(tree_->Erase(MakeKey(i)).ok()) << i;
+  }
+  ASSERT_TRUE(tree_->Validate().ok());
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(tree_
+                  ->Scan(MakeKey(0), MakeKey(n),
+                         [&](const BPlusTree::Key&, uint64_t v) {
+                           seen.push_back(v);
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(seen.size(), n - 600);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.front(), 0u);
+  EXPECT_EQ(seen.back(), n - 1);
+  EXPECT_EQ(std::count_if(seen.begin(), seen.end(),
+                          [](uint64_t v) { return v >= 200 && v < 800; }),
+            0);
+}
+
+TEST_F(BPlusTreeTest, RandomChurnKeepsStructureValid) {
+  Rng rng(77);
+  std::map<uint64_t, uint64_t> oracle;
+  for (int round = 0; round < 4000; ++round) {
+    uint64_t k = rng.NextBounded(600);
+    if (rng.NextBounded(3) == 0 && oracle.count(k) != 0) {
+      ASSERT_TRUE(tree_->Erase(MakeKey(k)).ok());
+      oracle.erase(k);
+    } else {
+      ASSERT_TRUE(tree_->Insert(MakeKey(k), round).ok());
+      oracle[k] = static_cast<uint64_t>(round);
+    }
+  }
+  ASSERT_TRUE(tree_->Validate().ok());
+  EXPECT_EQ(tree_->entry_count(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    auto got = tree_->Get(MakeKey(k));
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, v);
   }
 }
 

@@ -1,0 +1,221 @@
+// Crash-point matrix: places a simulated crash between EVERY pair of
+// physical I/O operations of a representative workload (the pager and the
+// write-ahead log share one fault budget, so a single counter N covers page
+// reads, page writes, journal appends, fsyncs, and truncates). After each
+// crash the store is reopened through recovery and must (a) pass the
+// on-disk fsck, (b) hold exactly a state that Flush() once reported
+// committed — the last one, or the in-flight one when the crash hit inside
+// Flush (the commit point may already have landed) — with no committed
+// record lost and no torn record visible.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/element_store.h"
+
+namespace ruidx {
+namespace storage {
+namespace {
+
+constexpr uint64_t kIdStride = 64;
+
+core::Ruid2Id MakeId(uint64_t i) {
+  core::Ruid2Id id;
+  id.global = BigUint(1 + i / kIdStride);
+  id.local = BigUint(2 + i % kIdStride);
+  id.is_area_root = false;
+  return id;
+}
+
+uint64_t IdToIndex(const core::Ruid2Id& id) {
+  return (id.global.ToUint64() - 1) * kIdStride + (id.local.ToUint64() - 2);
+}
+
+ElementRecord MakeRecord(uint64_t i, int version) {
+  ElementRecord record;
+  record.id = MakeId(i);
+  record.parent_id = MakeId(i);
+  record.node_type = 1;
+  record.name = "n" + std::to_string(i);
+  record.value = "v" + std::to_string(i) + "." + std::to_string(version);
+  return record;
+}
+
+/// id index -> expected value string.
+using Snapshot = std::map<uint64_t, std::string>;
+
+struct Step {
+  enum Op { kPut, kRemove, kFlush } op;
+  uint64_t i = 0;
+  int version = 0;
+};
+
+/// Base load, value-only overwrites, a delete storm that empties index
+/// leaves, and re-insertions that must reuse the freed pages — each batch
+/// sealed by a Flush (= one committed snapshot).
+std::vector<Step> BuildWorkload() {
+  // Big enough that the index spans several leaves and the working set
+  // overflows the pool (evictions journal and write back mid-batch).
+  constexpr uint64_t kN = 400;
+  std::vector<Step> steps;
+  for (uint64_t i = 0; i < kN; ++i) steps.push_back({Step::kPut, i, 0});
+  steps.push_back({Step::kFlush});
+  for (uint64_t i = 0; i < kN; i += 3) steps.push_back({Step::kPut, i, 1});
+  steps.push_back({Step::kFlush});
+  for (uint64_t i = 80; i < 300; ++i) steps.push_back({Step::kRemove, i, 0});
+  for (uint64_t i = 80; i < 190; ++i) steps.push_back({Step::kPut, i, 2});
+  steps.push_back({Step::kFlush});
+  for (uint64_t i = 190; i < 300; ++i) steps.push_back({Step::kPut, i, 3});
+  for (uint64_t i = 0; i < kN; i += 7) steps.push_back({Step::kPut, i, 4});
+  steps.push_back({Step::kFlush});
+  return steps;
+}
+
+struct RunResult {
+  bool completed = false;       // the whole workload ran fault-free
+  bool failed_in_flush = false; // the fault fired inside a Flush()
+  bool any_commit = false;      // at least one Flush() returned OK
+  Snapshot last_ok;             // state at the last successful Flush
+  Snapshot pending;             // state the failed Flush was committing
+};
+
+/// Runs the workload against a fresh store with a crash armed after
+/// `fault_after` physical operations; the store is destroyed (crashed)
+/// before returning.
+RunResult RunWorkload(const std::string& path,
+                      const std::vector<Step>& steps, uint64_t fault_after) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  RunResult result;
+  // A deliberately tiny pool: constant dirty evictions spread journal and
+  // write-back traffic across the whole workload, multiplying crash points.
+  auto store = ElementStore::Create(path, 6);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  if (!store.ok()) return result;
+  (*store)->InjectFaultAfter(fault_after);
+  Snapshot live;
+  for (const Step& step : steps) {
+    Status st;
+    switch (step.op) {
+      case Step::kPut:
+        live[step.i] = MakeRecord(step.i, step.version).value;
+        st = (*store)->Put(MakeRecord(step.i, step.version));
+        break;
+      case Step::kRemove:
+        live.erase(step.i);
+        st = (*store)->Remove(MakeId(step.i));
+        break;
+      case Step::kFlush:
+        result.pending = live;
+        st = (*store)->Flush();
+        if (st.ok()) {
+          result.last_ok = live;
+          result.any_commit = true;
+        } else {
+          result.failed_in_flush = true;
+        }
+        break;
+    }
+    if (!st.ok()) return result;  // crash: dtor runs with the fault armed
+  }
+  result.completed = true;
+  return result;
+}
+
+Status ReadSnapshot(ElementStore* store, Snapshot* out) {
+  return store->ScanAll(
+      [&](const BPlusTree::Key&, const ElementRecord& record) {
+        (*out)[IdToIndex(record.id)] = record.value;
+        return true;
+      });
+}
+
+TEST(CrashMatrixTest, EveryCrashPointRecoversToACommittedState) {
+  const std::string path = ::testing::TempDir() + "/ruidx_crash_matrix.db";
+  const std::vector<Step> steps = BuildWorkload();
+  constexpr uint64_t kMaxFaultPoints = 20000;
+  uint64_t fault = 0;
+  bool completed = false;
+  for (; fault < kMaxFaultPoints; ++fault) {
+    RunResult run = RunWorkload(path, steps, fault);
+    if (run.completed) {
+      completed = true;
+      break;
+    }
+    auto reopened = ElementStore::Open(path, 8);
+    if (!reopened.ok()) {
+      // Only acceptable before the first commit: there is no durable state
+      // to recover yet, so there is nothing to lose either.
+      ASSERT_FALSE(run.any_commit)
+          << "fault=" << fault << ": committed store failed to reopen: "
+          << reopened.status().ToString();
+      continue;
+    }
+    Status fsck = (*reopened)->VerifyOnDisk();
+    ASSERT_TRUE(fsck.ok())
+        << "fault=" << fault << ": " << fsck.ToString();
+    Snapshot got;
+    ASSERT_TRUE(ReadSnapshot(reopened->get(), &got).ok())
+        << "fault=" << fault;
+    const bool is_last_ok = got == run.last_ok;
+    const bool is_pending = run.failed_in_flush && got == run.pending;
+    ASSERT_TRUE(is_last_ok || is_pending)
+        << "fault=" << fault << ": recovered to a state that was never "
+        << "reported committed (" << got.size() << " records; last "
+        << run.last_ok.size() << ", pending " << run.pending.size() << ")";
+    ASSERT_EQ((*reopened)->record_count(), got.size()) << "fault=" << fault;
+  }
+  ASSERT_TRUE(completed) << "the sweep never reached a fault-free run";
+  // The matrix must have real coverage, not a workload that fits in a
+  // handful of I/Os.
+  EXPECT_GT(fault, 100u);
+
+  // The fault-free run's final state must also reopen clean.
+  auto final_store = ElementStore::Open(path, 8);
+  ASSERT_TRUE(final_store.ok()) << final_store.status().ToString();
+  ASSERT_TRUE((*final_store)->VerifyOnDisk().ok());
+  Snapshot got;
+  ASSERT_TRUE(ReadSnapshot(final_store->get(), &got).ok());
+  Snapshot want;
+  {
+    RunResult clean = RunWorkload(
+        ::testing::TempDir() + "/ruidx_crash_matrix_ref.db", steps, ~0ULL);
+    ASSERT_TRUE(clean.completed);
+    want = clean.last_ok;
+  }
+  EXPECT_EQ(got, want);
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((::testing::TempDir() + "/ruidx_crash_matrix_ref.db").c_str());
+  std::remove(
+      (::testing::TempDir() + "/ruidx_crash_matrix_ref.db.wal").c_str());
+}
+
+TEST(CrashMatrixTest, RecoveryIsIdempotent) {
+  // A crash during recovery itself (before the journal checkpoint) leaves
+  // the journal in place; a second recovery must reach the same state.
+  const std::string path = ::testing::TempDir() + "/ruidx_crash_twice.db";
+  const std::vector<Step> steps = BuildWorkload();
+  // Pick a crash point mid-workload with at least one commit behind it.
+  RunResult run = RunWorkload(path, steps, 120);
+  ASSERT_FALSE(run.completed);
+  ASSERT_TRUE(run.any_commit);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto reopened = ElementStore::Open(path, 8);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ASSERT_TRUE((*reopened)->VerifyOnDisk().ok());
+    Snapshot got;
+    ASSERT_TRUE(ReadSnapshot(reopened->get(), &got).ok());
+    EXPECT_TRUE(got == run.last_ok ||
+                (run.failed_in_flush && got == run.pending));
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ruidx

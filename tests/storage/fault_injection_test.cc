@@ -80,6 +80,53 @@ TEST(FaultInjectionTest, BPlusTreeInsertSurvivesLateFaults) {
   }
 }
 
+TEST(FaultInjectionTest, WalPoolPoisonsAfterWriteBackFailure) {
+  // Regression: a dirty-eviction write-back failure used to be reported
+  // once and then forgotten — the pool kept serving (and re-dirtying)
+  // frames whose journal/trailer state no longer matched the protocol. With
+  // a WAL attached, the first such failure must poison the pool: every
+  // later Fetch/AllocatePinned/FlushAll returns it, even after the fault
+  // clears, until the store is reopened through recovery.
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  auto wal = WriteAheadLog::Open("", (*pager)->fault_injector());
+  ASSERT_TRUE(wal.ok());
+  BufferPool pool(pager->get(), 2);
+  pool.AttachWal(wal->get());
+
+  // Three committed pages behind a two-frame pool.
+  uint8_t* frame = nullptr;
+  auto a = pool.AllocatePinned(&frame);
+  ASSERT_TRUE(a.ok());
+  pool.Unpin(*a, true);
+  auto b = pool.AllocatePinned(&frame);
+  ASSERT_TRUE(b.ok());
+  pool.Unpin(*b, true);
+  auto c = pool.AllocatePinned(&frame);
+  ASSERT_TRUE(c.ok());
+  pool.Unpin(*c, true);
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  // Dirty both resident frames, then make the eviction's write-back fail:
+  // fetching a third page must spill a dirty frame through the journal.
+  ASSERT_TRUE(pool.Fetch(*a).ok());
+  pool.Unpin(*a, true);
+  ASSERT_TRUE(pool.Fetch(*b).ok());
+  pool.Unpin(*b, true);
+  (*pager)->InjectFaultAfter(0);
+  auto spilled = pool.Fetch(*c);
+  ASSERT_FALSE(spilled.ok());
+  EXPECT_TRUE(spilled.status().IsIOError()) << spilled.status().ToString();
+
+  // The fault clears, but the pool must stay poisoned.
+  (*pager)->InjectFaultAfter(~0ULL);
+  EXPECT_TRUE(pool.status().IsIOError());
+  EXPECT_TRUE(pool.Fetch(*a).status().IsIOError());
+  EXPECT_TRUE(pool.FlushAll().IsIOError());
+  uint8_t* again = nullptr;
+  EXPECT_TRUE(pool.AllocatePinned(&again).status().IsIOError());
+}
+
 TEST(FaultInjectionTest, GetReportsErrorNotGarbage) {
   auto pager = Pager::Open("");
   ASSERT_TRUE(pager.ok());

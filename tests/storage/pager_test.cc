@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 namespace ruidx {
 namespace storage {
@@ -77,6 +81,62 @@ TEST(PagerTest, PersistsAcrossReopen) {
     ASSERT_TRUE((*pager)->ReadPage(0, buf).ok());
     EXPECT_EQ(buf[17], 0x7E);
   }
+  std::remove(path.c_str());
+}
+
+TEST(PagerTest, TruncatedFileIsRejectedNotRoundedDown) {
+  // Regression: a file whose size was not a multiple of kPageSize used to
+  // be silently rounded down, making a torn final write (half a page of a
+  // committed record) vanish without a trace. It must be Corruption.
+  std::string path = ::testing::TempDir() + "/ruidx_pager_torn.db";
+  std::remove(path.c_str());
+  {
+    auto pager = Pager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    char buf[kPageSize];
+    std::memset(buf, 0x5A, sizeof(buf));
+    ASSERT_TRUE((*pager)->AllocatePage().ok());
+    ASSERT_TRUE((*pager)->AllocatePage().ok());
+    ASSERT_TRUE((*pager)->WritePage(0, buf).ok());
+    ASSERT_TRUE((*pager)->WritePage(1, buf).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  // Tear the final page: keep one full page plus 100 stray bytes.
+  ASSERT_EQ(truncate(path.c_str(), kPageSize + 100), 0);
+  auto strict = Pager::Open(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsCorruption());
+
+  // Recovery opts into zero-padding (it has journal pre-images to lay over
+  // the padded page): the tail is padded up, never dropped.
+  PagerOpenOptions options;
+  options.zero_pad_partial_tail = true;
+  auto padded = Pager::Open(path, options);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ((*padded)->page_count(), 2u);
+  char buf[kPageSize];
+  ASSERT_TRUE((*padded)->ReadPage(1, buf).ok());
+  EXPECT_EQ(buf[0], 0x5A);           // surviving prefix of the torn page
+  EXPECT_EQ(buf[kPageSize - 1], 0);  // zero-padded remainder
+  std::remove(path.c_str());
+}
+
+TEST(PagerTest, TruncateToPagesShrinksTheFile) {
+  std::string path = ::testing::TempDir() + "/ruidx_pager_shrink.db";
+  std::remove(path.c_str());
+  {
+    auto pager = Pager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE((*pager)->AllocatePage().ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+    ASSERT_TRUE((*pager)->TruncateToPages(2).ok());
+    EXPECT_EQ((*pager)->page_count(), 2u);
+    char buf[kPageSize];
+    EXPECT_TRUE((*pager)->ReadPage(2, buf).IsOutOfRange());
+  }
+  auto pager = Pager::Open(path);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ((*pager)->page_count(), 2u);
   std::remove(path.c_str());
 }
 

@@ -127,6 +127,33 @@ TEST_F(ShardedStoreTest, SelectionTouchesFewerPagesThanFullScan) {
   EXPECT_LT(selective_io, full_io / 2);
 }
 
+TEST(ShardedStoreFileTest, ReopenRecoversEveryShard) {
+  std::string dir = ::testing::TempDir() + "/ruidx_shards_reopen";
+  (void)std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  auto doc = xml::GenerateDblpLike(80);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  size_t expected = 0;
+  {
+    auto store = ShardedElementStore::Create(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+    expected = (*store)->record_count();
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto reopened = ShardedElementStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->record_count(), expected);
+  ASSERT_TRUE((*reopened)->VerifyOnDisk().ok());
+  for (xml::Node* n : ruidx::testing::AllNodes(doc->root())) {
+    auto record = (*reopened)->Get(n->name(), scheme.label(n));
+    ASSERT_TRUE(record.ok()) << n->name();
+    EXPECT_EQ(record->id, scheme.label(n));
+    EXPECT_EQ(record->name, n->name());
+  }
+  (void)std::system(("rm -rf " + dir).c_str());
+}
+
 TEST(ShardedStoreFileTest, FileBackedShardsWork) {
   std::string dir = ::testing::TempDir() + "/ruidx_shards";
   (void)std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());

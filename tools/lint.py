@@ -28,6 +28,15 @@ Rules (each with the hazard it guards against):
       identifier arithmetic runs on (kappa, K) alone, so the core layer must
       stay I/O-free. (Enforces the dependency direction storage -> core.)
 
+  wal-bypass
+      Direct `Pager::WritePage` / `->WritePage(` calls in src/ outside the
+      durability layer itself (pager, buffer pool, write-ahead log). A page
+      written behind the buffer pool's back is neither journaled nor
+      checksummed, so a crash at the wrong moment silently loses or tears
+      it. Go through the BufferPool (Fetch + Unpin-dirty + FlushAll); the
+      crash-recovery path in ElementStore::Open is the one legitimate
+      exception and carries a NOLINT.
+
 Escapes: a `// NOLINT(rule-name)` comment on the offending line, or the
 rule-specific annotation documented above.
 
@@ -57,6 +66,15 @@ RE_REF_CAPTURE = re.compile(r"\[\s*&\s*[\],]")
 RE_SYNC_NEARBY = re.compile(r"mutex|atomic|lock_guard|unique_lock")
 RE_DISJOINT_NOTE = re.compile(r"//\s*lint:\s*disjoint-writes")
 RE_STORAGE_INCLUDE = re.compile(r'#include\s+"storage/')
+RE_WAL_BYPASS = re.compile(r"(?:\.|->)\s*WritePage\s*\(")
+# The durability layer owns the raw write path; everything else must go
+# through the journaling buffer pool.
+WAL_BYPASS_ALLOWED = (
+    os.path.join("src", "storage", "pager.h"),
+    os.path.join("src", "storage", "pager.cc"),
+    os.path.join("src", "storage", "buffer_pool.cc"),
+    os.path.join("src", "storage", "wal.cc"),
+)
 RE_NOLINT = re.compile(r"//\s*NOLINT\(([\w-]+)\)")
 
 
@@ -124,6 +142,23 @@ def lint_file(root, rel_path, lines):
                     "core-no-storage-include",
                     "src/core/ must not depend on storage headers (the "
                     "identifier arithmetic layer is I/O-free)",
+                )
+            )
+
+        if (
+            rel_path.startswith("src" + os.sep)
+            and rel_path not in WAL_BYPASS_ALLOWED
+            and RE_WAL_BYPASS.search(stripped)
+            and not has_nolint(line, "wal-bypass")
+        ):
+            violations.append(
+                Violation(
+                    rel_path,
+                    i,
+                    "wal-bypass",
+                    "direct Pager::WritePage outside the durability layer: "
+                    "the page is neither journaled nor checksummed; write "
+                    "through the BufferPool instead",
                 )
             )
 

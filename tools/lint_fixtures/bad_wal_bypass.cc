@@ -1,0 +1,10 @@
+// Negative fixture: trips wal-bypass. Writing a page straight through the
+// pager skips journaling and checksum stamping — a crash here loses the
+// page silently. Dirty it through the BufferPool instead.
+// lint-fixture-path: src/storage/bad_wal_bypass.cc
+#include "storage/pager.h"
+
+ruidx::Status ScribbleBehindThePoolsBack(ruidx::storage::Pager* pager,
+                                         const unsigned char* page) {
+  return pager->WritePage(7, page);
+}

@@ -40,6 +40,9 @@ using namespace ruidx;
 struct CommonOptions {
   core::PartitionOptions partition;
   std::string engine = "ruid";
+  /// For `check`: bulk-load into this file, close it, and reopen it —
+  /// exercising the crash-recovery path — before the store checks run.
+  std::string store_path;
 };
 
 int Usage() {
@@ -54,7 +57,11 @@ int Usage() {
                "  fragment <file.xml> <xpath>\n"
                "  store    <file.xml> <out.db>\n"
                "  stream   <file.xml> <out.db>   (two-pass SAX, no DOM kept)\n"
-               "  check    <file.xml>            (structural invariant fsck)\n"
+               "  check    <file.xml> [--store <out.db>]\n"
+               "           (structural invariant fsck; with --store the "
+               "document\n"
+               "           is stored, closed, and reopened before the on-disk "
+               "checks)\n"
                "options: --max-area-nodes N  --max-area-depth D  --no-adjust\n");
   return 2;
 }
@@ -79,6 +86,9 @@ bool ParseOptions(std::vector<std::string>* args, CommonOptions* options) {
     } else if (arg == "--engine") {
       if (i + 1 >= args->size()) return false;
       options->engine = (*args)[++i];
+    } else if (arg == "--store") {
+      if (i + 1 >= args->size()) return false;
+      options->store_path = (*args)[++i];
     } else {
       rest.push_back(arg);
     }
@@ -318,13 +328,27 @@ int CmdCheck(const std::string& path, const CommonOptions& options) {
   analysis::CheckReport report;
   Status st = analysis::CheckDocumentInvariants(scheme, root, {}, &report);
   if (st.ok()) {
-    // Also verify the storage key contract over a fresh in-memory load.
-    auto store = storage::ElementStore::Create("");
+    // Verify the storage contract — over a fresh in-memory load, or (with
+    // --store) over a file-backed store that is written, closed, and
+    // reopened, so the checks run against the durable on-disk image after a
+    // pass through the recovery machinery.
+    auto store = storage::ElementStore::Create(options.store_path);
     if (!store.ok()) {
       std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
       return 1;
     }
     st = (*store)->BulkLoad(scheme, root);
+    if (st.ok() && !options.store_path.empty()) {
+      st = (*store)->Flush();
+      if (st.ok()) {
+        store->reset();
+        store = storage::ElementStore::Open(options.store_path);
+        if (!store.ok()) {
+          std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+          return 1;
+        }
+      }
+    }
     if (st.ok()) {
       st = analysis::CheckStoreInvariants(scheme, root, store->get(), {},
                                           &report);
