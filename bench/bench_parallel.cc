@@ -22,6 +22,20 @@ namespace {
 constexpr uint64_t kScale = 100000;
 constexpr int kRepeats = 3;
 
+/// Partition geometry for the load-pipeline table. DefaultAreas() (64-node
+/// areas) fragments this deep 100k-node document into ~74k (name, global)
+/// shards; at two file handles per shard the sharded store then exhausts
+/// the process fd limit mid-load. 8192-node areas with the depth budget
+/// effectively off yield ~52 areas / ~660 shards: still dozens of
+/// independent units for the labeling and load pools, but each shard holds
+/// a record run worth batch-building.
+core::PartitionOptions PipelineAreas() {
+  core::PartitionOptions areas;
+  areas.max_area_nodes = 8192;
+  areas.max_area_depth = 1ull << 20;
+  return areas;
+}
+
 /// Wall-clock milliseconds of the best of kRepeats runs of fn().
 template <typename Fn>
 double TimeMs(Fn&& fn) {
@@ -83,17 +97,25 @@ void PrintTables() {
     std::unique_ptr<util::ThreadPool> pool;
     if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
     double label_ms = TimeMs([&] {
-      core::Ruid2Scheme scheme(DefaultAreas());
+      core::Ruid2Scheme scheme(PipelineAreas());
       scheme.Build(root, pool.get());
     });
-    core::Ruid2Scheme scheme(DefaultAreas());
+    core::Ruid2Scheme scheme(PipelineAreas());
     scheme.Build(root, pool.get());
+    Status load_status = Status::OK();
     double load_ms = TimeMs([&] {
       auto store = storage::ShardedElementStore::Create("");
-      if (store.ok()) {
-        (void)(*store)->BulkLoad(scheme, root, pool.get());
+      if (!store.ok()) {
+        load_status = store.status();
+        return;
       }
+      Status s = (*store)->BulkLoad(scheme, root, pool.get());
+      if (!s.ok()) load_status = s;
     });
+    if (!load_status.ok()) {
+      std::printf("WARNING: t%d bulk load failed: %s\n", threads,
+                  load_status.ToString().c_str());
+    }
     double pipeline_ms = label_ms + load_ms;
     if (threads == 1) base_pipeline = pipeline_ms;
     char speedup[32];

@@ -1,5 +1,6 @@
 #include "storage/bptree.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_set>
 #include <utility>
@@ -429,12 +430,121 @@ Status BPlusTree::Erase(const Key& key) {
   return Status::OK();
 }
 
+Status BPlusTree::BulkLoadSorted(
+    const std::vector<std::pair<Key, uint64_t>>& entries) {
+  {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* root, pool_->Fetch(root_page_));
+    bool empty = IsLeaf(root) && Count(root) == 0;
+    pool_->Unpin(root_page_, false);
+    if (!empty || entry_count_ != 0) {
+      return Status::InvalidArgument(
+          "BulkLoadSorted requires an empty tree; use Insert");
+    }
+  }
+  if (entries.empty()) return Status::OK();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (!(entries[i - 1].first < entries[i].first)) {
+      return Status::InvalidArgument(
+          "BulkLoadSorted input must be strictly ascending");
+    }
+  }
+  struct NodeRef {
+    Key first_key;  // smallest key in the subtree
+    uint32_t page;
+  };
+  std::vector<NodeRef> level;
+  level.reserve(entries.size() / kLeafCapacity + 1);
+  // Leaf pass: fill leaves to capacity in key order. The previous leaf
+  // stays pinned until its successor exists so the chain is stitched with
+  // each page touched exactly once. The empty root page becomes the first
+  // leaf (a single-leaf result then keeps the root id unchanged).
+  uint32_t prev_leaf = kInvalidPage;
+  uint8_t* prev_frame = nullptr;
+  size_t i = 0;
+  while (i < entries.size()) {
+    size_t take = std::min<size_t>(kLeafCapacity, entries.size() - i);
+    uint32_t page_id;
+    uint8_t* frame = nullptr;
+    if (prev_leaf == kInvalidPage) {
+      page_id = root_page_;
+      auto fetched = pool_->Fetch(page_id);
+      if (!fetched.ok()) return fetched.status();
+      frame = *fetched;
+    } else {
+      auto allocated = pool_->AllocatePinned(&frame);
+      if (!allocated.ok()) {
+        pool_->Unpin(prev_leaf, true);
+        return allocated.status();
+      }
+      page_id = *allocated;
+    }
+    SetLeaf(frame, true);
+    SetCount(frame, static_cast<uint16_t>(take));
+    SetPrev(frame, prev_leaf);
+    SetLink(frame, kInvalidPage);
+    for (size_t k = 0; k < take; ++k) {
+      uint8_t* entry = LeafEntry(frame, k);
+      std::memcpy(entry, entries[i + k].first.data(), kKeySize);
+      std::memcpy(entry + kKeySize, &entries[i + k].second, 8);
+    }
+    if (prev_leaf != kInvalidPage) {
+      SetLink(prev_frame, page_id);
+      pool_->Unpin(prev_leaf, true);
+    }
+    level.push_back(NodeRef{entries[i].first, page_id});
+    prev_leaf = page_id;
+    prev_frame = frame;
+    i += take;
+  }
+  pool_->Unpin(prev_leaf, true);
+  // Internal passes, bottom-up: each node takes up to kInnerCapacity+1
+  // children; entry c-1 holds the smallest key of child c (the established
+  // internal-node semantics).
+  std::vector<NodeRef> next_level;
+  while (level.size() > 1) {
+    next_level.clear();
+    const size_t max_children = static_cast<size_t>(kInnerCapacity) + 1;
+    size_t idx = 0;
+    while (idx < level.size()) {
+      size_t take = std::min(max_children, level.size() - idx);
+      // A node needs >= 2 children to carry a separator; borrow one from a
+      // full chunk rather than leaving a single-child straggler.
+      if (level.size() - idx - take == 1) --take;
+      uint8_t* frame = nullptr;
+      auto allocated = pool_->AllocatePinned(&frame);
+      if (!allocated.ok()) return allocated.status();
+      uint32_t page_id = *allocated;
+      SetLeaf(frame, false);
+      SetCount(frame, static_cast<uint16_t>(take - 1));
+      SetLink(frame, level[idx].page);  // child0
+      for (size_t c = 1; c < take; ++c) {
+        uint8_t* entry = InnerEntry(frame, c - 1);
+        std::memcpy(entry, level[idx + c].first_key.data(), kKeySize);
+        std::memcpy(entry + kKeySize, &level[idx + c].page, 4);
+      }
+      pool_->Unpin(page_id, true);
+      next_level.push_back(NodeRef{level[idx].first_key, page_id});
+      idx += take;
+    }
+    level.swap(next_level);
+  }
+  root_page_ = level[0].page;
+  entry_count_ = entries.size();
+  return Status::OK();
+}
+
 Status BPlusTree::Scan(
     const Key& lo, const Key& hi,
     const std::function<bool(const Key&, uint64_t)>& fn) const {
   RUIDX_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(lo));
   while (leaf_id != kInvalidPage) {
     RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(leaf_id));
+    // Leaf-chain read-ahead: let the flusher thread pull the successor in
+    // while this leaf is consumed (no-op on pools without a flusher).
+    {
+      uint32_t ahead = Link(page);
+      if (ahead != kInvalidPage) pool_->Prefetch(ahead);
+    }
     uint16_t count = Count(page);
     for (size_t i = LeafLowerBound(page, lo); i < count; ++i) {
       Key key;

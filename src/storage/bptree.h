@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "util/result.h"
@@ -34,6 +36,15 @@ class BPlusTree {
 
   /// Inserts or overwrites.
   Status Insert(const Key& key, uint64_t value);
+
+  /// Builds the whole tree from `entries` (strictly ascending keys) into an
+  /// EMPTY tree: leaves are filled back to back at capacity with the
+  /// doubly-linked chain stitched as they are laid down, then the internal
+  /// levels are assembled bottom-up — no top-down descents, no splits, no
+  /// page ever touched twice. InvalidArgument if the tree is non-empty or
+  /// the input is not strictly ascending. Insert/Erase work normally on
+  /// the result.
+  Status BulkLoadSorted(const std::vector<std::pair<Key, uint64_t>>& entries);
 
   /// Point lookup.
   Result<uint64_t> Get(const Key& key) const;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
+
+#include "storage/flusher.h"
 
 namespace ruidx {
 namespace storage {
@@ -10,35 +13,62 @@ BufferPool::BufferPool(Pager* pager, size_t capacity)
     : pager_(pager), capacity_(std::max<size_t>(capacity, 1)) {
   frames_.resize(capacity_);
   for (Frame& f : frames_) f.data.resize(kPageSize);
+  // Lowest index used first, matching the historical fill order.
+  free_frames_.resize(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) free_frames_[i] = capacity_ - 1 - i;
 }
 
-BufferPool::~BufferPool() { (void)FlushAll(); }
+BufferPool::~BufferPool() {
+  if (flusher_ != nullptr) flusher_->Stop();
+  std::unique_lock<std::mutex> lock(mu_);
+  (void)FlushAllLocked(lock);
+}
 
 void BufferPool::AttachWal(WriteAheadLog* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
   wal_ = wal;
   txn_base_pages_ = pager_->page_count();
 }
 
-void BufferPool::Poison(const Status& status) {
-  // Only the durability protocol has state a later operation could corrupt
-  // further; standalone pools keep the historical propagate-and-retry
-  // behavior (the caller saw the error at the point of failure).
-  if (wal_ != nullptr && poison_.ok() && !status.ok()) poison_ = status;
+void BufferPool::StartBackgroundFlusher() {
+  if (flusher_ != nullptr) return;
+  flusher_ = std::make_unique<BackgroundFlusher>(this);
+  flusher_->Start();
 }
 
-void BufferPool::TouchLru(size_t frame_idx) {
-  lru_.remove(frame_idx);
-  lru_.push_front(frame_idx);
+size_t BufferPool::flusher_queue_depth() const {
+  return flusher_ != nullptr ? flusher_->queue_depth() : 0;
 }
 
-Status BufferPool::EnsureTransaction() {
+void BufferPool::PoisonLocked(const Status& status) {
+  // Only the durability protocol (and the flusher, whose failures the
+  // caller never saw inline) has state a later operation could corrupt
+  // further; plain synchronous pools keep the historical propagate-and-
+  // retry behavior (the caller saw the error at the point of failure).
+  if ((wal_ != nullptr || flusher_ != nullptr) && poison_.ok() &&
+      !status.ok()) {
+    poison_ = status;
+  }
+}
+
+void BufferPool::MaybeScheduleDrain(size_t dirty_count) {
+  if (flusher_ != nullptr && dirty_count > capacity_ / 2) {
+    flusher_->RequestDrain();
+  }
+}
+
+void BufferPool::Prefetch(uint32_t page_id) {
+  if (flusher_ != nullptr) flusher_->RequestPrefetch(page_id);
+}
+
+Status BufferPool::EnsureTransactionLocked() {
   if (wal_ == nullptr || wal_->in_transaction()) return Status::OK();
   return wal_->BeginTransaction(txn_base_pages_);
 }
 
-Status BufferPool::JournalBeforeDirty(uint32_t page_id) {
+Status BufferPool::JournalBeforeDirtyLocked(uint32_t page_id) {
   if (journaled_.count(page_id) != 0) return Status::OK();
-  RUIDX_RETURN_NOT_OK(EnsureTransaction());
+  RUIDX_RETURN_NOT_OK(EnsureTransactionLocked());
   if (page_id >= txn_base_pages_) {
     // Appended by this transaction: rollback truncates it away, no image.
     journaled_.insert(page_id);
@@ -51,9 +81,10 @@ Status BufferPool::JournalBeforeDirty(uint32_t page_id) {
   return Status::OK();
 }
 
-Status BufferPool::JournalFromBuffer(uint32_t page_id, const uint8_t* data) {
+Status BufferPool::JournalFromBufferLocked(uint32_t page_id,
+                                           const uint8_t* data) {
   if (journaled_.count(page_id) != 0) return Status::OK();
-  RUIDX_RETURN_NOT_OK(EnsureTransaction());
+  RUIDX_RETURN_NOT_OK(EnsureTransactionLocked());
   if (page_id >= txn_base_pages_) {
     journaled_.insert(page_id);
     return Status::OK();
@@ -63,7 +94,8 @@ Status BufferPool::JournalFromBuffer(uint32_t page_id, const uint8_t* data) {
   return Status::OK();
 }
 
-Status BufferPool::WriteBack(Frame& frame) {
+Status BufferPool::WriteBackLocked(size_t frame_idx) {
+  Frame& frame = frames_[frame_idx];
   if (wal_ != nullptr) {
     if (journaled_.count(frame.page_id) == 0 &&
         frame.page_id < txn_base_pages_) {
@@ -79,100 +111,149 @@ Status BufferPool::WriteBack(Frame& frame) {
   }
   RUIDX_RETURN_NOT_OK(pager_->WritePage(frame.page_id, frame.data.data()));
   frame.dirty = false;
+  --dirty_count_;
+  ++stats_.dirty_writebacks;
   return Status::OK();
 }
 
-Result<size_t> BufferPool::FindFrame(uint32_t page_id, bool load) {
+Result<size_t> BufferPool::PickVictimLocked(
+    std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (!free_frames_.empty()) {
+      size_t idx = free_frames_.back();
+      free_frames_.pop_back();
+      return idx;
+    }
+    // CLOCK: up to two laps — the first clears reference bits, the second
+    // must then find a victim unless every frame is pinned or in flight.
+    bool any_in_flight = false;
+    for (size_t examined = 0; examined < 2 * capacity_; ++examined) {
+      size_t idx = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % capacity_;
+      Frame& f = frames_[idx];
+      if (f.page_id == kInvalidPage) continue;  // owned by free_frames_
+      if (f.pin_count > 0) continue;
+      if (f.io_in_flight) {
+        any_in_flight = true;
+        continue;
+      }
+      if (f.referenced) {
+        f.referenced = false;
+        continue;
+      }
+      if (f.dirty) {
+        Status st = WriteBackLocked(idx);
+        if (!st.ok()) {
+          PoisonLocked(st);
+          return st;
+        }
+      }
+      table_.erase(f.page_id);
+      ++stats_.evictions;
+      return idx;
+    }
+    if (any_in_flight) {
+      // Every candidate is under asynchronous write-back; wait for the
+      // flusher to land one rather than failing a full pool.
+      io_cv_.wait(lock);
+      continue;
+    }
+    return Status::CapacityExceeded("all buffer frames are pinned");
+  }
+}
+
+Result<size_t> BufferPool::FindFrameLocked(std::unique_lock<std::mutex>& lock,
+                                           uint32_t page_id, bool load) {
   auto it = table_.find(page_id);
   if (it != table_.end()) {
     ++stats_.hits;
-    TouchLru(it->second);
+    frames_[it->second].referenced = true;
     return it->second;
   }
   ++stats_.misses;
-  // Find a free frame, or evict the least recently used unpinned one.
-  size_t victim = capacity_;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].page_id == kInvalidPage) {
-      victim = i;
-      break;
-    }
-  }
-  if (victim == capacity_) {
-    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
-      if (frames_[*rit].pin_count == 0) {
-        victim = *rit;
-        break;
-      }
-    }
-    if (victim == capacity_) {
-      return Status::CapacityExceeded("all buffer frames are pinned");
-    }
-    Frame& old = frames_[victim];
-    if (old.dirty) {
-      Status st = WriteBack(old);
-      if (!st.ok()) {
-        Poison(st);
-        return st;
-      }
-    }
-    table_.erase(old.page_id);
-    ++stats_.evictions;
-  }
+  RUIDX_ASSIGN_OR_RETURN(size_t victim, PickVictimLocked(lock));
   Frame& frame = frames_[victim];
   frame.page_id = page_id;
   frame.pin_count = 0;
   frame.dirty = false;
+  // Cold insertion: a page earns its reference bit on RE-access, so a
+  // one-pass scan keeps recycling the same frames instead of flushing the
+  // pool (the scan-resistance half of CLOCK).
+  frame.referenced = false;
+  ++frame.epoch;
   if (load) {
     Status st = pager_->ReadPage(page_id, frame.data.data());
     if (st.ok()) st = VerifyPageTrailer(frame.data.data(), page_id);
     if (!st.ok()) {
       frame.page_id = kInvalidPage;  // leave the frame reusable
+      free_frames_.push_back(victim);
       return st;
     }
   } else {
     std::memset(frame.data.data(), 0, kPageSize);
   }
   table_[page_id] = victim;
-  TouchLru(victim);
   return victim;
 }
 
 Result<uint8_t*> BufferPool::Fetch(uint32_t page_id) {
+  std::unique_lock<std::mutex> lock(mu_);
   RUIDX_RETURN_NOT_OK(poison_);
-  RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/true));
+  RUIDX_ASSIGN_OR_RETURN(size_t idx,
+                         FindFrameLocked(lock, page_id, /*load=*/true));
   ++frames_[idx].pin_count;
   return frames_[idx].data.data();
 }
 
 void BufferPool::Unpin(uint32_t page_id, bool dirty) {
-  auto it = table_.find(page_id);
-  if (it == table_.end()) return;
-  Frame& frame = frames_[it->second];
-  if (frame.pin_count > 0) --frame.pin_count;
-  if (dirty && !frame.dirty && wal_ != nullptr && poison_.ok()) {
-    // First dirtying of this frame: capture the page's committed on-disk
-    // content in the journal before any write-back may overwrite it. (A
-    // frame that is already dirty was journaled when it first got dirty.)
-    Status st = JournalBeforeDirty(page_id);
-    if (!st.ok()) Poison(st);
+  size_t dirty_snapshot = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = table_.find(page_id);
+    if (it == table_.end()) return;
+    Frame& frame = frames_[it->second];
+    if (frame.pin_count > 0) --frame.pin_count;
+    // Deliberately NOT setting the reference bit: promotion to the hot set
+    // happens on a pool *hit* (a second access), so a one-touch sequential
+    // scan leaves its pages cold and scan-resistance holds.
+    if (dirty) {
+      // Any in-flight flusher copy of this frame is now stale; the epoch
+      // bump keeps its completion from clearing the dirty bit.
+      ++frame.epoch;
+      if (!frame.dirty && wal_ != nullptr && poison_.ok()) {
+        // First dirtying of this frame: capture the page's committed
+        // on-disk content in the journal before any write-back may
+        // overwrite it. (A frame that is already dirty was journaled when
+        // it first got dirty.)
+        Status st = JournalBeforeDirtyLocked(page_id);
+        if (!st.ok()) PoisonLocked(st);
+      }
+      if (!frame.dirty) {
+        frame.dirty = true;
+        ++dirty_count_;
+      }
+    }
+    dirty_snapshot = dirty_count_;
   }
-  frame.dirty = frame.dirty || dirty;
+  MaybeScheduleDrain(dirty_snapshot);
 }
 
 Result<uint32_t> BufferPool::AllocatePinned(uint8_t** frame_out) {
+  std::unique_lock<std::mutex> lock(mu_);
   RUIDX_RETURN_NOT_OK(poison_);
   {
-    Status st = EnsureTransaction();
+    Status st = EnsureTransactionLocked();
     if (!st.ok()) {
-      Poison(st);
+      PoisonLocked(st);
       return st;
     }
   }
+  uint32_t page_id;
+  size_t idx;
   if (free_head_ != kInvalidPage) {
     // Reuse the head of the free list instead of growing the file.
-    uint32_t page_id = free_head_;
-    RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/true));
+    page_id = free_head_;
+    RUIDX_ASSIGN_OR_RETURN(idx, FindFrameLocked(lock, page_id, /*load=*/true));
     Frame& frame = frames_[idx];
     uint32_t magic;
     std::memcpy(&magic, frame.data.data(), 4);
@@ -186,80 +267,97 @@ Result<uint32_t> BufferPool::AllocatePinned(uint8_t** frame_out) {
     if (wal_ != nullptr) {
       // The frame holds the committed FREE marker (it was either just
       // loaded, or freed-and-journaled earlier this transaction).
-      Status st = JournalFromBuffer(page_id, frame.data.data());
+      Status st = JournalFromBufferLocked(page_id, frame.data.data());
       if (!st.ok()) {
-        Poison(st);
+        PoisonLocked(st);
         return st;
       }
     }
     free_head_ = next;
     --free_count_;
     std::memset(frame.data.data(), 0, kPageSize);
-    ++frame.pin_count;
-    frame.dirty = true;
-    *frame_out = frame.data.data();
-    return page_id;
+  } else {
+    RUIDX_ASSIGN_OR_RETURN(page_id, pager_->AllocatePage());
+    RUIDX_ASSIGN_OR_RETURN(idx, FindFrameLocked(lock, page_id, /*load=*/false));
+    if (wal_ != nullptr) journaled_.insert(page_id);
   }
-  RUIDX_ASSIGN_OR_RETURN(uint32_t page_id, pager_->AllocatePage());
-  RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/false));
   Frame& frame = frames_[idx];
-  if (wal_ != nullptr) journaled_.insert(page_id);
   ++frame.pin_count;
-  frame.dirty = true;
+  frame.referenced = true;
+  ++frame.epoch;
+  if (!frame.dirty) {
+    frame.dirty = true;
+    ++dirty_count_;
+  }
   *frame_out = frame.data.data();
+  size_t dirty_snapshot = dirty_count_;
+  lock.unlock();
+  MaybeScheduleDrain(dirty_snapshot);
   return page_id;
 }
 
 Status BufferPool::FreePage(uint32_t page_id) {
+  std::unique_lock<std::mutex> lock(mu_);
   RUIDX_RETURN_NOT_OK(poison_);
   if (page_id == kInvalidPage) {
     return Status::InvalidArgument("freeing invalid page id");
   }
-  RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrame(page_id, /*load=*/true));
+  RUIDX_ASSIGN_OR_RETURN(size_t idx,
+                         FindFrameLocked(lock, page_id, /*load=*/true));
   Frame& frame = frames_[idx];
   if (frame.pin_count > 0) {
     return Status::Internal("freeing pinned page " + std::to_string(page_id));
   }
   if (wal_ != nullptr) {
-    Status st = JournalFromBuffer(page_id, frame.data.data());
+    Status st = JournalFromBufferLocked(page_id, frame.data.data());
     if (!st.ok()) {
-      Poison(st);
+      PoisonLocked(st);
       return st;
     }
   }
   std::memset(frame.data.data(), 0, kPageSize);
   std::memcpy(frame.data.data(), &kFreePageMagic, 4);
   std::memcpy(frame.data.data() + 4, &free_head_, 4);
-  frame.dirty = true;
+  ++frame.epoch;
+  if (!frame.dirty) {
+    frame.dirty = true;
+    ++dirty_count_;
+  }
   free_head_ = page_id;
   ++free_count_;
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
+  // With a flusher the commit is served from its queue, strictly after
+  // every drain enqueued before this call — so no in-flight write can
+  // overlap the commit's write-backs.
+  if (flusher_ != nullptr) return flusher_->RunCommit();
+  std::unique_lock<std::mutex> lock(mu_);
+  return FlushAllLocked(lock);
+}
+
+Status BufferPool::FlushAllLocked(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // held; taken by reference to document the requirement
   RUIDX_RETURN_NOT_OK(poison_);
   if (wal_ == nullptr) {
-    for (Frame& frame : frames_) {
-      if (frame.page_id != kInvalidPage && frame.dirty) {
-        RUIDX_RETURN_NOT_OK(WriteBack(frame));
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].page_id != kInvalidPage && frames_[i].dirty) {
+        RUIDX_RETURN_NOT_OK(WriteBackLocked(i));
       }
     }
     return pager_->Sync();
   }
-  bool any_dirty =
-      std::any_of(frames_.begin(), frames_.end(), [](const Frame& f) {
-        return f.page_id != kInvalidPage && f.dirty;
-      });
-  if (!wal_->in_transaction() && !any_dirty) return pager_->Sync();
+  if (!wal_->in_transaction() && dirty_count_ == 0) return pager_->Sync();
   // The atomic commit: journal durable -> new pages into the main file ->
   // main file durable -> checkpoint (the journal truncation is the commit
   // point). Any failure poisons the pool: a half-committed state must not
   // accept further writes it could no longer roll back.
   Status st = [&]() -> Status {
     RUIDX_RETURN_NOT_OK(wal_->Sync());
-    for (Frame& frame : frames_) {
-      if (frame.page_id != kInvalidPage && frame.dirty) {
-        RUIDX_RETURN_NOT_OK(WriteBack(frame));
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].page_id != kInvalidPage && frames_[i].dirty) {
+        RUIDX_RETURN_NOT_OK(WriteBackLocked(i));
       }
     }
     RUIDX_RETURN_NOT_OK(pager_->Sync());
@@ -267,12 +365,125 @@ Status BufferPool::FlushAll() {
     return Status::OK();
   }();
   if (!st.ok()) {
-    Poison(st);
+    PoisonLocked(st);
     return st;
   }
   journaled_.clear();
   txn_base_pages_ = pager_->page_count();
   return Status::OK();
+}
+
+Status BufferPool::ServiceCommit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return FlushAllLocked(lock);
+}
+
+void BufferPool::ServicePrefetch(uint32_t page_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!poison_.ok()) return;
+  if (table_.count(page_id) != 0) return;  // already resident
+  if (page_id >= pager_->page_count()) return;
+  Result<size_t> found = FindFrameLocked(lock, page_id, /*load=*/true);
+  // Best effort: a failed read-ahead is not an error; the foreground
+  // Fetch will surface it if the page is actually needed.
+  if (found.ok()) ++stats_.prefetches;
+}
+
+void BufferPool::ServiceDrain() {
+  struct Job {
+    size_t frame_idx;
+    uint32_t page_id;
+    uint64_t epoch;
+  };
+  std::vector<Job> jobs;
+  std::vector<uint8_t> copies;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!poison_.ok()) return;
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      Frame& f = frames_[i];
+      if (f.page_id == kInvalidPage || !f.dirty || f.pin_count > 0 ||
+          f.io_in_flight) {
+        continue;
+      }
+      if (wal_ != nullptr && journaled_.count(f.page_id) == 0 &&
+          f.page_id < txn_base_pages_) {
+        PoisonLocked(Status::Internal("async write-back of unjournaled page " +
+                                      std::to_string(f.page_id)));
+        return;
+      }
+      jobs.push_back(Job{i, f.page_id, f.epoch});
+      f.io_in_flight = true;
+    }
+    if (jobs.empty()) return;
+    ++stats_.flusher_drains;
+    // Copy the snapshots out under the lock; the unlocked I/O below works
+    // on the copies only, so the foreground may re-pin and mutate these
+    // frames freely meanwhile (the epoch check keeps such frames dirty).
+    copies.resize(jobs.size() * kPageSize);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      std::memcpy(copies.data() + j * kPageSize,
+                  frames_[jobs[j].frame_idx].data.data(), kPageSize);
+    }
+  }
+  // Journal-sync-before-write-back, exactly as the synchronous path: every
+  // pre-image covering these pages is durable before the main file is
+  // touched.
+  Status st = wal_ != nullptr ? wal_->Sync() : Status::OK();
+  if (st.ok()) {
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      StampPageTrailer(copies.data() + j * kPageSize,
+                       wal_ != nullptr ? wal_->AllocateLsn() : 0);
+    }
+    // Write in page order, coalescing adjacent pages into span writes
+    // (one seek + one transfer per run).
+    std::vector<size_t> order(jobs.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return jobs[a].page_id < jobs[b].page_id;
+    });
+    std::vector<uint8_t> span;
+    size_t j = 0;
+    while (j < order.size() && st.ok()) {
+      size_t run_end = j + 1;
+      while (run_end < order.size() &&
+             jobs[order[run_end]].page_id ==
+                 jobs[order[run_end - 1]].page_id + 1) {
+        ++run_end;
+      }
+      size_t run_len = run_end - j;
+      if (run_len == 1) {
+        st = pager_->WritePage(jobs[order[j]].page_id,
+                               copies.data() + order[j] * kPageSize);
+      } else {
+        span.resize(run_len * kPageSize);
+        for (size_t k = 0; k < run_len; ++k) {
+          std::memcpy(span.data() + k * kPageSize,
+                      copies.data() + order[j + k] * kPageSize, kPageSize);
+        }
+        st = pager_->WriteSpan(jobs[order[j]].page_id,
+                               static_cast<uint32_t>(run_len), span.data());
+      }
+      j = run_end;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Job& job : jobs) {
+      Frame& f = frames_[job.frame_idx];
+      f.io_in_flight = false;
+      // Only a copy that still matches the frame (no dirtying since the
+      // snapshot) may clean it; a stale landing is harmless — the page is
+      // journaled and the newer content follows at the latest by commit.
+      if (st.ok() && f.epoch == job.epoch && f.dirty) {
+        f.dirty = false;
+        --dirty_count_;
+        ++stats_.async_writebacks;
+      }
+    }
+    if (!st.ok()) PoisonLocked(st);
+    io_cv_.notify_all();
+  }
 }
 
 }  // namespace storage

@@ -1,22 +1,40 @@
-// A fixed-capacity buffer pool with LRU replacement and pin counting over a
-// Pager. Logical page accesses that hit the pool cost no physical I/O — the
-// quantity the E12 benchmark contrasts between identifier arithmetic and
-// record fetches.
+// A fixed-capacity buffer pool with CLOCK replacement and pin counting over
+// a Pager. Logical page accesses that hit the pool cost no physical I/O —
+// the quantity the E12 benchmark contrasts between identifier arithmetic
+// and record fetches.
+//
+// Replacement is scan-resistant CLOCK: pages enter the pool with their
+// reference bit CLEAR and earn it on re-access, so a one-pass scan (or
+// BulkLoad's write storm) recycles its own frames instead of evicting the
+// hot upper B+tree levels a strict LRU would push out.
+//
+// The pool is internally thread-safe (one mutex over all frame metadata)
+// and can host a BackgroundFlusher (StartBackgroundFlusher): a dedicated
+// I/O thread that drains dirty unpinned frames asynchronously once more
+// than half the pool is dirty, coalescing adjacent pages into single span
+// writes, and that serves FlushAll as "enqueue + wait on a completion
+// latch". Frames under asynchronous write-back are marked io_in_flight
+// (never evicted, never re-copied); a per-frame epoch counter detects
+// re-dirtying during the unlocked write so a stale copy can never clear
+// the dirty bit of newer content.
 //
 // With a WriteAheadLog attached (AttachWal) the pool additionally runs the
 // durability protocol: the pre-image of every about-to-be-dirtied committed
 // page is journaled before the frame's first write-back can touch the main
-// file, every write-back stamps the page trailer (LSN + CRC32C), FlushAll
-// becomes the atomic commit (journal-sync -> write-back -> file-sync ->
-// checkpoint), and any failure inside that protocol *poisons* the pool: the
-// error is sticky and every later Fetch/AllocatePinned/FlushAll returns it,
-// because continuing after a half-done commit step could publish state that
-// recovery can no longer roll back.
+// file, every write-back (foreground or flusher) syncs the journal first
+// and stamps the page trailer (LSN + CRC32C), FlushAll is the atomic commit
+// (journal-sync -> write-back -> file-sync -> checkpoint), and any failure
+// inside that protocol *poisons* the pool: the error is sticky and every
+// later Fetch/AllocatePinned/FlushAll returns it, because continuing after
+// a half-done commit step could publish state that recovery can no longer
+// roll back.
 #ifndef RUIDX_STORAGE_BUFFER_POOL_H_
 #define RUIDX_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
-#include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -28,10 +46,16 @@
 namespace ruidx {
 namespace storage {
 
+class BackgroundFlusher;
+
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;   // synchronous (eviction / FlushAll)
+  uint64_t async_writebacks = 0;   // cleaned by a flusher drain
+  uint64_t prefetches = 0;         // pages loaded ahead of a scan
+  uint64_t flusher_drains = 0;     // drain passes that found work
 };
 
 /// Pages on the free list carry this marker in their first 4 bytes and the
@@ -52,13 +76,27 @@ class BufferPool {
   /// be attached before the first mutation through this pool.
   void AttachWal(WriteAheadLog* wal);
 
+  /// Spawns the background flusher thread for this pool. Call at most
+  /// once, after AttachWal and before the pool is shared across threads.
+  void StartBackgroundFlusher();
+  bool has_background_flusher() const { return flusher_ != nullptr; }
+  /// Requests waiting in the flusher queue (0 without a flusher).
+  size_t flusher_queue_depth() const;
+
   /// Returns a pinned pointer to the page's frame. Call Unpin when done.
   /// Page content past kPageUsableSize is the trailer — hands off.
+  /// A pinned frame may be READ from any thread; WRITING it concurrently
+  /// with other accessors of the same page is the caller's race to avoid.
   Result<uint8_t*> Fetch(uint32_t page_id);
 
   /// Releases a pin; `dirty` marks the frame for write-back (journaling the
-  /// page's pre-image first when a WAL is attached).
+  /// page's pre-image first when a WAL is attached). Past the dirty
+  /// watermark (half the pool) this nudges the background flusher.
   void Unpin(uint32_t page_id, bool dirty);
+
+  /// Hints that `page_id` will be fetched soon (leaf-chain read-ahead).
+  /// No-op without a background flusher; errors are swallowed.
+  void Prefetch(uint32_t page_id);
 
   /// Allocates a page — reusing the free list before growing the file —
   /// and returns it pinned (zeroed).
@@ -70,58 +108,93 @@ class BufferPool {
 
   /// Writes back all dirty frames. With a WAL attached this is the atomic
   /// commit: sync the journal, write back + sync the main file, checkpoint.
+  /// With a flusher it is served by the flusher thread, strictly after
+  /// every drain queued before it.
   Status FlushAll();
 
   /// The pool's sticky failure state: OK, or the first durability-protocol
   /// error (also returned by every subsequent Fetch/AllocatePinned/
-  /// FlushAll/FreePage).
+  /// FlushAll/FreePage). Read from a quiescent state when a flusher runs.
   const Status& status() const { return poison_; }
 
   /// Reinstalls a persisted free list (called when re-opening a store).
   void RestoreFreeList(uint32_t head, uint64_t count) {
+    std::lock_guard<std::mutex> lock(mu_);
     free_head_ = head;
     free_count_ = count;
   }
-  uint32_t free_head() const { return free_head_; }
-  uint64_t free_page_count() const { return free_count_; }
+  uint32_t free_head() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_head_;
+  }
+  uint64_t free_page_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_count_;
+  }
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = BufferPoolStats{};
+  }
   size_t capacity() const { return capacity_; }
 
  private:
+  friend class BackgroundFlusher;
+
   struct Frame {
     uint32_t page_id = kInvalidPage;
     int pin_count = 0;
     bool dirty = false;
+    bool referenced = false;     // CLOCK second-chance bit
+    bool io_in_flight = false;   // a flusher drain holds a copy
+    uint64_t epoch = 0;          // bumped on every dirtying
     std::vector<uint8_t> data;
   };
 
-  /// Finds a frame for page_id, evicting if needed.
-  Result<size_t> FindFrame(uint32_t page_id, bool load);
-  void TouchLru(size_t frame_idx);
+  /// Finds a frame for page_id, evicting if needed. New pages enter with
+  /// the reference bit clear (cold insertion — the scan-resistance half of
+  /// CLOCK); hits set it.
+  Result<size_t> FindFrameLocked(std::unique_lock<std::mutex>& lock,
+                                 uint32_t page_id, bool load);
+  /// CLOCK sweep for an evictable frame; waits on io_cv_ when only
+  /// in-flight frames remain, writes back dirty victims synchronously.
+  Result<size_t> PickVictimLocked(std::unique_lock<std::mutex>& lock);
 
-  /// Stamps the trailer and writes the frame to the main file; with a WAL,
-  /// first makes sure every journal record is durable (pre-images must hit
-  /// the disk before the pages they cover are overwritten).
-  Status WriteBack(Frame& frame);
+  /// Synchronous write-back of one dirty frame (eviction / FlushAll); with
+  /// a WAL, first makes sure every journal record is durable (pre-images
+  /// must hit the disk before the pages they cover are overwritten).
+  Status WriteBackLocked(size_t frame_idx);
   /// Journals `page_id`'s on-disk pre-image if this transaction has not
   /// yet; pages the transaction itself appended need no image (rollback
   /// truncates them away).
-  Status JournalBeforeDirty(uint32_t page_id);
+  Status JournalBeforeDirtyLocked(uint32_t page_id);
   /// Same, but takes the pre-image from an already-loaded clean frame,
   /// saving the re-read.
-  Status JournalFromBuffer(uint32_t page_id, const uint8_t* data);
+  Status JournalFromBufferLocked(uint32_t page_id, const uint8_t* data);
   /// Opens the WAL transaction (records the rollback page count) if needed.
-  Status EnsureTransaction();
-  void Poison(const Status& status);
+  Status EnsureTransactionLocked();
+  void PoisonLocked(const Status& status);
+  Status FlushAllLocked(std::unique_lock<std::mutex>& lock);
+  /// Called outside the lock with a dirty-count snapshot.
+  void MaybeScheduleDrain(size_t dirty_count);
+
+  // Flusher-thread entry points (called via friend BackgroundFlusher).
+  void ServiceDrain();
+  void ServicePrefetch(uint32_t page_id);
+  Status ServiceCommit();
 
   Pager* pager_;
   WriteAheadLog* wal_ = nullptr;
   size_t capacity_;
   std::vector<Frame> frames_;
   std::unordered_map<uint32_t, size_t> table_;  // page id -> frame index
-  std::list<size_t> lru_;                       // most recent at front
+  std::vector<size_t> free_frames_;             // never-used frame indexes
+  size_t clock_hand_ = 0;
+  size_t dirty_count_ = 0;
   std::unordered_set<uint32_t> journaled_;      // this txn's covered pages
   uint32_t txn_base_pages_ = 0;  // durable page count at txn start
   uint32_t free_head_ = kInvalidPage;
@@ -129,6 +202,9 @@ class BufferPool {
   Status poison_;
   std::vector<uint8_t> scratch_;  // pre-image read buffer
   BufferPoolStats stats_;
+  mutable std::mutex mu_;               // guards every member above
+  std::condition_variable io_cv_;       // io_in_flight completions
+  std::unique_ptr<BackgroundFlusher> flusher_;
 };
 
 }  // namespace storage

@@ -153,7 +153,8 @@ Status ElementStore::WriteMeta() {
 }
 
 Result<std::unique_ptr<ElementStore>> ElementStore::Create(
-    const std::string& path, size_t buffer_pool_pages) {
+    const std::string& path, size_t buffer_pool_pages,
+    bool background_flusher) {
   auto store = std::unique_ptr<ElementStore>(new ElementStore());
   auto injector = std::make_shared<IoFaultInjector>();
   RUIDX_ASSIGN_OR_RETURN(store->pager_,
@@ -168,6 +169,7 @@ Result<std::unique_ptr<ElementStore>> ElementStore::Create(
   store->pool_ =
       std::make_unique<BufferPool>(store->pager_.get(), buffer_pool_pages);
   store->pool_->AttachWal(store->wal_.get());
+  if (background_flusher) store->pool_->StartBackgroundFlusher();
   // Reserve page 0 for the metadata header.
   uint8_t* meta = nullptr;
   RUIDX_ASSIGN_OR_RETURN(uint32_t meta_page, store->pool_->AllocatePinned(&meta));
@@ -182,7 +184,8 @@ Result<std::unique_ptr<ElementStore>> ElementStore::Create(
 }
 
 Result<std::unique_ptr<ElementStore>> ElementStore::Open(
-    const std::string& path, size_t buffer_pool_pages) {
+    const std::string& path, size_t buffer_pool_pages,
+    bool background_flusher) {
   auto store = std::unique_ptr<ElementStore>(new ElementStore());
   auto injector = std::make_shared<IoFaultInjector>();
   RUIDX_ASSIGN_OR_RETURN(store->wal_,
@@ -207,12 +210,16 @@ Result<std::unique_ptr<ElementStore>> ElementStore::Open(
       RUIDX_RETURN_NOT_OK(
           store->pager_->TruncateToPages(plan.base_page_count));
     }
-    RUIDX_RETURN_NOT_OK(store->pager_->Sync());
+    // Recovery writes raw through the pager, below the durability layer's
+    // own machinery — this sync makes the rollback durable before the
+    // journal is dropped.
+    RUIDX_RETURN_NOT_OK(store->pager_->Sync());  // NOLINT(sync-outside-durability)
     RUIDX_RETURN_NOT_OK(store->wal_->Checkpoint());
   }
   store->pool_ =
       std::make_unique<BufferPool>(store->pager_.get(), buffer_pool_pages);
   store->pool_->AttachWal(store->wal_.get());
+  if (background_flusher) store->pool_->StartBackgroundFlusher();
   RUIDX_ASSIGN_OR_RETURN(uint8_t* page, store->pool_->Fetch(0));
   uint32_t magic = 0;
   std::memcpy(&magic, page, 4);
@@ -336,9 +343,11 @@ Result<bool> ElementStore::Exists(const core::Ruid2Id& id) {
 
 Status ElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
                               xml::Node* root) {
-  Status status = Status::OK();
+  // Document order encodes to ascending keys, so the whole document goes
+  // through the sorted batch path: heap appends plus one sequential index
+  // build instead of one top-down Insert per node.
+  std::vector<ElementRecord> records;
   xml::PreorderTraverse(root, [&](xml::Node* n, int) {
-    if (!status.ok()) return false;
     ElementRecord record;
     record.id = scheme.label(n);
     record.parent_id =
@@ -346,10 +355,44 @@ Status ElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
     record.node_type = static_cast<uint8_t>(n->type());
     record.name = n->name();
     if (!n->is_element()) record.value = n->value();
-    status = Put(record);
-    return status.ok();
+    records.push_back(std::move(record));
+    return true;
   });
-  return status;
+  return BulkLoadRecords(records);
+}
+
+Status ElementStore::BulkLoadRecords(const std::vector<ElementRecord>& records) {
+  if (records.empty()) return Status::OK();
+  // The batch path needs an empty index and strictly ascending keys.
+  // Decide BEFORE appending anything: a mid-batch fallback would leave
+  // heap copies with no index entries.
+  bool batch = index_->entry_count() == 0;
+  std::vector<BPlusTree::Key> keys;
+  if (batch) {
+    keys.reserve(records.size());
+    for (const ElementRecord& record : records) {
+      auto key = EncodeIdKey(record.id);
+      if (!key.ok()) return key.status();
+      if (!keys.empty() && !(keys.back() < *key)) {
+        batch = false;
+        break;
+      }
+      keys.push_back(*key);
+    }
+  }
+  if (!batch) {
+    for (const ElementRecord& record : records) {
+      RUIDX_RETURN_NOT_OK(Put(record));
+    }
+    return Status::OK();
+  }
+  std::vector<std::pair<BPlusTree::Key, uint64_t>> entries;
+  entries.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    RUIDX_ASSIGN_OR_RETURN(uint64_t location, AppendRecord(records[i]));
+    entries.emplace_back(keys[i], location);
+  }
+  return index_->BulkLoadSorted(entries);
 }
 
 Status ElementStore::ScanArea(

@@ -44,8 +44,13 @@ core::Ruid2Id DecodeIdKey(const BPlusTree::Key& key);
 class ElementStore {
  public:
   /// Creates an empty store backed by `path` (empty = temp file).
+  /// `background_flusher` spawns the store's dedicated I/O thread that
+  /// drains dirty pool frames asynchronously; pass false for stores that
+  /// live many-to-a-process (e.g. the shards of a ShardedElementStore,
+  /// whose workers already provide the parallelism).
   static Result<std::unique_ptr<ElementStore>> Create(
-      const std::string& path, size_t buffer_pool_pages = 64);
+      const std::string& path, size_t buffer_pool_pages = 64,
+      bool background_flusher = true);
 
   /// Re-opens a store previously Create()d and Flush()ed at `path`. Runs
   /// crash recovery first: if the sidecar journal ("<path>.wal") holds a
@@ -53,7 +58,8 @@ class ElementStore {
   /// (pre-images re-applied, appended pages truncated, torn journal tails
   /// discarded) before the metadata is read.
   static Result<std::unique_ptr<ElementStore>> Open(
-      const std::string& path, size_t buffer_pool_pages = 64);
+      const std::string& path, size_t buffer_pool_pages = 64,
+      bool background_flusher = true);
 
   /// Inserts or replaces a record.
   Status Put(const ElementRecord& record);
@@ -71,6 +77,13 @@ class ElementStore {
 
   /// Loads every labeled node of `doc` under `scheme`.
   Status BulkLoad(const core::Ruid2Scheme& scheme, xml::Node* root);
+
+  /// Inserts a batch of records. When the store is empty and the batch is
+  /// already in ascending identifier order (labels emitted in document
+  /// order always are), the index is built by the B+tree's sequential
+  /// batch path — leaves filled back to back, no top-down descents —
+  /// otherwise this degrades to a Put loop.
+  Status BulkLoadRecords(const std::vector<ElementRecord>& records);
 
   /// Scans all records of one UID-local area (one identifier-prefix range).
   Status ScanArea(const BigUint& global,
@@ -119,7 +132,9 @@ class ElementStore {
 
   uint64_t record_count() const { return index_->entry_count(); }
   const PagerStats& pager_stats() const { return pager_->stats(); }
-  const BufferPoolStats& pool_stats() const { return pool_->stats(); }
+  BufferPoolStats pool_stats() const { return pool_->stats(); }
+  /// Requests waiting in the background flusher's queue (0 without one).
+  size_t flusher_queue_depth() const { return pool_->flusher_queue_depth(); }
   void ResetStats() {
     pager_->ResetStats();
     pool_->ResetStats();
@@ -127,7 +142,8 @@ class ElementStore {
   /// Logical page accesses (pool hits + misses) — the paper-level I/O
   /// metric, independent of pool capacity.
   uint64_t logical_page_accesses() const {
-    return pool_->stats().hits + pool_->stats().misses;
+    BufferPoolStats s = pool_->stats();
+    return s.hits + s.misses;
   }
 
  private:

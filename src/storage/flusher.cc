@@ -1,0 +1,105 @@
+#include "storage/flusher.h"
+
+#include <utility>
+
+#include "storage/buffer_pool.h"
+
+namespace ruidx {
+namespace storage {
+
+void BackgroundFlusher::Start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void BackgroundFlusher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // The stop marker goes to the BACK: everything already queued —
+    // including commits with waiters — is served first.
+    queue_.push_back(Request{Request::kStop});
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void BackgroundFlusher::RequestDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || drain_pending_) return;
+    drain_pending_ = true;
+    queue_.push_back(Request{Request::kDrain});
+  }
+  cv_.notify_all();
+}
+
+void BackgroundFlusher::RequestPrefetch(uint32_t page_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    Request req{Request::kPrefetch};
+    req.page_id = page_id;
+    queue_.push_back(req);
+  }
+  cv_.notify_all();
+}
+
+Status BackgroundFlusher::RunCommit() {
+  Latch latch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || !thread_.joinable()) {
+      return Status::Internal("flusher is not running");
+    }
+    Request req{Request::kCommit};
+    req.latch = &latch;
+    queue_.push_back(req);
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&] { return latch.done; });
+  return latch.status;
+}
+
+size_t BackgroundFlusher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void BackgroundFlusher::Loop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !queue_.empty(); });
+      req = queue_.front();
+      queue_.pop_front();
+      if (req.kind == Request::kDrain) drain_pending_ = false;
+    }
+    switch (req.kind) {
+      case Request::kDrain:
+        pool_->ServiceDrain();
+        break;
+      case Request::kPrefetch:
+        pool_->ServicePrefetch(req.page_id);
+        break;
+      case Request::kCommit: {
+        Status st = pool_->ServiceCommit();
+        {
+          std::lock_guard<std::mutex> lock(req.latch->mu);
+          req.latch->status = st;
+          req.latch->done = true;
+        }
+        req.latch->cv.notify_all();
+        break;
+      }
+      case Request::kStop:
+        return;
+    }
+  }
+}
+
+}  // namespace storage
+}  // namespace ruidx

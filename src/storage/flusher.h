@@ -1,0 +1,93 @@
+// Background flusher: one dedicated I/O thread per store draining dirty
+// buffer-pool frames asynchronously (the rethinkdb blocker-pool idea scaled
+// down to one worker — the pool hands blocking page writes to a thread
+// whose only job is to block on them).
+//
+// The thread owns a FIFO request queue. Three request kinds exist:
+//   kDrain    — write back currently-dirty unpinned frames (coalescing
+//               adjacent pages into single span writes);
+//   kPrefetch — pull one page into the pool ahead of a sequential scan;
+//   kCommit   — run the pool's atomic FlushAll and fulfill a completion
+//               latch the caller is waiting on.
+// Because a single thread serves the queue in order, a commit can never
+// overlap a drain: by the time kCommit is popped every earlier drain has
+// fully landed, so FlushAll never races an in-flight stale write. The
+// WAL ordering invariants (journal-before-first-dirty is enforced by the
+// pool at dirtying time; journal-sync-before-write-back is replayed by
+// every drain) hold unchanged under asynchrony.
+#ifndef RUIDX_STORAGE_FLUSHER_H_
+#define RUIDX_STORAGE_FLUSHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "util/result.h"
+
+namespace ruidx {
+namespace storage {
+
+class BufferPool;
+
+class BackgroundFlusher {
+ public:
+  /// \param pool must outlive the flusher (the pool owns and joins it).
+  explicit BackgroundFlusher(BufferPool* pool) : pool_(pool) {}
+  ~BackgroundFlusher() { Stop(); }
+  BackgroundFlusher(const BackgroundFlusher&) = delete;
+  BackgroundFlusher& operator=(const BackgroundFlusher&) = delete;
+
+  void Start();
+
+  /// Joins the thread after serving every request already queued (queued
+  /// commits complete; their waiters are released). Idempotent.
+  void Stop();
+
+  /// Asks the thread to drain dirty frames. Collapses with an already
+  /// pending drain — a queue of N identical drains does no more work than
+  /// one, so the pool can call this on every dirtying past the watermark.
+  void RequestDrain();
+
+  /// Queues a read-ahead of `page_id`. Best effort: load errors are
+  /// swallowed (the foreground Fetch will surface them if it needs the
+  /// page), and requests after Stop are dropped.
+  void RequestPrefetch(uint32_t page_id);
+
+  /// Enqueues a commit and blocks until the flusher has run the pool's
+  /// FlushAll — "enqueue + wait on a completion latch". Every drain queued
+  /// before this point lands first (FIFO).
+  Status RunCommit();
+
+  /// Requests waiting to be served (commit latches count until fulfilled).
+  size_t queue_depth() const;
+
+ private:
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  };
+  struct Request {
+    enum Kind { kDrain, kPrefetch, kCommit, kStop } kind;
+    uint32_t page_id = 0;
+    Latch* latch = nullptr;
+  };
+
+  void Loop();
+
+  BufferPool* pool_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool drain_pending_ = false;  // a kDrain is queued and not yet popped
+  bool stopping_ = false;
+};
+
+}  // namespace storage
+}  // namespace ruidx
+
+#endif  // RUIDX_STORAGE_FLUSHER_H_

@@ -1,6 +1,9 @@
 #include "storage/pager.h"
 
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 #include <cstring>
 #include <memory>
@@ -10,6 +13,18 @@
 
 namespace ruidx {
 namespace storage {
+
+std::FILE* OpenAnonymousTempFile() {
+#if defined(__linux__)
+  int fd = ::memfd_create("ruidx-temp", 0);
+  if (fd >= 0) {
+    std::FILE* file = ::fdopen(fd, "wb+");
+    if (file != nullptr) return file;
+    ::close(fd);
+  }
+#endif
+  return std::tmpfile();
+}
 
 void StampPageTrailer(uint8_t* page, uint64_t lsn) {
   std::memcpy(page + kPageUsableSize, &lsn, 8);
@@ -45,8 +60,8 @@ Result<std::unique_ptr<Pager>> Pager::Open(
     std::shared_ptr<IoFaultInjector> injector) {
   std::FILE* file;
   if (path.empty()) {
-    file = std::tmpfile();
-    if (file == nullptr) return Status::IOError("tmpfile() failed");
+    file = OpenAnonymousTempFile();
+    if (file == nullptr) return Status::IOError("temp file creation failed");
   } else {
     // Open read-write, creating the file if it does not exist.
     file = std::fopen(path.c_str(), "rb+");
@@ -55,6 +70,7 @@ Result<std::unique_ptr<Pager>> Pager::Open(
   }
   if (injector == nullptr) injector = std::make_shared<IoFaultInjector>();
   auto pager = std::unique_ptr<Pager>(new Pager(file, std::move(injector)));
+  pager->temp_ = path.empty();
   if (std::fseek(file, 0, SEEK_END) != 0) {
     return Status::IOError("seek failed on " + path);
   }
@@ -76,7 +92,8 @@ Result<std::unique_ptr<Pager>> Pager::Open(
     }
     size += static_cast<long>(pad.size());
   }
-  pager->page_count_ = static_cast<uint32_t>(size / kPageSize);
+  pager->page_count_.store(static_cast<uint32_t>(size / kPageSize),
+                           std::memory_order_release);
   return pager;
 }
 
@@ -87,15 +104,18 @@ Pager::~Pager() {
 Result<uint32_t> Pager::AllocatePage() {
   char zeros[kPageSize];
   std::memset(zeros, 0, sizeof(zeros));
-  uint32_t id = page_count_;
-  RUIDX_RETURN_NOT_OK(WritePage(id, zeros));
+  if (injector_->ShouldFail()) return Status::IOError("injected fault (write)");
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t id = page_count_.load(std::memory_order_relaxed);
+  RUIDX_RETURN_NOT_OK(WritePageLocked(id, zeros));
   ++stats_.allocations;
   return id;
 }
 
 Status Pager::ReadPage(uint32_t id, void* buffer) {
   if (injector_->ShouldFail()) return Status::IOError("injected fault (read)");
-  if (id >= page_count_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= page_count_.load(std::memory_order_relaxed)) {
     return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
   }
   if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
@@ -110,6 +130,11 @@ Status Pager::ReadPage(uint32_t id, void* buffer) {
 
 Status Pager::WritePage(uint32_t id, const void* buffer) {
   if (injector_->ShouldFail()) return Status::IOError("injected fault (write)");
+  std::lock_guard<std::mutex> lock(mu_);
+  return WritePageLocked(id, buffer);
+}
+
+Status Pager::WritePageLocked(uint32_t id, const void* buffer) {
   if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
     return Status::IOError("seek failed");
   }
@@ -117,14 +142,41 @@ Status Pager::WritePage(uint32_t id, const void* buffer) {
     return Status::IOError("short write on page " + std::to_string(id));
   }
   ++stats_.physical_writes;
-  if (id >= page_count_) page_count_ = id + 1;
+  if (id >= page_count_.load(std::memory_order_relaxed)) {
+    page_count_.store(id + 1, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+Status Pager::WriteSpan(uint32_t first, uint32_t count, const void* buffer) {
+  if (count == 0) return Status::OK();
+  if (count == 1) return WritePage(first, buffer);
+  if (injector_->ShouldFail()) return Status::IOError("injected fault (write)");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fseek(file_, static_cast<long>(first) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(buffer, static_cast<size_t>(count) * kPageSize, 1, file_) !=
+      1) {
+    return Status::IOError("short write on span at page " +
+                           std::to_string(first));
+  }
+  stats_.physical_writes += count;
+  ++stats_.span_writes;
+  uint32_t end = first + count;
+  if (end > page_count_.load(std::memory_order_relaxed)) {
+    page_count_.store(end, std::memory_order_release);
+  }
   return Status::OK();
 }
 
 Status Pager::Sync() {
   if (injector_->ShouldFail()) return Status::IOError("injected fault (sync)");
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
-  if (::fsync(fileno(file_)) != 0) return Status::IOError("fsync failed");
+  if (!temp_ && ::fsync(fileno(file_)) != 0) {
+    return Status::IOError("fsync failed");
+  }
   ++stats_.syncs;
   return Status::OK();
 }
@@ -133,11 +185,12 @@ Status Pager::TruncateToPages(uint32_t pages) {
   if (injector_->ShouldFail()) {
     return Status::IOError("injected fault (truncate)");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
   if (::ftruncate(fileno(file_), static_cast<off_t>(pages) * kPageSize) != 0) {
     return Status::IOError("ftruncate failed");
   }
-  page_count_ = pages;
+  page_count_.store(pages, std::memory_order_release);
   return Status::OK();
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -69,7 +68,8 @@ Result<std::unique_ptr<ShardedElementStore>> ShardedElementStore::Open(
     }
     RUIDX_ASSIGN_OR_RETURN(
         std::unique_ptr<ElementStore> shard,
-        ElementStore::Open(entry.path().string(), buffer_pool_pages_per_shard));
+        ElementStore::Open(entry.path().string(), buffer_pool_pages_per_shard,
+                           /*background_flusher=*/false));
     store->shards_.emplace(ShardKey{stem.substr(0, dash), *global},
                            std::move(shard));
   }
@@ -108,8 +108,12 @@ Result<ElementStore*> ShardedElementStore::ShardFor(const ShardKey& key,
     path = dir_ + "/" + key.name + "-" + key.global.ToDecimalString() +
            ".shard";
   }
+  // Shards live many-to-a-process: one flusher thread per shard would
+  // explode the thread count, and the bulk-load workers already provide
+  // the parallelism — so shard pools run synchronously.
   RUIDX_ASSIGN_OR_RETURN(std::unique_ptr<ElementStore> store,
-                         ElementStore::Create(path, pool_pages_));
+                         ElementStore::Create(path, pool_pages_,
+                                              /*background_flusher=*/false));
   ElementStore* raw = store.get();
   shards_.emplace(key, std::move(store));
   return raw;
@@ -125,50 +129,77 @@ Status ShardedElementStore::Put(const ElementRecord& record) {
 Status ShardedElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
                                      xml::Node* root,
                                      util::ThreadPool* pool) {
-  // With no worker to hand shards to — a null/one-worker pool, or a machine
-  // with a single hardware thread (where extra workers only thrash) — load
-  // directly in document order. No grouping pass, no intermediate buffers.
-  if (pool == nullptr || pool->size() <= 1 ||
-      std::thread::hardware_concurrency() <= 1) {
+  // With no worker to hand shards to — a null/one-worker pool — stream the
+  // records directly in document order: no grouping pass, no intermediate
+  // buffers, constant memory.
+  if (pool == nullptr || pool->size() <= 1) {
     Status status = Status::OK();
     xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+      // Returning false only prunes this node's subtree — the traversal
+      // goes on with siblings — so the first error must also gate every
+      // later visit, or a subsequent successful Put would overwrite it.
+      if (!status.ok()) return false;
       status = Put(MakeRecord(scheme, n, root));
       return status.ok();
     });
     return status;
   }
 
-  // Stage 1 (serial): partition the records into per-shard vectors in ONE
-  // pass — each record is built once and moved, never copied, and the shard
-  // key is resolved through a hash index instead of a tree of string
-  // compares. The traversal is document order, so each shard's record list
-  // is in document order regardless of how stage 3 is scheduled.
+  // Stage 1 (serial): partition NODE POINTERS into per-shard lists in one
+  // pass. Records are not materialized here — each worker builds its
+  // shard's records right before loading them, so the intermediate state is
+  // one pointer per node instead of a second copy of the whole document.
+  // Lookups go through a transparent hash so no per-node ShardKey (and its
+  // name string) is ever constructed for an existing group. The traversal
+  // is document order, so each shard's node list is in document order
+  // regardless of how stage 3 is scheduled.
+  struct ShardKeyView {
+    std::string_view name;
+    const BigUint& global;
+  };
   struct ShardKeyHash {
+    using is_transparent = void;
     size_t operator()(const ShardKey& key) const {
       return std::hash<std::string>()(key.name) * 1099511628211ULL ^
              key.global.Hash();
     }
+    size_t operator()(const ShardKeyView& key) const {
+      return std::hash<std::string_view>()(key.name) * 1099511628211ULL ^
+             key.global.Hash();
+    }
   };
   struct ShardKeyEq {
+    using is_transparent = void;
     bool operator()(const ShardKey& a, const ShardKey& b) const {
       return a.name == b.name && a.global == b.global;
     }
+    bool operator()(const ShardKeyView& a, const ShardKey& b) const {
+      return a.name == b.name && a.global == b.global;
+    }
+    bool operator()(const ShardKey& a, const ShardKeyView& b) const {
+      return b.name == a.name && b.global == a.global;
+    }
   };
   std::unordered_map<ShardKey, size_t, ShardKeyHash, ShardKeyEq> group_index;
-  std::vector<std::vector<ElementRecord>> groups;
+  std::vector<std::vector<xml::Node*>> groups;
   xml::PreorderTraverse(root, [&](xml::Node* n, int) {
-    ElementRecord record = MakeRecord(scheme, n, root);
-    auto [it, fresh] = group_index.try_emplace(
-        ShardKey{record.name, record.id.global}, groups.size());
-    if (fresh) groups.emplace_back();
-    groups[it->second].push_back(std::move(record));
+    const core::Ruid2Id& id = scheme.label(n);
+    auto it = group_index.find(ShardKeyView{n->name(), id.global});
+    if (it == group_index.end()) {
+      it = group_index
+               .try_emplace(ShardKey{std::string(n->name()), id.global},
+                            groups.size())
+               .first;
+      groups.emplace_back();
+    }
+    groups[it->second].push_back(n);
     return true;
   });
 
   // Stage 2 (serial): create every shard up front, so the parallel stage
   // never touches the shard map.
-  std::vector<std::pair<ElementStore*, const std::vector<ElementRecord>*>>
-      jobs(groups.size());
+  std::vector<std::pair<ElementStore*, const std::vector<xml::Node*>*>> jobs(
+      groups.size());
   for (const auto& [key, idx] : group_index) {
     RUIDX_ASSIGN_OR_RETURN(ElementStore * shard, ShardFor(key, /*create=*/true));
     RUIDX_DCHECK(jobs[idx].first == nullptr,
@@ -182,18 +213,22 @@ Status ShardedElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
                "bulk-load merge left a group without a shard");
 
   // Stage 3 (parallel): each shard is loaded whole by one worker — no two
-  // workers ever share an ElementStore, so the stores need no locks.
+  // workers ever share an ElementStore, so the stores need no locks. The
+  // worker materializes its shard's records (the scheme and DOM are
+  // read-only here) and hands them to BulkLoadRecords in one batch. The
+  // per-shard lists are in document order (stage 1 traverses in document
+  // order), hence ascending identifier order, so BulkLoadRecords takes the
+  // B+tree's sequential batch-build path instead of record-at-a-time Puts.
   // lint: disjoint-writes — worker i touches only jobs[i] and statuses[i].
   std::vector<Status> statuses(jobs.size(), Status::OK());
   util::ThreadPool::ParallelFor(pool, jobs.size(), [&](size_t i) {
-    auto [shard, records] = jobs[i];
-    for (const ElementRecord& record : *records) {
-      Status st = shard->Put(record);
-      if (!st.ok()) {
-        statuses[i] = std::move(st);
-        return;
-      }
+    auto [shard, nodes] = jobs[i];
+    std::vector<ElementRecord> records;
+    records.reserve(nodes->size());
+    for (xml::Node* n : *nodes) {
+      records.push_back(MakeRecord(scheme, n, root));
     }
+    statuses[i] = shard->BulkLoadRecords(records);
   });
   for (Status& st : statuses) {
     RUIDX_RETURN_NOT_OK(st);
@@ -242,6 +277,22 @@ uint64_t ShardedElementStore::record_count() const {
   std::lock_guard<std::mutex> lock(shards_mu_);
   uint64_t total = 0;
   for (const auto& [key, shard] : shards_) total += shard->record_count();
+  return total;
+}
+
+BufferPoolStats ShardedElementStore::pool_stats() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  BufferPoolStats total;
+  for (const auto& [key, shard] : shards_) {
+    BufferPoolStats s = shard->pool_stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.dirty_writebacks += s.dirty_writebacks;
+    total.async_writebacks += s.async_writebacks;
+    total.prefetches += s.prefetches;
+    total.flusher_drains += s.flusher_drains;
+  }
   return total;
 }
 

@@ -54,9 +54,11 @@ class ShardedElementStore {
   /// Loads every labeled node of the document. With a pool, records are
   /// first partitioned per (name, global) shard in document order, the
   /// shards are created serially, and then each shard is loaded whole by
-  /// one worker — shards never share an ElementStore, so the only lock in
-  /// the pipeline is the shard-map mutex. Shard contents are identical for
-  /// every thread count (each shard sees its records in document order).
+  /// one worker via its batched path (BulkLoadRecords: B+tree leaves built
+  /// sequentially, no per-record descents) — shards never share an
+  /// ElementStore, so the only lock in the pipeline is the shard-map mutex.
+  /// Shard contents are identical for every thread count (each shard sees
+  /// its records in document order).
   Status BulkLoad(const core::Ruid2Scheme& scheme, xml::Node* root,
                   util::ThreadPool* pool = nullptr);
 
@@ -81,6 +83,8 @@ class ShardedElementStore {
 
   /// Sum of logical page accesses across all shards (for the benchmarks).
   uint64_t logical_page_accesses() const;
+  /// Aggregate buffer-pool counters across all shards.
+  BufferPoolStats pool_stats() const;
   void ResetStats();
 
  private:

@@ -46,8 +46,8 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     const std::string& path, std::shared_ptr<IoFaultInjector> injector) {
   std::FILE* file;
   if (path.empty()) {
-    file = std::tmpfile();
-    if (file == nullptr) return Status::IOError("tmpfile() failed");
+    file = OpenAnonymousTempFile();
+    if (file == nullptr) return Status::IOError("temp file creation failed");
   } else {
     file = std::fopen(path.c_str(), "rb+");
     if (file == nullptr) file = std::fopen(path.c_str(), "wb+");
@@ -56,6 +56,7 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   if (injector == nullptr) injector = std::make_shared<IoFaultInjector>();
   auto wal = std::unique_ptr<WriteAheadLog>(
       new WriteAheadLog(file, std::move(injector)));
+  wal->temp_ = path.empty();
   if (std::fseek(file, 0, SEEK_END) != 0) {
     return Status::IOError("seek failed on wal " + path);
   }
@@ -63,8 +64,9 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   if (size < 0) return Status::IOError("ftell failed on wal " + path);
   if (size < kWalHeaderSize) {
     // Fresh (or header torn before it was ever synced — nothing could have
-    // been journaled after it, so the log is empty either way).
-    RUIDX_RETURN_NOT_OK(wal->WriteHeader());
+    // been journaled after it, so the log is empty either way). No lock:
+    // the log is not shared until Open returns.
+    RUIDX_RETURN_NOT_OK(wal->WriteHeaderLocked());
     if (std::fflush(file) != 0) return Status::IOError("wal fflush failed");
     wal->append_offset_ = kWalHeaderSize;
     return wal;
@@ -81,7 +83,9 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   if (magic != kWalMagic || stored_crc != util::Crc32c(header, 16)) {
     return Status::Corruption("not a wal file: " + path);
   }
-  std::memcpy(&wal->next_lsn_, header + 8, 8);
+  uint64_t stored_lsn;
+  std::memcpy(&stored_lsn, header + 8, 8);
+  wal->next_lsn_.store(stored_lsn, std::memory_order_relaxed);
   RUIDX_RETURN_NOT_OK(wal->ScanExisting(size));
   return wal;
 }
@@ -145,20 +149,23 @@ Status WriteAheadLog::ScanExisting(long file_size) {
     offset += static_cast<long>(kRecordHeaderSize + payload_len);
   }
   if (offset < file_size && !plan_.torn_tail) plan_.torn_tail = true;
-  if (max_lsn + 1 > next_lsn_) next_lsn_ = max_lsn + 1;
+  if (max_lsn + 1 > next_lsn_.load(std::memory_order_relaxed)) {
+    next_lsn_.store(max_lsn + 1, std::memory_order_relaxed);
+  }
   // New appends overwrite any torn tail.
   append_offset_ = offset;
   return Status::OK();
 }
 
-Status WriteAheadLog::WriteHeader() {
+Status WriteAheadLog::WriteHeaderLocked() {
   if (injector_->ShouldFail()) {
     return Status::IOError("injected fault (wal header)");
   }
   uint8_t header[kWalHeaderSize];
   std::memset(header, 0, sizeof(header));
   std::memcpy(header, &kWalMagic, 4);
-  std::memcpy(header + 8, &next_lsn_, 8);
+  uint64_t lsn_snapshot = next_lsn_.load(std::memory_order_acquire);
+  std::memcpy(header + 8, &lsn_snapshot, 8);
   uint32_t crc = util::Crc32c(header, 16);
   std::memcpy(header + 16, &crc, 4);
   if (std::fseek(file_, 0, SEEK_SET) != 0 ||
@@ -168,9 +175,9 @@ Status WriteAheadLog::WriteHeader() {
   return Status::OK();
 }
 
-Status WriteAheadLog::AppendRecord(uint8_t type, uint64_t lsn, uint32_t arg,
-                                   const uint8_t* payload,
-                                   size_t payload_len) {
+Status WriteAheadLog::AppendRecordLocked(uint8_t type, uint64_t lsn,
+                                         uint32_t arg, const uint8_t* payload,
+                                         size_t payload_len) {
   if (injector_->ShouldFail()) {
     return Status::IOError("injected fault (wal append)");
   }
@@ -193,48 +200,56 @@ Status WriteAheadLog::AppendRecord(uint8_t type, uint64_t lsn, uint32_t arg,
 }
 
 Status WriteAheadLog::BeginTransaction(uint32_t base_page_count) {
-  if (in_transaction_) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_transaction_.load(std::memory_order_relaxed)) return Status::OK();
   if (plan_.has_transaction) {
     return Status::Internal(
         "wal still holds an unrecovered transaction; roll back and "
         "Checkpoint() first");
   }
-  RUIDX_RETURN_NOT_OK(AppendRecord(kRecordBegin, AllocateLsn(),
-                                   base_page_count, nullptr, 0));
-  in_transaction_ = true;
-  txn_base_page_count_ = base_page_count;
+  RUIDX_RETURN_NOT_OK(AppendRecordLocked(kRecordBegin, AllocateLsn(),
+                                         base_page_count, nullptr, 0));
+  txn_base_page_count_.store(base_page_count, std::memory_order_release);
+  in_transaction_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 Status WriteAheadLog::AppendPageImage(uint32_t page_id, const uint8_t* image) {
-  if (!in_transaction_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!in_transaction_.load(std::memory_order_relaxed)) {
     return Status::Internal("wal page image outside a transaction");
   }
-  return AppendRecord(kRecordPageImage, AllocateLsn(), page_id, image,
-                      kPageSize);
+  return AppendRecordLocked(kRecordPageImage, AllocateLsn(), page_id, image,
+                            kPageSize);
 }
 
 Status WriteAheadLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!unsynced_) return Status::OK();
   if (injector_->ShouldFail()) return Status::IOError("injected fault (wal sync)");
   if (std::fflush(file_) != 0) return Status::IOError("wal fflush failed");
-  if (::fsync(fileno(file_)) != 0) return Status::IOError("wal fsync failed");
+  if (!temp_ && ::fsync(fileno(file_)) != 0) {
+    return Status::IOError("wal fsync failed");
+  }
   unsynced_ = false;
   ++stats_.syncs;
   return Status::OK();
 }
 
 Status WriteAheadLog::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
   // Persist the LSN counter, then truncate the records away. The truncate
   // is the commit point: once it lands, the main file (already written and
   // synced by the caller) *is* the committed state and there is nothing to
   // roll back.
-  RUIDX_RETURN_NOT_OK(WriteHeader());
+  RUIDX_RETURN_NOT_OK(WriteHeaderLocked());
   if (injector_->ShouldFail()) {
     return Status::IOError("injected fault (wal checkpoint sync)");
   }
   if (std::fflush(file_) != 0) return Status::IOError("wal fflush failed");
-  if (::fsync(fileno(file_)) != 0) return Status::IOError("wal fsync failed");
+  if (!temp_ && ::fsync(fileno(file_)) != 0) {
+    return Status::IOError("wal fsync failed");
+  }
   if (injector_->ShouldFail()) {
     return Status::IOError("injected fault (wal truncate)");
   }
@@ -244,10 +259,12 @@ Status WriteAheadLog::Checkpoint() {
   if (injector_->ShouldFail()) {
     return Status::IOError("injected fault (wal post-truncate sync)");
   }
-  if (::fsync(fileno(file_)) != 0) return Status::IOError("wal fsync failed");
+  if (!temp_ && ::fsync(fileno(file_)) != 0) {
+    return Status::IOError("wal fsync failed");
+  }
   append_offset_ = kWalHeaderSize;
-  in_transaction_ = false;
-  txn_base_page_count_ = 0;
+  in_transaction_.store(false, std::memory_order_release);
+  txn_base_page_count_.store(0, std::memory_order_release);
   unsynced_ = false;
   plan_ = RecoveryPlan{};
   ++stats_.checkpoints;

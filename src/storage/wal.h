@@ -16,9 +16,11 @@
 #ifndef RUIDX_STORAGE_WAL_H_
 #define RUIDX_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -65,13 +67,19 @@ class WriteAheadLog {
   /// `base_page_count` is the main file's durable page count — recovery
   /// truncates back to it.
   Status BeginTransaction(uint32_t base_page_count);
-  bool in_transaction() const { return in_transaction_; }
-  uint32_t txn_base_page_count() const { return txn_base_page_count_; }
+  bool in_transaction() const {
+    return in_transaction_.load(std::memory_order_acquire);
+  }
+  uint32_t txn_base_page_count() const {
+    return txn_base_page_count_.load(std::memory_order_acquire);
+  }
 
   /// Appends the pre-image of a main-file page (kPageSize bytes).
   Status AppendPageImage(uint32_t page_id, const uint8_t* image);
 
-  /// fsyncs appended records. No-op when nothing is pending.
+  /// fsyncs appended records. No-op when nothing is pending. Safe to call
+  /// from the flusher thread concurrently with foreground appends: the
+  /// internal mutex orders the fsync after whichever appends it observed.
   Status Sync();
 
   /// Ends the transaction: persists the LSN counter in the header and
@@ -79,31 +87,43 @@ class WriteAheadLog {
   /// commit point of the enclosing FlushAll.
   Status Checkpoint();
 
-  /// Hands out the next LSN for a page-trailer stamp.
-  uint64_t AllocateLsn() { return next_lsn_++; }
+  /// Hands out the next LSN for a page-trailer stamp (atomic, callable
+  /// from the flusher thread while the foreground journals).
+  uint64_t AllocateLsn() {
+    return next_lsn_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Exclusive upper bound for every LSN stamped so far.
-  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t next_lsn() const {
+    return next_lsn_.load(std::memory_order_acquire);
+  }
 
+  /// Stats are mutated under the internal mutex; read from quiescent
+  /// states (after FlushAll / flusher join) as the tests do.
   const WalStats& stats() const { return stats_; }
 
  private:
   WriteAheadLog(std::FILE* file, std::shared_ptr<IoFaultInjector> injector)
       : file_(file), injector_(std::move(injector)) {}
 
-  Status WriteHeader();
-  Status AppendRecord(uint8_t type, uint64_t lsn, uint32_t arg,
-                      const uint8_t* payload, size_t payload_len);
+  Status WriteHeaderLocked();
+  Status AppendRecordLocked(uint8_t type, uint64_t lsn, uint32_t arg,
+                            const uint8_t* payload, size_t payload_len);
   /// Reads the valid prefix into plan_ and positions append_offset_.
   Status ScanExisting(long file_size);
 
   std::FILE* file_;
+  /// Anonymous tmpfile backing (empty path): already unlinked, so no crash
+  /// can see it — physical fsyncs are skipped (flush, stats, and
+  /// fault-injection accounting are unchanged).
+  bool temp_ = false;
   std::shared_ptr<IoFaultInjector> injector_;
   RecoveryPlan plan_;
-  uint64_t next_lsn_ = 1;
+  std::atomic<uint64_t> next_lsn_{1};
   long append_offset_ = 0;
-  bool in_transaction_ = false;
-  uint32_t txn_base_page_count_ = 0;
+  std::atomic<bool> in_transaction_{false};
+  std::atomic<uint32_t> txn_base_page_count_{0};
   bool unsynced_ = false;
+  mutable std::mutex mu_;  // serializes file ops, unsynced_, and stats
   WalStats stats_;
 };
 

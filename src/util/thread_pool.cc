@@ -1,7 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <thread>
 
 namespace ruidx {
 namespace util {
@@ -72,7 +74,18 @@ void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
     size_t live = 0;
   };
   auto state = std::make_shared<SharedState>();
-  size_t tasks = std::min(pool->size(), n);
+  // Claiming tasks are CPU-bound loops over the shared cursor, so spawning
+  // more of them than the machine has cores buys nothing — every index is
+  // still claimed exactly once — and on a small machine the extra claimants
+  // cost real time in context switches and allocator-arena churn.
+  size_t cores = std::max<size_t>(1, std::thread::hardware_concurrency());
+  size_t tasks = std::min({pool->size(), n, cores});
+  if (tasks == 1) {
+    // One claimant would process every index anyway; doing it inline skips
+    // the dispatch round-trip and keeps allocations on the caller's arena.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   state->live = tasks;
   for (size_t t = 0; t < tasks; ++t) {
     pool->Submit([state, n, &fn] {

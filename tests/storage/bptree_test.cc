@@ -271,6 +271,79 @@ TEST_F(BPlusTreeTest, DescendsThroughMultipleLevels) {
   }
 }
 
+TEST_F(BPlusTreeTest, BulkLoadSortedBuildsValidTree) {
+  const uint64_t n = 5000;
+  std::vector<std::pair<BPlusTree::Key, uint64_t>> entries;
+  for (uint64_t i = 0; i < n; ++i) entries.emplace_back(MakeKey(i), i * 10);
+  ASSERT_TRUE(tree_->BulkLoadSorted(entries).ok());
+  EXPECT_EQ(tree_->entry_count(), n);
+  EXPECT_TRUE(tree_->Validate().ok());
+  auto height = tree_->Height();
+  ASSERT_TRUE(height.ok());
+  EXPECT_GE(*height, 2);
+  for (uint64_t i = 0; i < n; i += 13) {
+    auto v = tree_->Get(MakeKey(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, i * 10);
+  }
+  // The stitched leaf chain scans in order, end to end.
+  uint64_t expect = 0;
+  ASSERT_TRUE(tree_
+                  ->Scan(MakeKey(0), MakeKey(n),
+                         [&](const BPlusTree::Key& key, uint64_t value) {
+                           EXPECT_EQ(key, MakeKey(expect));
+                           EXPECT_EQ(value, expect * 10);
+                           ++expect;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(expect, n);
+}
+
+TEST_F(BPlusTreeTest, BulkLoadSortedRejectsBadInput) {
+  // Unsorted (and duplicate) input is refused before any page is touched.
+  std::vector<std::pair<BPlusTree::Key, uint64_t>> unsorted = {
+      {MakeKey(2), 1}, {MakeKey(1), 2}};
+  EXPECT_TRUE(tree_->BulkLoadSorted(unsorted).IsInvalidArgument());
+  std::vector<std::pair<BPlusTree::Key, uint64_t>> dup = {{MakeKey(3), 1},
+                                                          {MakeKey(3), 2}};
+  EXPECT_TRUE(tree_->BulkLoadSorted(dup).IsInvalidArgument());
+  EXPECT_EQ(tree_->entry_count(), 0u);
+  // A non-empty tree is refused too: the batch path only builds from
+  // scratch.
+  ASSERT_TRUE(tree_->Insert(MakeKey(1), 1).ok());
+  std::vector<std::pair<BPlusTree::Key, uint64_t>> more = {{MakeKey(5), 5}};
+  EXPECT_TRUE(tree_->BulkLoadSorted(more).IsInvalidArgument());
+  EXPECT_EQ(tree_->entry_count(), 1u);
+}
+
+TEST_F(BPlusTreeTest, BulkLoadSortedSupportsLaterUpdates) {
+  const uint64_t n = 1500;
+  std::vector<std::pair<BPlusTree::Key, uint64_t>> entries;
+  for (uint64_t i = 0; i < n; ++i) {
+    entries.emplace_back(MakeKey(i * 2), i);  // even keys only
+  }
+  ASSERT_TRUE(tree_->BulkLoadSorted(entries).ok());
+  // Ordinary inserts (odd keys, forcing splits of the packed leaves),
+  // overwrites, and erases all work on the bulk-built structure.
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree_->Insert(MakeKey(i * 2 + 1), 1000000 + i).ok()) << i;
+  }
+  ASSERT_TRUE(tree_->Insert(MakeKey(0), 42).ok());
+  for (uint64_t i = 300; i < 400; ++i) {
+    ASSERT_TRUE(tree_->Erase(MakeKey(i * 2)).ok()) << i;
+  }
+  EXPECT_TRUE(tree_->Validate().ok());
+  EXPECT_EQ(tree_->entry_count(), n + 200 - 100);
+  auto v = tree_->Get(MakeKey(0));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42u);
+  EXPECT_TRUE(tree_->Get(MakeKey(600)).status().IsNotFound());
+  auto odd = tree_->Get(MakeKey(199));
+  ASSERT_TRUE(odd.ok());
+  EXPECT_EQ(*odd, 1000099u);
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace ruidx

@@ -199,10 +199,19 @@ TEST(CrashMatrixTest, RecoveryIsIdempotent) {
   // the journal in place; a second recovery must reach the same state.
   const std::string path = ::testing::TempDir() + "/ruidx_crash_twice.db";
   const std::vector<Step> steps = BuildWorkload();
-  // Pick a crash point mid-workload with at least one commit behind it.
-  RunResult run = RunWorkload(path, steps, 120);
-  ASSERT_FALSE(run.completed);
-  ASSERT_TRUE(run.any_commit);
+  // Find a crash point mid-workload with at least one commit behind it. The
+  // op count of the first commit varies run to run (the background flusher
+  // interleaves its own I/O), so probe upward instead of hardcoding one.
+  RunResult run;
+  bool found = false;
+  for (uint64_t fault = 120; fault <= 12000; fault += 120) {
+    run = RunWorkload(path, steps, fault);
+    if (!run.completed && run.any_commit) {
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found) << "no crash point found after the first commit";
   for (int attempt = 0; attempt < 3; ++attempt) {
     auto reopened = ElementStore::Open(path, 8);
     ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();

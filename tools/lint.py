@@ -37,6 +37,16 @@ Rules (each with the hazard it guards against):
       crash-recovery path in ElementStore::Open is the one legitimate
       exception and carries a NOLINT.
 
+  sync-outside-durability
+      Direct `Sync(` / `WriteSpan(` calls in src/ outside the durability
+      layer (pager, wal, buffer pool, flusher). With the background flusher
+      in the picture, commit ordering is a protocol — journal sync before
+      write-back before file sync — and an ad-hoc fsync elsewhere either
+      does nothing (the pool may still hold dirty frames) or hides a write
+      that bypassed the protocol. Call Flush()/FlushAll() instead; the
+      recovery path in ElementStore::Open legitimately syncs the rolled-back
+      image before the pool exists and carries a NOLINT.
+
 Escapes: a `// NOLINT(rule-name)` comment on the offending line, or the
 rule-specific annotation documented above.
 
@@ -74,6 +84,17 @@ WAL_BYPASS_ALLOWED = (
     os.path.join("src", "storage", "pager.cc"),
     os.path.join("src", "storage", "buffer_pool.cc"),
     os.path.join("src", "storage", "wal.cc"),
+)
+RE_SYNC_OUTSIDE = re.compile(r"(?:\.|->)\s*(?:Sync|WriteSpan)\s*\(")
+# The commit protocol (journal sync -> write-back -> file sync) lives here;
+# everything else requests durability via Flush()/FlushAll().
+SYNC_OUTSIDE_ALLOWED = (
+    os.path.join("src", "storage", "pager.h"),
+    os.path.join("src", "storage", "pager.cc"),
+    os.path.join("src", "storage", "wal.h"),
+    os.path.join("src", "storage", "wal.cc"),
+    os.path.join("src", "storage", "buffer_pool.cc"),
+    os.path.join("src", "storage", "flusher.cc"),
 )
 RE_NOLINT = re.compile(r"//\s*NOLINT\(([\w-]+)\)")
 
@@ -159,6 +180,24 @@ def lint_file(root, rel_path, lines):
                     "direct Pager::WritePage outside the durability layer: "
                     "the page is neither journaled nor checksummed; write "
                     "through the BufferPool instead",
+                )
+            )
+
+        if (
+            rel_path.startswith("src" + os.sep)
+            and rel_path not in SYNC_OUTSIDE_ALLOWED
+            and RE_SYNC_OUTSIDE.search(stripped)
+            and not has_nolint(line, "sync-outside-durability")
+        ):
+            violations.append(
+                Violation(
+                    rel_path,
+                    i,
+                    "sync-outside-durability",
+                    "direct Sync/WriteSpan outside the durability layer: "
+                    "commit ordering (journal sync -> write-back -> file "
+                    "sync) is the pool's protocol; request durability via "
+                    "Flush()/FlushAll() instead",
                 )
             )
 

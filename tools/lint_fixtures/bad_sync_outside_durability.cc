@@ -1,0 +1,10 @@
+// Negative fixture: trips sync-outside-durability. An ad-hoc fsync outside
+// the commit protocol either does nothing (the pool may still hold dirty
+// frames) or hides a write that bypassed journaling. Request durability via
+// Flush()/FlushAll() instead.
+// lint-fixture-path: src/storage/bad_sync_outside_durability.cc
+#include "storage/pager.h"
+
+ruidx::Status SyncBehindTheProtocolsBack(ruidx::storage::Pager* pager) {
+  return pager->Sync();
+}

@@ -353,6 +353,17 @@ int CmdCheck(const std::string& path, const CommonOptions& options) {
       st = analysis::CheckStoreInvariants(scheme, root, store->get(), {},
                                           &report);
     }
+    if (st.ok() && !options.store_path.empty()) {
+      // Surface the buffer-pool counters for the on-disk run: the check
+      // above exercised the store through the pool, so hit/miss/eviction
+      // and the async write-back split show how the I/O engine behaved.
+      storage::BufferPoolStats ps = (*store)->pool_stats();
+      std::cout << "pool: " << ps.hits << " hits, " << ps.misses
+                << " misses, " << ps.evictions << " evictions, "
+                << ps.dirty_writebacks << " sync + " << ps.async_writebacks
+                << " async writebacks, " << ps.prefetches << " prefetches, "
+                << ps.flusher_drains << " flusher drains\n";
+    }
   }
   if (!st.ok()) {
     std::cout << "FAIL " << path << "\n  " << st.ToString() << "\n";
