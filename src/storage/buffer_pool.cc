@@ -172,6 +172,18 @@ Result<size_t> BufferPool::FindFrameLocked(std::unique_lock<std::mutex>& lock,
   }
   ++stats_.misses;
   RUIDX_ASSIGN_OR_RETURN(size_t victim, PickVictimLocked(lock));
+  // PickVictimLocked may have released the lock (waiting out in-flight
+  // write-backs), during which another Fetch or the flusher's prefetch can
+  // have loaded this page. Re-probe: the pool must never hold two frames
+  // for one page — the duplicate's stale mapping would later erase the
+  // live frame's table entry and resurrect the on-disk copy.
+  it = table_.find(page_id);
+  if (it != table_.end()) {
+    frames_[victim].page_id = kInvalidPage;
+    free_frames_.push_back(victim);
+    frames_[it->second].referenced = true;
+    return it->second;
+  }
   Frame& frame = frames_[victim];
   frame.page_id = page_id;
   frame.pin_count = 0;
@@ -250,10 +262,24 @@ Result<uint32_t> BufferPool::AllocatePinned(uint8_t** frame_out) {
   }
   uint32_t page_id;
   size_t idx;
-  if (free_head_ != kInvalidPage) {
+  for (;;) {
+    if (free_head_ == kInvalidPage) {
+      RUIDX_ASSIGN_OR_RETURN(page_id, pager_->AllocatePage());
+      RUIDX_ASSIGN_OR_RETURN(idx,
+                             FindFrameLocked(lock, page_id, /*load=*/false));
+      if (wal_ != nullptr) journaled_.insert(page_id);
+      break;
+    }
     // Reuse the head of the free list instead of growing the file.
     page_id = free_head_;
     RUIDX_ASSIGN_OR_RETURN(idx, FindFrameLocked(lock, page_id, /*load=*/true));
+    if (free_head_ != page_id) {
+      // FindFrameLocked can release the lock waiting out in-flight
+      // write-backs; another allocator popped this head meanwhile. Retry
+      // against whatever the free list holds now — handing the same page
+      // out twice must not happen.
+      continue;
+    }
     Frame& frame = frames_[idx];
     uint32_t magic;
     std::memcpy(&magic, frame.data.data(), 4);
@@ -276,10 +302,7 @@ Result<uint32_t> BufferPool::AllocatePinned(uint8_t** frame_out) {
     free_head_ = next;
     --free_count_;
     std::memset(frame.data.data(), 0, kPageSize);
-  } else {
-    RUIDX_ASSIGN_OR_RETURN(page_id, pager_->AllocatePage());
-    RUIDX_ASSIGN_OR_RETURN(idx, FindFrameLocked(lock, page_id, /*load=*/false));
-    if (wal_ != nullptr) journaled_.insert(page_id);
+    break;
   }
   Frame& frame = frames_[idx];
   ++frame.pin_count;

@@ -87,11 +87,12 @@ void BackgroundFlusher::Loop() {
         break;
       case Request::kCommit: {
         Status st = pool_->ServiceCommit();
-        {
-          std::lock_guard<std::mutex> lock(req.latch->mu);
-          req.latch->status = st;
-          req.latch->done = true;
-        }
+        // Notify while holding the latch mutex: the latch lives on the
+        // waiter's stack and dies the moment the waiter observes done, so
+        // the cv must not be touched once the lock is released.
+        std::lock_guard<std::mutex> lock(req.latch->mu);
+        req.latch->status = st;
+        req.latch->done = true;
         req.latch->cv.notify_all();
         break;
       }

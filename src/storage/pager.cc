@@ -151,22 +151,36 @@ Status Pager::WritePageLocked(uint32_t id, const void* buffer) {
 Status Pager::WriteSpan(uint32_t first, uint32_t count, const void* buffer) {
   if (count == 0) return Status::OK();
   if (count == 1) return WritePage(first, buffer);
-  if (injector_->ShouldFail()) return Status::IOError("injected fault (write)");
+  // One injector op per page — the same budget the per-page path consumes —
+  // so the crash-point matrix can tear a coalesced write at every page
+  // boundary: a fault on page k still lands the first k pages, exactly as
+  // if the span had been k single writes followed by a failing one.
+  uint32_t ok_pages = count;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (injector_->ShouldFail()) {
+      ok_pages = i;
+      break;
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  if (std::fseek(file_, static_cast<long>(first) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
+  if (ok_pages > 0) {
+    if (std::fseek(file_, static_cast<long>(first) * kPageSize, SEEK_SET) !=
+        0) {
+      return Status::IOError("seek failed");
+    }
+    if (std::fwrite(buffer, static_cast<size_t>(ok_pages) * kPageSize, 1,
+                    file_) != 1) {
+      return Status::IOError("short write on span at page " +
+                             std::to_string(first));
+    }
+    stats_.physical_writes += ok_pages;
+    ++stats_.span_writes;
+    uint32_t end = first + ok_pages;
+    if (end > page_count_.load(std::memory_order_relaxed)) {
+      page_count_.store(end, std::memory_order_release);
+    }
   }
-  if (std::fwrite(buffer, static_cast<size_t>(count) * kPageSize, 1, file_) !=
-      1) {
-    return Status::IOError("short write on span at page " +
-                           std::to_string(first));
-  }
-  stats_.physical_writes += count;
-  ++stats_.span_writes;
-  uint32_t end = first + count;
-  if (end > page_count_.load(std::memory_order_relaxed)) {
-    page_count_.store(end, std::memory_order_release);
-  }
+  if (ok_pages < count) return Status::IOError("injected fault (write)");
   return Status::OK();
 }
 

@@ -128,8 +128,10 @@ class Pager {
   /// Writes `count` consecutive pages starting at `first` from one
   /// contiguous buffer (count * kPageSize bytes) with a single seek and a
   /// single transfer — the flusher coalesces adjacent dirty pages into
-  /// these spans. Counts one fault-injection op (one physical operation)
-  /// and `count` physical page writes.
+  /// these spans. Consumes one fault-injection op per page (matching the
+  /// per-page write path, so the crash-point matrix can tear a span at any
+  /// page boundary — a fault on page k still writes the first k pages) and
+  /// counts `count` physical page writes.
   Status WriteSpan(uint32_t first, uint32_t count, const void* buffer);
 
   /// Flushes stdio and OS buffers down to the device (fsync).

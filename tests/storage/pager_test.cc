@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace ruidx {
 namespace storage {
@@ -119,6 +120,30 @@ TEST(PagerTest, TruncatedFileIsRejectedNotRoundedDown) {
   EXPECT_EQ(buf[0], 0x5A);           // surviving prefix of the torn page
   EXPECT_EQ(buf[kPageSize - 1], 0);  // zero-padded remainder
   std::remove(path.c_str());
+}
+
+TEST(PagerTest, WriteSpanConsumesOneFaultOpPerPage) {
+  // A coalesced span write must spend the same fault budget as the N
+  // single-page writes it replaces, so the crash-point matrix can tear it
+  // at every page boundary: a fault on page k still lands pages [0, k).
+  auto injector = std::make_shared<IoFaultInjector>();
+  auto pager = Pager::Open("", {}, injector);
+  ASSERT_TRUE(pager.ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE((*pager)->AllocatePage().ok());
+  std::vector<char> span(4 * kPageSize);
+  std::memset(span.data(), 0x11, span.size());
+  injector->Arm(2);  // pages 0 and 1 succeed; the op for page 2 fails
+  EXPECT_TRUE((*pager)->WriteSpan(0, 4, span.data()).IsIOError());
+  injector->Arm(~0ULL);  // disarm
+  char buf[kPageSize];
+  ASSERT_TRUE((*pager)->ReadPage(0, buf).ok());
+  EXPECT_EQ(buf[0], 0x11);
+  ASSERT_TRUE((*pager)->ReadPage(1, buf).ok());
+  EXPECT_EQ(buf[0], 0x11);
+  ASSERT_TRUE((*pager)->ReadPage(2, buf).ok());
+  EXPECT_EQ(buf[0], 0);  // the torn remainder was never written
+  ASSERT_TRUE((*pager)->ReadPage(3, buf).ok());
+  EXPECT_EQ(buf[0], 0);
 }
 
 TEST(PagerTest, TruncateToPagesShrinksTheFile) {
