@@ -8,6 +8,7 @@
 
 #include "core/packed_ruid2_id.h"
 #include "storage/element_store.h"
+#include "storage/secondary_index.h"
 #include "util/random.h"
 #include "xml/stats.h"
 
@@ -694,6 +695,133 @@ Status CheckStoreInvariants(const Ruid2Scheme& scheme, xml::Node* root,
   MarkPassed(report, "store-coverage");
   if (report != nullptr) report->nodes_checked += records;
 
+  // Secondary-index battery, scheme-aware side: the store-level checks
+  // (VerifySecondaryIndexes) prove postings agree with the heap; these
+  // prove they agree with the *document* — term hashes re-derived from the
+  // DOM, posting order re-derived from the scheme's comparator.
+
+  // name-index-coverage: every name posting resolves to a labeled node
+  // whose tag hashes to the posting's term, and the posting count matches
+  // the record count (with per-posting agreement, equality makes the
+  // posting set a bijection onto the records).
+  uint64_t name_postings = 0;
+  RUIDX_RETURN_NOT_OK(store->ScanNamePostings(
+      [&](uint64_t term, const core::Ruid2Id& id, uint64_t location) {
+        (void)location;
+        ++name_postings;
+        xml::Node* node = scheme.NodeById(id);
+        if (node == nullptr) {
+          violation = Violation("name-index-coverage",
+                                "name posting for " + id.ToString() +
+                                    " names an identifier the scheme never "
+                                    "labeled");
+          return false;
+        }
+        if (storage::HashNameTerm(node->name()) != term) {
+          violation = Violation("name-index-coverage",
+                                "name posting for " + id.ToString() +
+                                    " is filed under a term that is not the "
+                                    "hash of \"" +
+                                    std::string(node->name()) + "\"");
+          return false;
+        }
+        return true;
+      }));
+  RUIDX_RETURN_NOT_OK(violation);
+  if (name_postings != records) {
+    return Violation("name-index-coverage",
+                     "name index holds " + std::to_string(name_postings) +
+                         " postings for " + std::to_string(records) +
+                         " records");
+  }
+  MarkPassed(report, "name-index-coverage");
+
+  // path-index-order: postings within one term must strictly ascend in the
+  // store's canonical (global, local, flag) identifier order — the same
+  // order the primary keys realize, which is document order inside each
+  // area (Sec. 2.1) — and each term must equal the root-to-node tag-path
+  // hash recomputed from the DOM (preorder keeps the parent's term on a
+  // depth-indexed stack, mirroring BulkLoad).
+  std::unordered_map<uint32_t, uint64_t> dom_path_term;  // serial -> term
+  {
+    std::vector<uint64_t> term_stack;
+    xml::PreorderTraverse(root, [&](xml::Node* n, int depth) {
+      uint64_t term =
+          depth == 0 ? storage::RootPathTerm(n->name())
+                     : storage::ExtendPathTerm(term_stack[depth - 1],
+                                               n->name());
+      term_stack.resize(depth + 1);
+      term_stack[depth] = term;
+      dom_path_term[n->serial()] = term;
+      return true;
+    });
+  }
+  uint64_t path_postings = 0;
+  bool have_prev_posting = false;
+  uint64_t prev_term = 0;
+  core::Ruid2Id prev_id;
+  RUIDX_RETURN_NOT_OK(store->ScanPathPostings(
+      [&](uint64_t term, const core::Ruid2Id& id, uint64_t location) {
+        (void)location;
+        ++path_postings;
+        xml::Node* node = scheme.NodeById(id);
+        if (node == nullptr) {
+          violation = Violation("path-index-order",
+                                "path posting for " + id.ToString() +
+                                    " names an identifier the scheme never "
+                                    "labeled");
+          return false;
+        }
+        auto it = dom_path_term.find(node->serial());
+        if (it == dom_path_term.end() || it->second != term) {
+          violation = Violation("path-index-order",
+                                "path posting for " + id.ToString() +
+                                    " is filed under a term that does not "
+                                    "match its root-to-node tag path");
+          return false;
+        }
+        if (have_prev_posting && prev_term == term &&
+            CompareIdTriples(prev_id, id) >= 0) {
+          violation = Violation("path-index-order",
+                                "path postings for one term leave "
+                                    "(global, local, flag) identifier "
+                                    "order at " +
+                                    id.ToString());
+          return false;
+        }
+        have_prev_posting = true;
+        prev_term = term;
+        prev_id = id;
+        return true;
+      }));
+  RUIDX_RETURN_NOT_OK(violation);
+  if (path_postings != records) {
+    return Violation("path-index-order",
+                     "path index holds " + std::to_string(path_postings) +
+                         " postings for " + std::to_string(records) +
+                         " records");
+  }
+  MarkPassed(report, "path-index-order");
+
+  // bloom-membership: the filter must answer "maybe" for every stored
+  // identifier — a false negative would make Get() report NotFound for a
+  // live record without ever touching the tree.
+  RUIDX_RETURN_NOT_OK(store->ScanAll(
+      [&](const storage::BPlusTree::Key& key,
+          const storage::ElementRecord& rec) {
+        (void)key;
+        if (!store->MayContainId(rec.id)) {
+          violation = Violation("bloom-membership",
+                                "bloom filter vetoes stored identifier " +
+                                    rec.id.ToString() +
+                                    " (false negative)");
+          return false;
+        }
+        return true;
+      }));
+  RUIDX_RETURN_NOT_OK(violation);
+  MarkPassed(report, "bloom-membership");
+
   // On-disk battery: flushes, then reads the file raw — page trailer
   // checksums, LSN bounds, free-list shape, index/heap/free disjointness
   // (see ElementStore::VerifyOnDisk).
@@ -702,6 +830,11 @@ Status CheckStoreInvariants(const Ruid2Scheme& scheme, xml::Node* root,
   MarkPassed(report, "lsn-monotonic");
   MarkPassed(report, "free-list");
   MarkPassed(report, "tree-reachability");
+
+  // Store-side secondary battery: postings ↔ heap-location agreement and
+  // index B+tree shape, which the scheme-aware passes above cannot see.
+  RUIDX_RETURN_NOT_OK(store->VerifySecondaryIndexes());
+  MarkPassed(report, "index-consistency");
   return Status::OK();
 }
 

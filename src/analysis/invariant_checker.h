@@ -81,9 +81,15 @@ Status CheckDocumentInvariants(const core::Ruid2Scheme& scheme,
 /// Verifies a store loaded from (`scheme`, `root`): index keys strictly
 /// ascending, every key byte-exact with its record's identifier, every
 /// record backed by a labeled DOM node (name/type/parent agreement), and
-/// the record count equal to the label count. Then flushes the store and
-/// runs the on-disk battery (page checksums, LSN monotonicity, free-list
-/// sanity, index-page reachability) against the raw file image.
+/// the record count equal to the label count. The secondary-index battery
+/// then proves the name postings cover the records under the right term
+/// hashes (name-index-coverage), the path postings carry DOM-derived path
+/// terms and ascend in identifier order within a term (path-index-order),
+/// and the Bloom filter never vetoes a stored identifier
+/// (bloom-membership). Finally flushes the store and runs the on-disk
+/// battery (page checksums, LSN monotonicity, free-list sanity, index-page
+/// reachability) against the raw file image plus the store-side
+/// postings↔heap agreement checks.
 Status CheckStoreInvariants(const core::Ruid2Scheme& scheme, xml::Node* root,
                             storage::ElementStore* store,
                             const CheckOptions& options = {},

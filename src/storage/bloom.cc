@@ -1,0 +1,83 @@
+#include "storage/bloom.h"
+
+#include <cmath>
+
+namespace ruidx {
+namespace storage {
+
+uint64_t Fnv1a64(const uint8_t* data, size_t len) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+namespace {
+
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t bits) {
+  uint64_t rounded = RoundUpPow2(bits < kMinBits ? kMinBits : bits);
+  words_.assign(rounded / 64, 0);
+  mask_ = rounded - 1;
+}
+
+BloomFilter BloomFilter::ForExpectedKeys(uint64_t expected_keys) {
+  return BloomFilter(expected_keys * kTargetBitsPerKey);
+}
+
+void BloomFilter::Add(uint64_t hash) {
+  // Kirsch–Mitzenmacher double hashing: two derived 64-bit streams drive
+  // all k probes. The second stream is forced odd so successive probes
+  // never collapse onto one bit.
+  uint64_t h1 = hash;
+  uint64_t h2 = (hash >> 17 | hash << 47) | 1;
+  for (uint32_t i = 0; i < kHashCount; ++i) {
+    uint64_t bit = (h1 + i * h2) & mask_;
+    words_[bit >> 6] |= 1ULL << (bit & 63);
+  }
+  ++key_count_;
+}
+
+bool BloomFilter::MayContain(uint64_t hash) const {
+  uint64_t h1 = hash;
+  uint64_t h2 = (hash >> 17 | hash << 47) | 1;
+  for (uint32_t i = 0; i < kHashCount; ++i) {
+    uint64_t bit = (h1 + i * h2) & mask_;
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+BloomStats BloomFilter::Stats() const {
+  BloomStats stats;
+  stats.bit_count = bit_count();
+  stats.key_count = key_count_;
+  stats.hash_count = kHashCount;
+  stats.bits_per_key =
+      key_count_ == 0 ? 0.0
+                      : static_cast<double>(stats.bit_count) /
+                            static_cast<double>(key_count_);
+  double load = static_cast<double>(kHashCount) *
+                static_cast<double>(key_count_) /
+                static_cast<double>(stats.bit_count);
+  stats.estimated_fpr = std::pow(1.0 - std::exp(-load), kHashCount);
+  return stats;
+}
+
+void BloomFilter::Restore(std::vector<uint64_t> words, uint64_t key_count) {
+  words_ = std::move(words);
+  mask_ = words_.size() * 64 - 1;
+  key_count_ = key_count;
+}
+
+}  // namespace storage
+}  // namespace ruidx

@@ -1,8 +1,11 @@
 #include "storage/element_store.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace ruidx {
@@ -38,8 +41,14 @@ void SetSlotOffset(uint8_t* page, size_t i, uint16_t off) {
 }
 
 size_t SerializedSize(const ElementRecord& record) {
-  return 2 * BPlusTree::kKeySize + 1 + 2 + record.name.size() + 2 +
+  return 2 * BPlusTree::kKeySize + 1 + 8 + 2 + record.name.size() + 2 +
          record.value.size();
+}
+
+/// The Bloom filter's key universe: hashes of encoded primary keys, so the
+/// filter, the store, and the fsck all derive membership the same way.
+uint64_t IdKeyHash(const BPlusTree::Key& key) {
+  return Fnv1a64(key.data(), key.size());
 }
 
 void WriteU16(uint8_t** cursor, uint16_t v) {
@@ -113,15 +122,26 @@ core::Ruid2Id DecodeIdKey(const BPlusTree::Key& key) {
 }
 
 namespace {
-// Meta page (page 0) layout:
+// Meta page (page 0) layout (v3 — v2 lacked the secondary-index block):
 //   [0..4)   u32 magic
 //   [4..8)   u32 index root page
 //   [8..16)  u64 index entry count
 //   [16..20) u32 current heap page
 //   [20..24) u32 free-list head page
 //   [24..32) u64 free-list length
-constexpr uint32_t kMetaMagic = 0x52585332;  // "RXS2"
-constexpr size_t kMetaSize = 32;
+//   [32..36) u32 name-index root page
+//   [36..44) u64 name-index entry count
+//   [44..48) u32 path-index root page
+//   [48..56) u64 path-index entry count
+//   [56..60) u32 Bloom chain head page (kInvalidPage = empty filter)
+//   [60..64) u32 Bloom word count (bit count / 64)
+//   [64..72) u64 Bloom key count
+constexpr uint32_t kMetaMagic = 0x52585333;  // "RXS3"
+constexpr size_t kMetaSize = 72;
+
+// Bloom chain page layout: [0..4) u32 next page (kInvalidPage ends the
+// chain), [4..) the filter's u64 words, little-endian, head page first.
+constexpr size_t kBloomWordsPerPage = (kPageUsableSize - 4) / 8;
 
 /// The sidecar journal lives next to the store file; anonymous temp-backed
 /// stores get an anonymous temp journal.
@@ -143,6 +163,20 @@ Status ElementStore::WriteMeta() {
   std::memcpy(meta + 20, &free_head, 4);
   uint64_t free_count = pool_->free_page_count();
   std::memcpy(meta + 24, &free_count, 8);
+  uint32_t name_root = name_index_->root_page();
+  std::memcpy(meta + 32, &name_root, 4);
+  uint64_t name_count = name_index_->entry_count();
+  std::memcpy(meta + 36, &name_count, 8);
+  uint32_t path_root = path_index_->root_page();
+  std::memcpy(meta + 44, &path_root, 4);
+  uint64_t path_count = path_index_->entry_count();
+  std::memcpy(meta + 48, &path_count, 8);
+  uint32_t bloom_head = bloom_pages_.empty() ? kInvalidPage : bloom_pages_[0];
+  std::memcpy(meta + 56, &bloom_head, 4);
+  uint32_t bloom_words = static_cast<uint32_t>(bloom_.words().size());
+  std::memcpy(meta + 60, &bloom_words, 4);
+  uint64_t bloom_keys = bloom_.key_count();
+  std::memcpy(meta + 64, &bloom_keys, 8);
   RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(0));
   // Only dirty (and so journal) the meta page when something changed —
   // a read-only Flush then commits nothing.
@@ -179,6 +213,12 @@ Result<std::unique_ptr<ElementStore>> ElementStore::Create(
   store->pool_->Unpin(0, /*dirty=*/true);
   RUIDX_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(store->pool_.get()));
   store->index_ = std::make_unique<BPlusTree>(std::move(tree));
+  RUIDX_ASSIGN_OR_RETURN(SecondaryIndex name_index,
+                         SecondaryIndex::Create(store->pool_.get()));
+  store->name_index_ = std::make_unique<SecondaryIndex>(std::move(name_index));
+  RUIDX_ASSIGN_OR_RETURN(SecondaryIndex path_index,
+                         SecondaryIndex::Create(store->pool_.get()));
+  store->path_index_ = std::make_unique<SecondaryIndex>(std::move(path_index));
   RUIDX_RETURN_NOT_OK(store->WriteMeta());
   return store;
 }
@@ -231,19 +271,70 @@ Result<std::unique_ptr<ElementStore>> ElementStore::Open(
   uint64_t count = 0;
   uint32_t free_head = kInvalidPage;
   uint64_t free_count = 0;
+  uint32_t name_root = 0, path_root = 0;
+  uint64_t name_count = 0, path_count = 0;
+  uint32_t bloom_head = kInvalidPage, bloom_words = 0;
+  uint64_t bloom_keys = 0;
   std::memcpy(&root, page + 4, 4);
   std::memcpy(&count, page + 8, 8);
   std::memcpy(&store->current_heap_page_, page + 16, 4);
   std::memcpy(&free_head, page + 20, 4);
   std::memcpy(&free_count, page + 24, 8);
+  std::memcpy(&name_root, page + 32, 4);
+  std::memcpy(&name_count, page + 36, 8);
+  std::memcpy(&path_root, page + 44, 4);
+  std::memcpy(&path_count, page + 48, 8);
+  std::memcpy(&bloom_head, page + 56, 4);
+  std::memcpy(&bloom_words, page + 60, 4);
+  std::memcpy(&bloom_keys, page + 64, 8);
   store->pool_->Unpin(0, false);
   store->pool_->RestoreFreeList(free_head, free_count);
   store->index_ = std::make_unique<BPlusTree>(
       BPlusTree::Attach(store->pool_.get(), root, count));
+  store->name_index_ = std::make_unique<SecondaryIndex>(
+      SecondaryIndex::Attach(store->pool_.get(), name_root, name_count));
+  store->path_index_ = std::make_unique<SecondaryIndex>(
+      SecondaryIndex::Attach(store->pool_.get(), path_root, path_count));
+  RUIDX_RETURN_NOT_OK(store->LoadBloom(bloom_head, bloom_words, bloom_keys));
   return store;
 }
 
-Result<uint64_t> ElementStore::AppendRecord(const ElementRecord& record) {
+Status ElementStore::LoadBloom(uint32_t head, uint32_t word_count,
+                               uint64_t key_count) {
+  if (head == kInvalidPage) {
+    // Never persisted (or persisted empty): an empty filter would wrongly
+    // veto every Get on a non-empty store, so rebuild from the keys.
+    if (index_->entry_count() > 0) return RebuildBloom();
+    return Status::OK();
+  }
+  std::vector<uint64_t> words;
+  words.reserve(word_count);
+  uint32_t cursor = head;
+  while (cursor != kInvalidPage && words.size() < word_count) {
+    bloom_pages_.push_back(cursor);
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(cursor));
+    uint32_t next;
+    std::memcpy(&next, page, 4);
+    size_t take = std::min<size_t>(kBloomWordsPerPage, word_count - words.size());
+    for (size_t i = 0; i < take; ++i) {
+      uint64_t w;
+      std::memcpy(&w, page + 4 + 8 * i, 8);
+      words.push_back(w);
+    }
+    pool_->Unpin(cursor, false);
+    cursor = next;
+  }
+  if (words.empty() || words.size() != word_count ||
+      (words.size() & (words.size() - 1)) != 0) {
+    return Status::Corruption("bloom chain truncated or word count not a "
+                              "power of two");
+  }
+  bloom_.Restore(std::move(words), key_count);
+  return Status::OK();
+}
+
+Result<uint64_t> ElementStore::AppendRecord(const ElementRecord& record,
+                                            uint64_t path_term) {
   size_t need = SerializedSize(record);
   if (need + kHeapHeader + 2 > kPageUsableSize) {
     return Status::CapacityExceeded("record larger than a page");
@@ -276,6 +367,8 @@ Result<uint64_t> ElementStore::AppendRecord(const ElementRecord& record) {
   std::memcpy(cursor, parent_key.data(), BPlusTree::kKeySize);
   cursor += BPlusTree::kKeySize;
   *cursor++ = record.node_type;
+  std::memcpy(cursor, &path_term, 8);
+  cursor += 8;
   WriteU16(&cursor, static_cast<uint16_t>(record.name.size()));
   std::memcpy(cursor, record.name.data(), record.name.size());
   cursor += record.name.size();
@@ -307,6 +400,8 @@ Result<ElementRecord> ElementStore::ReadRecord(uint64_t location) {
   cursor += BPlusTree::kKeySize;
   record.parent_id = DecodeIdKey(key);
   record.node_type = *cursor++;
+  std::memcpy(&record.path_term, cursor, 8);
+  cursor += 8;
   uint16_t name_len = ReadU16(&cursor);
   record.name.assign(reinterpret_cast<const char*>(cursor), name_len);
   cursor += name_len;
@@ -316,25 +411,117 @@ Result<ElementRecord> ElementStore::ReadRecord(uint64_t location) {
   return record;
 }
 
+Result<uint64_t> ElementStore::ResolvePathTerm(const ElementRecord& record) {
+  if (record.path_term != 0) return record.path_term;
+  if (record.parent_id == record.id) return RootPathTerm(record.name);
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key parent_key,
+                         EncodeIdKey(record.parent_id));
+  auto location = index_->Get(parent_key);
+  if (location.ok()) {
+    RUIDX_ASSIGN_OR_RETURN(ElementRecord parent, ReadRecord(*location));
+    return ExtendPathTerm(parent.path_term, record.name);
+  }
+  if (!location.status().IsNotFound()) return location.status();
+  // The parent lives elsewhere (another shard of a sharded store): seed the
+  // term from the bare name. Deterministic — Remove and overwrite still
+  // find the posting through the stored term — but cross-shard path
+  // queries against this record degrade to index misses.
+  return HashNameTerm(record.name);
+}
+
+Status ElementStore::RebuildBloom() {
+  BloomFilter rebuilt = BloomFilter::ForExpectedKeys(
+      index_->entry_count() * 2 + BloomFilter::kMinBits);
+  BPlusTree::Key lo{};
+  BPlusTree::Key hi;
+  hi.fill(0xFF);
+  RUIDX_RETURN_NOT_OK(index_->Scan(
+      lo, hi, [&](const BPlusTree::Key& key, uint64_t) {
+        rebuilt.Add(IdKeyHash(key));
+        return true;
+      }));
+  bloom_ = std::move(rebuilt);
+  return Status::OK();
+}
+
 Status ElementStore::Put(const ElementRecord& record) {
-  RUIDX_ASSIGN_OR_RETURN(uint64_t location, AppendRecord(record));
   RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(record.id));
-  return index_->Insert(key, location);
+  uint64_t id_hash = IdKeyHash(key);
+  // Overwrites must retarget the old record's postings. The filter's
+  // no-false-negative contract makes the common insert cheap: MayContain
+  // false proves the key is fresh, so no lookup happens at all; a false
+  // positive costs one extra point get.
+  bool had_old = false;
+  uint64_t old_name_term = 0;
+  uint64_t old_path_term = 0;
+  if (bloom_.MayContain(id_hash)) {
+    auto old_location = index_->Get(key);
+    if (old_location.ok()) {
+      RUIDX_ASSIGN_OR_RETURN(ElementRecord old, ReadRecord(*old_location));
+      had_old = true;
+      old_name_term = HashNameTerm(old.name);
+      old_path_term = old.path_term;
+    } else if (!old_location.status().IsNotFound()) {
+      return old_location.status();
+    }
+  }
+  uint64_t name_term = HashNameTerm(record.name);
+  RUIDX_ASSIGN_OR_RETURN(uint64_t path_term, ResolvePathTerm(record));
+  // Probe the posting-key encoding before mutating anything: a 96-bit
+  // capacity failure must not leave a half-indexed record behind.
+  {
+    auto probe = EncodePostingKey(name_term, record.id);
+    if (!probe.ok()) return probe.status();
+  }
+  RUIDX_ASSIGN_OR_RETURN(uint64_t location, AppendRecord(record, path_term));
+  RUIDX_RETURN_NOT_OK(index_->Insert(key, location));
+  if (had_old && old_name_term != name_term) {
+    RUIDX_RETURN_NOT_OK(name_index_->Remove(old_name_term, record.id));
+  }
+  if (had_old && old_path_term != path_term) {
+    RUIDX_RETURN_NOT_OK(path_index_->Remove(old_path_term, record.id));
+  }
+  RUIDX_RETURN_NOT_OK(name_index_->Add(name_term, record.id, location));
+  RUIDX_RETURN_NOT_OK(path_index_->Add(path_term, record.id, location));
+  if (!had_old) {
+    bloom_.Add(id_hash);
+    if (bloom_.Overloaded()) RUIDX_RETURN_NOT_OK(RebuildBloom());
+  }
+  return Status::OK();
 }
 
 Status ElementStore::Remove(const core::Ruid2Id& id) {
   RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(id));
-  return index_->Erase(key);
+  if (!bloom_.MayContain(IdKeyHash(key))) {
+    return Status::NotFound("id not in store");
+  }
+  RUIDX_ASSIGN_OR_RETURN(uint64_t location, index_->Get(key));
+  RUIDX_ASSIGN_OR_RETURN(ElementRecord old, ReadRecord(location));
+  RUIDX_RETURN_NOT_OK(index_->Erase(key));
+  RUIDX_RETURN_NOT_OK(name_index_->Remove(HashNameTerm(old.name), id));
+  RUIDX_RETURN_NOT_OK(path_index_->Remove(old.path_term, id));
+  return Status::OK();
+}
+
+bool ElementStore::MayContainId(const core::Ruid2Id& id) const {
+  auto key = EncodeIdKey(id);
+  // Unencodable identifiers cannot be stored either.
+  if (!key.ok()) return false;
+  return !bloom_enabled_ || bloom_.MayContain(IdKeyHash(*key));
 }
 
 Result<ElementRecord> ElementStore::Get(const core::Ruid2Id& id) {
   RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(id));
+  if (bloom_enabled_ && !bloom_.MayContain(IdKeyHash(key))) {
+    return Status::NotFound("id not in store");
+  }
   RUIDX_ASSIGN_OR_RETURN(uint64_t location, index_->Get(key));
   return ReadRecord(location);
 }
 
 Result<bool> ElementStore::Exists(const core::Ruid2Id& id) {
   RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(id));
+  if (bloom_enabled_ && !bloom_.MayContain(IdKeyHash(key))) return false;
   auto location = index_->Get(key);
   if (location.ok()) return true;
   if (location.status().IsNotFound()) return false;
@@ -347,7 +534,10 @@ Status ElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
   // through the sorted batch path: heap appends plus one sequential index
   // build instead of one top-down Insert per node.
   std::vector<ElementRecord> records;
-  xml::PreorderTraverse(root, [&](xml::Node* n, int) {
+  // Preorder visits parents before children, so a depth-indexed stack of
+  // path terms always has the parent's term ready at depth-1.
+  std::vector<uint64_t> term_stack;
+  xml::PreorderTraverse(root, [&](xml::Node* n, int depth) {
     ElementRecord record;
     record.id = scheme.label(n);
     record.parent_id =
@@ -355,6 +545,12 @@ Status ElementStore::BulkLoad(const core::Ruid2Scheme& scheme,
     record.node_type = static_cast<uint8_t>(n->type());
     record.name = n->name();
     if (!n->is_element()) record.value = n->value();
+    uint64_t term = depth == 0
+                        ? RootPathTerm(record.name)
+                        : ExtendPathTerm(term_stack[depth - 1], record.name);
+    term_stack.resize(depth + 1);
+    term_stack[depth] = term;
+    record.path_term = term;
     records.push_back(std::move(record));
     return true;
   });
@@ -386,13 +582,63 @@ Status ElementStore::BulkLoadRecords(const std::vector<ElementRecord>& records) 
     }
     return Status::OK();
   }
+  // Resolve path terms and encode every posting key up front, so the first
+  // append happens only after the whole batch is known to encode. Document
+  // order puts parents before children, so a transient id→term map covers
+  // in-batch parent lookups without touching the (still empty) store.
+  std::vector<uint64_t> terms(records.size());
+  std::vector<std::pair<BPlusTree::Key, uint64_t>> name_postings;
+  std::vector<std::pair<BPlusTree::Key, uint64_t>> path_postings;
+  name_postings.reserve(records.size());
+  path_postings.reserve(records.size());
+  std::unordered_map<core::Ruid2Id, uint64_t, core::Ruid2IdHash> term_of;
+  term_of.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ElementRecord& record = records[i];
+    uint64_t term = record.path_term;
+    if (term == 0) {
+      if (record.parent_id == record.id) {
+        term = RootPathTerm(record.name);
+      } else if (auto it = term_of.find(record.parent_id);
+                 it != term_of.end()) {
+        term = ExtendPathTerm(it->second, record.name);
+      } else {
+        term = HashNameTerm(record.name);  // cross-shard parent (see Put)
+      }
+    }
+    terms[i] = term;
+    term_of.emplace(record.id, term);
+    RUIDX_ASSIGN_OR_RETURN(
+        BPlusTree::Key name_key,
+        EncodePostingKey(HashNameTerm(record.name), record.id));
+    RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key path_key,
+                           EncodePostingKey(term, record.id));
+    name_postings.emplace_back(name_key, 0);
+    path_postings.emplace_back(path_key, 0);
+  }
   std::vector<std::pair<BPlusTree::Key, uint64_t>> entries;
   entries.reserve(records.size());
+  bloom_ = BloomFilter::ForExpectedKeys(records.size() * 2);
   for (size_t i = 0; i < records.size(); ++i) {
-    RUIDX_ASSIGN_OR_RETURN(uint64_t location, AppendRecord(records[i]));
+    RUIDX_ASSIGN_OR_RETURN(uint64_t location,
+                           AppendRecord(records[i], terms[i]));
     entries.emplace_back(keys[i], location);
+    name_postings[i].second = location;
+    path_postings[i].second = location;
+    bloom_.Add(IdKeyHash(keys[i]));
   }
-  return index_->BulkLoadSorted(entries);
+  RUIDX_RETURN_NOT_OK(index_->BulkLoadSorted(entries));
+  // Posting keys lead with the term hash, so they arrive in hash order —
+  // one sort each buys the B+tree's sequential batch build. Identifiers
+  // are unique, hence the keys are strictly ascending after sorting.
+  auto by_key = [](const std::pair<BPlusTree::Key, uint64_t>& a,
+                   const std::pair<BPlusTree::Key, uint64_t>& b) {
+    return a.first < b.first;
+  };
+  std::sort(name_postings.begin(), name_postings.end(), by_key);
+  std::sort(path_postings.begin(), path_postings.end(), by_key);
+  RUIDX_RETURN_NOT_OK(name_index_->BulkLoadSorted(name_postings));
+  return path_index_->BulkLoadSorted(path_postings);
 }
 
 Status ElementStore::ScanArea(
@@ -438,6 +684,55 @@ Status ElementStore::ScanAll(
   return status;
 }
 
+Status ElementStore::ScanNameTerm(
+    std::string_view name,
+    const std::function<bool(const ElementRecord&)>& fn) {
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(name_index_->ScanTerm(
+      HashNameTerm(name), [&](const core::Ruid2Id&, uint64_t location) {
+        auto record = ReadRecord(location);
+        if (!record.ok()) {
+          status = record.status();
+          return false;
+        }
+        if (record->name != name) return true;  // term-hash collision
+        return fn(*record);
+      }));
+  return status;
+}
+
+Status ElementStore::ScanPathTerm(
+    uint64_t term, const std::function<bool(const ElementRecord&)>& fn) {
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(path_index_->ScanTerm(
+      term, [&](const core::Ruid2Id&, uint64_t location) {
+        auto record = ReadRecord(location);
+        if (!record.ok()) {
+          status = record.status();
+          return false;
+        }
+        if (record->path_term != term) return true;  // stale/collision guard
+        return fn(*record);
+      }));
+  return status;
+}
+
+Status ElementStore::ScanNamePostings(
+    const std::function<bool(uint64_t term, const core::Ruid2Id& id,
+                             uint64_t location)>& fn) const {
+  return name_index_->ScanAll(
+      [&](const BPlusTree::Key&, uint64_t term, const core::Ruid2Id& id,
+          uint64_t location) { return fn(term, id, location); });
+}
+
+Status ElementStore::ScanPathPostings(
+    const std::function<bool(uint64_t term, const core::Ruid2Id& id,
+                             uint64_t location)>& fn) const {
+  return path_index_->ScanAll(
+      [&](const BPlusTree::Key&, uint64_t term, const core::Ruid2Id& id,
+          uint64_t location) { return fn(term, id, location); });
+}
+
 bool ElementStore::IsAncestorViaRuid(const core::Ruid2Scheme& scheme,
                                      const core::Ruid2Id& a,
                                      const core::Ruid2Id& d) const {
@@ -465,7 +760,46 @@ Result<std::vector<ElementRecord>> ElementStore::FetchAncestors(
   return out;
 }
 
+Status ElementStore::PersistBloom() {
+  const std::vector<uint64_t>& words = bloom_.words();
+  size_t pages_needed = (words.size() + kBloomWordsPerPage - 1) /
+                        kBloomWordsPerPage;
+  while (bloom_pages_.size() < pages_needed) {
+    uint8_t* frame = nullptr;
+    RUIDX_ASSIGN_OR_RETURN(uint32_t page_id, pool_->AllocatePinned(&frame));
+    pool_->Unpin(page_id, /*dirty=*/true);
+    bloom_pages_.push_back(page_id);
+    // Next pointers (including the predecessor's link to this page) are
+    // written below — every chain page gets its full image rewritten.
+  }
+  while (bloom_pages_.size() > pages_needed) {
+    uint32_t page_id = bloom_pages_.back();
+    bloom_pages_.pop_back();
+    RUIDX_RETURN_NOT_OK(pool_->FreePage(page_id));
+  }
+  for (size_t p = 0; p < pages_needed; ++p) {
+    uint8_t image[kPageUsableSize];
+    std::memset(image, 0, sizeof(image));
+    uint32_t next = (p + 1 < pages_needed) ? bloom_pages_[p + 1]
+                                           : kInvalidPage;
+    std::memcpy(image, &next, 4);
+    size_t base = p * kBloomWordsPerPage;
+    size_t take = std::min(kBloomWordsPerPage, words.size() - base);
+    std::memcpy(image + 4, words.data() + base, take * 8);
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* frame, pool_->Fetch(bloom_pages_[p]));
+    // Compare-and-dirty: an unchanged filter page journals and writes
+    // nothing (mirrors WriteMeta).
+    bool changed = std::memcmp(frame, image, kPageUsableSize) != 0;
+    if (changed) std::memcpy(frame, image, kPageUsableSize);
+    pool_->Unpin(bloom_pages_[p], changed);
+  }
+  return Status::OK();
+}
+
 Status ElementStore::Flush() {
+  // The filter pages must exist (and the chain head be final) before the
+  // meta that points at them is composed.
+  RUIDX_RETURN_NOT_OK(PersistBloom());
   RUIDX_RETURN_NOT_OK(WriteMeta());
   return pool_->FlushAll();
 }
@@ -528,11 +862,31 @@ Status ElementStore::VerifyOnDisk() {
         std::to_string(free_pages.size()));
   }
 
-  // [tree-reachability]: index pages form a tree (CollectPages rejects
-  // shared pages), stay in bounds, and never alias page 0, a free page, or
-  // a heap page holding a live record.
+  // [tree-reachability]: the primary and both secondary trees each form a
+  // tree (CollectPages rejects shared pages), the three page sets plus the
+  // Bloom chain are mutually disjoint, stay in bounds, and never alias
+  // page 0, a free page, or a heap page holding a live record.
   std::unordered_set<uint32_t> index_pages;
   RUIDX_RETURN_NOT_OK(index_->CollectPages(&index_pages));
+  {
+    std::unordered_set<uint32_t> secondary_pages;
+    RUIDX_RETURN_NOT_OK(name_index_->CollectPages(&secondary_pages));
+    RUIDX_RETURN_NOT_OK(path_index_->CollectPages(&secondary_pages));
+    for (uint32_t id : secondary_pages) {
+      if (!index_pages.insert(id).second) {
+        return Status::Corruption("[tree-reachability] page " +
+                                  std::to_string(id) +
+                                  " shared between index trees");
+      }
+    }
+    for (uint32_t id : bloom_pages_) {
+      if (!index_pages.insert(id).second) {
+        return Status::Corruption("[tree-reachability] bloom page " +
+                                  std::to_string(id) +
+                                  " aliases an index page");
+      }
+    }
+  }
   for (uint32_t id : index_pages) {
     if (id == 0 || id >= page_count) {
       return Status::Corruption("[tree-reachability] index page " +
@@ -569,6 +923,91 @@ Status ElementStore::VerifyOnDisk() {
         return true;
       }));
   return status;
+}
+
+Status ElementStore::VerifySecondaryIndexes() {
+  // [index-coverage]: one name posting and one path posting per record —
+  // anything else means maintenance dropped or duplicated a posting.
+  if (name_index_->entry_count() != index_->entry_count() ||
+      path_index_->entry_count() != index_->entry_count()) {
+    return Status::Corruption(
+        "[index-coverage] record count " +
+        std::to_string(index_->entry_count()) + " vs " +
+        std::to_string(name_index_->entry_count()) + " name / " +
+        std::to_string(path_index_->entry_count()) + " path postings");
+  }
+  RUIDX_RETURN_NOT_OK(name_index_->Validate());
+  RUIDX_RETURN_NOT_OK(path_index_->Validate());
+
+  // [name-index-coverage]: every posting's location must resolve to a live
+  // record carrying the posting's id and a name that hashes to its term.
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(ScanNamePostings(
+      [&](uint64_t term, const core::Ruid2Id& id, uint64_t location) {
+        auto record = ReadRecord(location);
+        if (!record.ok()) {
+          status = Status::Corruption("[name-index-coverage] posting for " +
+                                      id.ToString() +
+                                      " points at an unreadable location: " +
+                                      record.status().message());
+          return false;
+        }
+        if (record->id != id || HashNameTerm(record->name) != term) {
+          status = Status::Corruption("[name-index-coverage] posting for " +
+                                      id.ToString() +
+                                      " disagrees with the stored record");
+          return false;
+        }
+        return true;
+      }));
+  RUIDX_RETURN_NOT_OK(status);
+
+  // [path-index-coverage]: same agreement for path postings, against the
+  // record's stored path term.
+  RUIDX_RETURN_NOT_OK(ScanPathPostings(
+      [&](uint64_t term, const core::Ruid2Id& id, uint64_t location) {
+        auto record = ReadRecord(location);
+        if (!record.ok()) {
+          status = Status::Corruption("[path-index-coverage] posting for " +
+                                      id.ToString() +
+                                      " points at an unreadable location: " +
+                                      record.status().message());
+          return false;
+        }
+        if (record->id != id || record->path_term != term) {
+          status = Status::Corruption("[path-index-coverage] posting for " +
+                                      id.ToString() +
+                                      " disagrees with the stored record");
+          return false;
+        }
+        return true;
+      }));
+  RUIDX_RETURN_NOT_OK(status);
+
+  // [bloom-membership]: the filter's one contract — never a false
+  // negative — checked against every stored key.
+  BPlusTree::Key lo{};
+  BPlusTree::Key hi;
+  hi.fill(0xFF);
+  RUIDX_RETURN_NOT_OK(index_->Scan(
+      lo, hi, [&](const BPlusTree::Key& key, uint64_t) {
+        if (!bloom_.MayContain(IdKeyHash(key))) {
+          status = Status::Corruption("[bloom-membership] stored id " +
+                                      DecodeIdKey(key).ToString() +
+                                      " fails its Bloom filter");
+          return false;
+        }
+        return true;
+      }));
+  return status;
+}
+
+SecondaryIndexStats ElementStore::secondary_stats() const {
+  SecondaryIndexStats stats;
+  stats.name_postings = name_index_->entry_count();
+  stats.path_postings = path_index_->entry_count();
+  stats.bloom = bloom_.Stats();
+  return stats;
 }
 
 }  // namespace storage

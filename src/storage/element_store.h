@@ -13,11 +13,15 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/ruid2.h"
+#include "storage/bloom.h"
 #include "storage/bptree.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/secondary_index.h"
 #include "storage/wal.h"
 #include "xml/dom.h"
 
@@ -31,6 +35,19 @@ struct ElementRecord {
   uint8_t node_type = 0;  // xml::NodeType
   std::string name;
   std::string value;
+  /// Rolling hash of the root-to-node tag path (the path-index term).
+  /// 0 = unset: the store resolves it on Put — root hash when the record is
+  /// its own parent, otherwise extended from the parent record's stored
+  /// term (falling back to the bare name hash when the parent lives in a
+  /// different shard). Reads fill in the stored value.
+  uint64_t path_term = 0;
+};
+
+/// Per-store secondary-index observability (ruidx_tool check --store).
+struct SecondaryIndexStats {
+  uint64_t name_postings = 0;
+  uint64_t path_postings = 0;
+  BloomStats bloom;
 };
 
 /// Encodes an identifier as a 33-byte key whose bytewise order equals
@@ -69,11 +86,22 @@ class ElementStore {
   /// occupied is reclaimed through the pool's free list.
   Status Remove(const core::Ruid2Id& id);
 
-  /// Point lookup by identifier.
+  /// Point lookup by identifier. Guaranteed misses are answered by the
+  /// Bloom filter without touching the B+tree.
   Result<ElementRecord> Get(const core::Ruid2Id& id);
 
   /// True iff the identifier names a stored (real) node.
   Result<bool> Exists(const core::Ruid2Id& id);
+
+  /// False = the identifier is definitely not stored (no page accesses);
+  /// true = probably stored. The sharded store prunes shards on this.
+  bool MayContainId(const core::Ruid2Id& id) const;
+
+  /// Benchmark/diagnostic knob: with the filter disabled, misses descend
+  /// the B+tree and MayContainId never vetoes — the pre-index behaviour,
+  /// kept so index-on/off comparisons measure the same binary. The filter
+  /// itself keeps being maintained, so re-enabling is always safe.
+  void SetBloomEnabled(bool enabled) { bloom_enabled_ = enabled; }
 
   /// Loads every labeled node of `doc` under `scheme`.
   Status BulkLoad(const core::Ruid2Scheme& scheme, xml::Node* root);
@@ -95,6 +123,31 @@ class ElementStore {
   Status ScanAll(
       const std::function<bool(const BPlusTree::Key&, const ElementRecord&)>&
           fn);
+
+  /// Scans all records named `name` in ascending identifier order (document
+  /// order within each area), seeded from the persistent name index —
+  /// posting-list pages plus one heap read per match instead of a
+  /// full-store enumeration. Term-hash collisions are filtered against the
+  /// fetched record.
+  Status ScanNameTerm(std::string_view name,
+                      const std::function<bool(const ElementRecord&)>& fn);
+
+  /// Scans all records whose root-to-node tag path hashes to `term`
+  /// (compose terms with RootPathTerm/ExtendPathTerm), in the same
+  /// identifier order.
+  Status ScanPathTerm(uint64_t term,
+                      const std::function<bool(const ElementRecord&)>& fn);
+
+  /// Raw name-index postings in (term, document-order) key order — the
+  /// fsck coverage invariants walk these.
+  Status ScanNamePostings(
+      const std::function<bool(uint64_t term, const core::Ruid2Id& id,
+                               uint64_t location)>& fn) const;
+
+  /// Raw path-index postings, same order.
+  Status ScanPathPostings(
+      const std::function<bool(uint64_t term, const core::Ruid2Id& id,
+                               uint64_t location)>& fn) const;
 
   /// Ancestor check via identifier arithmetic (Fig. 6): runs entirely on
   /// the in-memory (κ, K) state — zero page accesses.
@@ -125,6 +178,16 @@ class ElementStore {
   /// the free list. Returns Corruption("[invariant-name] ...").
   Status VerifyOnDisk();
 
+  /// Scheme-free consistency battery over the secondary indexes: posting
+  /// counts equal the record count, every posting's location resolves to a
+  /// record carrying that id and term, both posting trees validate
+  /// structurally, and every stored key passes the Bloom filter (the
+  /// never-false-negative contract). Corruption("[invariant-name] ...").
+  Status VerifySecondaryIndexes();
+
+  /// Posting counts and Bloom load/false-positive estimates.
+  SecondaryIndexStats secondary_stats() const;
+
   /// Arms the shared fault injector covering every physical operation of
   /// both the main file and the journal — the crash-point matrix test
   /// sweeps `ops` over the whole range. UINT64_MAX disarms.
@@ -152,9 +215,21 @@ class ElementStore {
 
   ElementStore() = default;
 
-  Result<uint64_t> AppendRecord(const ElementRecord& record);
+  Result<uint64_t> AppendRecord(const ElementRecord& record,
+                                uint64_t path_term);
   Result<ElementRecord> ReadRecord(uint64_t location);
   Status WriteMeta();
+  /// The record's path-index term: the caller-supplied value when set,
+  /// otherwise derived from the parent record (see ElementRecord::path_term).
+  Result<uint64_t> ResolvePathTerm(const ElementRecord& record);
+  /// Re-derives the Bloom filter from a primary-index key scan, sized with
+  /// headroom so rebuilds amortize.
+  Status RebuildBloom();
+  /// Serializes the Bloom filter into its page chain (called from Flush,
+  /// before the metadata that points at the chain head is written).
+  Status PersistBloom();
+  /// Walks the persisted chain back into memory (called from Open).
+  Status LoadBloom(uint32_t head, uint32_t word_count, uint64_t key_count);
 
   // Destruction order matters: the pool's destructor runs a final commit
   // through the journal, so pool_ must die before wal_ (and both before
@@ -163,6 +238,13 @@ class ElementStore {
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BPlusTree> index_;
+  std::unique_ptr<SecondaryIndex> name_index_;
+  std::unique_ptr<SecondaryIndex> path_index_;
+  BloomFilter bloom_;
+  bool bloom_enabled_ = true;
+  /// The Bloom filter's persisted page chain, head first (mirrors the
+  /// on-disk next pointers so Flush can rewrite pages in place).
+  std::vector<uint32_t> bloom_pages_;
   uint32_t current_heap_page_ = kInvalidPage;
 };
 

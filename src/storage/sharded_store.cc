@@ -243,6 +243,48 @@ Result<ElementRecord> ShardedElementStore::Get(const std::string& name,
   return shard->Get(id);
 }
 
+Result<ElementRecord> ShardedElementStore::GetById(const core::Ruid2Id& id) {
+  // Without a name there is no single shard to route to: every shard of the
+  // id's area — one per distinct element name there — could hold it. The
+  // shard map is ordered by (name, global), so same-area shards are spread
+  // across the whole map; walk it once and let each candidate's Bloom
+  // filter veto the descent. Shard contents are not touched under the map
+  // lock except through Get, which pins pages briefly — same discipline as
+  // ScanName.
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  ++probe_stats_.lookups;
+  for (auto& [key, shard] : shards_) {
+    if (key.global != id.global) continue;
+    ++probe_stats_.candidate_shards;
+    if (!shard->MayContainId(id)) {
+      ++probe_stats_.bloom_skips;
+      continue;
+    }
+    ++probe_stats_.tree_probes;
+    auto record = shard->Get(id);
+    if (record.ok()) return record;
+    if (!record.status().IsNotFound()) return record.status();
+    // A Bloom false positive: keep probing the area's other shards.
+  }
+  return Status::NotFound("no shard holds id " + id.ToString());
+}
+
+std::vector<ShardedElementStore::ShardInfo> ShardedElementStore::ShardInfos()
+    const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  std::vector<ShardInfo> infos;
+  infos.reserve(shards_.size());
+  for (const auto& [key, shard] : shards_) {
+    ShardInfo info;
+    info.name = key.name;
+    info.global = key.global;
+    info.records = shard->record_count();
+    info.index = shard->secondary_stats();
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
 Status ShardedElementStore::ScanName(
     const std::string& name,
     const std::function<bool(const ElementRecord&)>& fn) {
@@ -308,6 +350,12 @@ uint64_t ShardedElementStore::logical_page_accesses() const {
 void ShardedElementStore::ResetStats() {
   std::lock_guard<std::mutex> lock(shards_mu_);
   for (auto& [key, shard] : shards_) shard->ResetStats();
+  probe_stats_ = ShardProbeStats{};
+}
+
+void ShardedElementStore::SetBloomPruning(bool enabled) {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (auto& [key, shard] : shards_) shard->SetBloomEnabled(enabled);
 }
 
 }  // namespace storage

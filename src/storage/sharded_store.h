@@ -66,6 +66,35 @@ class ShardedElementStore {
   /// part of the "table name" in the paper's design).
   Result<ElementRecord> Get(const std::string& name, const core::Ruid2Id& id);
 
+  /// Point lookup when only the identifier is known (no name to route by):
+  /// every shard of the id's area is a candidate — one per distinct element
+  /// name there — but a shard whose Bloom filter vetoes the id is skipped
+  /// without descending its B+tree. The probe counters feed the ≥90%-skip
+  /// acceptance check and `ruidx_tool check --store`.
+  Result<ElementRecord> GetById(const core::Ruid2Id& id);
+
+  /// Cumulative GetById probe accounting since the last ResetStats.
+  struct ShardProbeStats {
+    uint64_t lookups = 0;          // GetById calls
+    uint64_t candidate_shards = 0; // shards sharing the id's area
+    uint64_t bloom_skips = 0;      // vetoed by the filter, tree untouched
+    uint64_t tree_probes = 0;      // descents the filter let through
+  };
+  ShardProbeStats probe_stats() const {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    return probe_stats_;
+  }
+
+  /// One row per shard, in (name, global) order — the size histogram and
+  /// index stats `ruidx_tool check --store` prints.
+  struct ShardInfo {
+    std::string name;
+    BigUint global;
+    uint64_t records = 0;
+    SecondaryIndexStats index;
+  };
+  std::vector<ShardInfo> ShardInfos() const;
+
   /// All records with this element name, any area: only that name's shards
   /// are opened. Results grouped by area, ordered by identifier within.
   Status ScanName(const std::string& name,
@@ -86,6 +115,11 @@ class ShardedElementStore {
   /// Aggregate buffer-pool counters across all shards.
   BufferPoolStats pool_stats() const;
   void ResetStats();
+
+  /// Forwards SetBloomEnabled to every shard: with pruning off, GetById
+  /// descends every candidate shard's B+tree (the pre-index behaviour the
+  /// index-on/off benchmarks compare against).
+  void SetBloomPruning(bool enabled);
 
  private:
   struct ShardKey {
@@ -111,6 +145,7 @@ class ShardedElementStore {
   /// can run while Put() inserts fresh shards.
   mutable std::mutex shards_mu_;
   std::map<ShardKey, std::unique_ptr<ElementStore>> shards_;
+  ShardProbeStats probe_stats_;
 };
 
 }  // namespace storage

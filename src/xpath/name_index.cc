@@ -4,6 +4,8 @@ namespace ruidx {
 namespace xpath {
 
 void NameIndex::Build(xml::Node* root) {
+  root_ = root;
+  stale_ = false;
   by_name_.clear();
   text_nodes_.clear();
   xml::PreorderTraverse(root, [&](xml::Node* n, int) {
@@ -16,7 +18,23 @@ void NameIndex::Build(xml::Node* root) {
   });
 }
 
+void NameIndex::OnUpdate(const core::UpdateReport& report) {
+  // Unlike the ancestor-path cache (which survives updates that relabel
+  // nothing), a membership index is invalidated by every successful update:
+  // the inserted or removed node itself changes posting lists even when the
+  // report counts zero relabels.
+  (void)report;
+  stale_ = true;
+}
+
+void NameIndex::EnsureFresh() const {
+  if (stale_ && root_ != nullptr) {
+    const_cast<NameIndex*>(this)->Build(root_);
+  }
+}
+
 const std::vector<xml::Node*>& NameIndex::Lookup(std::string_view name) const {
+  EnsureFresh();
   auto it = by_name_.find(std::string(name));
   return it == by_name_.end() ? empty_ : it->second;
 }

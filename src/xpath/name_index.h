@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/ruid2_id.h"
 #include "xml/dom.h"
 
 namespace ruidx {
@@ -23,22 +24,45 @@ namespace xpath {
 class NameIndex {
  public:
   /// Indexes every element under `root` by tag name, plus text/comment/PI
-  /// nodes under reserved keys. Rebuild after structural updates.
+  /// nodes under reserved keys. The root must outlive the index: after a
+  /// structural update, feed the scheme's UpdateReport to OnUpdate (or call
+  /// MarkStale for edits the scheme never saw) and the index rebuilds
+  /// itself on the next lookup instead of serving stale — possibly
+  /// dangling — postings.
   explicit NameIndex(xml::Node* root) { Build(root); }
 
   void Build(xml::Node* root);
+
+  /// Update accounting hook (Sec. 3.2): every successful update invalidates
+  /// the posting lists — membership changes even when nothing relabels. The
+  /// rebuild is deferred to the next lookup so an update storm pays it
+  /// once, not per batch operation.
+  void OnUpdate(const core::UpdateReport& report);
+
+  /// Invalidation for external mutations (AppendChild + RelabelAndCount).
+  void MarkStale() { stale_ = true; }
 
   /// Elements with this tag, in document order; empty vector when unknown.
   const std::vector<xml::Node*>& Lookup(std::string_view name) const;
 
   /// All text nodes, in document order.
-  const std::vector<xml::Node*>& TextNodes() const { return text_nodes_; }
+  const std::vector<xml::Node*>& TextNodes() const {
+    EnsureFresh();
+    return text_nodes_;
+  }
 
-  size_t distinct_names() const { return by_name_.size(); }
+  size_t distinct_names() const {
+    EnsureFresh();
+    return by_name_.size();
+  }
 
  private:
-  std::unordered_map<std::string, std::vector<xml::Node*>> by_name_;
-  std::vector<xml::Node*> text_nodes_;
+  void EnsureFresh() const;
+
+  xml::Node* root_ = nullptr;
+  mutable bool stale_ = false;
+  mutable std::unordered_map<std::string, std::vector<xml::Node*>> by_name_;
+  mutable std::vector<xml::Node*> text_nodes_;
   std::vector<xml::Node*> empty_;
 };
 

@@ -1,0 +1,80 @@
+#include "xpath/path_index.h"
+
+#include "storage/secondary_index.h"
+
+namespace ruidx {
+namespace xpath {
+
+void PathIndex::Build(xml::Node* root) {
+  root_ = root;
+  stale_ = false;
+  by_term_.clear();
+  // Preorder keeps the parent's term one slot up a depth-indexed stack —
+  // the same composition BulkLoad uses for the persistent path index, so
+  // the two agree term for term.
+  std::vector<uint64_t> term_stack;
+  xml::PreorderTraverse(root, [&](xml::Node* n, int depth) {
+    uint64_t term =
+        depth == 0 ? storage::RootPathTerm(n->name())
+                   : storage::ExtendPathTerm(term_stack[depth - 1], n->name());
+    term_stack.resize(depth + 1);
+    term_stack[depth] = term;
+    by_term_[term].push_back(n);
+    return true;
+  });
+}
+
+void PathIndex::OnUpdate(const core::UpdateReport& report) {
+  // Membership changes on every successful update (see NameIndex::OnUpdate).
+  (void)report;
+  stale_ = true;
+}
+
+void PathIndex::EnsureFresh() const {
+  if (stale_ && root_ != nullptr) {
+    const_cast<PathIndex*>(this)->Build(root_);
+  }
+}
+
+std::vector<xml::Node*> PathIndex::LookupPath(
+    const std::vector<std::string_view>& names) const {
+  if (names.empty()) return {};
+  uint64_t term = storage::RootPathTerm(names[0]);
+  for (size_t i = 1; i < names.size(); ++i) {
+    term = storage::ExtendPathTerm(term, names[i]);
+  }
+  std::vector<xml::Node*> out;
+  for (xml::Node* n : LookupTerm(term)) {
+    // Climb the tag chain to rule out a term collision: the climb must
+    // consume every query name and land exactly on the indexed root.
+    const xml::Node* walk = n;
+    bool matches = true;
+    for (size_t i = names.size(); i-- > 0;) {
+      if (walk == nullptr || walk->name() != names[i]) {
+        matches = false;
+        break;
+      }
+      if (i == 0) {
+        matches = walk == root_;
+        break;
+      }
+      walk = walk->parent();
+    }
+    if (matches) out.push_back(n);
+  }
+  return out;
+}
+
+const std::vector<xml::Node*>& PathIndex::LookupTerm(uint64_t term) const {
+  EnsureFresh();
+  auto it = by_term_.find(term);
+  return it == by_term_.end() ? empty_ : it->second;
+}
+
+size_t PathIndex::distinct_paths() const {
+  EnsureFresh();
+  return by_term_.size();
+}
+
+}  // namespace xpath
+}  // namespace ruidx

@@ -1,0 +1,66 @@
+// PathIndex: root-to-node tag path -> node list, in document order.
+//
+// The in-memory face of the store's persistent path index: both sides hash
+// a root-to-node tag path to the same 64-bit term (RootPathTerm /
+// ExtendPathTerm), so an absolute child chain like /a/b/c is answered with
+// one posting-list lookup — no navigation, no candidate climb — and the
+// results can be cross-checked against ElementStore::ScanPathTerm. Term
+// collisions are possible in principle (64-bit hashes), so lookups by name
+// chain re-verify each hit's tag path against the query.
+#ifndef RUIDX_XPATH_PATH_INDEX_H_
+#define RUIDX_XPATH_PATH_INDEX_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ruid2_id.h"
+#include "xml/dom.h"
+
+namespace ruidx {
+namespace xpath {
+
+class PathIndex {
+ public:
+  /// Indexes every node under `root` by the hash of its root-to-node tag
+  /// path. The root must outlive the index (rebuilds re-walk it).
+  explicit PathIndex(xml::Node* root) { Build(root); }
+
+  void Build(xml::Node* root);
+
+  /// Update accounting hook: every successful update invalidates the
+  /// posting lists; the index rebuilds from the root on the next lookup
+  /// rather than serving stale — possibly dangling — postings.
+  void OnUpdate(const core::UpdateReport& report);
+
+  /// Invalidation for mutations the scheme never saw (external edits
+  /// followed by RelabelAndCount).
+  void MarkStale() { stale_ = true; }
+
+  /// Nodes whose root-to-node tag path is exactly names[0]/.../names.back(),
+  /// in document order. Hash hits are re-verified against the actual tag
+  /// chain, so a term collision cannot leak a wrong node.
+  std::vector<xml::Node*> LookupPath(
+      const std::vector<std::string_view>& names) const;
+
+  /// Raw posting list for a precomposed term (document order). No
+  /// collision filtering — callers verifying against the store's postings
+  /// want the raw list.
+  const std::vector<xml::Node*>& LookupTerm(uint64_t term) const;
+
+  size_t distinct_paths() const;
+
+ private:
+  void EnsureFresh() const;
+
+  xml::Node* root_ = nullptr;
+  mutable bool stale_ = false;
+  mutable std::unordered_map<uint64_t, std::vector<xml::Node*>> by_term_;
+  std::vector<xml::Node*> empty_;
+};
+
+}  // namespace xpath
+}  // namespace ruidx
+
+#endif  // RUIDX_XPATH_PATH_INDEX_H_

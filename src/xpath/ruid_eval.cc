@@ -124,8 +124,8 @@ std::vector<xml::Node*> RuidEvaluator::GenerateAxis(xml::Node* n, Axis axis) {
   return out;
 }
 
-bool RuidEvaluator::StepUsesIndex(const Step& step,
-                                  size_t context_size) const {
+bool RuidEvaluator::StepUsesIndex(
+    const Step& step, const std::vector<xml::Node*>& context) const {
   if (name_index_ == nullptr) return false;
   if (step.test.kind != NodeTestKind::kName) return false;
   bool order_axis = false;
@@ -153,12 +153,38 @@ bool RuidEvaluator::StepUsesIndex(const Step& step,
     // node and is essentially always cheaper.
     return true;
   }
+  // A `//name` step rooted at the document node needs no filtering at
+  // all — every candidate descends from the document — so the posting
+  // list is the answer regardless of its size.
+  if (context.size() == 1 && context[0]->is_document()) return true;
   // Descendant axes navigate subtree-locally, which is cheap; take the
   // candidate route only when the condition is specific (Sec. 3.5): the
   // candidate x context pair work must stay well under one document scan.
   size_t candidates = name_index_->Lookup(step.test.name).size();
-  return candidates * std::max<size_t>(context_size, 1) <=
+  return candidates * std::max<size_t>(context.size(), 1) <=
          scheme_->label_count() / 4;
+}
+
+bool RuidEvaluator::TryPathIndexChain(const std::vector<Step>& steps,
+                                      const xml::Node* context,
+                                      std::vector<xml::Node*>* out) {
+  if (path_index_ == nullptr || steps.empty()) return false;
+  if (context == nullptr || !context->is_document()) return false;
+  std::vector<std::string_view> names;
+  names.reserve(steps.size());
+  for (const Step& step : steps) {
+    if (step.axis != Axis::kChild || !step.predicates.empty()) return false;
+    if (step.test.kind != NodeTestKind::kName) return false;
+    names.push_back(step.test.name);
+  }
+  // The index keys every node type by its tag chain; a name test only
+  // admits elements (a PI whose target matches the leaf name must not
+  // slip in).
+  for (xml::Node* n : path_index_->LookupPath(names)) {
+    if (n->is_element()) out->push_back(n);
+  }
+  ids_generated_ += out->size();
+  return true;
 }
 
 bool RuidEvaluator::TryChildChainBackwards(const std::vector<Step>& steps,
@@ -306,13 +332,21 @@ Result<std::vector<xml::Node*>> RuidEvaluator::Evaluate(
   std::vector<Step> steps = FuseDescendantSteps(path.steps);
   if (path.absolute) {
     std::vector<xml::Node*> chain_result;
+    if (TryPathIndexChain(path.steps, context, &chain_result)) {
+      return chain_result;  // postings are kept in document order
+    }
     if (TryChildChainBackwards(path.steps, context, &chain_result)) {
       return chain_result;  // candidates arrive in document order
     }
   }
   std::vector<xml::Node*> current{context};
+  // True while `current` is a duplicate-free document-order set: index
+  // posting lists arrive that way, so a path whose last executed step was
+  // index-evaluated skips the final identifier sort — for an unselective
+  // `//name` the sort would otherwise cost more than the step itself.
+  bool document_ordered = false;
   for (const Step& step : steps) {
-    if (StepUsesIndex(step, current.size())) {
+    if (StepUsesIndex(step, current)) {
       // Attribute context nodes cannot be skipped silently on ancestor
       // axes; fall back when any are present.
       bool has_attribute_context = false;
@@ -321,10 +355,12 @@ Result<std::vector<xml::Node*>> RuidEvaluator::Evaluate(
       }
       if (!has_attribute_context) {
         current = EvalStepViaIndex(current, step);
+        document_ordered = true;
         if (current.empty()) break;
         continue;
       }
     }
+    document_ordered = false;
     // Following axis results come in area-bulk order too; positional
     // predicates need axis order, so sort when one is present.
     bool needs_axis_order = false;
@@ -354,7 +390,7 @@ Result<std::vector<xml::Node*>> RuidEvaluator::Evaluate(
     current = DedupNodes(std::move(next));
     if (current.empty()) break;
   }
-  SortDocumentOrder(&current);
+  if (!document_ordered) SortDocumentOrder(&current);
   return current;
 }
 
@@ -384,6 +420,10 @@ void RuidEvaluator::SortDocumentOrder(std::vector<xml::Node*>* nodes) const {
 
 Result<std::vector<xml::Node*>> RuidEvaluator::Evaluate(const UnionExpr& expr,
                                                         xml::Node* context) {
+  // A single-path "union" is already duplicate-free and document-ordered;
+  // re-sorting it would throw away the ordered-result bookkeeping the
+  // per-path evaluation just did.
+  if (expr.paths.size() == 1) return Evaluate(expr.paths[0], context);
   std::vector<xml::Node*> merged;
   for (const LocationPath& path : expr.paths) {
     RUIDX_ASSIGN_OR_RETURN(std::vector<xml::Node*> part,

@@ -16,6 +16,7 @@
 #include "xml/dom.h"
 #include "xpath/ast.h"
 #include "xpath/name_index.h"
+#include "xpath/path_index.h"
 
 namespace ruidx {
 namespace xpath {
@@ -50,6 +51,12 @@ class RuidEvaluator {
   /// and be rebuilt after updates. Pass nullptr to disable.
   void SetNameIndex(const NameIndex* index) { name_index_ = index; }
 
+  /// Enables single-lookup answering of fully named absolute child chains
+  /// (/a/b/c): the chain's tag-path term keys one posting list, so no step
+  /// loop runs at all. The index must outlive the evaluator and be kept
+  /// fresh via PathIndex::OnUpdate. Pass nullptr to disable.
+  void SetPathIndex(const PathIndex* index) { path_index_ = index; }
+
   /// Identifiers materialized while generating axes (work metric).
   uint64_t ids_generated() const { return ids_generated_; }
   void ResetCounters() { ids_generated_ = 0; }
@@ -59,8 +66,11 @@ class RuidEvaluator {
 
   /// True when the step qualifies for name-index candidate filtering and
   /// the Sec. 3.5 selectivity rule favours it ("the first approach is good
-  /// only for the cases in which C is specific").
-  bool StepUsesIndex(const Step& step, size_t context_size) const;
+  /// only for the cases in which C is specific"). A descendant step whose
+  /// whole context is the document node is always index-answered: the
+  /// posting list IS the result, no per-candidate arithmetic.
+  bool StepUsesIndex(const Step& step,
+                     const std::vector<xml::Node*>& context) const;
 
   /// The Sec. 3.5 "element1/*/element2" trick: an absolute all-child-axis
   /// path with a name test at the end is answered backwards — take the
@@ -70,6 +80,15 @@ class RuidEvaluator {
   bool TryChildChainBackwards(const std::vector<Step>& steps,
                               const xml::Node* context,
                               std::vector<xml::Node*>* out);
+
+  /// Answers an absolute all-named child chain (/a/b/c, no predicates)
+  /// straight from the path index: one term composition, one posting-list
+  /// lookup. Strictly cheaper than the backwards climb, which this
+  /// pre-empts when both rewrites apply. Returns true and fills *out when
+  /// the rewrite applies.
+  bool TryPathIndexChain(const std::vector<Step>& steps,
+                         const xml::Node* context,
+                         std::vector<xml::Node*>* out);
 
   /// Evaluates one indexable step over the whole context set.
   std::vector<xml::Node*> EvalStepViaIndex(
@@ -82,6 +101,7 @@ class RuidEvaluator {
   const core::Ruid2Scheme* scheme_;
   core::RuidAxes axes_;
   const NameIndex* name_index_ = nullptr;
+  const PathIndex* path_index_ = nullptr;
   uint64_t ids_generated_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "storage/element_store.h"
 #include "xml/dom.h"
 
 namespace ruidx {
@@ -218,6 +219,32 @@ JoinResult StructuralJoinRuid(const core::Ruid2Scheme& scheme,
     for (const ChainedNode* a : stack) out.emplace_back(a->node, d.node);
   }
   return out;
+}
+
+JoinResult StructuralJoinRuidByName(const core::Ruid2Scheme& scheme,
+                                    const NameIndex& index,
+                                    std::string_view ancestor_name,
+                                    std::string_view descendant_name) {
+  return StructuralJoinRuid(scheme, index.Lookup(ancestor_name),
+                            index.Lookup(descendant_name));
+}
+
+Result<JoinResult> StructuralJoinRuidFromStore(
+    const core::Ruid2Scheme& scheme, storage::ElementStore* store,
+    std::string_view ancestor_name, std::string_view descendant_name) {
+  auto gather = [&](std::string_view name,
+                    std::vector<xml::Node*>* out) -> Status {
+    return store->ScanNameTerm(name, [&](const storage::ElementRecord& rec) {
+      xml::Node* node = scheme.NodeById(rec.id);
+      if (node != nullptr) out->push_back(node);
+      return true;
+    });
+  };
+  std::vector<xml::Node*> ancestors, descendants;
+  RUIDX_RETURN_NOT_OK(gather(ancestor_name, &ancestors));
+  RUIDX_RETURN_NOT_OK(gather(descendant_name, &descendants));
+  return StructuralJoinRuid(scheme, std::move(ancestors),
+                            std::move(descendants));
 }
 
 JoinResult StructuralJoinInterval(const scheme::XissScheme& scheme,

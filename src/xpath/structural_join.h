@@ -14,14 +14,21 @@
 #ifndef RUIDX_XPATH_STRUCTURAL_JOIN_H_
 #define RUIDX_XPATH_STRUCTURAL_JOIN_H_
 
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/ruid2.h"
 #include "scheme/xiss.h"
+#include "util/result.h"
 #include "xml/dom.h"
+#include "xpath/name_index.h"
 
 namespace ruidx {
+namespace storage {
+class ElementStore;
+}  // namespace storage
+
 namespace xpath {
 
 using JoinResult = std::vector<std::pair<xml::Node*, xml::Node*>>;
@@ -31,6 +38,23 @@ using JoinResult = std::vector<std::pair<xml::Node*, xml::Node*>>;
 JoinResult StructuralJoinRuid(const core::Ruid2Scheme& scheme,
                               std::vector<xml::Node*> ancestors,
                               std::vector<xml::Node*> descendants);
+
+/// Seeds both join inputs from the in-memory name index (Sec. 3.5's
+/// "second approach" applied to the join: candidates come from the
+/// condition, containment from identifier arithmetic) and runs the ruid
+/// stack join — no document scan to gather either side.
+JoinResult StructuralJoinRuidByName(const core::Ruid2Scheme& scheme,
+                                    const NameIndex& index,
+                                    std::string_view ancestor_name,
+                                    std::string_view descendant_name);
+
+/// Same seeding from the persistent name index: one posting-list scan per
+/// side (ElementStore::ScanNameTerm), identifiers resolved to DOM nodes
+/// through the scheme, then the ruid stack join. This is the query path the
+/// on-disk secondary indexes exist for — the store is never enumerated.
+Result<JoinResult> StructuralJoinRuidFromStore(
+    const core::Ruid2Scheme& scheme, storage::ElementStore* store,
+    std::string_view ancestor_name, std::string_view descendant_name);
 
 /// Same skeleton over XISS interval labels.
 JoinResult StructuralJoinInterval(const scheme::XissScheme& scheme,

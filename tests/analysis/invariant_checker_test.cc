@@ -80,8 +80,39 @@ class ElementStoreTestPeer {
   /// store-key/identifier agreement the verifier asserts.
   static Status InsertRaw(ElementStore* store, const BPlusTree::Key& key,
                           const ElementRecord& record) {
-    RUIDX_ASSIGN_OR_RETURN(uint64_t location, store->AppendRecord(record));
+    RUIDX_ASSIGN_OR_RETURN(uint64_t location,
+                           store->AppendRecord(record, record.path_term));
     return store->index_->Insert(key, location);
+  }
+
+  /// Drops one name posting behind the store's back — coverage corruption
+  /// for the [name-index-coverage] invariant.
+  static Status DropNamePosting(ElementStore* store,
+                                const ElementRecord& record) {
+    return store->name_index_->Remove(HashNameTerm(record.name), record.id);
+  }
+
+  /// Re-points one path posting at a different heap location — agreement
+  /// corruption for the [path-index-coverage] invariant.
+  static Status RetargetPathPosting(ElementStore* store,
+                                    const ElementRecord& record,
+                                    uint64_t bogus_location) {
+    return store->path_index_->Add(record.path_term, record.id,
+                                   bogus_location);
+  }
+
+  /// Heap location of a stored record — donor material for
+  /// RetargetPathPosting.
+  static Result<uint64_t> LocationOf(ElementStore* store,
+                                     const core::Ruid2Id& id) {
+    RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, storage::EncodeIdKey(id));
+    return store->index_->Get(key);
+  }
+
+  /// Replaces the Bloom filter with an empty one — every stored key now
+  /// violates [bloom-membership] (and Get would miss).
+  static void ClearBloom(ElementStore* store) {
+    store->bloom_ = BloomFilter();
   }
 };
 
@@ -330,6 +361,78 @@ TEST(InvariantCheckerTest, CatchesStoreKeyIdentifierMismatch) {
       << st.ToString();
 }
 
+TEST(InvariantCheckerTest, CatchesDroppedNamePosting) {
+  auto doc = MustParse(kBookXml);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  auto store = storage::ElementStore::Create("");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+  ASSERT_TRUE(CheckStoreInvariants(scheme, doc->root(), store->get()).ok());
+
+  // Delete one record's name posting behind the store's back: every
+  // surviving posting still agrees with the DOM, so the coverage count is
+  // what convicts.
+  const Ruid2Id& victim = scheme.label(doc->root()->children().front());
+  auto record = (*store)->Get(victim);
+  ASSERT_TRUE(record.ok());
+  ASSERT_TRUE(
+      storage::ElementStoreTestPeer::DropNamePosting(store->get(), *record)
+          .ok());
+
+  Status st = CheckStoreInvariants(scheme, doc->root(), store->get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("name-index-coverage"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(InvariantCheckerTest, CatchesRetargetedPathPosting) {
+  auto doc = MustParse(kBookXml);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  auto store = storage::ElementStore::Create("");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+  ASSERT_TRUE(CheckStoreInvariants(scheme, doc->root(), store->get()).ok());
+
+  // Re-point one path posting at a *different* record's heap bytes. Term
+  // and document order still hold, so the scheme-aware pass stays silent;
+  // the store-side postings↔heap agreement check is what fires.
+  xml::Node* first = doc->root()->children().front();
+  xml::Node* second = doc->root()->children()[1];
+  const Ruid2Id& victim_id = scheme.label(first);
+  auto victim = (*store)->Get(victim_id);
+  ASSERT_TRUE(victim.ok());
+  auto donor_location = storage::ElementStoreTestPeer::LocationOf(
+      store->get(), scheme.label(second));
+  ASSERT_TRUE(donor_location.ok());
+  ASSERT_TRUE(storage::ElementStoreTestPeer::RetargetPathPosting(
+                  store->get(), *victim, *donor_location)
+                  .ok());
+
+  Status st = CheckStoreInvariants(scheme, doc->root(), store->get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("path-index-coverage"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(InvariantCheckerTest, CatchesBloomFalseNegative) {
+  auto doc = MustParse(kBookXml);
+  Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  auto store = storage::ElementStore::Create("");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+  ASSERT_TRUE(CheckStoreInvariants(scheme, doc->root(), store->get()).ok());
+
+  storage::ElementStoreTestPeer::ClearBloom(store->get());
+
+  Status st = CheckStoreInvariants(scheme, doc->root(), store->get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("bloom-membership"), std::string::npos)
+      << st.ToString();
+}
+
 // --- Store and multilevel positives ------------------------------------------
 
 TEST(InvariantCheckerTest, CleanStorePasses) {
@@ -345,6 +448,12 @@ TEST(InvariantCheckerTest, CleanStorePasses) {
       CheckStoreInvariants(scheme, doc->root(), store->get(), {}, &report);
   EXPECT_TRUE(st.ok()) << st.ToString();
   EXPECT_EQ(report.nodes_checked, scheme.label_count());
+  std::vector<std::string> expected = {
+      "store-key-order",     "store-key-id",     "store-coverage",
+      "name-index-coverage", "path-index-order", "bloom-membership",
+      "page-checksum",       "lsn-monotonic",    "free-list",
+      "tree-reachability",   "index-consistency"};
+  EXPECT_EQ(report.invariants, expected);
 }
 
 TEST(InvariantCheckerTest, CleanRuidMPasses) {

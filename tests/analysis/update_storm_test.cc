@@ -13,6 +13,7 @@
 #include "core/packed_ruid2_id.h"
 #include "core/ruid2.h"
 #include "core/ruidm.h"
+#include "storage/element_store.h"
 #include "testutil.h"
 #include "util/random.h"
 #include "xml/dom.h"
@@ -110,6 +111,21 @@ void RunStorm(uint64_t seed, bool packed_enabled) {
     ASSERT_TRUE(st.ok()) << "seed=" << seed << " packed=" << packed_enabled
                          << " batch=" << batch << ": " << st.ToString();
     ASSERT_EQ(report.nodes_checked, scheme.label_count());
+
+    // Every few batches, materialize the relabeled document into a store
+    // and run the storage battery too — secondary-index coverage, posting
+    // order, and Bloom membership included (bounded: a fresh bulk load plus
+    // the on-disk checks cost more than the in-memory verifier).
+    if (batch % 4 == 3 || batch == kBatches - 1) {
+      auto store = storage::ElementStore::Create("");
+      ASSERT_TRUE(store.ok());
+      ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+      Status store_st = analysis::CheckStoreInvariants(
+          scheme, doc->root(), store->get(), options);
+      ASSERT_TRUE(store_st.ok())
+          << "seed=" << seed << " batch=" << batch << ": "
+          << store_st.ToString();
+    }
   }
 
   core::SetPackedFastPathEnabled(saved);

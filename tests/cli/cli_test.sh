@@ -58,6 +58,15 @@ DB="$TMPDIR/doc.db"
 "$TOOL" store "$DOC" "$DB" | expect_contains "store" "stored 12 records"
 [ -s "$DB" ] || fail "store: no database file written"
 
+# check with a file-backed store prints index stats and the shard histogram
+CDB="$TMPDIR/doc_check.db"
+CHECK_OUT=$("$TOOL" check "$DOC" --store "$CDB")
+echo "$CHECK_OUT" | expect_contains "check --store" "OK "
+echo "$CHECK_OUT" | expect_contains "check --store index stats" "name postings"
+echo "$CHECK_OUT" | expect_contains "check --store bloom stats" "bits/key"
+echo "$CHECK_OUT" | expect_contains "check --store histogram" "size histogram:"
+echo "$CHECK_OUT" | expect_contains "check --store shard table" "largest shards"
+
 # streaming store
 SDB="$TMPDIR/doc_stream.db"
 "$TOOL" stream "$DOC" "$SDB" | expect_contains "stream" "streamed 12 nodes"

@@ -57,18 +57,21 @@ struct Step {
 /// leaves, and re-insertions that must reuse the freed pages — each batch
 /// sealed by a Flush (= one committed snapshot).
 std::vector<Step> BuildWorkload() {
-  // Big enough that the index spans several leaves and the working set
-  // overflows the pool (evictions journal and write back mid-batch).
-  constexpr uint64_t kN = 400;
+  // Big enough that every index (primary, name, path) spans several leaves
+  // and the working set overflows the pool (evictions journal and write
+  // back mid-batch). The sweep's runtime is quadratic in the workload's
+  // physical op count, and secondary-index maintenance roughly tripled the
+  // ops per step — hence 200 records where the pre-index matrix used 400.
+  constexpr uint64_t kN = 200;
   std::vector<Step> steps;
   for (uint64_t i = 0; i < kN; ++i) steps.push_back({Step::kPut, i, 0});
   steps.push_back({Step::kFlush});
   for (uint64_t i = 0; i < kN; i += 3) steps.push_back({Step::kPut, i, 1});
   steps.push_back({Step::kFlush});
-  for (uint64_t i = 80; i < 300; ++i) steps.push_back({Step::kRemove, i, 0});
-  for (uint64_t i = 80; i < 190; ++i) steps.push_back({Step::kPut, i, 2});
+  for (uint64_t i = 40; i < 150; ++i) steps.push_back({Step::kRemove, i, 0});
+  for (uint64_t i = 40; i < 95; ++i) steps.push_back({Step::kPut, i, 2});
   steps.push_back({Step::kFlush});
-  for (uint64_t i = 190; i < 300; ++i) steps.push_back({Step::kPut, i, 3});
+  for (uint64_t i = 95; i < 150; ++i) steps.push_back({Step::kPut, i, 3});
   for (uint64_t i = 0; i < kN; i += 7) steps.push_back({Step::kPut, i, 4});
   steps.push_back({Step::kFlush});
   return steps;
@@ -90,9 +93,10 @@ RunResult RunWorkload(const std::string& path,
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
   RunResult result;
-  // A deliberately tiny pool: constant dirty evictions spread journal and
-  // write-back traffic across the whole workload, multiplying crash points.
-  auto store = ElementStore::Create(path, 6);
+  // A deliberately small pool — well under the three trees' combined
+  // working set, so dirty evictions spread journal and write-back traffic
+  // across the whole workload, multiplying crash points.
+  auto store = ElementStore::Create(path, 10);
   EXPECT_TRUE(store.ok()) << store.status().ToString();
   if (!store.ok()) return result;
   (*store)->InjectFaultAfter(fault_after);
@@ -157,6 +161,9 @@ TEST(CrashMatrixTest, EveryCrashPointRecoversToACommittedState) {
     Status fsck = (*reopened)->VerifyOnDisk();
     ASSERT_TRUE(fsck.ok())
         << "fault=" << fault << ": " << fsck.ToString();
+    Status index_fsck = (*reopened)->VerifySecondaryIndexes();
+    ASSERT_TRUE(index_fsck.ok())
+        << "fault=" << fault << ": " << index_fsck.ToString();
     Snapshot got;
     ASSERT_TRUE(ReadSnapshot(reopened->get(), &got).ok())
         << "fault=" << fault;
@@ -177,6 +184,7 @@ TEST(CrashMatrixTest, EveryCrashPointRecoversToACommittedState) {
   auto final_store = ElementStore::Open(path, 8);
   ASSERT_TRUE(final_store.ok()) << final_store.status().ToString();
   ASSERT_TRUE((*final_store)->VerifyOnDisk().ok());
+  ASSERT_TRUE((*final_store)->VerifySecondaryIndexes().ok());
   Snapshot got;
   ASSERT_TRUE(ReadSnapshot(final_store->get(), &got).ok());
   Snapshot want;

@@ -1,0 +1,202 @@
+// PathIndex and index-freshness coverage: tag-path lookups agree with the
+// navigational evaluator and the persistent path index, stale in-memory
+// indexes heal themselves after updates (the staleness fix), and the
+// structural join seeded from either index matches the nested-loop ground
+// truth.
+#include "xpath/path_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ruid2.h"
+#include "storage/element_store.h"
+#include "storage/secondary_index.h"
+#include "testutil.h"
+#include "xml/generator.h"
+#include "xpath/dom_eval.h"
+#include "xpath/name_index.h"
+#include "xpath/ruid_eval.h"
+#include "xpath/structural_join.h"
+
+namespace ruidx {
+namespace xpath {
+namespace {
+
+using ruidx::testing::MustParse;
+
+core::PartitionOptions SmallAreas() {
+  core::PartitionOptions options;
+  options.max_area_nodes = 12;
+  options.max_area_depth = 3;
+  return options;
+}
+
+TEST(PathIndexTest, LookupPathInDocumentOrder) {
+  auto doc = MustParse(
+      "<a><b><c/><c/></b><b><c/></b><x><c/></x><c/></a>");
+  PathIndex index(doc->root());
+  auto abc = index.LookupPath({"a", "b", "c"});
+  ASSERT_EQ(abc.size(), 3u);
+  auto order = ruidx::testing::DocOrderIndex(doc->root());
+  EXPECT_LT(order.at(abc[0]->serial()), order.at(abc[1]->serial()));
+  EXPECT_LT(order.at(abc[1]->serial()), order.at(abc[2]->serial()));
+  // Same leaf name under a different path stays out.
+  EXPECT_EQ(index.LookupPath({"a", "x", "c"}).size(), 1u);
+  EXPECT_EQ(index.LookupPath({"a", "c"}).size(), 1u);
+  EXPECT_EQ(index.LookupPath({"a"}).size(), 1u);
+  EXPECT_EQ(index.LookupPath({"b", "c"}).size(), 0u);  // not root-anchored
+  EXPECT_EQ(index.LookupPath({}).size(), 0u);
+}
+
+TEST(PathIndexTest, AgreesWithPersistentPathIndex) {
+  auto doc = MustParse(
+      "<a><b><c/><c/></b><b><c/><d/></b><c/></a>");
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  auto store = storage::ElementStore::Create("");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+
+  PathIndex index(doc->root());
+  uint64_t term = storage::ExtendPathTerm(
+      storage::ExtendPathTerm(storage::RootPathTerm("a"), "b"), "c");
+  std::vector<core::Ruid2Id> stored;
+  ASSERT_TRUE((*store)
+                  ->ScanPathTerm(term,
+                                 [&](const storage::ElementRecord& rec) {
+                                   stored.push_back(rec.id);
+                                   return true;
+                                 })
+                  .ok());
+  const auto& in_memory = index.LookupTerm(term);
+  ASSERT_EQ(stored.size(), in_memory.size());
+  for (size_t i = 0; i < stored.size(); ++i) {
+    // Both sides keep ascending identifier order, so positions line up.
+    EXPECT_TRUE(stored[i] == scheme.label(in_memory[i])) << i;
+  }
+}
+
+TEST(PathIndexTest, StaleIndexHealsAfterUpdate) {
+  auto doc = MustParse("<a><b><c/></b></a>");
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  PathIndex index(doc->root());
+  ASSERT_EQ(index.LookupPath({"a", "b", "c"}).size(), 1u);
+
+  xml::Node* b = doc->root()->children().front();
+  auto report = scheme.InsertAndRelabel(doc.get(), b, b->fanout(),
+                                        doc->CreateElement("c"));
+  ASSERT_TRUE(report.ok());
+  index.OnUpdate(*report);
+  EXPECT_EQ(index.LookupPath({"a", "b", "c"}).size(), 2u);
+
+  // Deletion frees nodes: a stale index would hand out dangling pointers.
+  auto victims = index.LookupPath({"a", "b", "c"});
+  auto removal = scheme.RemoveAndRelabel(doc.get(), victims[0]);
+  ASSERT_TRUE(removal.ok());
+  index.OnUpdate(*removal);
+  EXPECT_EQ(index.LookupPath({"a", "b", "c"}).size(), 1u);
+}
+
+TEST(NameIndexFreshnessTest, StaleIndexHealsAfterUpdate) {
+  auto doc = MustParse("<a><b/><b/></a>");
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  NameIndex index(doc->root());
+  ASSERT_EQ(index.Lookup("b").size(), 2u);
+
+  auto report = scheme.InsertAndRelabel(doc.get(), doc->root(), 0,
+                                        doc->CreateElement("b"));
+  ASSERT_TRUE(report.ok());
+  index.OnUpdate(*report);
+  EXPECT_EQ(index.Lookup("b").size(), 3u);
+
+  xml::Node* victim = index.Lookup("b")[0];
+  auto removal = scheme.RemoveAndRelabel(doc.get(), victim);
+  ASSERT_TRUE(removal.ok());
+  index.OnUpdate(*removal);
+  EXPECT_EQ(index.Lookup("b").size(), 2u);
+
+  // External edit the scheme never saw: MarkStale covers it.
+  ASSERT_TRUE(doc->AppendChild(doc->root(), doc->CreateElement("b")).ok());
+  scheme.RelabelAndCount(doc->root());
+  index.MarkStale();
+  EXPECT_EQ(index.Lookup("b").size(), 3u);
+}
+
+TEST(RuidEvalPathIndexTest, AbsoluteChainsMatchDomEvaluator) {
+  xml::XmarkConfig config;
+  config.items = 25;
+  config.people = 15;
+  config.open_auctions = 10;
+  auto doc = xml::GenerateXmarkLike(config);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  PathIndex path_index(doc->root());
+  NameIndex name_index(doc->root());
+
+  DomEvaluator dom_eval(doc.get());
+  RuidEvaluator indexed(doc.get(), &scheme);
+  indexed.SetNameIndex(&name_index);
+  indexed.SetPathIndex(&path_index);
+
+  const char* kQueries[] = {
+      "/site",
+      "/site/regions/item",
+      "/site/people/person/name",
+      "/site/open_auctions/open_auction/bidder/increase",
+      "/site/nowhere/at/all",
+  };
+  for (const char* query : kQueries) {
+    auto via_dom = dom_eval.Evaluate(query);
+    auto via_index = indexed.Evaluate(query);
+    ASSERT_TRUE(via_dom.ok() && via_index.ok()) << query;
+    EXPECT_EQ(*via_index, *via_dom) << query;
+  }
+
+  // The chain rewrite must answer without generating any axis: the work
+  // metric counts only the returned postings.
+  indexed.ResetCounters();
+  auto names = indexed.Evaluate("/site/people/person/name");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(indexed.ids_generated(), names->size());
+}
+
+TEST(StructuralJoinSeedingTest, IndexAndStoreSeedsMatchNestedLoop) {
+  xml::XmarkConfig config;
+  config.items = 20;
+  config.people = 12;
+  config.open_auctions = 8;
+  auto doc = xml::GenerateXmarkLike(config);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  NameIndex index(doc->root());
+  auto store = storage::ElementStore::Create("");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(scheme, doc->root()).ok());
+
+  auto ground_truth = StructuralJoinNestedLoop(
+      index.Lookup("open_auction"), index.Lookup("increase"));
+  auto sort_pairs = [](JoinResult r) {
+    std::sort(r.begin(), r.end());
+    return r;
+  };
+
+  auto by_name = StructuralJoinRuidByName(scheme, index, "open_auction",
+                                          "increase");
+  EXPECT_EQ(sort_pairs(by_name), sort_pairs(ground_truth));
+
+  auto from_store = StructuralJoinRuidFromStore(scheme, store->get(),
+                                                "open_auction", "increase");
+  ASSERT_TRUE(from_store.ok());
+  EXPECT_EQ(sort_pairs(*from_store), sort_pairs(ground_truth));
+  EXPECT_FALSE(ground_truth.empty());
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace ruidx

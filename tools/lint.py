@@ -47,6 +47,14 @@ Rules (each with the hazard it guards against):
       recovery path in ElementStore::Open legitimately syncs the rolled-back
       image before the pool exists and carries a NOLINT.
 
+  xpath-full-scan
+      Full-store `ScanAll(` calls from src/xpath/. The query layer has
+      secondary indexes for a reason: a step or join that enumerates the
+      whole store silently degrades every query to O(document). Seed from
+      ScanNameTerm/ScanPathTerm instead; when enumeration is genuinely the
+      plan (no usable index), put it in a function whose name contains
+      "Fallback" so the full scan is an explicit, named decision.
+
 Escapes: a `// NOLINT(rule-name)` comment on the offending line, or the
 rule-specific annotation documented above.
 
@@ -96,6 +104,11 @@ SYNC_OUTSIDE_ALLOWED = (
     os.path.join("src", "storage", "buffer_pool.cc"),
     os.path.join("src", "storage", "flusher.cc"),
 )
+RE_SCANALL = re.compile(r"(?:\.|->)\s*ScanAll\s*\(")
+# Function definitions start at column 0 (LLVM style); the identifier just
+# before the first '(' is the function name. Tracked so ScanAll calls inside
+# an explicitly-named *Fallback* function stay legal.
+RE_FN_DEF = re.compile(r"^[^\s/#{}].*?([A-Za-z_]\w*)\s*\(")
 RE_NOLINT = re.compile(r"//\s*NOLINT\(([\w-]+)\)")
 
 
@@ -120,9 +133,17 @@ def lint_file(root, rel_path, lines):
     in_core = rel_path.startswith("src/core/") or rel_path.startswith(
         "src" + os.sep + "core" + os.sep
     )
+    in_xpath = rel_path.startswith("src/xpath/") or rel_path.startswith(
+        "src" + os.sep + "xpath" + os.sep
+    )
+    enclosing_fn = ""
 
     for i, line in enumerate(lines, start=1):
         stripped = line.split("//", 1)[0] if "NOLINT" not in line else line
+
+        fn_def = RE_FN_DEF.match(stripped)
+        if fn_def and not stripped.rstrip().endswith(";"):
+            enclosing_fn = fn_def.group(1)
 
         if RE_PTR_KEYED_MAP.search(stripped) and not has_nolint(
             line, "ptr-keyed-map"
@@ -201,6 +222,24 @@ def lint_file(root, rel_path, lines):
                 )
             )
 
+        if (
+            in_xpath
+            and RE_SCANALL.search(stripped)
+            and "fallback" not in enclosing_fn.lower()
+            and not has_nolint(line, "xpath-full-scan")
+        ):
+            violations.append(
+                Violation(
+                    rel_path,
+                    i,
+                    "xpath-full-scan",
+                    "full-store ScanAll from the query layer: seed from the "
+                    "secondary indexes (ScanNameTerm/ScanPathTerm), or name "
+                    "the enclosing function *Fallback* to make the full "
+                    "enumeration an explicit decision",
+                )
+            )
+
         if RE_THREADPOOL_CALL.search(stripped):
             # Look at the call site plus the lambda it opens (a window is
             # enough: captures appear on the call line or the next few).
@@ -252,7 +291,8 @@ def lint_tree(root):
 
 
 def self_test(root):
-    """Every fixture must trip exactly the rule its filename names."""
+    """Every bad_ fixture must trip the rule its filename names; every
+    good_ fixture (a legal pattern near a rule's edge) must stay clean."""
     fixture_dir = os.path.join(root, "tools", "lint_fixtures")
     failures = []
     fixtures = sorted(
@@ -261,7 +301,6 @@ def self_test(root):
     if not fixtures:
         return ["no fixtures found in " + fixture_dir]
     for name in fixtures:
-        rule = os.path.splitext(name)[0].replace("bad_", "").replace("_", "-")
         # Fixtures for path-scoped rules declare their pretended location.
         with open(os.path.join(fixture_dir, name), encoding="utf-8") as f:
             lines = f.read().splitlines()
@@ -271,6 +310,14 @@ def self_test(root):
             if m:
                 pretend = m.group(1)
         found = lint_file(root, pretend, lines)
+        if name.startswith("good_"):
+            if found:
+                failures.append(
+                    f"fixture {name} must be clean but tripped: "
+                    f"{[v.rule for v in found]}"
+                )
+            continue
+        rule = os.path.splitext(name)[0].replace("bad_", "").replace("_", "-")
         if not any(v.rule == rule for v in found):
             failures.append(
                 f"fixture {name} did not trip rule {rule} "

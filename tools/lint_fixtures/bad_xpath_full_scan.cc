@@ -1,0 +1,15 @@
+// Negative fixture: trips xpath-full-scan. A query-layer step that
+// enumerates the whole store throws away the secondary indexes and turns
+// every query into O(document).
+// lint-fixture-path: src/xpath/bad_xpath_full_scan.cc
+
+namespace ruidx {
+namespace storage {
+class ElementStore;
+}
+
+void GatherCandidates(storage::ElementStore* store) {
+  store->ScanAll([](const auto& key, const auto& rec) { return true; });
+}
+
+}  // namespace ruidx

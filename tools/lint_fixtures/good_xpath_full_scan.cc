@@ -1,0 +1,20 @@
+// Positive fixture for xpath-full-scan: a full enumeration is legal inside
+// an explicitly-named *Fallback* function — the name makes the plan choice
+// auditable — and anywhere with a NOLINT escape.
+// lint-fixture-path: src/xpath/good_xpath_full_scan.cc
+
+namespace ruidx {
+namespace storage {
+class ElementStore;
+}
+
+void ScanEverythingFallback(storage::ElementStore* store) {
+  store->ScanAll([](const auto& key, const auto& rec) { return true; });
+}
+
+void MeasuredEscape(storage::ElementStore* store) {
+  store->ScanAll(  // NOLINT(xpath-full-scan)
+      [](const auto& key, const auto& rec) { return true; });
+}
+
+}  // namespace ruidx

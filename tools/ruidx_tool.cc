@@ -11,6 +11,7 @@
 //
 // Common options: --max-area-nodes N (default 64), --max-area-depth D
 // (default 4), --no-adjust (disable the Sec. 2.3 fan-out adjustment).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +25,7 @@
 #include "core/ruid2.h"
 #include "core/global_state.h"
 #include "storage/element_store.h"
+#include "storage/sharded_store.h"
 #include "storage/streaming_labeler.h"
 #include "util/table_printer.h"
 #include "xml/parser.h"
@@ -31,6 +33,7 @@
 #include "xml/stats.h"
 #include "xpath/dom_eval.h"
 #include "xpath/name_index.h"
+#include "xpath/path_index.h"
 #include "xpath/ruid_eval.h"
 
 namespace {
@@ -194,13 +197,17 @@ int CmdQuery(const std::string& path, const std::vector<std::string>& args,
       Status::InvalidArgument("unknown engine: " + options.engine);
   core::Ruid2Scheme scheme(options.partition);
   xpath::NameIndex index((*doc)->root());
+  xpath::PathIndex path_index((*doc)->root());
   if (options.engine == "dom") {
     xpath::DomEvaluator eval(doc->get());
     result = eval.Evaluate(args[0]);
   } else if (options.engine == "ruid" || options.engine == "ruid-index") {
     scheme.Build((*doc)->root());
     xpath::RuidEvaluator eval(doc->get(), &scheme);
-    if (options.engine == "ruid-index") eval.SetNameIndex(&index);
+    if (options.engine == "ruid-index") {
+      eval.SetNameIndex(&index);
+      eval.SetPathIndex(&path_index);
+    }
     result = eval.Evaluate(args[0]);
   }
   if (!result.ok()) {
@@ -315,6 +322,63 @@ int CmdStream(const std::string& path, const std::vector<std::string>& args,
   return 0;
 }
 
+/// Sharded layout report for `check --store`: loads the document into the
+/// paper's per-(name, area) table layout and prints the shard-size
+/// histogram plus per-shard secondary-index stats for the largest shards.
+int PrintShardReport(const core::Ruid2Scheme& scheme, xml::Node* root) {
+  auto sharded = storage::ShardedElementStore::Create("");
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "%s\n", sharded.status().ToString().c_str());
+    return 1;
+  }
+  if (Status st = (*sharded)->BulkLoad(scheme, root); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::vector<storage::ShardedElementStore::ShardInfo> infos =
+      (*sharded)->ShardInfos();
+
+  // Decade histogram over records-per-shard.
+  std::vector<uint64_t> buckets;
+  for (const auto& info : infos) {
+    size_t b = 0;
+    for (uint64_t lo = 10; info.records >= lo; lo *= 10) ++b;
+    if (buckets.size() <= b) buckets.resize(b + 1, 0);
+    ++buckets[b];
+  }
+  std::cout << "shards: " << infos.size() << " across "
+            << (*sharded)->record_count() << " records; size histogram:";
+  uint64_t lo = 1;
+  for (uint64_t count : buckets) {
+    std::cout << " [" << lo << ".." << (lo * 10 - 1) << "]=" << count;
+    lo *= 10;
+  }
+  std::cout << "\n";
+
+  std::sort(infos.begin(), infos.end(),
+            [](const storage::ShardedElementStore::ShardInfo& a,
+               const storage::ShardedElementStore::ShardInfo& b) {
+              return a.records > b.records;
+            });
+  constexpr size_t kTopShards = 8;
+  TablePrinter table("largest shards (of " + std::to_string(infos.size()) +
+                     ")");
+  table.SetHeader({"shard", "records", "name postings", "path postings",
+                   "bloom bits/key", "est. fpr %"});
+  for (size_t i = 0; i < infos.size() && i < kTopShards; ++i) {
+    const auto& info = infos[i];
+    table.AddRow({info.name + "-" + info.global.ToDecimalString(),
+                  TablePrinter::FormatCount(info.records),
+                  TablePrinter::FormatCount(info.index.name_postings),
+                  TablePrinter::FormatCount(info.index.path_postings),
+                  TablePrinter::FormatDouble(info.index.bloom.bits_per_key, 1),
+                  TablePrinter::FormatDouble(
+                      info.index.bloom.estimated_fpr * 100.0, 3)});
+  }
+  table.Print();
+  return 0;
+}
+
 int CmdCheck(const std::string& path, const CommonOptions& options) {
   auto doc = LoadDocument(path);
   if (!doc.ok()) {
@@ -363,6 +427,17 @@ int CmdCheck(const std::string& path, const CommonOptions& options) {
                 << ps.dirty_writebacks << " sync + " << ps.async_writebacks
                 << " async writebacks, " << ps.prefetches << " prefetches, "
                 << ps.flusher_drains << " flusher drains\n";
+      storage::SecondaryIndexStats sec = (*store)->secondary_stats();
+      std::cout << "index: " << sec.name_postings << " name postings, "
+                << sec.path_postings << " path postings; bloom "
+                << sec.bloom.bit_count << " bits / " << sec.bloom.key_count
+                << " keys ("
+                << TablePrinter::FormatDouble(sec.bloom.bits_per_key, 1)
+                << " bits/key, est. fpr "
+                << TablePrinter::FormatDouble(sec.bloom.estimated_fpr * 100.0,
+                                              3)
+                << "%)\n";
+      if (int rc = PrintShardReport(scheme, root); rc != 0) return rc;
     }
   }
   if (!st.ok()) {
