@@ -1,5 +1,5 @@
 // Packed identifier fast path: the same operations timed with the packed
-// 16-byte representation on and off (pure BigUint path). The equivalence of
+// packed representation on and off (pure BigUint path). The equivalence of
 // the two paths is property-tested in packed_ruid2_test; this bench records
 // what the representation buys on rparent, ancestor chains, structural
 // joins, and bulk loading.
@@ -107,7 +107,7 @@ double RecordPair(BenchJsonWriter* json, const std::string& name, Fn&& fn) {
 
 void PrintTables() {
   Banner("Packed identifier fast path",
-         "16-byte ids vs BigUint on every hot path (same results)");
+         "packed ids vs BigUint on every hot path (same results)");
   BenchJsonWriter json("packed");
   for (const char* topology : {"uniform", "deep"}) {
     Fixture& fixture = GetFixture(topology);

@@ -22,17 +22,19 @@ namespace {
 constexpr uint64_t kScale = 100000;
 constexpr int kRepeats = 3;
 
-/// Partition geometry for the load-pipeline table. DefaultAreas() (64-node
-/// areas) fragments this deep 100k-node document into ~74k (name, global)
-/// shards; at two file handles per shard the sharded store then exhausts
-/// the process fd limit mid-load. 8192-node areas with the depth budget
-/// effectively off yield ~52 areas / ~660 shards: still dozens of
-/// independent units for the labeling and load pools, but each shard holds
-/// a record run worth batch-building.
+/// Partition geometry for the load-pipeline table. The stock budgets
+/// fragment this deep 100k-node document into tens of thousands of
+/// near-empty (name, global) shards — enough temp-file handles to kill
+/// the load mid-flight — and PR 7 papered over it with hand-picked coarse
+/// budgets (8192-node areas, depth cap off) whose huge areas pushed local
+/// indices past the 96-bit posting-key cap. The partitioner's adaptive
+/// granularity now does the sizing itself: budget areas off the node
+/// count and fold undersized splinters back up, so shard count tracks
+/// data volume, not topology accidents, at any scale — and areas stay
+/// small enough that every local index fits the posting codec.
 core::PartitionOptions PipelineAreas() {
   core::PartitionOptions areas;
-  areas.max_area_nodes = 8192;
-  areas.max_area_depth = 1ull << 20;
+  areas.target_area_count = 256;
   return areas;
 }
 

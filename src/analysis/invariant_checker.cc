@@ -147,8 +147,8 @@ Status CheckKTablePackedMirror(const KTable& k) {
                        "global " +
                            row.global.ToDecimalString());
     }
-    if (row.global.FitsUint64() &&
-        k.FindPacked(row.global.ToUint64()) != nullptr) {
+    if (row.global.FitsUint128() &&
+        k.FindPacked(row.global.ToUint128()) != nullptr) {
       ++expected_packed;
     }
   }

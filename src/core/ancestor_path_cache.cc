@@ -93,7 +93,7 @@ std::vector<Ruid2Id> AncestorPathCache::Ancestors(const Ruid2Id& id,
 }
 
 const AncestorPathCache::PackedChainEntry*
-AncestorPathCache::PackedAreaRootAncestors(uint64_t global, uint64_t kappa,
+AncestorPathCache::PackedAreaRootAncestors(uint128_t global, uint64_t kappa,
                                            const KTable& k) const {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -117,7 +117,7 @@ AncestorPathCache::PackedAreaRootAncestors(uint64_t global, uint64_t kappa,
 }
 
 bool AncestorPathCache::AppendPackedAreaRootChain(
-    uint64_t global, uint64_t kappa, const KTable& k,
+    uint128_t global, uint64_t kappa, const KTable& k,
     std::vector<PackedRuid2Id>* out) const {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -173,6 +173,42 @@ bool AncestorPathCache::AncestorsPacked(const PackedRuid2Id& id,
   // From the area root upward every node of the area shares one chain,
   // copied under the cache lock (readers may race an invalidation).
   return AppendPackedAreaRootChain(cur.global, kappa, k, out);
+}
+
+bool AncestorPathCache::AncestorsHybrid(const PackedRuid2Id& id,
+                                        uint64_t kappa, const KTable& k,
+                                        std::vector<Ruid2Id>* out) const {
+  out->clear();
+  if (!enabled_) {
+    // Cold walk entirely on packed arithmetic, unpacked on the way out —
+    // still far cheaper than a BigUint division per step.
+    std::vector<PackedRuid2Id> packed;
+    if (!PackedRuidAncestors(id, kappa, k, &packed)) return false;
+    out->reserve(packed.size());
+    for (const PackedRuid2Id& anc : packed) out->push_back(UnpackRuid2Id(anc));
+    return true;
+  }
+  // Node-specific climb on machine words; only these few steps unpack.
+  PackedRuid2Id cur = id;
+  while (!cur.is_area_root()) {
+    PackedRuid2Id parent;
+    switch (PackedRuidParent(cur, kappa, k, &parent)) {
+      case PackedParentStatus::kOk:
+        cur = parent;
+        out->push_back(UnpackRuid2Id(cur));
+        continue;
+      case PackedParentStatus::kFallback:
+        return false;
+      case PackedParentStatus::kMainRoot:
+      case PackedParentStatus::kNoParentInArea:
+        return true;  // chain ends here, as in the BigUint climb
+    }
+  }
+  if (cur == PackedRuid2RootId()) return true;
+  // The shared frame tail is appended in its memoized BigUint form — a
+  // straight copy, no per-element conversion.
+  AppendAreaRootChain(BigUint::FromUint128(cur.global), kappa, k, out);
+  return true;
 }
 
 void AncestorPathCache::OnUpdate(const UpdateReport& report) {

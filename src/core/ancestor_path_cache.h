@@ -64,6 +64,17 @@ class AncestorPathCache {
   bool AncestorsPacked(const PackedRuid2Id& id, uint64_t kappa,
                        const KTable& k, std::vector<PackedRuid2Id>* out) const;
 
+  /// Hybrid variant for callers that need BigUint identifiers: the climb
+  /// inside the node's own area — the only fresh divisions — runs on packed
+  /// machine-word arithmetic, then the memoized BigUint chain of the area
+  /// root is appended directly, with no per-element unpacking of the shared
+  /// tail. This also covers areas whose root chain leaves the packed range:
+  /// only the member's own climb has to stay packed. Returns false (with
+  /// *out holding a partial prefix) when the climb falls back — the caller
+  /// then uses Ancestors().
+  bool AncestorsHybrid(const PackedRuid2Id& id, uint64_t kappa,
+                       const KTable& k, std::vector<Ruid2Id>* out) const;
+
   /// Proper-ancestor chain of the root of the area with global index
   /// `global`, nearest first. The pointer stays valid until the next
   /// Invalidate()/Clear() (entries are node-stable) — so this form is for
@@ -112,7 +123,7 @@ class AncestorPathCache {
   /// Packed twin of AreaRootAncestors over packed_chains_. The returned
   /// entry is node-stable until the next Clear(); single-threaded callers
   /// only, like its BigUint twin.
-  const PackedChainEntry* PackedAreaRootAncestors(uint64_t global,
+  const PackedChainEntry* PackedAreaRootAncestors(uint128_t global,
                                                   uint64_t kappa,
                                                   const KTable& k) const;
 
@@ -125,7 +136,7 @@ class AncestorPathCache {
 
   /// Packed twin of AppendAreaRootChain; returns the entry's `ok` flag
   /// (false = cached negative, caller falls back to BigUint).
-  bool AppendPackedAreaRootChain(uint64_t global, uint64_t kappa,
+  bool AppendPackedAreaRootChain(uint128_t global, uint64_t kappa,
                                  const KTable& k,
                                  std::vector<PackedRuid2Id>* out) const;
 
@@ -138,7 +149,8 @@ class AncestorPathCache {
   /// Per-area chains in packed form, for areas whose whole root chain fits
   /// the packed range. Separate from chains_ so each path pays only its own
   /// representation; an area queried through both APIs may appear in both.
-  mutable std::unordered_map<uint64_t, PackedChainEntry> packed_chains_;
+  mutable std::unordered_map<uint128_t, PackedChainEntry, Uint128Hash>
+      packed_chains_;
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
   uint64_t invalidations_ = 0;

@@ -16,7 +16,7 @@ struct GlobalLess {
 };
 
 struct PackedGlobalLess {
-  bool operator()(const PackedKRow& row, uint64_t g) const {
+  bool operator()(const PackedKRow& row, uint128_t g) const {
     return row.global < g;
   }
 };
@@ -26,8 +26,8 @@ constexpr uint64_t kPackedLocalLimit = uint64_t{1} << 63;
 }  // namespace
 
 void KTable::SyncPacked(const KRow& row) {
-  if (!row.global.FitsUint64()) return;  // never had a mirror entry
-  uint64_t g = row.global.ToUint64();
+  if (!row.global.FitsUint128()) return;  // never had a mirror entry
+  uint128_t g = row.global.ToUint128();
   bool packable =
       row.root_local.FitsUint64() && row.root_local.ToUint64() < kPackedLocalLimit;
   auto it = std::lower_bound(packed_rows_.begin(), packed_rows_.end(), g,
@@ -46,18 +46,18 @@ void KTable::SyncPacked(const KRow& row) {
 }
 
 void KTable::ErasePacked(const BigUint& global) {
-  if (!global.FitsUint64()) return;
-  uint64_t g = global.ToUint64();
+  if (!global.FitsUint128()) return;
+  uint128_t g = global.ToUint128();
   auto it = std::lower_bound(packed_rows_.begin(), packed_rows_.end(), g,
                              PackedGlobalLess());
   if (it != packed_rows_.end() && it->global == g) packed_rows_.erase(it);
 }
 
 bool KTable::PackedMirrorAgrees(const KRow& row) const {
-  if (!row.global.FitsUint64()) {
+  if (!row.global.FitsUint128()) {
     return true;  // outside the mirror's key space by definition
   }
-  const PackedKRow* mirror = FindPacked(row.global.ToUint64());
+  const PackedKRow* mirror = FindPacked(row.global.ToUint128());
   bool packable =
       row.root_local.FitsUint64() && row.root_local.ToUint64() < kPackedLocalLimit;
   if (!packable) return mirror == nullptr;
@@ -90,7 +90,7 @@ void KTable::Erase(const BigUint& global) {
     ErasePacked(global);
   }
   RUIDX_DCHECK(
-      !global.FitsUint64() || FindPacked(global.ToUint64()) == nullptr,
+      !global.FitsUint128() || FindPacked(global.ToUint128()) == nullptr,
       "packed mirror row survived Erase");
 }
 
@@ -100,7 +100,7 @@ const KRow* KTable::Find(const BigUint& global) const {
   return nullptr;
 }
 
-const PackedKRow* KTable::FindPacked(uint64_t global) const {
+const PackedKRow* KTable::FindPacked(uint128_t global) const {
   // Branchless binary search: rparent probes this on every call with
   // effectively random globals, so a conditional-move halving loop beats
   // std::lower_bound's unpredictable branches.

@@ -24,10 +24,11 @@ struct KRow {
 };
 
 /// The machine-word mirror of a K row, for the packed rparent fast path.
-/// Only rows whose global index fits in 64 bits and whose root_local fits
-/// in 63 bits (the packed local range) have one.
+/// Only rows whose global index fits in 128 bits (the 2-word packed global
+/// range) and whose root_local fits in 63 bits (the packed local range)
+/// have one.
 struct PackedKRow {
-  uint64_t global;
+  uint128_t global;
   uint64_t root_local;
   uint64_t fanout;
 };
@@ -51,7 +52,7 @@ class KTable {
 
   /// The packed mirror row for `global`, or nullptr when the row is absent
   /// *or* outside the packed range (callers fall back to Find()).
-  const PackedKRow* FindPacked(uint64_t global) const;
+  const PackedKRow* FindPacked(uint128_t global) const;
 
   /// Updates the fan-out of the row for `global`; returns false when the
   /// row is absent.

@@ -42,9 +42,9 @@ namespace {
 
 /// Root-first ancestor chain of `id` (the node itself included) in the
 /// complete k-ary enumeration.
-std::vector<uint64_t> UidChainOf(uint64_t id, uint64_t k) {
-  std::vector<uint64_t> chain;
-  uint64_t cur = id;
+std::vector<uint128_t> UidChainOf(uint128_t id, uint64_t k) {
+  std::vector<uint128_t> chain;
+  uint128_t cur = id;
   chain.push_back(cur);
   while (cur > 1) {
     cur = PackedUidParent(cur, k);
@@ -56,10 +56,10 @@ std::vector<uint64_t> UidChainOf(uint64_t id, uint64_t k) {
 
 }  // namespace
 
-int PackedUidCompareOrder(uint64_t a, uint64_t b, uint64_t k) {
+int PackedUidCompareOrder(uint128_t a, uint128_t b, uint64_t k) {
   if (a == b) return 0;
-  std::vector<uint64_t> ca = UidChainOf(a, k);
-  std::vector<uint64_t> cb = UidChainOf(b, k);
+  std::vector<uint128_t> ca = UidChainOf(a, k);
+  std::vector<uint128_t> cb = UidChainOf(b, k);
   size_t i = 0;
   while (i < ca.size() && i < cb.size() && ca[i] == cb[i]) ++i;
   if (i == ca.size()) return -1;  // a is an ancestor of b: a comes first

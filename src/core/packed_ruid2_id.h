@@ -1,22 +1,30 @@
-// The packed 128-bit identifier fast path.
+// The packed identifier fast path.
 //
 // The multilevel scheme exists precisely to keep per-level indices small:
 // with fan-out adjustment (Sec. 2.3) real global and local indices almost
 // always fit in a machine word, yet Ruid2Id carries two BigUints and every
 // hot path — rparent (Fig. 6), ancestor chains, order comparison, B+tree
 // keys, structural joins — pays for multi-word code paths. PackedRuid2Id is
-// the trivially-copyable 16-byte common case: a 64-bit global index plus a
-// 63-bit local index and a 1-bit root indicator sharing the second word.
-// Parent recovery on a packed identifier is two hardware divides and a
-// handful of compares, with zero allocation.
+// the trivially-copyable common case: a 2-word (128-bit) global index plus
+// a 63-bit local index and a 1-bit root indicator sharing the final word.
+// Parent recovery on a packed identifier is a couple of hardware divides
+// and a handful of compares, with zero allocation.
+//
+// Why two words for the global: frame globals grow like kappa^frame_depth,
+// so deep topologies overflow a single word almost immediately (a depth-250
+// spine under the default area budgets reaches ~2^120) and used to spend
+// their lives in the BigUint fallback. The storage key codec already caps
+// identifier components at 128 bits — "use more ruid levels long before
+// that" — so the 2-word packed range coincides exactly with the storable
+// range: every identifier a store accepts now takes the fast path.
 //
 // Overflow fallback rule: an identifier is packable iff its global index
-// fits in 64 bits and its local index in 63 bits; a K row participates in
+// fits in 128 bits and its local index in 63 bits; a K row participates in
 // the fast path iff its global and root_local satisfy the same bounds. The
 // moment either bound is exceeded — or a K row is missing — the packed
 // routines report kFallback/false and the caller reruns the untouched
 // BigUint path, so both paths always agree (property-tested, including at
-// and across the 2^63/2^64 boundaries).
+// and across the 2^63/2^128 boundaries).
 #ifndef RUIDX_CORE_PACKED_RUID2_ID_H_
 #define RUIDX_CORE_PACKED_RUID2_ID_H_
 
@@ -30,15 +38,16 @@
 namespace ruidx {
 namespace core {
 
-/// \brief The packed form of a 2-level ruid: (g_i, l_i, r_i) in two words.
+/// \brief The packed form of a 2-level ruid: (g_i, l_i, r_i) in three words
+/// (padded to four).
 struct PackedRuid2Id {
   /// Bit 63 of `local_bits` is the root indicator; the low 63 bits are the
-  /// local index. Keeping the flag in the same word makes equality two
-  /// 64-bit compares.
+  /// local index. Keeping the flag in the same word makes equality three
+  /// word compares.
   static constexpr uint64_t kRootBit = uint64_t{1} << 63;
   static constexpr uint64_t kLocalMask = kRootBit - 1;
 
-  uint64_t global = 0;
+  uint128_t global = 0;
   uint64_t local_bits = 0;
 
   uint64_t local() const { return local_bits & kLocalMask; }
@@ -51,7 +60,7 @@ struct PackedRuid2Id {
 };
 
 static_assert(std::is_trivially_copyable_v<PackedRuid2Id>);
-static_assert(sizeof(PackedRuid2Id) == 16);
+static_assert(sizeof(PackedRuid2Id) == 32);
 
 /// The packed main-root identifier (1, 1, true).
 inline PackedRuid2Id PackedRuid2RootId() {
@@ -59,20 +68,21 @@ inline PackedRuid2Id PackedRuid2RootId() {
 }
 
 /// Packs `id` when its components are within the packed range (global
-/// < 2^64, local < 2^63). Returns false — leaving *out untouched — for
+/// < 2^128, local < 2^63). Returns false — leaving *out untouched — for
 /// identifiers that need the BigUint form.
 inline bool PackRuid2Id(const Ruid2Id& id, PackedRuid2Id* out) {
-  if (!id.global.FitsUint64() || !id.local.FitsUint64()) return false;
+  if (!id.global.FitsUint128() || !id.local.FitsUint64()) return false;
   uint64_t local = id.local.ToUint64();
   if ((local & PackedRuid2Id::kRootBit) != 0) return false;
-  out->global = id.global.ToUint64();
+  out->global = id.global.ToUint128();
   out->local_bits = local | (id.is_area_root ? PackedRuid2Id::kRootBit : 0);
   return true;
 }
 
 /// Inverse of PackRuid2Id (total: every packed value unpacks).
 inline Ruid2Id UnpackRuid2Id(const PackedRuid2Id& id) {
-  return Ruid2Id{BigUint(id.global), BigUint(id.local()), id.is_area_root()};
+  return Ruid2Id{BigUint::FromUint128(id.global), BigUint(id.local()),
+                 id.is_area_root()};
 }
 
 /// Outcome of a packed rparent attempt.
@@ -83,14 +93,15 @@ enum class PackedParentStatus {
   kFallback,      ///< outside the packed range — rerun the BigUint path
 };
 
-/// rparent() (Fig. 6) entirely in uint64 arithmetic. Every quantity it
-/// computes is bounded by its inputs, so the only fallback triggers are a
-/// missing/unpackable K row or a frame parent below the UID domain.
+/// rparent() (Fig. 6) entirely in machine-word arithmetic (the global in
+/// two words, the local in one). Every quantity it computes is bounded by
+/// its inputs, so the only fallback triggers are a missing/unpackable K row
+/// or a frame parent below the UID domain.
 inline PackedParentStatus PackedRuidParent(const PackedRuid2Id& id,
                                            uint64_t kappa, const KTable& k,
                                            PackedRuid2Id* out) {
   if (id == PackedRuid2RootId()) return PackedParentStatus::kMainRoot;
-  uint64_t g = id.global;
+  uint128_t g = id.global;
   if (id.is_area_root()) {
     // Fig. 6, lines 1-5: the parent lives in the upper area, found by the
     // original UID parent formula over the frame.
@@ -119,20 +130,20 @@ bool PackedRuidAncestors(const PackedRuid2Id& id, uint64_t kappa,
                          const KTable& k, std::vector<PackedRuid2Id>* out);
 
 /// The original UID parent formula (1) on machine words; requires id >= 2.
-inline uint64_t PackedUidParent(uint64_t id, uint64_t k) {
+inline uint128_t PackedUidParent(uint128_t id, uint64_t k) {
   return (id - 2) / k + 1;
 }
 
 /// UidIsAncestor on machine words (identical climb, no allocation).
-inline bool PackedUidIsAncestor(uint64_t a, uint64_t d, uint64_t k) {
+inline bool PackedUidIsAncestor(uint128_t a, uint128_t d, uint64_t k) {
   if (d <= a) return false;
-  uint64_t cur = d;
+  uint128_t cur = d;
   while (cur > a) cur = PackedUidParent(cur, k);
   return cur == a;
 }
 
 /// UidCompareOrder (Fig. 10) on machine words.
-int PackedUidCompareOrder(uint64_t a, uint64_t b, uint64_t k);
+int PackedUidCompareOrder(uint128_t a, uint128_t b, uint64_t k);
 
 /// \name Packed fast-path switch
 /// Process-wide toggle consulted by every layer that has a packed fast path

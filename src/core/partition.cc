@@ -154,6 +154,41 @@ bool FindPromotionCandidate(const Partition& p, uint32_t area_idx,
   return true;
 }
 
+/// Folds undersized areas back into their parents, bottom-up, while the
+/// union stays within twice the node budget. The 2x allowance matters: the
+/// greedy pass splinters whenever a small sibling subtree is visited after
+/// its area filled up (the node spills into a near-empty area of its own),
+/// and the parent of such a splinter sits at the budget by construction —
+/// with an exact cap nothing would ever fold back. A modestly oversized
+/// area is the cheaper failure mode: every area costs a frame identifier, a
+/// KTable row, and a set of shards, while an overfull one merely enumerates
+/// more locals.
+///
+/// Child areas always carry a larger index than their parent
+/// (DerivePartition creates areas at preorder visit time), so one reverse
+/// scan is a full bottom-up pass: by the time area i is considered, every
+/// merge below it is already reflected in eff[i], and eff[parent] keeps
+/// absorbing further undersized siblings as the scan passes them. One
+/// re-derive at the end rebuilds the partition.
+void MergeUndersizedAreas(xml::Node* root, const PartitionOptions& options,
+                          std::unordered_set<uint32_t>* roots, Partition* p) {
+  std::vector<uint64_t> eff(p->areas.size());
+  for (size_t i = 0; i < eff.size(); ++i) eff[i] = p->areas[i].member_count;
+  bool changed = false;
+  for (uint32_t i = static_cast<uint32_t>(p->areas.size()); i-- > 1;) {
+    uint32_t up = p->areas[i].parent_area;
+    // The area root is a member of both areas, so the union holds one node
+    // fewer than the sum of the counts.
+    if (eff[i] < options.min_area_nodes &&
+        eff[up] + eff[i] - 1 <= 2 * options.max_area_nodes) {
+      eff[up] += eff[i] - 1;
+      roots->erase(p->areas[i].root->serial());
+      changed = true;
+    }
+  }
+  if (changed) *p = DerivePartition(root, *roots);
+}
+
 }  // namespace
 
 Result<Partition> PartitionTree(xml::Node* root,
@@ -163,9 +198,30 @@ Result<Partition> PartitionTree(xml::Node* root,
     return Status::InvalidArgument(
         "area budgets must allow at least depth 1 and 2 nodes");
   }
-  std::unordered_set<uint32_t> roots = SelectAreaRoots(root, options);
+  PartitionOptions effective = options;
+  if (options.target_area_count > 0) {
+    // Adaptive granularity: size areas off the data volume. The depth
+    // budget is lifted — it is exactly what shatters deep topologies into
+    // splinter areas — so only the (volume-derived) node budget and the
+    // merge floor govern area size.
+    uint64_t node_count = xml::ComputeStats(root).node_count;
+    uint64_t per_area =
+        (node_count + options.target_area_count - 1) / options.target_area_count;
+    effective.max_area_nodes = std::max(effective.max_area_nodes, per_area);
+    effective.max_area_depth = std::numeric_limits<uint64_t>::max();
+    if (effective.min_area_nodes == 0) {
+      effective.min_area_nodes = effective.max_area_nodes / 2;
+    }
+  }
+  std::unordered_set<uint32_t> roots = SelectAreaRoots(root, effective);
   Partition p = DerivePartition(root, roots);
-  if (!options.adjust_fanout) return p;
+  if (effective.min_area_nodes > 0) {
+    // Merge before the fan-out adjustment: the adjustment is the
+    // paper-mandated constraint, so its promotions must not be un-done —
+    // even when they leave an undersized area behind.
+    MergeUndersizedAreas(root, effective, &roots, &p);
+  }
+  if (!effective.adjust_fanout) return p;
 
   // Sec. 2.3: promote marked nodes until the frame fan-out is within the
   // source tree fan-out.

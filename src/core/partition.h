@@ -30,6 +30,24 @@ struct PartitionOptions {
   uint64_t max_area_nodes = 256;
   /// Maximum depth of an area (root at depth 0).
   uint64_t max_area_depth = 6;
+  /// Merge floor: after the greedy selection, areas with fewer than this
+  /// many members are folded back into their parent area (bottom-up) as
+  /// long as the union stays within 2x `max_area_nodes`. Topology
+  /// accidents — a depth budget slicing a long chain, a spill right before
+  /// a subtree ends — otherwise litter the partition with near-empty
+  /// areas, and every area multiplies downstream per-area cost (KTable
+  /// rows, shards, frame identifiers). Merging trades the other budgets
+  /// away by design: a merged area may run deeper than `max_area_depth`
+  /// and up to twice `max_area_nodes`. 0 disables the pass.
+  uint64_t min_area_nodes = 0;
+  /// Adaptive granularity: when positive, the node budget is raised (never
+  /// lowered) to ceil(node_count / target_area_count) before partitioning,
+  /// the depth budget is lifted, and — unless the caller set one — the
+  /// merge floor defaults to half the effective node budget. Area count
+  /// then tracks data volume instead of topology: a deep chain and a flat
+  /// fan of the same size partition into a similar number of areas. 0
+  /// keeps the explicit budgets above.
+  uint64_t target_area_count = 0;
   /// Apply the Sec. 2.3 promotion pass so that the frame fan-out never
   /// exceeds the source tree fan-out.
   bool adjust_fanout = true;

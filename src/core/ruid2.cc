@@ -247,13 +247,14 @@ Result<Ruid2Id> Ruid2Scheme::Parent(const Ruid2Id& id) const {
 
 std::vector<Ruid2Id> Ruid2Scheme::Ancestors(const Ruid2Id& id) const {
   if (PackedFastPathEnabled()) {
+    // Hybrid: packed machine-word climb inside the node's own area, then a
+    // straight copy of the memoized BigUint frame tail. Unpacking a whole
+    // cached chain element by element used to cost more than the BigUint
+    // copy it replaced.
     PackedRuid2Id packed;
-    std::vector<PackedRuid2Id> chain;
+    std::vector<Ruid2Id> out;
     if (PackRuid2Id(id, &packed) &&
-        ancestor_cache_.AncestorsPacked(packed, kappa_, ktable_, &chain)) {
-      std::vector<Ruid2Id> out;
-      out.reserve(chain.size());
-      for (const PackedRuid2Id& anc : chain) out.push_back(UnpackRuid2Id(anc));
+        ancestor_cache_.AncestorsHybrid(packed, kappa_, ktable_, &out)) {
       return out;
     }
   }

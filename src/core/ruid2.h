@@ -70,7 +70,7 @@ class Ruid2Scheme : public scheme::LabelingScheme {
   std::vector<Ruid2Id> Ancestors(const Ruid2Id& id) const;
 
   /// Packed rancestor(): writes the proper-ancestor chain of `id`, nearest
-  /// first, as 16-byte packed identifiers into *out with no per-element
+  /// first, as trivially-copyable packed identifiers into *out with no per-element
   /// allocation. Returns false (with *out unspecified) when `id` or any
   /// ancestor is outside the packed range or the fast path is disabled —
   /// callers then use Ancestors().

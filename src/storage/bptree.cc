@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "storage/leaf_codec.h"
+
 namespace ruidx {
 namespace storage {
 
@@ -102,6 +104,51 @@ size_t LeafLowerBound(const uint8_t* page, const BPlusTree::Key& key) {
   return lo;
 }
 
+// Leaf pages self-describe their format (header byte [1]): legacy
+// fixed-width slots and compressed v2 pages coexist in one tree, so the
+// accessors below dispatch per page. Internal nodes have one format.
+
+void LeafKeyAt(const uint8_t* page, size_t i, BPlusTree::Key* key) {
+  if (leaf::IsCompressed(page)) {
+    leaf::KeyAt(page, i, key);
+  } else {
+    ReadKey(LeafEntry(page, i), key);
+  }
+}
+
+uint64_t LeafValueAt(const uint8_t* page, size_t i) {
+  return leaf::IsCompressed(page) ? leaf::ValueAt(page, i)
+                                  : LeafValue(page, i);
+}
+
+/// First slot with key >= `key` in either leaf format; *exact on equality.
+size_t LeafSearch(const uint8_t* page, const BPlusTree::Key& key,
+                  bool* exact) {
+  if (leaf::IsCompressed(page)) return leaf::LowerBound(page, key, exact);
+  size_t idx = LeafLowerBound(page, key);
+  *exact = idx < Count(page) && CompareKey(LeafEntry(page, idx), key) == 0;
+  return idx;
+}
+
+/// Writes `n` entries as one leaf page in the requested format. False when
+/// they do not fit (the caller splits further).
+bool WriteLeafPage(uint8_t* frame, const leaf::Entry* entries, size_t n,
+                   uint32_t next, uint32_t prev, bool compressed) {
+  if (compressed) return leaf::BuildLeaf(frame, entries, n, next, prev);
+  if (n > kLeafCapacity) return false;
+  SetLeaf(frame, true);
+  frame[1] = leaf::kLeafFormatLegacy;  // frame may be a rebuilt v2 page
+  SetCount(frame, static_cast<uint16_t>(n));
+  SetLink(frame, next);
+  SetPrev(frame, prev);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t* e = LeafEntry(frame, i);
+    std::memcpy(e, entries[i].key.data(), BPlusTree::kKeySize);
+    std::memcpy(e + BPlusTree::kKeySize, &entries[i].value, 8);
+  }
+  return true;
+}
+
 /// Child slot to descend into for `key`.
 size_t InnerChildIndex(const uint8_t* page, const BPlusTree::Key& key) {
   size_t lo = 0, hi = Count(page);
@@ -122,10 +169,8 @@ size_t InnerChildIndex(const uint8_t* page, const BPlusTree::Key& key) {
 Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
   uint8_t* frame = nullptr;
   RUIDX_ASSIGN_OR_RETURN(uint32_t root, pool->AllocatePinned(&frame));
-  SetLeaf(frame, true);
-  SetCount(frame, 0);
-  SetLink(frame, kInvalidPage);
-  SetPrev(frame, kInvalidPage);
+  WriteLeafPage(frame, nullptr, 0, kInvalidPage, kInvalidPage,
+                LeafCompressionEnabled());
   pool->Unpin(root, /*dirty=*/true);
   return BPlusTree(pool, root);
 }
@@ -155,9 +200,10 @@ Result<uint32_t> BPlusTree::FindLeaf(const Key& key) const {
 Result<uint64_t> BPlusTree::Get(const Key& key) const {
   RUIDX_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(key));
   RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(leaf_id));
-  size_t idx = LeafLowerBound(page, key);
-  if (idx < Count(page) && CompareKey(LeafEntry(page, idx), key) == 0) {
-    uint64_t value = LeafValue(page, idx);
+  bool exact = false;
+  size_t idx = LeafSearch(page, key, &exact);
+  if (exact) {
+    uint64_t value = LeafValueAt(page, idx);
     pool_->Unpin(leaf_id, false);
     return value;
   }
@@ -171,15 +217,41 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(uint32_t page_id,
                                                     bool* inserted) {
   RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(page_id));
   if (IsLeaf(page)) {
-    size_t idx = LeafLowerBound(page, key);
+    bool exact = false;
+    size_t idx = LeafSearch(page, key, &exact);
     uint16_t count = Count(page);
-    if (idx < count && CompareKey(LeafEntry(page, idx), key) == 0) {
-      std::memcpy(LeafEntry(page, idx) + kKeySize, &value, 8);  // overwrite
+    if (exact) {
+      if (leaf::IsCompressed(page)) {
+        leaf::SetValueAt(page, idx, value);  // key bytes stay put
+      } else {
+        std::memcpy(LeafEntry(page, idx) + kKeySize, &value, 8);
+      }
       *inserted = false;
       pool_->Unpin(page_id, true);
       return SplitResult{};
     }
     *inserted = true;
+    if (leaf::IsCompressed(page)) {
+      if (leaf::InsertAt(page, idx, key, value) ==
+          leaf::InsertOutcome::kDone) {
+        pool_->Unpin(page_id, true);
+        return SplitResult{};
+      }
+      // The run-local insert declined (prefix mismatch, overlong run, or no
+      // room): re-encode the whole page, and only if even that cannot host
+      // the new entry, split.
+      std::vector<leaf::Entry> all;
+      leaf::DecodeAll(page, &all);
+      all.insert(all.begin() + idx, leaf::Entry{key, value});
+      if (leaf::BuildLeaf(page, all.data(), all.size(), Link(page),
+                          Prev(page))) {
+        pool_->Unpin(page_id, true);
+        return SplitResult{};
+      }
+      // A compressed source must split compressed: its halves are strict
+      // subsets of a page that fit, plus one 33-byte key — guaranteed room.
+      return SplitLeaf(page_id, page, std::move(all), /*compressed=*/true);
+    }
     if (count < kLeafCapacity) {
       std::memmove(LeafEntry(page, idx + 1), LeafEntry(page, idx),
                    (count - idx) * kLeafEntry);
@@ -189,60 +261,19 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(uint32_t page_id,
       pool_->Unpin(page_id, true);
       return SplitResult{};
     }
-    // Split the leaf; then insert into the proper half.
-    uint8_t* right = nullptr;
-    auto right_id_result = pool_->AllocatePinned(&right);
-    if (!right_id_result.ok()) {
-      pool_->Unpin(page_id, false);
-      return right_id_result.status();
+    // A full legacy leaf splits into the current output format — with
+    // compression on, old pages convert lazily as they overflow.
+    std::vector<leaf::Entry> all;
+    all.reserve(count + 1);
+    for (size_t i = 0; i < count; ++i) {
+      leaf::Entry e;
+      ReadKey(LeafEntry(page, i), &e.key);
+      e.value = LeafValue(page, i);
+      all.push_back(e);
     }
-    uint32_t right_id = *right_id_result;
-    uint16_t keep = count / 2;
-    uint32_t old_next = Link(page);
-    SetLeaf(right, true);
-    SetCount(right, count - keep);
-    SetLink(right, old_next);
-    SetPrev(right, page_id);
-    std::memcpy(LeafEntry(right, 0), LeafEntry(page, keep),
-                (count - keep) * kLeafEntry);
-    SetCount(page, keep);
-    SetLink(page, right_id);
-    if (old_next != kInvalidPage) {
-      // Keep the chain doubly linked: the old successor's prev moves to
-      // the new right sibling.
-      auto next_page = pool_->Fetch(old_next);
-      if (!next_page.ok()) {
-        pool_->Unpin(page_id, true);
-        pool_->Unpin(right_id, true);
-        return next_page.status();
-      }
-      SetPrev(*next_page, right_id);
-      pool_->Unpin(old_next, true);
-    }
-    // Insert into the correct half.
-    uint8_t* target = page;
-    size_t target_idx = idx;
-    uint32_t target_id = page_id;
-    if (idx > keep || (idx == keep && idx > 0)) {
-      target = right;
-      target_idx = idx - keep;
-      target_id = right_id;
-    }
-    uint16_t tcount = Count(target);
-    std::memmove(LeafEntry(target, target_idx + 1),
-                 LeafEntry(target, target_idx),
-                 (tcount - target_idx) * kLeafEntry);
-    std::memcpy(LeafEntry(target, target_idx), key.data(), kKeySize);
-    std::memcpy(LeafEntry(target, target_idx) + kKeySize, &value, 8);
-    SetCount(target, tcount + 1);
-    (void)target_id;
-    SplitResult split;
-    split.split = true;
-    ReadKey(LeafEntry(right, 0), &split.separator);
-    split.right_page = right_id;
-    pool_->Unpin(page_id, true);
-    pool_->Unpin(right_id, true);
-    return split;
+    all.insert(all.begin() + idx, leaf::Entry{key, value});
+    return SplitLeaf(page_id, page, std::move(all),
+                     LeafCompressionEnabled());
   }
 
   // Internal node.
@@ -309,6 +340,48 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(uint32_t page_id,
   return split;
 }
 
+Result<BPlusTree::SplitResult> BPlusTree::SplitLeaf(
+    uint32_t page_id, uint8_t* page, std::vector<leaf::Entry> all,
+    bool compressed) {
+  uint8_t* right = nullptr;
+  auto right_id_result = pool_->AllocatePinned(&right);
+  if (!right_id_result.ok()) {
+    pool_->Unpin(page_id, false);
+    return right_id_result.status();
+  }
+  uint32_t right_id = *right_id_result;
+  size_t keep = all.size() / 2;
+  uint32_t old_next = Link(page);
+  uint32_t old_prev = Prev(page);
+  if (!WriteLeafPage(right, all.data() + keep, all.size() - keep, old_next,
+                     page_id, compressed) ||
+      !WriteLeafPage(page, all.data(), keep, right_id, old_prev,
+                     compressed)) {
+    pool_->Unpin(page_id, true);
+    pool_->Unpin(right_id, true);
+    return Status::Corruption("leaf split half does not fit a page");
+  }
+  if (old_next != kInvalidPage) {
+    // Keep the chain doubly linked: the old successor's prev moves to the
+    // new right sibling.
+    auto next_page = pool_->Fetch(old_next);
+    if (!next_page.ok()) {
+      pool_->Unpin(page_id, true);
+      pool_->Unpin(right_id, true);
+      return next_page.status();
+    }
+    SetPrev(*next_page, right_id);
+    pool_->Unpin(old_next, true);
+  }
+  SplitResult split;
+  split.split = true;
+  split.separator = all[keep].key;
+  split.right_page = right_id;
+  pool_->Unpin(page_id, true);
+  pool_->Unpin(right_id, true);
+  return split;
+}
+
 Status BPlusTree::Insert(const Key& key, uint64_t value) {
   bool inserted = false;
   RUIDX_ASSIGN_OR_RETURN(SplitResult split,
@@ -346,15 +419,22 @@ Status BPlusTree::Erase(const Key& key) {
     leaf_id = child;
   }
   RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(leaf_id));
-  size_t idx = LeafLowerBound(page, key);
+  bool exact = false;
+  size_t idx = LeafSearch(page, key, &exact);
   uint16_t count = Count(page);
-  if (idx >= count || CompareKey(LeafEntry(page, idx), key) != 0) {
+  if (!exact) {
     pool_->Unpin(leaf_id, false);
     return Status::NotFound("key not in tree");
   }
-  std::memmove(LeafEntry(page, idx), LeafEntry(page, idx + 1),
-               (count - idx - 1) * kLeafEntry);
-  SetCount(page, count - 1);
+  if (leaf::IsCompressed(page)) {
+    // Run-local removal: only the touched run's bytes and the restart
+    // directory move; other runs are untouched.
+    leaf::EraseAt(page, idx);
+  } else {
+    std::memmove(LeafEntry(page, idx), LeafEntry(page, idx + 1),
+                 (count - idx - 1) * kLeafEntry);
+    SetCount(page, count - 1);
+  }
   --entry_count_;
   if (count - 1 > 0 || path.empty()) {
     pool_->Unpin(leaf_id, true);
@@ -457,12 +537,24 @@ Status BPlusTree::BulkLoadSorted(
   // Leaf pass: fill leaves to capacity in key order. The previous leaf
   // stays pinned until its successor exists so the chain is stitched with
   // each page touched exactly once. The empty root page becomes the first
-  // leaf (a single-leaf result then keeps the root id unchanged).
+  // leaf (a single-leaf result then keeps the root id unchanged). With
+  // compression on, each page greedily takes as many entries as encode into
+  // it, emitting compressed pages directly.
+  const bool compress = LeafCompressionEnabled();
+  std::vector<leaf::Entry> packed;
+  if (compress) {
+    packed.resize(entries.size());
+    for (size_t k = 0; k < entries.size(); ++k) {
+      packed[k] = leaf::Entry{entries[k].first, entries[k].second};
+    }
+  }
   uint32_t prev_leaf = kInvalidPage;
   uint8_t* prev_frame = nullptr;
   size_t i = 0;
   while (i < entries.size()) {
-    size_t take = std::min<size_t>(kLeafCapacity, entries.size() - i);
+    size_t take = compress
+                      ? leaf::MaxLeafTake(packed.data(), i, packed.size())
+                      : std::min<size_t>(kLeafCapacity, entries.size() - i);
     uint32_t page_id;
     uint8_t* frame = nullptr;
     if (prev_leaf == kInvalidPage) {
@@ -478,14 +570,23 @@ Status BPlusTree::BulkLoadSorted(
       }
       page_id = *allocated;
     }
-    SetLeaf(frame, true);
-    SetCount(frame, static_cast<uint16_t>(take));
-    SetPrev(frame, prev_leaf);
-    SetLink(frame, kInvalidPage);
-    for (size_t k = 0; k < take; ++k) {
-      uint8_t* entry = LeafEntry(frame, k);
-      std::memcpy(entry, entries[i + k].first.data(), kKeySize);
-      std::memcpy(entry + kKeySize, &entries[i + k].second, 8);
+    if (compress) {
+      if (!leaf::BuildLeaf(frame, packed.data() + i, take, kInvalidPage,
+                           prev_leaf)) {
+        if (prev_leaf != kInvalidPage) pool_->Unpin(prev_leaf, true);
+        pool_->Unpin(page_id, false);
+        return Status::Corruption("bulk-load chunk does not fit a page");
+      }
+    } else {
+      SetLeaf(frame, true);
+      SetCount(frame, static_cast<uint16_t>(take));
+      SetPrev(frame, prev_leaf);
+      SetLink(frame, kInvalidPage);
+      for (size_t k = 0; k < take; ++k) {
+        uint8_t* entry = LeafEntry(frame, k);
+        std::memcpy(entry, entries[i + k].first.data(), kKeySize);
+        std::memcpy(entry + kKeySize, &entries[i + k].second, 8);
+      }
     }
     if (prev_leaf != kInvalidPage) {
       SetLink(prev_frame, page_id);
@@ -545,18 +646,34 @@ Status BPlusTree::Scan(
       uint32_t ahead = Link(page);
       if (ahead != kInvalidPage) pool_->Prefetch(ahead);
     }
-    uint16_t count = Count(page);
-    for (size_t i = LeafLowerBound(page, lo); i < count; ++i) {
-      Key key;
-      ReadKey(LeafEntry(page, i), &key);
-      if (std::memcmp(key.data(), hi.data(), kKeySize) > 0) {
-        pool_->Unpin(leaf_id, false);
-        return Status::OK();
+    bool stop = false;
+    if (leaf::IsCompressed(page)) {
+      bool exact = false;
+      size_t start = leaf::LowerBound(page, lo, &exact);
+      leaf::ForEachEntry(page, [&](size_t i, const Key& key, uint64_t value) {
+        if (i < start) return true;
+        if (std::memcmp(key.data(), hi.data(), kKeySize) > 0 ||
+            !fn(key, value)) {
+          stop = true;
+          return false;
+        }
+        return true;
+      });
+    } else {
+      uint16_t count = Count(page);
+      for (size_t i = LeafLowerBound(page, lo); i < count; ++i) {
+        Key key;
+        ReadKey(LeafEntry(page, i), &key);
+        if (std::memcmp(key.data(), hi.data(), kKeySize) > 0 ||
+            !fn(key, LeafValue(page, i))) {
+          stop = true;
+          break;
+        }
       }
-      if (!fn(key, LeafValue(page, i))) {
-        pool_->Unpin(leaf_id, false);
-        return Status::OK();
-      }
+    }
+    if (stop) {
+      pool_->Unpin(leaf_id, false);
+      return Status::OK();
     }
     uint32_t next = Link(page);
     pool_->Unpin(leaf_id, false);
@@ -582,26 +699,42 @@ Status BPlusTree::Validate() const {
     stack.pop_back();
     RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(f.page_id));
     uint16_t count = Count(page);
-    bool leaf = IsLeaf(page);
-    auto entry = [&](size_t i) {
-      return leaf ? LeafEntry(page, i) : InnerEntry(page, i);
-    };
+    bool leaf_node = IsLeaf(page);
     Status status = Status::OK();
-    for (size_t i = 0; i < count && status.ok(); ++i) {
-      if (i > 0 && std::memcmp(entry(i - 1), entry(i), kKeySize) >= 0) {
-        status = Status::Corruption("keys out of order in page " +
-                                    std::to_string(f.page_id));
-      }
-      if (f.has_lo && std::memcmp(entry(i), f.lo.data(), kKeySize) < 0) {
-        status = Status::Corruption("key below lower bound in page " +
-                                    std::to_string(f.page_id));
-      }
-      if (f.has_hi && std::memcmp(entry(i), f.hi.data(), kKeySize) >= 0) {
-        status = Status::Corruption("key above upper bound in page " +
+    if (leaf_node && leaf::IsCompressed(page)) {
+      // The codec invariants subsume in-page ordering; only the subtree
+      // bounds remain to check here.
+      status = leaf::ValidateLeaf(page);
+      if (!status.ok()) {
+        status = Status::Corruption(status.message() + " in page " +
                                     std::to_string(f.page_id));
       }
     }
-    if (status.ok() && leaf) {
+    Key prev_key{}, cur_key{};
+    for (size_t i = 0; i < count && status.ok(); ++i) {
+      if (leaf_node) {
+        LeafKeyAt(page, i, &cur_key);
+      } else {
+        ReadKey(InnerEntry(page, i), &cur_key);
+      }
+      if (i > 0 &&
+          std::memcmp(prev_key.data(), cur_key.data(), kKeySize) >= 0) {
+        status = Status::Corruption("keys out of order in page " +
+                                    std::to_string(f.page_id));
+      }
+      if (f.has_lo &&
+          std::memcmp(cur_key.data(), f.lo.data(), kKeySize) < 0) {
+        status = Status::Corruption("key below lower bound in page " +
+                                    std::to_string(f.page_id));
+      }
+      if (f.has_hi &&
+          std::memcmp(cur_key.data(), f.hi.data(), kKeySize) >= 0) {
+        status = Status::Corruption("key above upper bound in page " +
+                                    std::to_string(f.page_id));
+      }
+      prev_key = cur_key;
+    }
+    if (status.ok() && leaf_node) {
       leaf_entries += count;
       leaf_pages.insert(f.page_id);
     } else if (status.ok()) {
@@ -691,6 +824,45 @@ Status BPlusTree::CollectPages(std::unordered_set<uint32_t>* pages) const {
       for (size_t i = 0; i <= count; ++i) stack.push_back(InnerChild(page, i));
     }
     pool_->Unpin(page_id, false);
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::ComputeLeafStats(LeafStats* stats) const {
+  *stats = LeafStats{};
+  stats->run_length_histogram.assign(leaf::kMaxRunLength + 1, 0);
+  // Descend to the leftmost leaf, then walk the chain.
+  uint32_t page_id = root_page_;
+  for (;;) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(page_id));
+    bool leaf_node = IsLeaf(page);
+    uint32_t child = leaf_node ? kInvalidPage : InnerChild(page, 0);
+    pool_->Unpin(page_id, false);
+    if (leaf_node) break;
+    page_id = child;
+  }
+  while (page_id != kInvalidPage) {
+    RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(page_id));
+    ++stats->leaf_pages;
+    if (leaf::IsCompressed(page)) {
+      ++stats->compressed_pages;
+      leaf::PageStats ps;
+      leaf::AccumulateStats(page, &ps);
+      stats->entries += ps.entries;
+      stats->key_bytes_stored += ps.key_bytes_stored;
+      stats->key_bytes_raw += ps.key_bytes_raw;
+      for (size_t len = 0; len < ps.run_length_histogram.size(); ++len) {
+        stats->run_length_histogram[len] += ps.run_length_histogram[len];
+      }
+    } else {
+      uint64_t count = Count(page);
+      stats->entries += count;
+      stats->key_bytes_stored += count * kKeySize;
+      stats->key_bytes_raw += count * kKeySize;
+    }
+    uint32_t next = Link(page);
+    pool_->Unpin(page_id, false);
+    page_id = next;
   }
   return Status::OK();
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "storage/buffer_pool.h"
+#include "storage/leaf_codec.h"
 #include "util/result.h"
 
 namespace ruidx {
@@ -73,8 +74,28 @@ class BPlusTree {
 
   /// Full structural check: keys sorted within every node, separator keys
   /// bound their subtrees, leaf chain in order, entry count consistent.
-  /// Returns Corruption with a description on the first violation.
+  /// Compressed leaves additionally pass the codec's per-page invariants
+  /// ([restart-point-order], [compressed-page-reconstruction]). Returns
+  /// Corruption with a description on the first violation.
   Status Validate() const;
+
+  /// Per-leaf compression accounting, aggregated over the leaf chain.
+  /// key_bytes_stored counts what the pages actually spend on key material
+  /// (full keys on legacy pages; prefix + per-slot headers and suffixes on
+  /// compressed ones); key_bytes_raw is entries * kKeySize either way, so
+  /// stored/raw is the compression ratio and entries/leaf_pages the average
+  /// leaf fan-out.
+  struct LeafStats {
+    uint64_t leaf_pages = 0;
+    uint64_t compressed_pages = 0;
+    uint64_t entries = 0;
+    uint64_t key_bytes_stored = 0;
+    uint64_t key_bytes_raw = 0;
+    /// run_length_histogram[len] = number of restart runs of `len` entries
+    /// across all compressed leaves (index 0 unused).
+    std::vector<uint64_t> run_length_histogram;
+  };
+  Status ComputeLeafStats(LeafStats* stats) const;
 
  private:
   BPlusTree(BufferPool* pool, uint32_t root_page)
@@ -88,6 +109,14 @@ class BPlusTree {
 
   Result<SplitResult> InsertRec(uint32_t page_id, const Key& key,
                                 uint64_t value, bool* inserted);
+  /// Splits the pinned leaf `page` into itself plus a new right sibling,
+  /// redistributing `all` (the leaf's entries with the new one already
+  /// spliced in) half-and-half and stitching the chain. `compressed` picks
+  /// the output format; a compressed source always stays compressed so the
+  /// halves are guaranteed to fit. Unpins `page_id` on every path.
+  Result<SplitResult> SplitLeaf(uint32_t page_id, uint8_t* page,
+                                std::vector<leaf::Entry> all,
+                                bool compressed);
   /// Descends to the leaf that may hold `key`.
   Result<uint32_t> FindLeaf(const Key& key) const;
 

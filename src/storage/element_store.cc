@@ -66,35 +66,37 @@ uint16_t ReadU16(const uint8_t** cursor) {
 
 namespace {
 
-/// Writes `v` big-endian into out[0..15] (high 8 bytes zero). The key
-/// format is unchanged — this is byte-for-byte what ToBytesBE produces for
-/// single-word values, without the per-byte loop.
-inline void StoreU64KeyHalfBE(uint8_t* out, uint64_t v) {
-  std::memset(out, 0, 8);
-  uint64_t be = __builtin_bswap64(v);
-  std::memcpy(out + 8, &be, 8);
+/// Writes `v` big-endian into out[0..15]. The key format is unchanged —
+/// this is byte-for-byte what ToBytesBE produces for values up to two
+/// words, without the per-byte loop. Covers every storable component (the
+/// codec rejects anything past 128 bits).
+inline void StoreU128KeyHalfBE(uint8_t* out, uint128_t v) {
+  uint64_t hi_be = __builtin_bswap64(static_cast<uint64_t>(v >> 64));
+  uint64_t lo_be = __builtin_bswap64(static_cast<uint64_t>(v));
+  std::memcpy(out, &hi_be, 8);
+  std::memcpy(out + 8, &lo_be, 8);
 }
 
-/// Reads a 16-byte big-endian key half; single-word values (the packed
-/// common case) decode with one byte swap instead of 16 BigUint steps.
+/// Reads a 16-byte big-endian key half with two byte swaps instead of 16
+/// BigUint steps; single-word values (the common case) stay inline.
 inline BigUint LoadKeyHalfBE(const uint8_t* in) {
-  static constexpr uint8_t kZeros[8] = {0};
-  if (std::memcmp(in, kZeros, 8) == 0) {
-    uint64_t be;
-    std::memcpy(&be, in + 8, 8);
-    return BigUint(__builtin_bswap64(be));
-  }
-  return BigUint::FromBytesBE(in, 16);
+  uint64_t hi_be, lo_be;
+  std::memcpy(&hi_be, in, 8);
+  std::memcpy(&lo_be, in + 8, 8);
+  uint64_t hi = __builtin_bswap64(hi_be);
+  uint64_t lo = __builtin_bswap64(lo_be);
+  if (hi == 0) return BigUint(lo);
+  return BigUint::FromUint128((static_cast<uint128_t>(hi) << 64) | lo);
 }
 
 }  // namespace
 
 Result<BPlusTree::Key> EncodeIdKey(const core::Ruid2Id& id) {
   BPlusTree::Key key{};
-  if (core::PackedFastPathEnabled() && id.global.FitsUint64() &&
-      id.local.FitsUint64()) {
-    StoreU64KeyHalfBE(key.data(), id.global.ToUint64());
-    StoreU64KeyHalfBE(key.data() + 16, id.local.ToUint64());
+  if (core::PackedFastPathEnabled() && id.global.FitsUint128() &&
+      id.local.FitsUint128()) {
+    StoreU128KeyHalfBE(key.data(), id.global.ToUint128());
+    StoreU128KeyHalfBE(key.data() + 16, id.local.ToUint128());
     key[32] = id.is_area_root ? 1 : 0;
     return key;
   }
@@ -136,7 +138,13 @@ namespace {
 //   [56..60) u32 Bloom chain head page (kInvalidPage = empty filter)
 //   [60..64) u32 Bloom word count (bit count / 64)
 //   [64..72) u64 Bloom key count
-constexpr uint32_t kMetaMagic = 0x52585333;  // "RXS3"
+// v4 stores may contain prefix-compressed leaf pages (page format v2);
+// pages self-describe via their format byte, so a v4 reader opens v3
+// stores unchanged and the magics differ only to record which writers have
+// touched the file. New stores are stamped v4; v3 stores keep their magic
+// until the next meta write.
+constexpr uint32_t kMetaMagicV3 = 0x52585333;  // "RXS3"
+constexpr uint32_t kMetaMagic = 0x52585334;    // "RXS4"
 constexpr size_t kMetaSize = 72;
 
 // Bloom chain page layout: [0..4) u32 next page (kInvalidPage ends the
@@ -263,7 +271,7 @@ Result<std::unique_ptr<ElementStore>> ElementStore::Open(
   RUIDX_ASSIGN_OR_RETURN(uint8_t* page, store->pool_->Fetch(0));
   uint32_t magic = 0;
   std::memcpy(&magic, page, 4);
-  if (magic != kMetaMagic) {
+  if (magic != kMetaMagic && magic != kMetaMagicV3) {
     store->pool_->Unpin(0, false);
     return Status::Corruption("not an element store file: " + path);
   }
@@ -879,6 +887,20 @@ Status ElementStore::VerifyOnDisk() {
                                   " shared between index trees");
       }
     }
+    // [restart-point-order] + [compressed-page-reconstruction]: every
+    // compressed leaf of the three trees, read raw from the flushed image,
+    // decodes cleanly and re-encodes run-for-run to its own bytes.
+    for (uint32_t id : index_pages) {
+      if (id >= page_count) continue;  // range violations reported below
+      RUIDX_RETURN_NOT_OK(pager_->ReadPage(id, page.data()));
+      if (page[0] == 1 && leaf::IsCompressed(page.data())) {
+        Status leaf_status = leaf::ValidateLeaf(page.data());
+        if (!leaf_status.ok()) {
+          return Status::Corruption(leaf_status.message() + " (page " +
+                                    std::to_string(id) + ")");
+        }
+      }
+    }
     for (uint32_t id : bloom_pages_) {
       if (!index_pages.insert(id).second) {
         return Status::Corruption("[tree-reachability] bloom page " +
@@ -1008,6 +1030,32 @@ SecondaryIndexStats ElementStore::secondary_stats() const {
   stats.path_postings = path_index_->entry_count();
   stats.bloom = bloom_.Stats();
   return stats;
+}
+
+Status ElementStore::ComputeLeafStats(BPlusTree::LeafStats* stats) const {
+  *stats = BPlusTree::LeafStats{};
+  stats->run_length_histogram.assign(leaf::kMaxRunLength + 1, 0);
+  BPlusTree::LeafStats part;
+  auto merge = [stats](const BPlusTree::LeafStats& part) {
+    stats->leaf_pages += part.leaf_pages;
+    stats->compressed_pages += part.compressed_pages;
+    stats->entries += part.entries;
+    stats->key_bytes_stored += part.key_bytes_stored;
+    stats->key_bytes_raw += part.key_bytes_raw;
+    for (size_t i = 0;
+         i < part.run_length_histogram.size() &&
+         i < stats->run_length_histogram.size();
+         ++i) {
+      stats->run_length_histogram[i] += part.run_length_histogram[i];
+    }
+  };
+  RUIDX_RETURN_NOT_OK(index_->ComputeLeafStats(&part));
+  merge(part);
+  RUIDX_RETURN_NOT_OK(name_index_->ComputeLeafStats(&part));
+  merge(part);
+  RUIDX_RETURN_NOT_OK(path_index_->ComputeLeafStats(&part));
+  merge(part);
+  return Status::OK();
 }
 
 }  // namespace storage

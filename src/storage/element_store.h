@@ -188,6 +188,11 @@ class ElementStore {
   /// Posting counts and Bloom load/false-positive estimates.
   SecondaryIndexStats secondary_stats() const;
 
+  /// Leaf-page compression accounting summed over the primary tree and
+  /// both posting trees: page/entry counts, stored vs raw key bytes, and
+  /// the run-length histogram (see BPlusTree::LeafStats).
+  Status ComputeLeafStats(BPlusTree::LeafStats* stats) const;
+
   /// Arms the shared fault injector covering every physical operation of
   /// both the main file and the journal — the crash-point matrix test
   /// sweeps `ops` over the whole range. UINT64_MAX disarms.

@@ -101,6 +101,10 @@ class SecondaryIndex {
     return tree_.CollectPages(pages);
   }
   Status Validate() const { return tree_.Validate(); }
+  /// Leaf-page compression accounting of the posting tree.
+  Status ComputeLeafStats(BPlusTree::LeafStats* stats) const {
+    return tree_.ComputeLeafStats(stats);
+  }
 
  private:
   explicit SecondaryIndex(BPlusTree tree) : tree_(std::move(tree)) {}

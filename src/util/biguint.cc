@@ -320,6 +320,17 @@ bool BigUint::ToBytesBE(uint8_t* out, size_t n) const {
   return true;
 }
 
+BigUint BigUint::FromUint128(uint128_t v) {
+  uint64_t hi = static_cast<uint64_t>(v >> 64);
+  BigUint out(static_cast<uint64_t>(v));
+  if (hi != 0) {
+    out.Reserve(2);
+    out.words()[1] = hi;
+    out.size_ = 2;
+  }
+  return out;
+}
+
 BigUint BigUint::FromBytesBE(const uint8_t* data, size_t n) {
   BigUint v;
   for (size_t i = 0; i < n; ++i) {

@@ -21,6 +21,12 @@
 
 namespace ruidx {
 
+/// Two machine words. The ruid fast paths (PackedRuid2Id, the KTable
+/// mirror, the storage key codec) run on this type: the storage key format
+/// caps identifier components at 128 bits, so a 2-word packed range covers
+/// every storable identifier.
+using uint128_t = unsigned __int128;
+
 class BigUint {
  public:
   /// Zero.
@@ -48,6 +54,19 @@ class BigUint {
 
   /// The low 64 bits (the full value when FitsUint64()).
   uint64_t ToUint64() const { return words()[0]; }
+
+  /// True iff the value fits in two words.
+  bool FitsUint128() const { return size_ <= 2; }
+
+  /// The low 128 bits (the full value when FitsUint128()).
+  uint128_t ToUint128() const {
+    uint128_t v = words()[0];
+    if (size_ > 1) v |= static_cast<uint128_t>(words()[1]) << 64;
+    return v;
+  }
+
+  /// From two machine words.
+  static BigUint FromUint128(uint128_t v);
 
   /// Number of significant bits; 0 for zero.
   int BitWidth() const;
@@ -125,6 +144,20 @@ class BigUint {
 
 struct BigUintHash {
   size_t operator()(const BigUint& v) const { return v.Hash(); }
+};
+
+/// Hash for uint128_t keys (unordered containers of packed globals).
+struct Uint128Hash {
+  size_t operator()(uint128_t v) const {
+    uint64_t lo = static_cast<uint64_t>(v);
+    uint64_t hi = static_cast<uint64_t>(v >> 64);
+    // splitmix-style mix of the two words.
+    uint64_t x = lo ^ (hi + 0x9e3779b97f4a7c15ULL + (lo << 6) + (lo >> 2));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<size_t>(x);
+  }
 };
 
 }  // namespace ruidx

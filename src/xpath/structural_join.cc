@@ -82,7 +82,7 @@ bool ChainContains(const ChainedNode& a, const ChainedNode& d) {
 }
 
 /// The packed fast path stores every root-to-node chain of one join input
-/// in a single contiguous arena of 16-byte packed identifiers — one buffer
+/// in a single contiguous arena of packed identifiers — one buffer
 /// per input, no per-node std::vector<BigUint> — with (offset, length)
 /// entries per node. Comparators run on flat uint64 words.
 struct PackedChainSet {

@@ -66,6 +66,9 @@ echo "$CHECK_OUT" | expect_contains "check --store index stats" "name postings"
 echo "$CHECK_OUT" | expect_contains "check --store bloom stats" "bits/key"
 echo "$CHECK_OUT" | expect_contains "check --store histogram" "size histogram:"
 echo "$CHECK_OUT" | expect_contains "check --store shard table" "largest shards"
+echo "$CHECK_OUT" | expect_contains "check --store compression" "bytes/key raw"
+echo "$CHECK_OUT" | expect_contains "check --store leaf fan-out" "avg leaf fan-out"
+echo "$CHECK_OUT" | expect_contains "check --store restart runs" "restart runs:"
 
 # streaming store
 SDB="$TMPDIR/doc_stream.db"

@@ -86,8 +86,8 @@ TEST(KTableTest, PackedMirrorTracksRows) {
   ASSERT_NE(k.FindPacked(4), nullptr);
   EXPECT_EQ(k.FindPacked(4)->root_local, (uint64_t{1} << 63) - 1);
 
-  // A global outside 64 bits never gets a mirror entry.
-  BigUint huge_global = BigUint::Pow(BigUint(2), 100);
+  // A global outside 128 bits never gets a mirror entry.
+  BigUint huge_global = BigUint::Pow(BigUint(2), 128);
   k.Upsert({huge_global, BigUint(3), 5});
   EXPECT_EQ(k.packed_size(), 1u);
 

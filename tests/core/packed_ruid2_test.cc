@@ -2,7 +2,7 @@
 // SetPackedFastPathEnabled(true) must return exactly what the pure BigUint
 // path returns — same values, same status codes, same messages — including
 // on trees engineered to overflow the packed range (locals past 2^63,
-// globals past 2^64) where individual steps fall back mid-chain.
+// globals past 2^128) where individual steps fall back mid-chain.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -46,13 +46,13 @@ TEST(PackedRuid2IdTest, PackBoundaries) {
   EXPECT_FALSE(p.is_area_root());
   // local 2^63 collides with the root bit: not packable.
   EXPECT_FALSE(PackRuid2Id(Ruid2Id{BigUint(7), Pow2(63), false}, &p));
-  // global 2^64 - 1 is the largest packable global.
-  EXPECT_TRUE(PackRuid2Id(Ruid2Id{Pow2(64) - 1, BigUint(5), true}, &p));
-  EXPECT_EQ(p.global, ~uint64_t{0});
+  // global 2^128 - 1 is the largest packable global (two machine words).
+  EXPECT_TRUE(PackRuid2Id(Ruid2Id{Pow2(128) - 1, BigUint(5), true}, &p));
+  EXPECT_EQ(p.global, ~uint128_t{0});
   EXPECT_TRUE(p.is_area_root());
   EXPECT_EQ(p.local(), 5u);
-  // global 2^64 needs a second word: not packable.
-  EXPECT_FALSE(PackRuid2Id(Ruid2Id{Pow2(64), BigUint(5), true}, &p));
+  // global 2^128 needs a third word: not packable.
+  EXPECT_FALSE(PackRuid2Id(Ruid2Id{Pow2(128), BigUint(5), true}, &p));
 }
 
 TEST(PackedRuid2IdTest, PackUnpackIsIdentity) {
@@ -60,6 +60,7 @@ TEST(PackedRuid2IdTest, PackUnpackIsIdentity) {
       Ruid2RootId(),
       Ruid2Id{BigUint(3), BigUint(12), false},
       Ruid2Id{Pow2(64) - 1, Pow2(63) - 1, true},
+      Ruid2Id{Pow2(128) - 1, Pow2(63) - 1, true},
   };
   for (const Ruid2Id& id : ids) {
     PackedRuid2Id p;
@@ -94,8 +95,18 @@ PartitionOptions HugeAreas() {
   return options;
 }
 
-/// A partition whose global indices overflow 2^64: every node roots its own
-/// area, so the frame is the depth-45 tree itself and globals grow like
+/// A tree deep enough that per-node area globals overflow 2^128: under
+/// TinyAreas the frame is the tree itself, globals grow like kappa^depth
+/// (kappa = 3 here), and 3^90 ~ 2^142 clears the 2-word packed range.
+std::unique_ptr<xml::Document> GlobalOverflowDoc() {
+  xml::DeepTreeConfig config;
+  config.depth = 90;
+  config.siblings_per_level = 2;  // fanout 3 with the spine child
+  return xml::GenerateDeepTree(config);
+}
+
+/// A partition whose global indices overflow 2^128: every node roots its own
+/// area, so the frame is the deep tree itself and globals grow like
 /// kappa^depth.
 PartitionOptions TinyAreas() {
   PartitionOptions options;
@@ -196,15 +207,15 @@ TEST(PackedEquivalenceTest, AgreesWhenLocalsOverflow) {
 }
 
 TEST(PackedEquivalenceTest, AgreesWhenGlobalsOverflow) {
-  auto doc = LocalOverflowDoc();
+  auto doc = GlobalOverflowDoc();
   Ruid2Scheme scheme(TinyAreas());
   scheme.Build(doc->root());
   bool saw_unpackable_global = false;
   scheme.ForEachLabeled([&](const xml::Node*, const Ruid2Id& id) {
-    if (!id.global.FitsUint64()) saw_unpackable_global = true;
+    if (!id.global.FitsUint128()) saw_unpackable_global = true;
   });
   ASSERT_TRUE(saw_unpackable_global)
-      << "topology no longer overflows 64-bit globals";
+      << "topology no longer overflows 128-bit globals";
   ExpectPathsAgree(scheme, doc->root());
 }
 
@@ -266,10 +277,13 @@ TEST(PackedEquivalenceTest, ElementStoreKeysRoundTripAcrossBoundary) {
       Ruid2RootId(),
       Ruid2Id{BigUint(3), BigUint(900), false},
       Ruid2Id{BigUint(3), Pow2(63) - 1, false},
-      Ruid2Id{BigUint(3), Pow2(63), false},      // local needs bignum
-      Ruid2Id{Pow2(64) - 1, BigUint(2), false},  // max packed global
-      Ruid2Id{Pow2(64), BigUint(2), false},      // global needs bignum
+      Ruid2Id{BigUint(3), Pow2(63), false},       // local past the id range
+      Ruid2Id{Pow2(64) - 1, BigUint(2), false},   // one-word boundary
+      Ruid2Id{Pow2(64), BigUint(2), false},       // global needs word two
       Ruid2Id{Pow2(64) + 5, Pow2(63) + 9, true},
+      // Largest id the full Put path accepts (the posting-key codec caps
+      // components at 96 bits); both halves need the second packed word.
+      Ruid2Id{Pow2(96) - 1, Pow2(96) - 1, true},
   };
   for (bool fast : {true, false}) {
     ScopedFastPath scoped(fast);

@@ -214,6 +214,113 @@ TEST(PartitionTest, DeriveFromExplicitRoots) {
   CheckPartitionInvariants(a, p);
 }
 
+// --- min_area_nodes: merging undersized areas back up ----------------------
+
+TEST(PartitionTest, MergeFloorCoalescesUndersizedAreas) {
+  // A deep chain with a tight depth budget splinters into tiny areas; the
+  // merge floor folds them back together until areas approach the node
+  // budget, and the result still satisfies every partition invariant.
+  xml::DeepTreeConfig config;
+  config.depth = 60;
+  config.siblings_per_level = 2;
+  auto doc = xml::GenerateDeepTree(config);
+  PartitionOptions fragmented;
+  fragmented.max_area_nodes = 64;
+  fragmented.max_area_depth = 3;
+  auto before = PartitionTree(doc->root(), fragmented);
+  ASSERT_TRUE(before.ok());
+
+  PartitionOptions merged_opts = fragmented;
+  merged_opts.min_area_nodes = 32;
+  auto merged = PartitionTree(doc->root(), merged_opts);
+  ASSERT_TRUE(merged.ok());
+  CheckPartitionInvariants(doc->root(), *merged);
+
+  EXPECT_LT(merged->areas.size(), before->areas.size());
+  // Merged areas may overfill, but only up to the documented 2x allowance.
+  for (const auto& area : merged->areas) {
+    EXPECT_LE(area.member_count, 2 * merged_opts.max_area_nodes);
+  }
+  // Undersized areas only survive when folding them up would overflow the
+  // parent (or the fan-out adjustment re-split them).
+  size_t undersized = 0;
+  for (uint32_t i = 1; i < merged->areas.size(); ++i) {
+    if (merged->areas[i].member_count < merged_opts.min_area_nodes) {
+      ++undersized;
+    }
+  }
+  EXPECT_LT(undersized, merged->areas.size() / 2);
+}
+
+TEST(PartitionTest, MergeFloorIsOffByDefault) {
+  auto doc = xml::GenerateUniformTree(200, 4);
+  PartitionOptions options;
+  options.max_area_nodes = 20;
+  options.max_area_depth = 2;
+  auto plain = PartitionTree(doc->root(), options);
+  ASSERT_TRUE(plain.ok());
+  PartitionOptions zero = options;
+  zero.min_area_nodes = 0;
+  auto same = PartitionTree(doc->root(), zero);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(plain->areas.size(), same->areas.size());
+}
+
+TEST(PartitionTest, MergeFloorKeepsInvariantsAcrossTopologies) {
+  PartitionOptions options;
+  options.max_area_nodes = 32;
+  options.max_area_depth = 4;
+  options.min_area_nodes = 16;
+  std::vector<std::unique_ptr<xml::Document>> docs;
+  docs.push_back(xml::GenerateUniformTree(300, 3));
+  docs.push_back(xml::GenerateDblpLike(40));
+  {
+    xml::SkewedTreeConfig sc;
+    sc.node_budget = 400;
+    sc.max_fanout = 50;
+    docs.push_back(xml::GenerateSkewedTree(sc));
+  }
+  for (auto& doc : docs) {
+    auto p = PartitionTree(doc->root(), options);
+    ASSERT_TRUE(p.ok());
+    CheckPartitionInvariants(doc->root(), *p);
+    uint64_t total = 0;
+    for (const auto& area : p->areas) total += area.member_count;
+    uint64_t nodes = xml::ComputeStats(doc->root()).node_count;
+    EXPECT_EQ(total, nodes + p->areas.size() - 1);
+  }
+}
+
+TEST(PartitionTest, AdaptiveGranularityTracksVolumeNotTopology) {
+  // The same node count in two very different shapes: a deep chain-heavy
+  // tree and a flat uniform tree. With explicit budgets the deep tree
+  // shatters into far more areas; with a target count both land near it.
+  xml::DeepTreeConfig deep_config;
+  deep_config.depth = 500;
+  deep_config.siblings_per_level = 2;
+  auto deep = xml::GenerateDeepTree(deep_config);
+  auto flat = xml::GenerateUniformTree(1000, 10);
+
+  PartitionOptions adaptive;
+  adaptive.target_area_count = 16;
+  for (xml::Node* root : {deep->root(), flat->root()}) {
+    auto p = PartitionTree(root, adaptive);
+    ASSERT_TRUE(p.ok());
+    CheckPartitionInvariants(root, *p);
+    // Near the target: within a small constant factor regardless of shape
+    // (the greedy split plus merge floor cannot hit it exactly).
+    EXPECT_LE(p->areas.size(), 16u * 4);
+  }
+  // And the explicit budgets still bind when no target is set: the deep
+  // document fragments into many more areas than the adaptive target.
+  PartitionOptions fixed;
+  fixed.max_area_nodes = 64;
+  fixed.max_area_depth = 4;
+  auto fragmented = PartitionTree(deep->root(), fixed);
+  ASSERT_TRUE(fragmented.ok());
+  EXPECT_GT(fragmented->areas.size(), 16u * 4);
+}
+
 TEST(PartitionTest, MemberCountsAddUp) {
   auto doc = xml::GenerateUniformTree(150, 3);
   PartitionOptions options;

@@ -254,8 +254,9 @@ TEST_F(BPlusTreeTest, RandomChurnKeepsStructureValid) {
 }
 
 TEST_F(BPlusTreeTest, DescendsThroughMultipleLevels) {
-  // Force height >= 3: more than ~110 leaves.
-  const uint64_t n = 15000;
+  // Force height >= 3: more than ~110 leaves even at the compressed
+  // format's higher fan-out (several hundred entries per leaf).
+  const uint64_t n = 60000;
   for (uint64_t i = 0; i < n; ++i) {
     ASSERT_TRUE(tree_->Insert(MakeKey(i * 3), i).ok());
   }

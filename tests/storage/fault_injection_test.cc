@@ -57,13 +57,18 @@ TEST(FaultInjectionTest, BPlusTreeInsertSurvivesLateFaults) {
   BufferPool pool(pager->get(), 3);
   auto tree = BPlusTree::Create(&pool);
   ASSERT_TRUE(tree.ok());
-  for (uint64_t i = 0; i < 500; ++i) {
-    ASSERT_TRUE(tree->Insert(MakeKey(i), i).ok());
+  // Even keys first — enough leaves that the tiny pool evicts on every
+  // descent regardless of leaf format (compressed leaves hold several
+  // hundred entries, so a few hundred keys would all fit in memory).
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree->Insert(MakeKey(i * 2), i).ok());
   }
   (*pager)->InjectFaultAfter(20);
   bool saw_error = false;
-  for (uint64_t i = 500; i < 1500; ++i) {
-    Status st = tree->Insert(MakeKey(i), i);
+  // Odd keys in a scattered order, so descents keep faulting cold leaves
+  // back in and hit the armed injector.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Status st = tree->Insert(MakeKey((i * 7919 % 5000) * 2 + 1), i);
     if (!st.ok()) {
       EXPECT_TRUE(st.IsIOError()) << st.ToString();
       saw_error = true;
@@ -74,7 +79,7 @@ TEST(FaultInjectionTest, BPlusTreeInsertSurvivesLateFaults) {
   // Clear the fault: previously committed keys are still readable.
   (*pager)->InjectFaultAfter(~0ULL);
   for (uint64_t i = 0; i < 500; i += 37) {
-    auto v = tree->Get(MakeKey(i));
+    auto v = tree->Get(MakeKey(i * 2));
     ASSERT_TRUE(v.ok()) << i;
     EXPECT_EQ(*v, i);
   }

@@ -55,6 +55,16 @@ Rules (each with the hazard it guards against):
       plan (no usable index), put it in a function whose name contains
       "Fallback" so the full scan is an explicit, named decision.
 
+  raw-key-slice
+      Byte-offset access into a storage-key buffer (`key[32]`,
+      `key.data() + 16`, ...) outside the key codec files in src/storage/.
+      The on-disk key layout (which halves hold the global/local index, the
+      flag byte, the compressed-suffix geometry) is owned by the codecs; a
+      layer that slices key bytes by hand silently breaks the moment the
+      layout changes — exactly what the v1 -> v2 page format migration did.
+      Encode/decode through EncodeIdKey/DecodeIdKey, the posting-key codec,
+      or the leaf codec instead.
+
 Escapes: a `// NOLINT(rule-name)` comment on the offending line, or the
 rule-specific annotation documented above.
 
@@ -103,6 +113,22 @@ SYNC_OUTSIDE_ALLOWED = (
     os.path.join("src", "storage", "wal.cc"),
     os.path.join("src", "storage", "buffer_pool.cc"),
     os.path.join("src", "storage", "flusher.cc"),
+)
+# A literal subscript or a .data() pointer advance on a key-named buffer:
+# both hard-code the key layout at the call site. Variable subscripts
+# (keys[i] over a collection of keys) stay legal.
+RE_RAW_KEY_SLICE = re.compile(
+    r"\b\w*[Kk]ey\w*\s*\[\s*\d|\b\w*[Kk]ey\w*\.data\(\)\s*\+"
+)
+# The key codecs own the byte layout: the primary-key codec in
+# element_store.cc, the posting-key codec in secondary_index.cc, and the
+# prefix-compression codec (which slices suffixes by design).
+KEY_SLICE_ALLOWED = (
+    os.path.join("src", "storage", "element_store.cc"),
+    os.path.join("src", "storage", "secondary_index.cc"),
+    os.path.join("src", "storage", "leaf_codec.h"),
+    os.path.join("src", "storage", "leaf_codec.cc"),
+    os.path.join("src", "storage", "bptree.cc"),
 )
 RE_SCANALL = re.compile(r"(?:\.|->)\s*ScanAll\s*\(")
 # Function definitions start at column 0 (LLVM style); the identifier just
@@ -219,6 +245,27 @@ def lint_file(root, rel_path, lines):
                     "commit ordering (journal sync -> write-back -> file "
                     "sync) is the pool's protocol; request durability via "
                     "Flush()/FlushAll() instead",
+                )
+            )
+
+        if (
+            (
+                rel_path.startswith("src" + os.sep)
+                or rel_path.startswith("tools" + os.sep)
+            )
+            and rel_path not in KEY_SLICE_ALLOWED
+            and RE_RAW_KEY_SLICE.search(stripped)
+            and not has_nolint(line, "raw-key-slice")
+        ):
+            violations.append(
+                Violation(
+                    rel_path,
+                    i,
+                    "raw-key-slice",
+                    "raw byte-offset access into a storage key outside the "
+                    "key codec files: the layout belongs to the codecs "
+                    "(EncodeIdKey/DecodeIdKey, posting keys, leaf codec); "
+                    "hand-sliced offsets break silently on format changes",
                 )
             )
 

@@ -1,0 +1,15 @@
+// Negative fixture: trips raw-key-slice. Reading the root-indicator byte
+// (or any other fixed offset) out of a storage key outside the codec files
+// hard-codes the on-disk layout at the call site.
+// lint-fixture-path: src/xpath/bad_raw_key_slice.cc
+
+#include <array>
+#include <cstdint>
+
+bool RootFlagByHand(const std::array<uint8_t, 33>& key) {
+  return key[32] != 0;
+}
+
+const uint8_t* LocalHalfByHand(const std::array<uint8_t, 33>& key) {
+  return key.data() + 16;
+}

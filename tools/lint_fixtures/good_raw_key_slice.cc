@@ -1,0 +1,18 @@
+// Positive fixture for raw-key-slice: iterating a collection of keys with a
+// variable subscript is legal (no layout knowledge involved), and a NOLINT
+// escape stays available for measured exceptions.
+// lint-fixture-path: src/xpath/good_raw_key_slice.cc
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+using Key = std::array<uint8_t, 33>;
+
+const Key& NthKey(const std::vector<Key>& keys, size_t i) {
+  return keys[i];
+}
+
+bool MeasuredEscape(const Key& key) {
+  return key[32] != 0;  // NOLINT(raw-key-slice)
+}

@@ -437,6 +437,41 @@ int CmdCheck(const std::string& path, const CommonOptions& options) {
                 << TablePrinter::FormatDouble(sec.bloom.estimated_fpr * 100.0,
                                               3)
                 << "%)\n";
+      // Leaf compression accounting across the primary and posting trees:
+      // raw bytes/key is the fixed 33-byte layout, stored bytes/key what
+      // the v2 codec actually wrote, and the run-length histogram shows
+      // how far in-place edits stretched the restart intervals.
+      storage::BPlusTree::LeafStats leaves;
+      st = (*store)->ComputeLeafStats(&leaves);
+      if (st.ok() && leaves.entries > 0) {
+        double before = static_cast<double>(leaves.key_bytes_raw) /
+                        static_cast<double>(leaves.entries);
+        double after = static_cast<double>(leaves.key_bytes_stored) /
+                       static_cast<double>(leaves.entries);
+        std::cout << "leaves: " << leaves.leaf_pages << " pages ("
+                  << leaves.compressed_pages << " compressed), "
+                  << TablePrinter::FormatDouble(before, 1)
+                  << " bytes/key raw -> "
+                  << TablePrinter::FormatDouble(after, 1)
+                  << " stored, avg leaf fan-out "
+                  << TablePrinter::FormatDouble(
+                         static_cast<double>(leaves.entries) /
+                             static_cast<double>(leaves.leaf_pages),
+                         1)
+                  << "\nrestart runs:";
+        // Compact histogram: bucket run lengths by power of two.
+        for (size_t lo = 1; lo < leaves.run_length_histogram.size();
+             lo *= 2) {
+          size_t hi = std::min(lo * 2 - 1,
+                               leaves.run_length_histogram.size() - 1);
+          uint64_t count = 0;
+          for (size_t len = lo; len <= hi; ++len) {
+            count += leaves.run_length_histogram[len];
+          }
+          std::cout << " [" << lo << ".." << hi << "]=" << count;
+        }
+        std::cout << "\n";
+      }
       if (int rc = PrintShardReport(scheme, root); rc != 0) return rc;
     }
   }
