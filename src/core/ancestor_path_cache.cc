@@ -22,7 +22,7 @@ std::vector<Ruid2Id> AncestorPathCache::UncachedChain(const Ruid2Id& id,
 const std::vector<Ruid2Id>* AncestorPathCache::AreaRootAncestors(
     const BigUint& global, uint64_t kappa, const KTable& k) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = chains_.find(global);
     if (it != chains_.end()) {
       ++hits_;
@@ -39,7 +39,7 @@ const std::vector<Ruid2Id>* AncestorPathCache::AreaRootAncestors(
   if (row != nullptr) {
     chain = UncachedChain(Ruid2Id{global, row->root_local, true}, kappa, k);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return &chains_.try_emplace(global, std::move(chain)).first->second;
 }
 
@@ -47,7 +47,7 @@ void AncestorPathCache::AppendAreaRootChain(const BigUint& global,
                                             uint64_t kappa, const KTable& k,
                                             std::vector<Ruid2Id>* chain) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = chains_.find(global);
     if (it != chains_.end()) {
       ++hits_;
@@ -65,7 +65,7 @@ void AncestorPathCache::AppendAreaRootChain(const BigUint& global,
   if (row != nullptr) {
     tail = UncachedChain(Ruid2Id{global, row->root_local, true}, kappa, k);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::vector<Ruid2Id>& stored =
       chains_.try_emplace(global, std::move(tail)).first->second;
   chain->insert(chain->end(), stored.begin(), stored.end());
@@ -96,7 +96,7 @@ const AncestorPathCache::PackedChainEntry*
 AncestorPathCache::PackedAreaRootAncestors(uint128_t global, uint64_t kappa,
                                            const KTable& k) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = packed_chains_.find(global);
     if (it != packed_chains_.end()) {
       ++hits_;
@@ -112,7 +112,7 @@ AncestorPathCache::PackedAreaRootAncestors(uint128_t global, uint64_t kappa,
     entry.ok = PackedRuidAncestors(root, kappa, k, &entry.chain);
     if (!entry.ok) entry.chain.clear();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return &packed_chains_.try_emplace(global, std::move(entry)).first->second;
 }
 
@@ -120,7 +120,7 @@ bool AncestorPathCache::AppendPackedAreaRootChain(
     uint128_t global, uint64_t kappa, const KTable& k,
     std::vector<PackedRuid2Id>* out) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = packed_chains_.find(global);
     if (it != packed_chains_.end()) {
       ++hits_;
@@ -139,7 +139,7 @@ bool AncestorPathCache::AppendPackedAreaRootChain(
     entry.ok = PackedRuidAncestors(root, kappa, k, &entry.chain);
     if (!entry.ok) entry.chain.clear();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const PackedChainEntry& stored =
       packed_chains_.try_emplace(global, std::move(entry)).first->second;
   if (!stored.ok) return false;
@@ -214,7 +214,7 @@ bool AncestorPathCache::AncestorsHybrid(const PackedRuid2Id& id,
 void AncestorPathCache::OnUpdate(const UpdateReport& report) {
   if (report.relabeled > 0 || report.areas_dropped > 0 ||
       report.local_fanout_grew) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!chains_.empty() || !packed_chains_.empty()) ++invalidations_;
     chains_.clear();
     packed_chains_.clear();
@@ -228,7 +228,7 @@ void AncestorPathCache::OnUpdate(const UpdateReport& report) {
 }
 
 void AncestorPathCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!chains_.empty() || !packed_chains_.empty()) ++invalidations_;
   chains_.clear();
   packed_chains_.clear();
@@ -240,22 +240,22 @@ void AncestorPathCache::set_enabled(bool enabled) {
 }
 
 uint64_t AncestorPathCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hits_;
 }
 
 uint64_t AncestorPathCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return misses_;
 }
 
 uint64_t AncestorPathCache::invalidations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return invalidations_;
 }
 
 size_t AncestorPathCache::entry_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return chains_.size() + packed_chains_.size();
 }
 

@@ -20,12 +20,12 @@
 #define RUIDX_CORE_ANCESTOR_PATH_CACHE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/packed_ruid2_id.h"
 #include "core/ruid2_id.h"
+#include "util/sync.h"
 
 namespace ruidx {
 namespace core {
@@ -140,20 +140,24 @@ class AncestorPathCache {
                                  const KTable& k,
                                  std::vector<PackedRuid2Id>* out) const;
 
+  /// Set before the scheme is shared (benchmarks toggle it up front, never
+  /// while readers run), so deliberately unguarded.
   bool enabled_ = true;
   /// Guards chains_, packed_chains_, and the counters; Ancestors() must be
-  /// callable from concurrent readers (the bulk pipelines share one scheme).
-  mutable std::mutex mu_;
+  /// callable from concurrent readers (the bulk pipelines share one
+  /// scheme). Leaf-side rank: taken while a store holds its pool mutex
+  /// during invalidation (rank table in util/sync.h).
+  mutable Mutex mu_{LockRank::kAncestorCache, "ancestor_cache.mu"};
   mutable std::unordered_map<BigUint, std::vector<Ruid2Id>, BigUintHash>
-      chains_;
+      chains_ RUIDX_GUARDED_BY(mu_);
   /// Per-area chains in packed form, for areas whose whole root chain fits
   /// the packed range. Separate from chains_ so each path pays only its own
   /// representation; an area queried through both APIs may appear in both.
   mutable std::unordered_map<uint128_t, PackedChainEntry, Uint128Hash>
-      packed_chains_;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
-  uint64_t invalidations_ = 0;
+      packed_chains_ RUIDX_GUARDED_BY(mu_);
+  mutable uint64_t hits_ RUIDX_GUARDED_BY(mu_) = 0;
+  mutable uint64_t misses_ RUIDX_GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ RUIDX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace core

@@ -20,12 +20,12 @@ BufferPool::BufferPool(Pager* pager, size_t capacity)
 
 BufferPool::~BufferPool() {
   if (flusher_ != nullptr) flusher_->Stop();
-  std::unique_lock<std::mutex> lock(mu_);
-  (void)FlushAllLocked(lock);
+  MutexLock lock(&mu_);
+  (void)FlushAllLocked();
 }
 
 void BufferPool::AttachWal(WriteAheadLog* wal) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   wal_ = wal;
   txn_base_pages_ = pager_->page_count();
 }
@@ -116,8 +116,7 @@ Status BufferPool::WriteBackLocked(size_t frame_idx) {
   return Status::OK();
 }
 
-Result<size_t> BufferPool::PickVictimLocked(
-    std::unique_lock<std::mutex>& lock) {
+Result<size_t> BufferPool::PickVictimLocked() {
   for (;;) {
     if (!free_frames_.empty()) {
       size_t idx = free_frames_.back();
@@ -154,16 +153,18 @@ Result<size_t> BufferPool::PickVictimLocked(
     }
     if (any_in_flight) {
       // Every candidate is under asynchronous write-back; wait for the
-      // flusher to land one rather than failing a full pool.
-      io_cv_.wait(lock);
+      // flusher to land one rather than failing a full pool. The wait
+      // RELEASES mu_ and REACQUIRES it before returning — every caller up
+      // the *Locked chain must treat its earlier reads of pool state as
+      // stale after this point (see the header comment).
+      io_cv_.Wait(&mu_);
       continue;
     }
     return Status::CapacityExceeded("all buffer frames are pinned");
   }
 }
 
-Result<size_t> BufferPool::FindFrameLocked(std::unique_lock<std::mutex>& lock,
-                                           uint32_t page_id, bool load) {
+Result<size_t> BufferPool::FindFrameLocked(uint32_t page_id, bool load) {
   auto it = table_.find(page_id);
   if (it != table_.end()) {
     ++stats_.hits;
@@ -171,7 +172,7 @@ Result<size_t> BufferPool::FindFrameLocked(std::unique_lock<std::mutex>& lock,
     return it->second;
   }
   ++stats_.misses;
-  RUIDX_ASSIGN_OR_RETURN(size_t victim, PickVictimLocked(lock));
+  RUIDX_ASSIGN_OR_RETURN(size_t victim, PickVictimLocked());
   // PickVictimLocked may have released the lock (waiting out in-flight
   // write-backs), during which another Fetch or the flusher's prefetch can
   // have loaded this page. Re-probe: the pool must never hold two frames
@@ -209,49 +210,46 @@ Result<size_t> BufferPool::FindFrameLocked(std::unique_lock<std::mutex>& lock,
 }
 
 Result<uint8_t*> BufferPool::Fetch(uint32_t page_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RUIDX_RETURN_NOT_OK(poison_);
-  RUIDX_ASSIGN_OR_RETURN(size_t idx,
-                         FindFrameLocked(lock, page_id, /*load=*/true));
+  RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrameLocked(page_id, /*load=*/true));
   ++frames_[idx].pin_count;
   return frames_[idx].data.data();
 }
 
 void BufferPool::Unpin(uint32_t page_id, bool dirty) {
-  size_t dirty_snapshot = 0;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    auto it = table_.find(page_id);
-    if (it == table_.end()) return;
-    Frame& frame = frames_[it->second];
-    if (frame.pin_count > 0) --frame.pin_count;
-    // Deliberately NOT setting the reference bit: promotion to the hot set
-    // happens on a pool *hit* (a second access), so a one-touch sequential
-    // scan leaves its pages cold and scan-resistance holds.
-    if (dirty) {
-      // Any in-flight flusher copy of this frame is now stale; the epoch
-      // bump keeps its completion from clearing the dirty bit.
-      ++frame.epoch;
-      if (!frame.dirty && wal_ != nullptr && poison_.ok()) {
-        // First dirtying of this frame: capture the page's committed
-        // on-disk content in the journal before any write-back may
-        // overwrite it. (A frame that is already dirty was journaled when
-        // it first got dirty.)
-        Status st = JournalBeforeDirtyLocked(page_id);
-        if (!st.ok()) PoisonLocked(st);
-      }
-      if (!frame.dirty) {
-        frame.dirty = true;
-        ++dirty_count_;
-      }
+  ReleasableMutexLock lock(&mu_);
+  auto it = table_.find(page_id);
+  if (it == table_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count > 0) --frame.pin_count;
+  // Deliberately NOT setting the reference bit: promotion to the hot set
+  // happens on a pool *hit* (a second access), so a one-touch sequential
+  // scan leaves its pages cold and scan-resistance holds.
+  if (dirty) {
+    // Any in-flight flusher copy of this frame is now stale; the epoch
+    // bump keeps its completion from clearing the dirty bit.
+    ++frame.epoch;
+    if (!frame.dirty && wal_ != nullptr && poison_.ok()) {
+      // First dirtying of this frame: capture the page's committed
+      // on-disk content in the journal before any write-back may
+      // overwrite it. (A frame that is already dirty was journaled when
+      // it first got dirty.)
+      Status st = JournalBeforeDirtyLocked(page_id);
+      if (!st.ok()) PoisonLocked(st);
     }
-    dirty_snapshot = dirty_count_;
+    if (!frame.dirty) {
+      frame.dirty = true;
+      ++dirty_count_;
+    }
   }
+  size_t dirty_snapshot = dirty_count_;
+  lock.Release();
   MaybeScheduleDrain(dirty_snapshot);
 }
 
 Result<uint32_t> BufferPool::AllocatePinned(uint8_t** frame_out) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableMutexLock lock(&mu_);
   RUIDX_RETURN_NOT_OK(poison_);
   {
     Status st = EnsureTransactionLocked();
@@ -265,14 +263,13 @@ Result<uint32_t> BufferPool::AllocatePinned(uint8_t** frame_out) {
   for (;;) {
     if (free_head_ == kInvalidPage) {
       RUIDX_ASSIGN_OR_RETURN(page_id, pager_->AllocatePage());
-      RUIDX_ASSIGN_OR_RETURN(idx,
-                             FindFrameLocked(lock, page_id, /*load=*/false));
+      RUIDX_ASSIGN_OR_RETURN(idx, FindFrameLocked(page_id, /*load=*/false));
       if (wal_ != nullptr) journaled_.insert(page_id);
       break;
     }
     // Reuse the head of the free list instead of growing the file.
     page_id = free_head_;
-    RUIDX_ASSIGN_OR_RETURN(idx, FindFrameLocked(lock, page_id, /*load=*/true));
+    RUIDX_ASSIGN_OR_RETURN(idx, FindFrameLocked(page_id, /*load=*/true));
     if (free_head_ != page_id) {
       // FindFrameLocked can release the lock waiting out in-flight
       // write-backs; another allocator popped this head meanwhile. Retry
@@ -314,19 +311,18 @@ Result<uint32_t> BufferPool::AllocatePinned(uint8_t** frame_out) {
   }
   *frame_out = frame.data.data();
   size_t dirty_snapshot = dirty_count_;
-  lock.unlock();
+  lock.Release();
   MaybeScheduleDrain(dirty_snapshot);
   return page_id;
 }
 
 Status BufferPool::FreePage(uint32_t page_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RUIDX_RETURN_NOT_OK(poison_);
   if (page_id == kInvalidPage) {
     return Status::InvalidArgument("freeing invalid page id");
   }
-  RUIDX_ASSIGN_OR_RETURN(size_t idx,
-                         FindFrameLocked(lock, page_id, /*load=*/true));
+  RUIDX_ASSIGN_OR_RETURN(size_t idx, FindFrameLocked(page_id, /*load=*/true));
   Frame& frame = frames_[idx];
   if (frame.pin_count > 0) {
     return Status::Internal("freeing pinned page " + std::to_string(page_id));
@@ -356,12 +352,23 @@ Status BufferPool::FlushAll() {
   // every drain enqueued before this call — so no in-flight write can
   // overlap the commit's write-backs.
   if (flusher_ != nullptr) return flusher_->RunCommit();
-  std::unique_lock<std::mutex> lock(mu_);
-  return FlushAllLocked(lock);
+  MutexLock lock(&mu_);
+  return FlushAllLocked();
 }
 
-Status BufferPool::FlushAllLocked(std::unique_lock<std::mutex>& lock) {
-  (void)lock;  // held; taken by reference to document the requirement
+Status BufferPool::CommitProtocolLocked() {
+  RUIDX_RETURN_NOT_OK(wal_->Sync());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page_id != kInvalidPage && frames_[i].dirty) {
+      RUIDX_RETURN_NOT_OK(WriteBackLocked(i));
+    }
+  }
+  RUIDX_RETURN_NOT_OK(pager_->Sync());
+  RUIDX_RETURN_NOT_OK(wal_->Checkpoint());
+  return Status::OK();
+}
+
+Status BufferPool::FlushAllLocked() {
   RUIDX_RETURN_NOT_OK(poison_);
   if (wal_ == nullptr) {
     for (size_t i = 0; i < frames_.size(); ++i) {
@@ -375,18 +382,11 @@ Status BufferPool::FlushAllLocked(std::unique_lock<std::mutex>& lock) {
   // The atomic commit: journal durable -> new pages into the main file ->
   // main file durable -> checkpoint (the journal truncation is the commit
   // point). Any failure poisons the pool: a half-committed state must not
-  // accept further writes it could no longer roll back.
-  Status st = [&]() -> Status {
-    RUIDX_RETURN_NOT_OK(wal_->Sync());
-    for (size_t i = 0; i < frames_.size(); ++i) {
-      if (frames_[i].page_id != kInvalidPage && frames_[i].dirty) {
-        RUIDX_RETURN_NOT_OK(WriteBackLocked(i));
-      }
-    }
-    RUIDX_RETURN_NOT_OK(pager_->Sync());
-    RUIDX_RETURN_NOT_OK(wal_->Checkpoint());
-    return Status::OK();
-  }();
+  // accept further writes it could no longer roll back. (A named helper
+  // rather than a lambda: the analysis treats lambdas as separate,
+  // un-annotated functions, so guarded accesses inside one would not
+  // check against mu_.)
+  Status st = CommitProtocolLocked();
   if (!st.ok()) {
     PoisonLocked(st);
     return st;
@@ -397,16 +397,16 @@ Status BufferPool::FlushAllLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 Status BufferPool::ServiceCommit() {
-  std::unique_lock<std::mutex> lock(mu_);
-  return FlushAllLocked(lock);
+  MutexLock lock(&mu_);
+  return FlushAllLocked();
 }
 
 void BufferPool::ServicePrefetch(uint32_t page_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!poison_.ok()) return;
   if (table_.count(page_id) != 0) return;  // already resident
   if (page_id >= pager_->page_count()) return;
-  Result<size_t> found = FindFrameLocked(lock, page_id, /*load=*/true);
+  Result<size_t> found = FindFrameLocked(page_id, /*load=*/true);
   // Best effort: a failed read-ahead is not an error; the foreground
   // Fetch will surface it if the page is actually needed.
   if (found.ok()) ++stats_.prefetches;
@@ -420,16 +420,21 @@ void BufferPool::ServiceDrain() {
   };
   std::vector<Job> jobs;
   std::vector<uint8_t> copies;
+  // Snapshot of wal_ taken under the first critical section: the unlocked
+  // I/O below must not touch guarded members, and AttachWal happens-before
+  // any drain by contract (attach precedes sharing).
+  WriteAheadLog* wal = nullptr;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!poison_.ok()) return;
+    wal = wal_;
     for (size_t i = 0; i < frames_.size(); ++i) {
       Frame& f = frames_[i];
       if (f.page_id == kInvalidPage || !f.dirty || f.pin_count > 0 ||
           f.io_in_flight) {
         continue;
       }
-      if (wal_ != nullptr && journaled_.count(f.page_id) == 0 &&
+      if (wal != nullptr && journaled_.count(f.page_id) == 0 &&
           f.page_id < txn_base_pages_) {
         PoisonLocked(Status::Internal("async write-back of unjournaled page " +
                                       std::to_string(f.page_id)));
@@ -452,11 +457,11 @@ void BufferPool::ServiceDrain() {
   // Journal-sync-before-write-back, exactly as the synchronous path: every
   // pre-image covering these pages is durable before the main file is
   // touched.
-  Status st = wal_ != nullptr ? wal_->Sync() : Status::OK();
+  Status st = wal != nullptr ? wal->Sync() : Status::OK();
   if (st.ok()) {
     for (size_t j = 0; j < jobs.size(); ++j) {
       StampPageTrailer(copies.data() + j * kPageSize,
-                       wal_ != nullptr ? wal_->AllocateLsn() : 0);
+                       wal != nullptr ? wal->AllocateLsn() : 0);
     }
     // Write in page order, coalescing adjacent pages into span writes
     // (one seek + one transfer per run).
@@ -491,7 +496,7 @@ void BufferPool::ServiceDrain() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const Job& job : jobs) {
       Frame& f = frames_[job.frame_idx];
       f.io_in_flight = false;
@@ -505,7 +510,7 @@ void BufferPool::ServiceDrain() {
       }
     }
     if (!st.ok()) PoisonLocked(st);
-    io_cv_.notify_all();
+    io_cv_.NotifyAll();
   }
 }
 

@@ -31,10 +31,8 @@
 #ifndef RUIDX_STORAGE_BUFFER_POOL_H_
 #define RUIDX_STORAGE_BUFFER_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -42,6 +40,7 @@
 #include "storage/pager.h"
 #include "storage/wal.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace ruidx {
 namespace storage {
@@ -114,30 +113,34 @@ class BufferPool {
 
   /// The pool's sticky failure state: OK, or the first durability-protocol
   /// error (also returned by every subsequent Fetch/AllocatePinned/
-  /// FlushAll/FreePage). Read from a quiescent state when a flusher runs.
-  const Status& status() const { return poison_; }
+  /// FlushAll/FreePage). A snapshot copied under the pool lock, so it is
+  /// safe to poll while a flusher runs.
+  Status status() const {
+    MutexLock lock(&mu_);
+    return poison_;
+  }
 
   /// Reinstalls a persisted free list (called when re-opening a store).
   void RestoreFreeList(uint32_t head, uint64_t count) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     free_head_ = head;
     free_count_ = count;
   }
   uint32_t free_head() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return free_head_;
   }
   uint64_t free_page_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return free_count_;
   }
 
   BufferPoolStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_ = BufferPoolStats{};
   }
   size_t capacity() const { return capacity_; }
@@ -157,53 +160,80 @@ class BufferPool {
 
   /// Finds a frame for page_id, evicting if needed. New pages enter with
   /// the reference bit clear (cold insertion — the scan-resistance half of
-  /// CLOCK); hits set it.
-  Result<size_t> FindFrameLocked(std::unique_lock<std::mutex>& lock,
-                                 uint32_t page_id, bool load);
-  /// CLOCK sweep for an evictable frame; waits on io_cv_ when only
-  /// in-flight frames remain, writes back dirty victims synchronously.
-  Result<size_t> PickVictimLocked(std::unique_lock<std::mutex>& lock);
+  /// CLOCK); hits set it. May release and reacquire mu_ (see
+  /// PickVictimLocked) — callers must re-validate any pool state they read
+  /// before the call.
+  Result<size_t> FindFrameLocked(uint32_t page_id, bool load)
+      RUIDX_REQUIRES(mu_);
+  /// CLOCK sweep for an evictable frame; writes back dirty victims
+  /// synchronously.
+  ///
+  /// The io_cv_ wait protocol: when every unpinned frame is under
+  /// asynchronous write-back, this RELEASES mu_ (inside io_cv_.Wait) until
+  /// the flusher lands a frame and notifies, then REACQUIRES it and
+  /// re-sweeps. The static REQUIRES(mu_) contract still holds on both
+  /// sides of the wait, but any state a caller read before invoking this
+  /// may have changed across the window — which is why FindFrameLocked
+  /// re-probes the table afterwards (a racing Fetch/prefetch may have
+  /// loaded the same page) and AllocatePinned re-validates the free-list
+  /// head (a racing allocator may have popped it).
+  Result<size_t> PickVictimLocked() RUIDX_REQUIRES(mu_);
 
   /// Synchronous write-back of one dirty frame (eviction / FlushAll); with
   /// a WAL, first makes sure every journal record is durable (pre-images
   /// must hit the disk before the pages they cover are overwritten).
-  Status WriteBackLocked(size_t frame_idx);
+  Status WriteBackLocked(size_t frame_idx) RUIDX_REQUIRES(mu_);
   /// Journals `page_id`'s on-disk pre-image if this transaction has not
   /// yet; pages the transaction itself appended need no image (rollback
   /// truncates them away).
-  Status JournalBeforeDirtyLocked(uint32_t page_id);
+  Status JournalBeforeDirtyLocked(uint32_t page_id) RUIDX_REQUIRES(mu_);
   /// Same, but takes the pre-image from an already-loaded clean frame,
   /// saving the re-read.
-  Status JournalFromBufferLocked(uint32_t page_id, const uint8_t* data);
+  Status JournalFromBufferLocked(uint32_t page_id, const uint8_t* data)
+      RUIDX_REQUIRES(mu_);
   /// Opens the WAL transaction (records the rollback page count) if needed.
-  Status EnsureTransactionLocked();
-  void PoisonLocked(const Status& status);
-  Status FlushAllLocked(std::unique_lock<std::mutex>& lock);
+  Status EnsureTransactionLocked() RUIDX_REQUIRES(mu_);
+  void PoisonLocked(const Status& status) RUIDX_REQUIRES(mu_);
+  Status FlushAllLocked() RUIDX_REQUIRES(mu_);
+  /// The WAL'd commit sequence FlushAllLocked runs: journal durable -> new
+  /// pages into the main file -> main file durable -> checkpoint.
+  Status CommitProtocolLocked() RUIDX_REQUIRES(mu_);
   /// Called outside the lock with a dirty-count snapshot.
-  void MaybeScheduleDrain(size_t dirty_count);
+  void MaybeScheduleDrain(size_t dirty_count) RUIDX_EXCLUDES(mu_);
 
   // Flusher-thread entry points (called via friend BackgroundFlusher).
   void ServiceDrain();
   void ServicePrefetch(uint32_t page_id);
   Status ServiceCommit();
 
-  Pager* pager_;
-  WriteAheadLog* wal_ = nullptr;
-  size_t capacity_;
-  std::vector<Frame> frames_;
-  std::unordered_map<uint32_t, size_t> table_;  // page id -> frame index
-  std::vector<size_t> free_frames_;             // never-used frame indexes
-  size_t clock_hand_ = 0;
-  size_t dirty_count_ = 0;
-  std::unordered_set<uint32_t> journaled_;      // this txn's covered pages
-  uint32_t txn_base_pages_ = 0;  // durable page count at txn start
-  uint32_t free_head_ = kInvalidPage;
-  uint64_t free_count_ = 0;
-  Status poison_;
-  std::vector<uint8_t> scratch_;  // pre-image read buffer
-  BufferPoolStats stats_;
-  mutable std::mutex mu_;               // guards every member above
-  std::condition_variable io_cv_;       // io_in_flight completions
+  /// Guards every mutable member below; held across pager and WAL calls by
+  /// the synchronous write-back path (rank table in util/sync.h).
+  mutable Mutex mu_{LockRank::kBufferPool, "buffer_pool.mu"};
+  /// Signals io_in_flight completions (flusher -> PickVictimLocked).
+  CondVar io_cv_;
+
+  Pager* const pager_;
+  WriteAheadLog* wal_ RUIDX_GUARDED_BY(mu_) = nullptr;
+  const size_t capacity_;
+  std::vector<Frame> frames_ RUIDX_GUARDED_BY(mu_);
+  /// page id -> frame index
+  std::unordered_map<uint32_t, size_t> table_ RUIDX_GUARDED_BY(mu_);
+  /// never-used frame indexes
+  std::vector<size_t> free_frames_ RUIDX_GUARDED_BY(mu_);
+  size_t clock_hand_ RUIDX_GUARDED_BY(mu_) = 0;
+  size_t dirty_count_ RUIDX_GUARDED_BY(mu_) = 0;
+  /// this txn's covered pages
+  std::unordered_set<uint32_t> journaled_ RUIDX_GUARDED_BY(mu_);
+  /// durable page count at txn start
+  uint32_t txn_base_pages_ RUIDX_GUARDED_BY(mu_) = 0;
+  uint32_t free_head_ RUIDX_GUARDED_BY(mu_) = kInvalidPage;
+  uint64_t free_count_ RUIDX_GUARDED_BY(mu_) = 0;
+  Status poison_ RUIDX_GUARDED_BY(mu_);
+  /// pre-image read buffer
+  std::vector<uint8_t> scratch_ RUIDX_GUARDED_BY(mu_);
+  BufferPoolStats stats_ RUIDX_GUARDED_BY(mu_);
+  /// Set once by StartBackgroundFlusher before the pool is shared (per its
+  /// contract); read-only afterwards, so deliberately unguarded.
   std::unique_ptr<BackgroundFlusher> flusher_;
 };
 

@@ -199,7 +199,9 @@ class ElementStore {
   void InjectFaultAfter(uint64_t ops) { pager_->InjectFaultAfter(ops); }
 
   uint64_t record_count() const { return index_->entry_count(); }
-  const PagerStats& pager_stats() const { return pager_->stats(); }
+  /// By value: Pager::stats() snapshots under the pager mutex, so there is
+  /// no stable object a reference could point at.
+  PagerStats pager_stats() const { return pager_->stats(); }
   BufferPoolStats pool_stats() const { return pool_->stats(); }
   /// Requests waiting in the background flusher's queue (0 without one).
   size_t flusher_queue_depth() const { return pool_->flusher_queue_depth(); }

@@ -14,42 +14,42 @@ void BackgroundFlusher::Start() {
 
 void BackgroundFlusher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) return;
     stopping_ = true;
     // The stop marker goes to the BACK: everything already queued —
     // including commits with waiters — is served first.
     queue_.push_back(Request{Request::kStop});
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void BackgroundFlusher::RequestDrain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_ || drain_pending_) return;
     drain_pending_ = true;
     queue_.push_back(Request{Request::kDrain});
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void BackgroundFlusher::RequestPrefetch(uint32_t page_id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) return;
     Request req{Request::kPrefetch};
     req.page_id = page_id;
     queue_.push_back(req);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status BackgroundFlusher::RunCommit() {
   Latch latch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_ || !thread_.joinable()) {
       return Status::Internal("flusher is not running");
     }
@@ -57,14 +57,14 @@ Status BackgroundFlusher::RunCommit() {
     req.latch = &latch;
     queue_.push_back(req);
   }
-  cv_.notify_all();
-  std::unique_lock<std::mutex> lock(latch.mu);
-  latch.cv.wait(lock, [&] { return latch.done; });
+  cv_.NotifyAll();
+  MutexLock lock(&latch.mu);
+  while (!latch.done) latch.cv.Wait(&latch.mu);
   return latch.status;
 }
 
 size_t BackgroundFlusher::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -72,8 +72,8 @@ void BackgroundFlusher::Loop() {
   for (;;) {
     Request req;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (queue_.empty()) cv_.Wait(&mu_);
       req = queue_.front();
       queue_.pop_front();
       if (req.kind == Request::kDrain) drain_pending_ = false;
@@ -90,10 +90,10 @@ void BackgroundFlusher::Loop() {
         // Notify while holding the latch mutex: the latch lives on the
         // waiter's stack and dies the moment the waiter observes done, so
         // the cv must not be touched once the lock is released.
-        std::lock_guard<std::mutex> lock(req.latch->mu);
+        MutexLock lock(&req.latch->mu);
         req.latch->status = st;
         req.latch->done = true;
-        req.latch->cv.notify_all();
+        req.latch->cv.NotifyAll();
         break;
       }
       case Request::kStop:

@@ -18,13 +18,12 @@
 #ifndef RUIDX_STORAGE_FLUSHER_H_
 #define RUIDX_STORAGE_FLUSHER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace ruidx {
 namespace storage {
@@ -64,11 +63,15 @@ class BackgroundFlusher {
   size_t queue_depth() const;
 
  private:
+  /// One-shot completion latch living on the committer's stack. Leaf rank:
+  /// its mutex is taken with no other lock held on either side (the waiter
+  /// dropped the queue mutex before blocking; the flusher fulfills it after
+  /// ServiceCommit returned and the pool mutex is long released).
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Status status;
+    Mutex mu{LockRank::kLeafLatch, "flusher.latch"};
+    CondVar cv;
+    bool done RUIDX_GUARDED_BY(mu) = false;
+    Status status RUIDX_GUARDED_BY(mu);
   };
   struct Request {
     enum Kind { kDrain, kPrefetch, kCommit, kStop } kind;
@@ -79,12 +82,17 @@ class BackgroundFlusher {
   void Loop();
 
   BufferPool* pool_;
+  /// Set by Start before the flusher is shared (per BufferPool's
+  /// StartBackgroundFlusher contract), joined by Stop; unguarded.
   std::thread thread_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool drain_pending_ = false;  // a kDrain is queued and not yet popped
-  bool stopping_ = false;
+  /// Guards the request queue. Never held while the pool's mutex is — the
+  /// flusher pops under mu_, releases, then calls into the pool.
+  mutable Mutex mu_{LockRank::kFlusherQueue, "flusher.mu"};
+  CondVar cv_;
+  std::deque<Request> queue_ RUIDX_GUARDED_BY(mu_);
+  /// a kDrain is queued and not yet popped
+  bool drain_pending_ RUIDX_GUARDED_BY(mu_) = false;
+  bool stopping_ RUIDX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace storage

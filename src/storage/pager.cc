@@ -70,7 +70,13 @@ Result<std::unique_ptr<Pager>> Pager::Open(
   }
   if (injector == nullptr) injector = std::make_shared<IoFaultInjector>();
   auto pager = std::unique_ptr<Pager>(new Pager(file, std::move(injector)));
-  pager->temp_ = path.empty();
+  {
+    // Uncontended (the pager is not shared until Open returns), but the
+    // member is lock-annotated and the analysis holds factories to the
+    // same standard as everything else.
+    MutexLock lock(&pager->mu_);
+    pager->temp_ = path.empty();
+  }
   if (std::fseek(file, 0, SEEK_END) != 0) {
     return Status::IOError("seek failed on " + path);
   }
@@ -105,7 +111,7 @@ Result<uint32_t> Pager::AllocatePage() {
   char zeros[kPageSize];
   std::memset(zeros, 0, sizeof(zeros));
   if (injector_->ShouldFail()) return Status::IOError("injected fault (write)");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint32_t id = page_count_.load(std::memory_order_relaxed);
   RUIDX_RETURN_NOT_OK(WritePageLocked(id, zeros));
   ++stats_.allocations;
@@ -114,7 +120,7 @@ Result<uint32_t> Pager::AllocatePage() {
 
 Status Pager::ReadPage(uint32_t id, void* buffer) {
   if (injector_->ShouldFail()) return Status::IOError("injected fault (read)");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id >= page_count_.load(std::memory_order_relaxed)) {
     return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
   }
@@ -130,7 +136,7 @@ Status Pager::ReadPage(uint32_t id, void* buffer) {
 
 Status Pager::WritePage(uint32_t id, const void* buffer) {
   if (injector_->ShouldFail()) return Status::IOError("injected fault (write)");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return WritePageLocked(id, buffer);
 }
 
@@ -162,7 +168,7 @@ Status Pager::WriteSpan(uint32_t first, uint32_t count, const void* buffer) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (ok_pages > 0) {
     if (std::fseek(file_, static_cast<long>(first) * kPageSize, SEEK_SET) !=
         0) {
@@ -186,7 +192,7 @@ Status Pager::WriteSpan(uint32_t first, uint32_t count, const void* buffer) {
 
 Status Pager::Sync() {
   if (injector_->ShouldFail()) return Status::IOError("injected fault (sync)");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
   if (!temp_ && ::fsync(fileno(file_)) != 0) {
     return Status::IOError("fsync failed");
@@ -199,7 +205,7 @@ Status Pager::TruncateToPages(uint32_t pages) {
   if (injector_->ShouldFail()) {
     return Status::IOError("injected fault (truncate)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
   if (::ftruncate(fileno(file_), static_cast<off_t>(pages) * kPageSize) != 0) {
     return Status::IOError("ftruncate failed");

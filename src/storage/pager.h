@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace ruidx {
 namespace storage {
@@ -144,11 +144,15 @@ class Pager {
   uint32_t page_count() const {
     return page_count_.load(std::memory_order_acquire);
   }
-  /// Stats are written under the pager's lock; read them only from
-  /// quiescent states (after a flush / join), as the benches and tests do.
-  const PagerStats& stats() const { return stats_; }
+  /// A snapshot of the I/O counters, copied under the pager's lock — safe
+  /// to call while the flusher is writing (each counter is from the same
+  /// consistent instant).
+  PagerStats stats() const {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_ = PagerStats{};
   }
 
@@ -165,17 +169,19 @@ class Pager {
   Pager(std::FILE* file, std::shared_ptr<IoFaultInjector> injector)
       : file_(file), injector_(std::move(injector)) {}
 
-  Status WritePageLocked(uint32_t id, const void* buffer);
+  Status WritePageLocked(uint32_t id, const void* buffer) RUIDX_REQUIRES(mu_);
 
-  std::FILE* file_;
+  /// Serializes seek+transfer pairs and the stats; innermost lock of the
+  /// storage chain (rank table in util/sync.h).
+  mutable Mutex mu_{LockRank::kPager, "pager.mu"};
+  std::FILE* file_ RUIDX_GUARDED_BY(mu_);
   /// Anonymous tmpfile backing (empty path): the file is already unlinked,
   /// so it survives no crash regardless — Sync skips the physical fsync
   /// (the flush, stats, and fault-injection accounting are unchanged).
-  bool temp_ = false;
+  bool temp_ RUIDX_GUARDED_BY(mu_) = false;
   std::shared_ptr<IoFaultInjector> injector_;
   std::atomic<uint32_t> page_count_{0};
-  mutable std::mutex mu_;  // serializes seek+transfer pairs and stats
-  PagerStats stats_;
+  PagerStats stats_ RUIDX_GUARDED_BY(mu_);
 };
 
 }  // namespace storage

@@ -70,6 +70,9 @@ Result<std::unique_ptr<ShardedElementStore>> ShardedElementStore::Open(
         std::unique_ptr<ElementStore> shard,
         ElementStore::Open(entry.path().string(), buffer_pool_pages_per_shard,
                            /*background_flusher=*/false));
+    // Uncontended (the store is not shared until Open returns), but
+    // shards_ is lock-annotated so the factory takes the map mutex too.
+    MutexLock lock(&store->shards_mu_);
     store->shards_.emplace(ShardKey{stem.substr(0, dash), *global},
                            std::move(shard));
   }
@@ -77,7 +80,7 @@ Result<std::unique_ptr<ShardedElementStore>> ShardedElementStore::Open(
 }
 
 Status ShardedElementStore::Flush() {
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   for (auto& [key, shard] : shards_) {
     RUIDX_RETURN_NOT_OK(shard->Flush());
   }
@@ -85,7 +88,7 @@ Status ShardedElementStore::Flush() {
 }
 
 Status ShardedElementStore::VerifyOnDisk() {
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   for (auto& [key, shard] : shards_) {
     Status st = shard->VerifyOnDisk();
     if (!st.ok()) {
@@ -99,7 +102,7 @@ Status ShardedElementStore::VerifyOnDisk() {
 
 Result<ElementStore*> ShardedElementStore::ShardFor(const ShardKey& key,
                                                     bool create) {
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   auto it = shards_.find(key);
   if (it != shards_.end()) return it->second.get();
   if (!create) return Status::NotFound("no shard for " + key.name);
@@ -251,7 +254,7 @@ Result<ElementRecord> ShardedElementStore::GetById(const core::Ruid2Id& id) {
   // filter veto the descent. Shard contents are not touched under the map
   // lock except through Get, which pins pages briefly — same discipline as
   // ScanName.
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   ++probe_stats_.lookups;
   for (auto& [key, shard] : shards_) {
     if (key.global != id.global) continue;
@@ -271,7 +274,7 @@ Result<ElementRecord> ShardedElementStore::GetById(const core::Ruid2Id& id) {
 
 std::vector<ShardedElementStore::ShardInfo> ShardedElementStore::ShardInfos()
     const {
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   std::vector<ShardInfo> infos;
   infos.reserve(shards_.size());
   for (const auto& [key, shard] : shards_) {
@@ -292,7 +295,7 @@ Status ShardedElementStore::ScanName(
   // The map lock is held across the scan so that a concurrent Put creating
   // fresh shards cannot invalidate the iteration (shard *contents* are not
   // touched by map insertions — std::map nodes are stable).
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   auto it = shards_.lower_bound(ShardKey{name, BigUint(0)});
   for (; it != shards_.end() && it->first.name == name; ++it) {
     bool keep_going = true;
@@ -316,14 +319,14 @@ Status ShardedElementStore::ScanNameInArea(
 }
 
 uint64_t ShardedElementStore::record_count() const {
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   uint64_t total = 0;
   for (const auto& [key, shard] : shards_) total += shard->record_count();
   return total;
 }
 
 BufferPoolStats ShardedElementStore::pool_stats() const {
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   BufferPoolStats total;
   for (const auto& [key, shard] : shards_) {
     BufferPoolStats s = shard->pool_stats();
@@ -339,7 +342,7 @@ BufferPoolStats ShardedElementStore::pool_stats() const {
 }
 
 uint64_t ShardedElementStore::logical_page_accesses() const {
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   uint64_t total = 0;
   for (const auto& [key, shard] : shards_) {
     total += shard->logical_page_accesses();
@@ -348,13 +351,13 @@ uint64_t ShardedElementStore::logical_page_accesses() const {
 }
 
 void ShardedElementStore::ResetStats() {
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   for (auto& [key, shard] : shards_) shard->ResetStats();
   probe_stats_ = ShardProbeStats{};
 }
 
 void ShardedElementStore::SetBloomPruning(bool enabled) {
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   for (auto& [key, shard] : shards_) shard->SetBloomEnabled(enabled);
 }
 

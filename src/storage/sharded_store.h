@@ -14,12 +14,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/ruid2.h"
 #include "storage/element_store.h"
+#include "util/sync.h"
 
 namespace ruidx {
 namespace util {
@@ -81,7 +81,7 @@ class ShardedElementStore {
     uint64_t tree_probes = 0;      // descents the filter let through
   };
   ShardProbeStats probe_stats() const {
-    std::lock_guard<std::mutex> lock(shards_mu_);
+    MutexLock lock(&shards_mu_);
     return probe_stats_;
   }
 
@@ -105,7 +105,7 @@ class ShardedElementStore {
                         const std::function<bool(const ElementRecord&)>& fn);
 
   size_t shard_count() const {
-    std::lock_guard<std::mutex> lock(shards_mu_);
+    MutexLock lock(&shards_mu_);
     return shards_.size();
   }
   uint64_t record_count() const;
@@ -142,10 +142,13 @@ class ShardedElementStore {
   /// Guards shards_ (the map itself, not the stores: during a parallel
   /// BulkLoad every ElementStore is owned by exactly one worker). Every
   /// walk over the map — scans, stats — must hold it too, so that readers
-  /// can run while Put() inserts fresh shards.
-  mutable std::mutex shards_mu_;
-  std::map<ShardKey, std::unique_ptr<ElementStore>> shards_;
-  ShardProbeStats probe_stats_;
+  /// can run while Put() inserts fresh shards. Outermost rank: held across
+  /// shard calls that take each store's pool mutex (rank table in
+  /// util/sync.h).
+  mutable Mutex shards_mu_{LockRank::kShardMap, "sharded_store.shards_mu"};
+  std::map<ShardKey, std::unique_ptr<ElementStore>> shards_
+      RUIDX_GUARDED_BY(shards_mu_);
+  ShardProbeStats probe_stats_ RUIDX_GUARDED_BY(shards_mu_);
 };
 
 }  // namespace storage

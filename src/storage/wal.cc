@@ -56,6 +56,10 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   if (injector == nullptr) injector = std::make_shared<IoFaultInjector>();
   auto wal = std::unique_ptr<WriteAheadLog>(
       new WriteAheadLog(file, std::move(injector)));
+  // The log is not shared until Open returns, so the lock is uncontended —
+  // but the members are lock-annotated and the *Locked helpers carry
+  // REQUIRES, so the factory takes it like everyone else.
+  MutexLock lock(&wal->mu_);
   wal->temp_ = path.empty();
   if (std::fseek(file, 0, SEEK_END) != 0) {
     return Status::IOError("seek failed on wal " + path);
@@ -64,8 +68,7 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   if (size < 0) return Status::IOError("ftell failed on wal " + path);
   if (size < kWalHeaderSize) {
     // Fresh (or header torn before it was ever synced — nothing could have
-    // been journaled after it, so the log is empty either way). No lock:
-    // the log is not shared until Open returns.
+    // been journaled after it, so the log is empty either way).
     RUIDX_RETURN_NOT_OK(wal->WriteHeaderLocked());
     if (std::fflush(file) != 0) return Status::IOError("wal fflush failed");
     wal->append_offset_ = kWalHeaderSize;
@@ -200,7 +203,7 @@ Status WriteAheadLog::AppendRecordLocked(uint8_t type, uint64_t lsn,
 }
 
 Status WriteAheadLog::BeginTransaction(uint32_t base_page_count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (in_transaction_.load(std::memory_order_relaxed)) return Status::OK();
   if (plan_.has_transaction) {
     return Status::Internal(
@@ -215,7 +218,7 @@ Status WriteAheadLog::BeginTransaction(uint32_t base_page_count) {
 }
 
 Status WriteAheadLog::AppendPageImage(uint32_t page_id, const uint8_t* image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!in_transaction_.load(std::memory_order_relaxed)) {
     return Status::Internal("wal page image outside a transaction");
   }
@@ -224,7 +227,7 @@ Status WriteAheadLog::AppendPageImage(uint32_t page_id, const uint8_t* image) {
 }
 
 Status WriteAheadLog::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!unsynced_) return Status::OK();
   if (injector_->ShouldFail()) return Status::IOError("injected fault (wal sync)");
   if (std::fflush(file_) != 0) return Status::IOError("wal fflush failed");
@@ -237,7 +240,7 @@ Status WriteAheadLog::Sync() {
 }
 
 Status WriteAheadLog::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Persist the LSN counter, then truncate the records away. The truncate
   // is the commit point: once it lands, the main file (already written and
   // synced by the caller) *is* the committed state and there is nothing to

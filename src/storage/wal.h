@@ -20,13 +20,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "storage/pager.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace ruidx {
 namespace storage {
@@ -61,7 +61,16 @@ class WriteAheadLog {
   /// The transaction found on disk at open time. Callers that find
   /// has_transaction must roll back and then Checkpoint() before using the
   /// log for new transactions.
-  const RecoveryPlan& recovery_plan() const { return plan_; }
+  ///
+  /// Analysis escape: this returns a reference into plan_ (guarded by mu_)
+  /// without the lock. Recovery is single-threaded by contract — the log is
+  /// examined right after Open, before the pool or any flusher shares it —
+  /// and the reference consumers (ElementStore::Open's rollback loop, the
+  /// wal tests) all run inside that window. Returning a copy instead would
+  /// dangle the range-for temporaries those callers bind.
+  const RecoveryPlan& recovery_plan() const RUIDX_NO_THREAD_SAFETY_ANALYSIS {
+    return plan_;
+  }
 
   /// Starts a transaction (appends a Begin record) if none is open.
   /// `base_page_count` is the main file's durable page count — recovery
@@ -97,34 +106,41 @@ class WriteAheadLog {
     return next_lsn_.load(std::memory_order_acquire);
   }
 
-  /// Stats are mutated under the internal mutex; read from quiescent
-  /// states (after FlushAll / flusher join) as the tests do.
-  const WalStats& stats() const { return stats_; }
+  /// A snapshot of the journal counters, copied under the internal mutex —
+  /// safe to call while the flusher is syncing concurrently.
+  WalStats stats() const {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
  private:
   WriteAheadLog(std::FILE* file, std::shared_ptr<IoFaultInjector> injector)
       : file_(file), injector_(std::move(injector)) {}
 
-  Status WriteHeaderLocked();
+  Status WriteHeaderLocked() RUIDX_REQUIRES(mu_);
   Status AppendRecordLocked(uint8_t type, uint64_t lsn, uint32_t arg,
-                            const uint8_t* payload, size_t payload_len);
+                            const uint8_t* payload, size_t payload_len)
+      RUIDX_REQUIRES(mu_);
   /// Reads the valid prefix into plan_ and positions append_offset_.
-  Status ScanExisting(long file_size);
+  Status ScanExisting(long file_size) RUIDX_REQUIRES(mu_);
 
-  std::FILE* file_;
+  /// Serializes file ops, the recovery plan, unsynced_, and the stats;
+  /// taken under the buffer-pool mutex by write-backs (rank table in
+  /// util/sync.h).
+  mutable Mutex mu_{LockRank::kWal, "wal.mu"};
+  std::FILE* file_ RUIDX_GUARDED_BY(mu_);
   /// Anonymous tmpfile backing (empty path): already unlinked, so no crash
   /// can see it — physical fsyncs are skipped (flush, stats, and
   /// fault-injection accounting are unchanged).
-  bool temp_ = false;
+  bool temp_ RUIDX_GUARDED_BY(mu_) = false;
   std::shared_ptr<IoFaultInjector> injector_;
-  RecoveryPlan plan_;
+  RecoveryPlan plan_ RUIDX_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_lsn_{1};
-  long append_offset_ = 0;
+  long append_offset_ RUIDX_GUARDED_BY(mu_) = 0;
   std::atomic<bool> in_transaction_{false};
   std::atomic<uint32_t> txn_base_page_count_{0};
-  bool unsynced_ = false;
-  mutable std::mutex mu_;  // serializes file ops, unsynced_, and stats
-  WalStats stats_;
+  bool unsynced_ RUIDX_GUARDED_BY(mu_) = false;
+  WalStats stats_ RUIDX_GUARDED_BY(mu_);
 };
 
 }  // namespace storage

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <memory>
 #include <thread>
 
 namespace ruidx {
@@ -18,43 +19,42 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     assert(!shutting_down_ && "Submit after shutdown");
     tasks_.push_back(std::move(fn));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.Wait(&mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock,
-                       [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && tasks_.empty()) task_ready_.Wait(&mu_);
       if (tasks_.empty()) return;  // shutting down and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(&mu_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -69,9 +69,11 @@ void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
   // One claiming task per worker; each pulls the next unclaimed index.
   struct SharedState {
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable done;
-    size_t live = 0;
+    /// Leaf rank: taken only at the very end of a claiming task, with no
+    /// other lock held on either side of the wait.
+    Mutex mu{LockRank::kLeafLatch, "parallel_for.latch"};
+    CondVar done;
+    size_t live RUIDX_GUARDED_BY(mu) = 0;
   };
   auto state = std::make_shared<SharedState>();
   // Claiming tasks are CPU-bound loops over the shared cursor, so spawning
@@ -86,7 +88,10 @@ void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  state->live = tasks;
+  {
+    MutexLock lock(&state->mu);
+    state->live = tasks;
+  }
   for (size_t t = 0; t < tasks; ++t) {
     pool->Submit([state, n, &fn] {
       for (;;) {
@@ -94,14 +99,14 @@ void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
         if (i >= n) break;
         fn(i);
       }
-      std::unique_lock<std::mutex> lock(state->mu);
-      if (--state->live == 0) state->done.notify_all();
+      MutexLock lock(&state->mu);
+      if (--state->live == 0) state->done.NotifyAll();
     });
   }
   // Wait for this loop's tasks only (not the whole pool), so concurrent
   // ParallelFor calls on one pool do not serialize on each other.
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&] { return state->live == 0; });
+  MutexLock lock(&state->mu);
+  while (state->live != 0) state->done.Wait(&state->mu);
 }
 
 }  // namespace util

@@ -6,13 +6,13 @@
 #ifndef RUIDX_UTIL_THREAD_POOL_H_
 #define RUIDX_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ruidx {
 namespace util {
@@ -49,12 +49,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> tasks_;
-  size_t in_flight_ = 0;  // queued + executing
-  bool shutting_down_ = false;
+  mutable Mutex mu_{LockRank::kThreadPool, "thread_pool.mu"};
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> tasks_ RUIDX_GUARDED_BY(mu_);
+  size_t in_flight_ RUIDX_GUARDED_BY(mu_) = 0;  // queued + executing
+  bool shutting_down_ RUIDX_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, before any worker can observe the
+  /// pool; read-only afterwards (size(), the destructor's join).
   std::vector<std::thread> workers_;
 };
 

@@ -62,7 +62,7 @@ class AncestorPathCacheTestPeer {
  public:
   /// Appends a bogus identifier to every memoized BigUint chain.
   static size_t CorruptChains(AncestorPathCache* cache) {
-    std::lock_guard<std::mutex> lock(cache->mu_);
+    MutexLock lock(&cache->mu_);
     for (auto& [global, chain] : cache->chains_) {
       chain.push_back(Ruid2Id{BigUint(999), BigUint(999), false});
     }

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "core/ruid2.h"
 #include "testutil.h"
@@ -74,6 +77,49 @@ TEST(GlobalStateTest, LoadedStateAnswersRparent) {
 
 TEST(GlobalStateTest, FileErrorsSurface) {
   EXPECT_TRUE(LoadGlobalState("/nonexistent/dir/x.bin").status().IsIOError());
+}
+
+TEST(SharedGlobalStateTest, SnapshotsAreNeverTorn) {
+  // An updater alternates between two internally-consistent states (kappa
+  // matches a marker row in K); concurrent readers snapshot and check the
+  // pairing. A torn read — kappa from one store, K from the other — fails
+  // the consistency check. This is the replicated-(κ,K) shape of the
+  // paper's distributed deployment (Sec. 4): remote readers answer
+  // structural queries while update propagation overwrites the state.
+  auto make_state = [](uint64_t kappa) {
+    GlobalState gs;
+    gs.kappa = kappa;
+    gs.ktable.Upsert({BigUint(1), BigUint(kappa), 2});
+    return gs;
+  };
+  SharedGlobalState shared(make_state(3));
+  EXPECT_EQ(shared.version(), 0u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        GlobalState snap = shared.Snapshot();
+        const KRow* row = snap.ktable.Find(BigUint(1));
+        if (row == nullptr || row->root_local != BigUint(snap.kappa)) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  uint64_t version = 0;
+  for (int i = 0; i < 500; ++i) {
+    uint64_t next = shared.Store(make_state(3 + i % 2));
+    EXPECT_GT(next, version);
+    version = next;
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(shared.version(), 500u);
+  EXPECT_EQ(shared.Snapshot().kappa, 3u + (499 % 2));
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+// Positive exercise of the runtime lock-rank validator (util/sync.h): run
+// the deepest real lock-nesting chains in the system — a small-pool
+// ElementStore with its background flusher (pool mutex over wal/pager
+// mutexes, flusher queue, commit latches), a parallel ShardedElementStore
+// BulkLoad (shard map, thread pool, per-shard pools), and ancestor-cache
+// invalidation racing readers — and require that everything completes
+// without a rank abort. In dcheck builds every Lock() in these paths runs
+// rank validation, so this test IS the proof that the documented global
+// order matches the code's actual nesting; in NDEBUG builds it degrades to
+// a plain integration smoke test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ruid2.h"
+#include "storage/element_store.h"
+#include "storage/sharded_store.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+#include "xml/generator.h"
+
+namespace ruidx {
+namespace storage {
+namespace {
+
+core::PartitionOptions SmallAreas() {
+  core::PartitionOptions options;
+  options.max_area_nodes = 24;
+  options.max_area_depth = 3;
+  return options;
+}
+
+TEST(LockRankTest, FlusherCommitChainRunsCleanUnderValidator) {
+  // Tiny pool: evictions run the synchronous write-back chain (pool mutex
+  // held across wal sync + pager write); the flusher adds the async drain
+  // and commit-latch chains on top.
+  auto store = ElementStore::Create("", /*buffer_pool_pages=*/8,
+                                    /*background_flusher=*/true);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  auto doc = xml::GenerateDblpLike(200);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+  Status put_status = Status::OK();
+  scheme.ForEachLabeled([&](xml::Node* n, const core::Ruid2Id& id) {
+    if (!put_status.ok()) return;
+    ElementRecord record;
+    record.id = id;
+    record.parent_id = id;
+    record.node_type = static_cast<uint8_t>(n->type());
+    record.name = n->name();
+    put_status = (*store)->Put(record);
+  });
+  ASSERT_TRUE(put_status.ok()) << put_status.ToString();
+  // The commit protocol end to end: flusher latch wait, queue handoff,
+  // pool mutex over wal sync / write-backs / pager sync / checkpoint.
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_TRUE((*store)->VerifyOnDisk().ok());
+}
+
+TEST(LockRankTest, ParallelBulkLoadAndCacheInvalidationRunClean) {
+  auto doc = xml::GenerateDblpLike(300);
+  core::Ruid2Scheme scheme(SmallAreas());
+  scheme.Build(doc->root());
+
+  // Readers keep the ancestor-cache mutex hot while the bulk load drives
+  // the shard map / thread pool / per-shard pool chains, and an updater
+  // thread interleaves invalidations — together every rank in the table
+  // below kShardMap gets acquired, in every real combination.
+  std::vector<core::Ruid2Id> ids;
+  scheme.ForEachLabeled(
+      [&](xml::Node*, const core::Ruid2Id& id) { ids.push_back(id); });
+  ASSERT_FALSE(ids.empty());
+
+  std::atomic<bool> stop{false};
+  std::thread cache_churn([&] {
+    core::UpdateReport relabel;
+    relabel.relabeled = 1;
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)scheme.Ancestors(ids[i % ids.size()]);
+      scheme.ancestor_cache().OnUpdate(relabel);
+      ++i;
+    }
+  });
+
+  auto sharded = ShardedElementStore::Create("", /*pages=*/8);
+  ASSERT_TRUE(sharded.ok());
+  util::ThreadPool pool(4);
+  Status load = (*sharded)->BulkLoad(scheme, doc->root(), &pool);
+  stop.store(true);
+  cache_churn.join();
+  ASSERT_TRUE(load.ok()) << load.ToString();
+
+  // shards_mu_ held across whole-shard commits — the outermost chain.
+  ASSERT_TRUE((*sharded)->Flush().ok());
+  ASSERT_TRUE((*sharded)->VerifyOnDisk().ok());
+  EXPECT_GT((*sharded)->record_count(), 0u);
+}
+
+TEST(LockRankTest, ValidatorCompiledStateMatchesBuild) {
+#if RUIDX_DCHECK_IS_ON
+  SUCCEED() << "rank validator active: the tests above validated every "
+               "acquisition against the global order";
+#else
+  GTEST_SKIP() << "NDEBUG build: the chains above ran, but rank validation "
+                  "was compiled out";
+#endif
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace ruidx

@@ -65,6 +65,18 @@ Rules (each with the hazard it guards against):
       Encode/decode through EncodeIdKey/DecodeIdKey, the posting-key codec,
       or the leaf codec instead.
 
+  naked-mutex
+      Two halves of the lock-discipline contract (DESIGN.md sec. 13):
+      (a) raw std sync primitives (`std::mutex`, `std::condition_variable`,
+      `std::lock_guard`, `std::unique_lock`, ...) anywhere outside
+      src/util/sync.{h,cc}. Raw primitives are invisible to Clang Thread
+      Safety Analysis and to the runtime lock-rank validator; use
+      ruidx::Mutex / MutexLock / CondVar so every lock carries annotations
+      and a rank. (b) a `Mutex` member declared in src/ whose name never
+      appears in a RUIDX_GUARDED_BY/REQUIRES elsewhere in the file — a lock
+      that guards nothing statically is a lock the analysis cannot check
+      anything against; tag the data it protects.
+
 Escapes: a `// NOLINT(rule-name)` comment on the offending line, or the
 rule-specific annotation documented above.
 
@@ -135,6 +147,20 @@ RE_SCANALL = re.compile(r"(?:\.|->)\s*ScanAll\s*\(")
 # before the first '(' is the function name. Tracked so ScanAll calls inside
 # an explicitly-named *Fallback* function stay legal.
 RE_FN_DEF = re.compile(r"^[^\s/#{}].*?([A-Za-z_]\w*)\s*\(")
+RE_STD_SYNC = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|condition_variable(?:_any)?|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock)\b"
+)
+# The one home of the raw primitives: the annotated wrappers themselves.
+STD_SYNC_ALLOWED = (
+    os.path.join("src", "util", "sync.h"),
+    os.path.join("src", "util", "sync.cc"),
+)
+# A Mutex member/local declaration: "mutable Mutex mu_{...};" and friends.
+RE_MUTEX_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?(?:ruidx::)?Mutex\s+(\w+)\s*[;{]"
+)
 RE_NOLINT = re.compile(r"//\s*NOLINT\(([\w-]+)\)")
 
 
@@ -269,6 +295,40 @@ def lint_file(root, rel_path, lines):
                 )
             )
 
+        if RE_STD_SYNC.search(stripped) and rel_path not in STD_SYNC_ALLOWED \
+                and not has_nolint(line, "naked-mutex"):
+            violations.append(
+                Violation(
+                    rel_path,
+                    i,
+                    "naked-mutex",
+                    "raw std sync primitive outside src/util/sync.h: "
+                    "invisible to thread-safety analysis and the lock-rank "
+                    "validator; use ruidx::Mutex/MutexLock/CondVar",
+                )
+            )
+
+        if rel_path.startswith("src" + os.sep):
+            decl = RE_MUTEX_DECL.match(stripped)
+            if decl and not has_nolint(line, "naked-mutex"):
+                name = re.escape(decl.group(1))
+                used = re.compile(
+                    r"RUIDX_(?:PT_)?GUARDED_BY\(\s*" + name + r"\s*\)|"
+                    r"RUIDX_REQUIRES\(\s*" + name + r"\s*\)"
+                )
+                if not any(used.search(l) for l in lines):
+                    violations.append(
+                        Violation(
+                            rel_path,
+                            i,
+                            "naked-mutex",
+                            "Mutex '" + decl.group(1) + "' guards nothing: "
+                            "no RUIDX_GUARDED_BY/REQUIRES in this file names "
+                            "it, so the analysis can check nothing against "
+                            "it; tag the data it protects",
+                        )
+                    )
+
         if (
             in_xpath
             and RE_SCANALL.search(stripped)
@@ -321,7 +381,9 @@ def iter_source_files(root):
         if not os.path.isdir(base):
             continue
         for dirpath, dirnames, filenames in os.walk(base):
-            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            dirnames[:] = [
+                d for d in dirnames if d not in ("lint_fixtures", "tsa_fixtures")
+            ]
             for name in sorted(filenames):
                 if name.endswith(SOURCE_EXTS):
                     yield os.path.join(dirpath, name)

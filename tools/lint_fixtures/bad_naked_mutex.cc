@@ -1,0 +1,23 @@
+// lint-fixture-path: src/query/result_cache.h
+// A raw std primitive outside src/util/sync.h (half a), and an annotated
+// Mutex member no GUARDED_BY/REQUIRES in the file ever names (half b).
+#include <mutex>
+
+namespace ruidx {
+
+class ResultCache {
+ public:
+  void Insert(int key, int value) {
+    std::lock_guard<std::mutex> lock(raw_mu_);
+    last_key_ = key;
+    last_value_ = value;
+  }
+
+ private:
+  std::mutex raw_mu_;
+  mutable Mutex mu_{LockRank::kLeafLatch, "result_cache.mu"};
+  int last_key_ = 0;
+  int last_value_ = 0;
+};
+
+}  // namespace ruidx

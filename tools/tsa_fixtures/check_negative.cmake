@@ -1,0 +1,50 @@
+# Proves the thread-safety-analysis build actually bites: compiles the
+# deliberately-racy fixture once WITHOUT the analysis (positive control —
+# must compile) and once WITH -Werror=thread-safety (must NOT compile).
+# Run as a ctest script on clang builds:
+#   cmake -DCXX=<clang++> -DSRC_DIR=<repo>/src -DFIXTURE=<fixture.cc>
+#         -DWORK_DIR=<build dir> -P check_negative.cmake
+# Any other outcome — fixture broken, or analysis silently off — fails.
+
+foreach(var CXX SRC_DIR FIXTURE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_negative.cmake: ${var} is required")
+  endif()
+endforeach()
+
+set(common_args -std=c++20 -fsyntax-only -I${SRC_DIR} ${FIXTURE})
+
+# Positive control: the fixture is valid C++ when the analysis is off.
+execute_process(
+  COMMAND ${CXX} ${common_args}
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE plain_result
+  ERROR_VARIABLE plain_stderr)
+if(NOT plain_result EQUAL 0)
+  message(FATAL_ERROR
+    "tsa fixture failed to compile WITHOUT the analysis — the fixture is "
+    "broken, so the negative test below would prove nothing:\n"
+    "${plain_stderr}")
+endif()
+
+# The real check: with the analysis armed, the unguarded access must be
+# rejected.
+execute_process(
+  COMMAND ${CXX} ${common_args}
+          -Wthread-safety -Wthread-safety-beta -Werror=thread-safety
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE tsa_result
+  ERROR_VARIABLE tsa_stderr)
+if(tsa_result EQUAL 0)
+  message(FATAL_ERROR
+    "the deliberately-racy fixture COMPILED under -Werror=thread-safety: "
+    "the analysis is not rejecting unguarded guarded-member access")
+endif()
+if(NOT tsa_stderr MATCHES "thread-safety|guarded_by|guarded by")
+  message(FATAL_ERROR
+    "fixture was rejected for the wrong reason (not a thread-safety "
+    "diagnostic):\n${tsa_stderr}")
+endif()
+
+message(STATUS "tsa negative fixture behaved: clean without analysis, "
+               "rejected with it")

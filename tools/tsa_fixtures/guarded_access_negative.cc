@@ -1,0 +1,36 @@
+// Negative compile fixture for the thread-safety-analysis build: this file
+// touches a RUIDX_GUARDED_BY member without holding its mutex, and MUST
+// fail to compile under clang with -Werror=thread-safety. The
+// tsa_negative_compile test (tools/tsa_fixtures/check_negative.cmake)
+// compiles it twice: once plain (must succeed — proving the file is
+// otherwise valid C++, so a pass/fail under the analysis flag measures the
+// analysis and nothing else) and once with the flag (must fail).
+//
+// Keep this file minimal: one class, one guarded member, one unguarded
+// write. Anything else that failed to compile would make the positive
+// control meaningless.
+#include "util/sync.h"
+
+namespace ruidx {
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): writes value_ with mu_ not held. Under
+  // -Werror=thread-safety clang rejects this function; without the
+  // analysis it is ordinary (racy) C++ that compiles fine.
+  void IncrementRacy() { ++value_; }
+
+ private:
+  Mutex mu_{LockRank::kLeafLatch, "tsa_fixture.mu"};
+  int value_ RUIDX_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the TU exports a symbol and no -Wunused warning fires.
+void TouchCounter(Counter* c) { c->Increment(); }
+
+}  // namespace ruidx
