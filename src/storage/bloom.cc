@@ -61,6 +61,7 @@ BloomStats BloomFilter::Stats() const {
   BloomStats stats;
   stats.bit_count = bit_count();
   stats.key_count = key_count_;
+  stats.tombstones = tombstone_count_;
   stats.hash_count = kHashCount;
   stats.bits_per_key =
       key_count_ == 0 ? 0.0
@@ -77,6 +78,9 @@ void BloomFilter::Restore(std::vector<uint64_t> words, uint64_t key_count) {
   words_ = std::move(words);
   mask_ = words_.size() * 64 - 1;
   key_count_ = key_count;
+  // A persisted image describes a committed key set with no record of past
+  // churn; drift accounting starts over.
+  tombstone_count_ = 0;
 }
 
 }  // namespace storage

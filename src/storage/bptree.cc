@@ -166,7 +166,7 @@ size_t InnerChildIndex(const uint8_t* page, const BPlusTree::Key& key) {
 
 }  // namespace
 
-Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
+Result<BPlusTree> BPlusTree::Create(PageIo* pool) {
   uint8_t* frame = nullptr;
   RUIDX_ASSIGN_OR_RETURN(uint32_t root, pool->AllocatePinned(&frame));
   WriteLeafPage(frame, nullptr, 0, kInvalidPage, kInvalidPage,
@@ -175,7 +175,7 @@ Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
   return BPlusTree(pool, root);
 }
 
-BPlusTree BPlusTree::Attach(BufferPool* pool, uint32_t root_page,
+BPlusTree BPlusTree::Attach(PageIo* pool, uint32_t root_page,
                             uint64_t entry_count) {
   BPlusTree tree(pool, root_page);
   tree.entry_count_ = entry_count;

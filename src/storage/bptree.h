@@ -14,8 +14,9 @@
 #include <utility>
 #include <vector>
 
-#include "storage/buffer_pool.h"
 #include "storage/leaf_codec.h"
+#include "storage/page_io.h"
+#include "storage/pager.h"
 #include "util/result.h"
 
 namespace ruidx {
@@ -29,10 +30,11 @@ class BPlusTree {
   using Key = std::array<uint8_t, kKeySize>;
 
   /// Creates an empty tree (allocates the root leaf).
-  static Result<BPlusTree> Create(BufferPool* pool);
+  static Result<BPlusTree> Create(PageIo* pool);
 
-  /// Attaches to an existing tree rooted at `root_page`.
-  static BPlusTree Attach(BufferPool* pool, uint32_t root_page,
+  /// Attaches to an existing tree rooted at `root_page`. With a read-only
+  /// PageIo (a Snapshot) the lookup/scan paths work and mutations fail.
+  static BPlusTree Attach(PageIo* pool, uint32_t root_page,
                           uint64_t entry_count);
 
   /// Inserts or overwrites.
@@ -98,7 +100,7 @@ class BPlusTree {
   Status ComputeLeafStats(LeafStats* stats) const;
 
  private:
-  BPlusTree(BufferPool* pool, uint32_t root_page)
+  BPlusTree(PageIo* pool, uint32_t root_page)
       : pool_(pool), root_page_(root_page) {}
 
   struct SplitResult {
@@ -120,7 +122,7 @@ class BPlusTree {
   /// Descends to the leaf that may hold `key`.
   Result<uint32_t> FindLeaf(const Key& key) const;
 
-  BufferPool* pool_;
+  PageIo* pool_;
   uint32_t root_page_;
   uint64_t entry_count_ = 0;
 };

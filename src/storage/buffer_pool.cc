@@ -10,7 +10,9 @@ namespace ruidx {
 namespace storage {
 
 BufferPool::BufferPool(Pager* pager, size_t capacity)
-    : pager_(pager), capacity_(std::max<size_t>(capacity, 1)) {
+    : pager_(pager),
+      capacity_(std::max<size_t>(capacity, 1)),
+      snapshots_(std::make_shared<SnapshotTable>(pager)) {
   frames_.resize(capacity_);
   for (Frame& f : frames_) f.data.resize(kPageSize);
   // Lowest index used first, matching the historical fill order.
@@ -20,8 +22,13 @@ BufferPool::BufferPool(Pager* pager, size_t capacity)
 
 BufferPool::~BufferPool() {
   if (flusher_ != nullptr) flusher_->Stop();
-  MutexLock lock(&mu_);
-  (void)FlushAllLocked();
+  {
+    MutexLock lock(&mu_);
+    (void)FlushAllLocked();
+  }
+  // Any snapshot still alive keeps the table (it co-owns it) but loses the
+  // pager: reads from here on fail cleanly instead of dangling.
+  snapshots_->Close();
 }
 
 void BufferPool::AttachWal(WriteAheadLog* wal) {
@@ -78,7 +85,12 @@ Status BufferPool::JournalBeforeDirtyLocked(uint32_t page_id) {
   RUIDX_RETURN_NOT_OK(pager_->ReadPage(page_id, scratch_.data()));
   RUIDX_RETURN_NOT_OK(wal_->AppendPageImage(page_id, scratch_.data()));
   journaled_.insert(page_id);
+  RecordPreImageLocked(page_id, scratch_.data());
   return Status::OK();
+}
+
+void BufferPool::RecordPreImageLocked(uint32_t page_id, const uint8_t* image) {
+  snapshots_->RecordPreImage(page_id, image);
 }
 
 Status BufferPool::JournalFromBufferLocked(uint32_t page_id,
@@ -91,6 +103,7 @@ Status BufferPool::JournalFromBufferLocked(uint32_t page_id,
   }
   RUIDX_RETURN_NOT_OK(wal_->AppendPageImage(page_id, data));
   journaled_.insert(page_id);
+  RecordPreImageLocked(page_id, data);
   return Status::OK();
 }
 
@@ -348,15 +361,46 @@ Status BufferPool::FreePage(uint32_t page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  {
+    MutexLock lock(&mu_);
+    ++stats_.commit_requests;
+  }
   // With a flusher the commit is served from its queue, strictly after
   // every drain enqueued before this call — so no in-flight write can
-  // overlap the commit's write-backs.
+  // overlap the commit's write-backs. Callers queued behind an in-progress
+  // pick-up are absorbed into one protocol run (group commit).
   if (flusher_ != nullptr) return flusher_->RunCommit();
   MutexLock lock(&mu_);
   return FlushAllLocked();
 }
 
+Result<std::shared_ptr<Snapshot>> BufferPool::CreateSnapshot() {
+  MutexLock lock(&mu_);
+  RUIDX_RETURN_NOT_OK(poison_);
+  if (wal_ == nullptr) {
+    return Status::Internal("snapshots require an attached WAL");
+  }
+  // The snapshot pins: the commit counter, the exclusive LSN bound every
+  // committed trailer stamp is below, and the committed page count (pages
+  // at or past it belong to the open transaction).
+  std::shared_ptr<Snapshot> snap = snapshots_->Register(
+      snapshots_, commit_seq_, wal_->next_lsn(), txn_base_pages_);
+  if (wal_->in_transaction()) {
+    // Mid-transaction open: the pool only mirrors pre-images while
+    // snapshots are live, so images journaled before this point exist
+    // nowhere but the WAL — seed the live layer from it. Rank chain:
+    // pool (60) -> wal (40) -> snapshot table (35).
+    Status st = wal_->ForEachTxnPreImage(
+        [this](uint32_t page_id, const uint8_t* image) {
+          snapshots_->RecordPreImage(page_id, image);
+        });
+    if (!st.ok()) return st;  // `snap` unregisters itself on destruction
+  }
+  return snap;
+}
+
 Status BufferPool::CommitProtocolLocked() {
+  if (commit_hook_) commit_hook_();
   RUIDX_RETURN_NOT_OK(wal_->Sync());
   for (size_t i = 0; i < frames_.size(); ++i) {
     if (frames_[i].page_id != kInvalidPage && frames_[i].dirty) {
@@ -386,6 +430,7 @@ Status BufferPool::FlushAllLocked() {
   // rather than a lambda: the analysis treats lambdas as separate,
   // un-annotated functions, so guarded accesses inside one would not
   // check against mu_.)
+  ++stats_.commit_batches;
   Status st = CommitProtocolLocked();
   if (!st.ok()) {
     PoisonLocked(st);
@@ -393,6 +438,10 @@ Status BufferPool::FlushAllLocked() {
   }
   journaled_.clear();
   txn_base_pages_ = pager_->page_count();
+  // The state the live pre-image layer mirrors is now the previous commit;
+  // freeze it for the snapshots that still read at or before it.
+  ++commit_seq_;
+  snapshots_->OnCommit(commit_seq_);
   return Status::OK();
 }
 

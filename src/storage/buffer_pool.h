@@ -32,12 +32,15 @@
 #define RUIDX_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "storage/page_io.h"
 #include "storage/pager.h"
+#include "storage/snapshot.h"
 #include "storage/wal.h"
 #include "util/result.h"
 #include "util/sync.h"
@@ -55,6 +58,8 @@ struct BufferPoolStats {
   uint64_t async_writebacks = 0;   // cleaned by a flusher drain
   uint64_t prefetches = 0;         // pages loaded ahead of a scan
   uint64_t flusher_drains = 0;     // drain passes that found work
+  uint64_t commit_requests = 0;    // FlushAll calls made
+  uint64_t commit_batches = 0;     // commit protocols actually run
 };
 
 /// Pages on the free list carry this marker in their first 4 bytes and the
@@ -62,14 +67,14 @@ struct BufferPoolStats {
 /// on-disk free chain is walkable by the integrity checker.
 constexpr uint32_t kFreePageMagic = 0x46524545;  // "FREE"
 
-class BufferPool {
+class BufferPool : public PageIo {
  public:
   /// \param pager must outlive the pool.
   BufferPool(Pager* pager, size_t capacity);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
-  ~BufferPool();
+  ~BufferPool() override;
 
   /// Enables the durability protocol. `wal` must outlive the pool and must
   /// be attached before the first mutation through this pool.
@@ -86,30 +91,55 @@ class BufferPool {
   /// Page content past kPageUsableSize is the trailer — hands off.
   /// A pinned frame may be READ from any thread; WRITING it concurrently
   /// with other accessors of the same page is the caller's race to avoid.
-  Result<uint8_t*> Fetch(uint32_t page_id);
+  Result<uint8_t*> Fetch(uint32_t page_id) override;
 
   /// Releases a pin; `dirty` marks the frame for write-back (journaling the
   /// page's pre-image first when a WAL is attached). Past the dirty
   /// watermark (half the pool) this nudges the background flusher.
-  void Unpin(uint32_t page_id, bool dirty);
+  void Unpin(uint32_t page_id, bool dirty) override;
 
   /// Hints that `page_id` will be fetched soon (leaf-chain read-ahead).
   /// No-op without a background flusher; errors are swallowed.
-  void Prefetch(uint32_t page_id);
+  void Prefetch(uint32_t page_id) override;
 
   /// Allocates a page — reusing the free list before growing the file —
   /// and returns it pinned (zeroed).
-  Result<uint32_t> AllocatePinned(uint8_t** frame);
+  Result<uint32_t> AllocatePinned(uint8_t** frame) override;
 
   /// Puts `page_id` at the head of the free list for later reuse. The page
   /// must not be pinned; its prior content is gone after commit.
-  Status FreePage(uint32_t page_id);
+  Status FreePage(uint32_t page_id) override;
 
   /// Writes back all dirty frames. With a WAL attached this is the atomic
   /// commit: sync the journal, write back + sync the main file, checkpoint.
   /// With a flusher it is served by the flusher thread, strictly after
-  /// every drain queued before it.
+  /// every drain queued before it — and concurrent callers are GROUP
+  /// COMMITTED: every FlushAll waiting in the queue when the flusher picks
+  /// one up rides the same protocol run (one journal fsync, one
+  /// checkpoint) and observes its status.
   Status FlushAll();
+
+  /// Opens an MVCC snapshot of the last committed state (storage/
+  /// snapshot.h). Requires an attached WAL; fails with the poison status on
+  /// a poisoned pool. Reads through the snapshot never block on FlushAll
+  /// and never see uncommitted pages. Release every snapshot before the
+  /// pool is destroyed.
+  Result<std::shared_ptr<Snapshot>> CreateSnapshot();
+
+  /// MVCC counters (live snapshots, retained pre-image frames).
+  SnapshotStats snapshot_stats() const { return snapshots_->stats(); }
+
+  /// Test hook invoked at the top of every commit protocol run, while the
+  /// pool mutex is held — lets a test prove snapshot reads proceed while a
+  /// commit is mid-flight. Set before the pool is shared.
+  void SetCommitHookForTesting(std::function<void()> hook) {
+    MutexLock lock(&mu_);
+    commit_hook_ = std::move(hook);
+  }
+
+  /// The background flusher (null without one) — only for tests that need
+  /// its serve hook to stage deterministic queue contents.
+  BackgroundFlusher* flusher_for_testing() { return flusher_.get(); }
 
   /// The pool's sticky failure state: OK, or the first durability-protocol
   /// error (also returned by every subsequent Fetch/AllocatePinned/
@@ -205,6 +235,10 @@ class BufferPool {
   void ServiceDrain();
   void ServicePrefetch(uint32_t page_id);
   Status ServiceCommit();
+  /// Mirrors a pre-image into the snapshot table when snapshots are live
+  /// (one relaxed atomic load otherwise). Called at the journaling points.
+  void RecordPreImageLocked(uint32_t page_id, const uint8_t* image)
+      RUIDX_REQUIRES(mu_);
 
   /// Guards every mutable member below; held across pager and WAL calls by
   /// the synchronous write-back path (rank table in util/sync.h).
@@ -232,6 +266,13 @@ class BufferPool {
   /// pre-image read buffer
   std::vector<uint8_t> scratch_ RUIDX_GUARDED_BY(mu_);
   BufferPoolStats stats_ RUIDX_GUARDED_BY(mu_);
+  /// Commits completed through this pool — the sequence MVCC snapshots pin.
+  uint64_t commit_seq_ RUIDX_GUARDED_BY(mu_) = 0;
+  std::function<void()> commit_hook_ RUIDX_GUARDED_BY(mu_);
+  /// The MVCC registry. The shared_ptr itself is set in the constructor and
+  /// never reseated (deliberately unguarded); the table locks internally.
+  /// Snapshot handles co-own it, so it outlives the pool if readers do.
+  std::shared_ptr<SnapshotTable> snapshots_;
   /// Set once by StartBackgroundFlusher before the pool is shared (per its
   /// contract); read-only afterwards, so deliberately unguarded.
   std::unique_ptr<BackgroundFlusher> flusher_;

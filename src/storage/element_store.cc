@@ -158,6 +158,117 @@ std::string WalPathFor(const std::string& path) {
 }
 }  // namespace
 
+namespace {
+
+/// Decodes the record at `location` (page_id << 16 | slot) through any
+/// PageIo — the live pool for ElementStore reads, a Snapshot for
+/// StoreSnapshot reads. One body, so the two paths cannot drift.
+Result<ElementRecord> ReadRecordVia(PageIo* io, uint64_t location) {
+  uint32_t page_id = static_cast<uint32_t>(location >> 16);
+  uint16_t slot = static_cast<uint16_t>(location & 0xFFFF);
+  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, io->Fetch(page_id));
+  if (slot >= SlotCount(page)) {
+    io->Unpin(page_id, false);
+    return Status::Corruption("bad slot");
+  }
+  const uint8_t* cursor = page + SlotOffset(page, slot);
+  ElementRecord record;
+  BPlusTree::Key key;
+  std::memcpy(key.data(), cursor, BPlusTree::kKeySize);
+  cursor += BPlusTree::kKeySize;
+  record.id = DecodeIdKey(key);
+  std::memcpy(key.data(), cursor, BPlusTree::kKeySize);
+  cursor += BPlusTree::kKeySize;
+  record.parent_id = DecodeIdKey(key);
+  record.node_type = *cursor++;
+  std::memcpy(&record.path_term, cursor, 8);
+  cursor += 8;
+  uint16_t name_len = ReadU16(&cursor);
+  record.name.assign(reinterpret_cast<const char*>(cursor), name_len);
+  cursor += name_len;
+  uint16_t value_len = ReadU16(&cursor);
+  record.value.assign(reinterpret_cast<const char*>(cursor), value_len);
+  io->Unpin(page_id, false);
+  return record;
+}
+
+Status ScanAreaVia(BPlusTree* index, PageIo* io, const BigUint& global,
+                   const std::function<bool(const ElementRecord&)>& fn) {
+  // All locals, both flag values: [ (g,0,false), (g,2^128-1,true) ].
+  BPlusTree::Key lo_key{};
+  if (!global.ToBytesBE(lo_key.data(), 16)) {
+    return Status::CapacityExceeded("global index exceeds 128 bits");
+  }
+  BPlusTree::Key hi_key = lo_key;
+  std::memset(hi_key.data() + 16, 0xFF, 16);
+  hi_key[32] = 1;
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(index->Scan(
+      lo_key, hi_key, [&](const BPlusTree::Key&, uint64_t location) {
+        auto record = ReadRecordVia(io, location);
+        if (!record.ok()) {
+          status = record.status();
+          return false;
+        }
+        return fn(*record);
+      }));
+  return status;
+}
+
+Status ScanAllVia(
+    BPlusTree* index, PageIo* io,
+    const std::function<bool(const BPlusTree::Key&, const ElementRecord&)>&
+        fn) {
+  BPlusTree::Key lo_key{};
+  BPlusTree::Key hi_key;
+  hi_key.fill(0xFF);
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(index->Scan(
+      lo_key, hi_key, [&](const BPlusTree::Key& key, uint64_t location) {
+        auto record = ReadRecordVia(io, location);
+        if (!record.ok()) {
+          status = record.status();
+          return false;
+        }
+        return fn(key, *record);
+      }));
+  return status;
+}
+
+Status ScanNameTermVia(SecondaryIndex* idx, PageIo* io, std::string_view name,
+                       const std::function<bool(const ElementRecord&)>& fn) {
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(idx->ScanTerm(
+      HashNameTerm(name), [&](const core::Ruid2Id&, uint64_t location) {
+        auto record = ReadRecordVia(io, location);
+        if (!record.ok()) {
+          status = record.status();
+          return false;
+        }
+        if (record->name != name) return true;  // term-hash collision
+        return fn(*record);
+      }));
+  return status;
+}
+
+Status ScanPathTermVia(SecondaryIndex* idx, PageIo* io, uint64_t term,
+                       const std::function<bool(const ElementRecord&)>& fn) {
+  Status status = Status::OK();
+  RUIDX_RETURN_NOT_OK(idx->ScanTerm(
+      term, [&](const core::Ruid2Id&, uint64_t location) {
+        auto record = ReadRecordVia(io, location);
+        if (!record.ok()) {
+          status = record.status();
+          return false;
+        }
+        if (record->path_term != term) return true;  // stale/collision guard
+        return fn(*record);
+      }));
+  return status;
+}
+
+}  // namespace
+
 Status ElementStore::WriteMeta() {
   uint8_t meta[kMetaSize];
   std::memset(meta, 0, sizeof(meta));
@@ -391,32 +502,7 @@ Result<uint64_t> ElementStore::AppendRecord(const ElementRecord& record,
 }
 
 Result<ElementRecord> ElementStore::ReadRecord(uint64_t location) {
-  uint32_t page_id = static_cast<uint32_t>(location >> 16);
-  uint16_t slot = static_cast<uint16_t>(location & 0xFFFF);
-  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, pool_->Fetch(page_id));
-  if (slot >= SlotCount(page)) {
-    pool_->Unpin(page_id, false);
-    return Status::Corruption("bad slot");
-  }
-  const uint8_t* cursor = page + SlotOffset(page, slot);
-  ElementRecord record;
-  BPlusTree::Key key;
-  std::memcpy(key.data(), cursor, BPlusTree::kKeySize);
-  cursor += BPlusTree::kKeySize;
-  record.id = DecodeIdKey(key);
-  std::memcpy(key.data(), cursor, BPlusTree::kKeySize);
-  cursor += BPlusTree::kKeySize;
-  record.parent_id = DecodeIdKey(key);
-  record.node_type = *cursor++;
-  std::memcpy(&record.path_term, cursor, 8);
-  cursor += 8;
-  uint16_t name_len = ReadU16(&cursor);
-  record.name.assign(reinterpret_cast<const char*>(cursor), name_len);
-  cursor += name_len;
-  uint16_t value_len = ReadU16(&cursor);
-  record.value.assign(reinterpret_cast<const char*>(cursor), value_len);
-  pool_->Unpin(page_id, false);
-  return record;
+  return ReadRecordVia(pool_.get(), location);
 }
 
 Result<uint64_t> ElementStore::ResolvePathTerm(const ElementRecord& record) {
@@ -508,6 +594,12 @@ Status ElementStore::Remove(const core::Ruid2Id& id) {
   RUIDX_RETURN_NOT_OK(index_->Erase(key));
   RUIDX_RETURN_NOT_OK(name_index_->Remove(HashNameTerm(old.name), id));
   RUIDX_RETURN_NOT_OK(path_index_->Remove(old.path_term, id));
+  // The removed key's bits stay set in the filter (add-only contract), so
+  // sustained churn drifts the FP rate up while key_count suggests a light
+  // load; once tombstones cross the rebuild threshold, re-derive the filter
+  // from the live key set.
+  bloom_.NoteRemoval();
+  if (bloom_.NeedsRebuild()) RUIDX_RETURN_NOT_OK(RebuildBloom());
   return Status::OK();
 }
 
@@ -652,77 +744,24 @@ Status ElementStore::BulkLoadRecords(const std::vector<ElementRecord>& records) 
 Status ElementStore::ScanArea(
     const BigUint& global,
     const std::function<bool(const ElementRecord&)>& fn) {
-  // All locals, both flag values: [ (g,0,false), (g,2^128-1,true) ].
-  BPlusTree::Key lo_key{};
-  if (!global.ToBytesBE(lo_key.data(), 16)) {
-    return Status::CapacityExceeded("global index exceeds 128 bits");
-  }
-  BPlusTree::Key hi_key = lo_key;
-  std::memset(hi_key.data() + 16, 0xFF, 16);
-  hi_key[32] = 1;
-  Status status = Status::OK();
-  RUIDX_RETURN_NOT_OK(index_->Scan(
-      lo_key, hi_key, [&](const BPlusTree::Key&, uint64_t location) {
-        auto record = ReadRecord(location);
-        if (!record.ok()) {
-          status = record.status();
-          return false;
-        }
-        return fn(*record);
-      }));
-  return status;
+  return ScanAreaVia(index_.get(), pool_.get(), global, fn);
 }
 
 Status ElementStore::ScanAll(
     const std::function<bool(const BPlusTree::Key&, const ElementRecord&)>&
         fn) {
-  BPlusTree::Key lo_key{};
-  BPlusTree::Key hi_key;
-  hi_key.fill(0xFF);
-  Status status = Status::OK();
-  RUIDX_RETURN_NOT_OK(index_->Scan(
-      lo_key, hi_key, [&](const BPlusTree::Key& key, uint64_t location) {
-        auto record = ReadRecord(location);
-        if (!record.ok()) {
-          status = record.status();
-          return false;
-        }
-        return fn(key, *record);
-      }));
-  return status;
+  return ScanAllVia(index_.get(), pool_.get(), fn);
 }
 
 Status ElementStore::ScanNameTerm(
     std::string_view name,
     const std::function<bool(const ElementRecord&)>& fn) {
-  Status status = Status::OK();
-  RUIDX_RETURN_NOT_OK(name_index_->ScanTerm(
-      HashNameTerm(name), [&](const core::Ruid2Id&, uint64_t location) {
-        auto record = ReadRecord(location);
-        if (!record.ok()) {
-          status = record.status();
-          return false;
-        }
-        if (record->name != name) return true;  // term-hash collision
-        return fn(*record);
-      }));
-  return status;
+  return ScanNameTermVia(name_index_.get(), pool_.get(), name, fn);
 }
 
 Status ElementStore::ScanPathTerm(
     uint64_t term, const std::function<bool(const ElementRecord&)>& fn) {
-  Status status = Status::OK();
-  RUIDX_RETURN_NOT_OK(path_index_->ScanTerm(
-      term, [&](const core::Ruid2Id&, uint64_t location) {
-        auto record = ReadRecord(location);
-        if (!record.ok()) {
-          status = record.status();
-          return false;
-        }
-        if (record->path_term != term) return true;  // stale/collision guard
-        return fn(*record);
-      }));
-  return status;
+  return ScanPathTermVia(path_index_.get(), pool_.get(), term, fn);
 }
 
 Status ElementStore::ScanNamePostings(
@@ -810,6 +849,78 @@ Status ElementStore::Flush() {
   RUIDX_RETURN_NOT_OK(PersistBloom());
   RUIDX_RETURN_NOT_OK(WriteMeta());
   return pool_->FlushAll();
+}
+
+Result<std::unique_ptr<StoreSnapshot>> ElementStore::OpenSnapshot() {
+  RUIDX_ASSIGN_OR_RETURN(std::shared_ptr<Snapshot> snap,
+                         pool_->CreateSnapshot());
+  // Parse the COMMITTED meta page through the snapshot — the live index_
+  // handles may already point at roots the open transaction moved. A store
+  // that never flushed has no committed page 0 at all; the snapshot's page
+  // limit turns that into NotFound here.
+  RUIDX_ASSIGN_OR_RETURN(uint8_t* page, snap->Fetch(0));
+  uint32_t magic = 0;
+  std::memcpy(&magic, page, 4);
+  if (magic != kMetaMagic && magic != kMetaMagicV3) {
+    snap->Unpin(0, false);
+    return Status::Corruption("snapshot meta page lacks the store magic");
+  }
+  uint32_t root = 0, name_root = 0, path_root = 0;
+  uint64_t count = 0, name_count = 0, path_count = 0;
+  std::memcpy(&root, page + 4, 4);
+  std::memcpy(&count, page + 8, 8);
+  std::memcpy(&name_root, page + 32, 4);
+  std::memcpy(&name_count, page + 36, 8);
+  std::memcpy(&path_root, page + 44, 4);
+  std::memcpy(&path_count, page + 48, 8);
+  snap->Unpin(0, false);
+  BPlusTree index = BPlusTree::Attach(snap.get(), root, count);
+  SecondaryIndex name_index =
+      SecondaryIndex::Attach(snap.get(), name_root, name_count);
+  SecondaryIndex path_index =
+      SecondaryIndex::Attach(snap.get(), path_root, path_count);
+  return std::unique_ptr<StoreSnapshot>(
+      new StoreSnapshot(std::move(snap), std::move(index),
+                        std::move(name_index), std::move(path_index)));
+}
+
+Result<ElementRecord> StoreSnapshot::Get(const core::Ruid2Id& id) {
+  // No Bloom veto: the live filter may describe uncommitted keys. The
+  // committed tree answers directly.
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(id));
+  RUIDX_ASSIGN_OR_RETURN(uint64_t location, index_.Get(key));
+  return ReadRecordVia(snap_.get(), location);
+}
+
+Result<bool> StoreSnapshot::Exists(const core::Ruid2Id& id) {
+  RUIDX_ASSIGN_OR_RETURN(BPlusTree::Key key, EncodeIdKey(id));
+  auto location = index_.Get(key);
+  if (location.ok()) return true;
+  if (location.status().IsNotFound()) return false;
+  return location.status();
+}
+
+Status StoreSnapshot::ScanArea(
+    const BigUint& global,
+    const std::function<bool(const ElementRecord&)>& fn) {
+  return ScanAreaVia(&index_, snap_.get(), global, fn);
+}
+
+Status StoreSnapshot::ScanAll(
+    const std::function<bool(const BPlusTree::Key&, const ElementRecord&)>&
+        fn) {
+  return ScanAllVia(&index_, snap_.get(), fn);
+}
+
+Status StoreSnapshot::ScanNameTerm(
+    std::string_view name,
+    const std::function<bool(const ElementRecord&)>& fn) {
+  return ScanNameTermVia(&name_index_, snap_.get(), name, fn);
+}
+
+Status StoreSnapshot::ScanPathTerm(
+    uint64_t term, const std::function<bool(const ElementRecord&)>& fn) {
+  return ScanPathTermVia(&path_index_, snap_.get(), term, fn);
 }
 
 Status ElementStore::VerifyOnDisk() {

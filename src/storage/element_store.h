@@ -22,6 +22,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
 #include "storage/secondary_index.h"
+#include "storage/snapshot.h"
 #include "storage/wal.h"
 #include "xml/dom.h"
 
@@ -57,6 +58,54 @@ Result<BPlusTree::Key> EncodeIdKey(const core::Ruid2Id& id);
 
 /// Inverse of EncodeIdKey.
 core::Ruid2Id DecodeIdKey(const BPlusTree::Key& key);
+
+/// A read-only view of one store's last committed state, obtained from
+/// ElementStore::OpenSnapshot. All page reads go through an MVCC Snapshot
+/// (storage/snapshot.h): they never block on a concurrent Flush, never
+/// observe uncommitted mutations, and stay byte-stable for the view's whole
+/// lifetime no matter what writers commit meanwhile. The view attaches its
+/// own B+tree and posting-index handles over the snapshot, rooted at the
+/// COMMITTED meta page — so even index restructuring (splits, root moves)
+/// after the snapshot is invisible.
+///
+/// Lookups skip the Bloom filter (the live filter may already describe
+/// uncommitted keys) and go straight to the committed primary tree.
+/// Not thread-safe; open one per reader thread (opening is cheap).
+class StoreSnapshot {
+ public:
+  /// Point lookup against the committed index.
+  Result<ElementRecord> Get(const core::Ruid2Id& id);
+  Result<bool> Exists(const core::Ruid2Id& id);
+
+  /// The committed counterparts of the ElementStore scans.
+  Status ScanArea(const BigUint& global,
+                  const std::function<bool(const ElementRecord&)>& fn);
+  Status ScanAll(
+      const std::function<bool(const BPlusTree::Key&, const ElementRecord&)>&
+          fn);
+  Status ScanNameTerm(std::string_view name,
+                      const std::function<bool(const ElementRecord&)>& fn);
+  Status ScanPathTerm(uint64_t term,
+                      const std::function<bool(const ElementRecord&)>& fn);
+
+  uint64_t record_count() const { return index_.entry_count(); }
+  /// The commit sequence this view is pinned to (pool-local counter).
+  uint64_t commit_seq() const { return snap_->commit_seq(); }
+
+ private:
+  friend class ElementStore;
+  StoreSnapshot(std::shared_ptr<Snapshot> snap, BPlusTree index,
+                SecondaryIndex name_index, SecondaryIndex path_index)
+      : snap_(std::move(snap)),
+        index_(std::move(index)),
+        name_index_(std::move(name_index)),
+        path_index_(std::move(path_index)) {}
+
+  std::shared_ptr<Snapshot> snap_;
+  BPlusTree index_;
+  SecondaryIndex name_index_;
+  SecondaryIndex path_index_;
+};
 
 class ElementStore {
  public:
@@ -169,7 +218,19 @@ class ElementStore {
   /// Commits: persists the metadata and runs the pool's atomic commit
   /// protocol (journal sync -> write-back -> file sync -> checkpoint).
   /// When this returns OK the store's state survives any crash.
+  /// Concurrent Flush callers are group-committed — they share one journal
+  /// fsync and one checkpoint (see BufferPool::FlushAll).
   Status Flush();
+
+  /// Opens an MVCC view of the last committed state (see StoreSnapshot).
+  /// Requires at least one successful Flush (a store that never committed
+  /// has no committed meta page to read — NotFound). Readers holding the
+  /// view never block on concurrent Put/Remove/Flush. Release all views
+  /// before destroying the store.
+  Result<std::unique_ptr<StoreSnapshot>> OpenSnapshot();
+
+  /// Live MVCC counters of this store's pool (snapshots, COW frames).
+  SnapshotStats snapshot_stats() const { return pool_->snapshot_stats(); }
 
   /// On-disk integrity checks over the flushed image, read raw through the
   /// pager: page trailer checksums, LSN bounds (every stamp below the

@@ -71,13 +71,32 @@ size_t BackgroundFlusher::queue_depth() const {
 void BackgroundFlusher::Loop() {
   for (;;) {
     Request req;
+    std::vector<Latch*> commit_latches;
+    std::function<void()> hook;
     {
       MutexLock lock(&mu_);
       while (queue_.empty()) cv_.Wait(&mu_);
       req = queue_.front();
       queue_.pop_front();
       if (req.kind == Request::kDrain) drain_pending_ = false;
+      if (req.kind == Request::kCommit) {
+        // Group commit: absorb every commit already waiting, wherever it
+        // sits in the queue (see the header comment for why skipping past
+        // interleaved drains/prefetches is sound). One protocol run will
+        // fulfill every latch collected here.
+        commit_latches.push_back(req.latch);
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          if (it->kind == Request::kCommit) {
+            commit_latches.push_back(it->latch);
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      hook = serve_hook_;
     }
+    if (hook) hook();
     switch (req.kind) {
       case Request::kDrain:
         pool_->ServiceDrain();
@@ -87,13 +106,17 @@ void BackgroundFlusher::Loop() {
         break;
       case Request::kCommit: {
         Status st = pool_->ServiceCommit();
-        // Notify while holding the latch mutex: the latch lives on the
-        // waiter's stack and dies the moment the waiter observes done, so
-        // the cv must not be touched once the lock is released.
-        MutexLock lock(&req.latch->mu);
-        req.latch->status = st;
-        req.latch->done = true;
-        req.latch->cv.NotifyAll();
+        // Every absorbed caller observes the shared run's status — a
+        // poison raised mid-protocol reaches the whole group. Notify while
+        // holding each latch mutex: the latch lives on its waiter's stack
+        // and dies the moment the waiter observes done, so the cv must not
+        // be touched once the lock is released.
+        for (Latch* latch : commit_latches) {
+          MutexLock lock(&latch->mu);
+          latch->status = st;
+          latch->done = true;
+          latch->cv.NotifyAll();
+        }
         break;
       }
       case Request::kStop:

@@ -15,12 +15,26 @@
 // WAL ordering invariants (journal-before-first-dirty is enforced by the
 // pool at dirtying time; journal-sync-before-write-back is replayed by
 // every drain) hold unchanged under asynchrony.
+//
+// GROUP COMMIT: when the thread picks up a kCommit it absorbs every other
+// kCommit waiting anywhere in the queue, runs the protocol ONCE, and
+// fulfills all their latches with that run's status. This is sound because
+// a commit writes back every dirty frame — a superset of whatever any
+// absorbed caller dirtied before enqueueing — and durability is decided by
+// the single checkpoint at the end. N concurrent FlushAll callers thus
+// share one journal fsync + one checkpoint instead of paying for N, and a
+// poison raised mid-protocol is observed by every waiter, not just the
+// leader. (Skipping past interleaved drains/prefetches is equally sound:
+// the commit's write-back covers anything those drains would have
+// written.)
 #ifndef RUIDX_STORAGE_FLUSHER_H_
 #define RUIDX_STORAGE_FLUSHER_H_
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <thread>
+#include <vector>
 
 #include "util/result.h"
 #include "util/sync.h"
@@ -62,6 +76,15 @@ class BackgroundFlusher {
   /// Requests waiting to be served (commit latches count until fulfilled).
   size_t queue_depth() const;
 
+  /// Test hook invoked (outside all locks) after a request batch is popped
+  /// and before it is served — lets a test park the flusher on a sentinel
+  /// request while it queues commits behind it, making group-commit
+  /// absorption deterministic. Set before the pool is shared.
+  void SetServeHookForTesting(std::function<void()> hook) {
+    MutexLock lock(&mu_);
+    serve_hook_ = std::move(hook);
+  }
+
  private:
   /// One-shot completion latch living on the committer's stack. Leaf rank:
   /// its mutex is taken with no other lock held on either side (the waiter
@@ -93,6 +116,7 @@ class BackgroundFlusher {
   /// a kDrain is queued and not yet popped
   bool drain_pending_ RUIDX_GUARDED_BY(mu_) = false;
   bool stopping_ RUIDX_GUARDED_BY(mu_) = false;
+  std::function<void()> serve_hook_ RUIDX_GUARDED_BY(mu_);
 };
 
 }  // namespace storage

@@ -1,0 +1,43 @@
+// PageIo: the minimal pinned-page interface the B+tree and the secondary
+// indexes are written against. Two implementations exist: BufferPool (the
+// read-write engine with eviction, journaling and the commit protocol) and
+// Snapshot (an LSN-pinned, read-only view that serves the committed
+// pre-image of every page — see storage/snapshot.h). Keeping the tree code
+// on this seam is what lets one `BPlusTree::Attach` body serve both the
+// live index and an MVCC snapshot of it.
+#ifndef RUIDX_STORAGE_PAGE_IO_H_
+#define RUIDX_STORAGE_PAGE_IO_H_
+
+#include <cstdint>
+
+#include "util/result.h"
+
+namespace ruidx {
+namespace storage {
+
+class PageIo {
+ public:
+  virtual ~PageIo() = default;
+
+  /// Returns a pinned pointer to the page's content. Call Unpin when done.
+  virtual Result<uint8_t*> Fetch(uint32_t page_id) = 0;
+
+  /// Releases a pin; `dirty` marks the frame for write-back. Read-only
+  /// implementations reject dirty releases.
+  virtual void Unpin(uint32_t page_id, bool dirty) = 0;
+
+  /// Allocates a fresh zeroed page and returns it pinned. Read-only
+  /// implementations fail.
+  virtual Result<uint32_t> AllocatePinned(uint8_t** frame) = 0;
+
+  /// Returns `page_id` to the free list. Read-only implementations fail.
+  virtual Status FreePage(uint32_t page_id) = 0;
+
+  /// Hints that `page_id` will be fetched soon. Best effort; default no-op.
+  virtual void Prefetch(uint32_t page_id) { (void)page_id; }
+};
+
+}  // namespace storage
+}  // namespace ruidx
+
+#endif  // RUIDX_STORAGE_PAGE_IO_H_

@@ -68,12 +68,12 @@ core::Ruid2Id DecodePostingId(const BPlusTree::Key& key) {
   return id;
 }
 
-Result<SecondaryIndex> SecondaryIndex::Create(BufferPool* pool) {
+Result<SecondaryIndex> SecondaryIndex::Create(PageIo* pool) {
   RUIDX_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(pool));
   return SecondaryIndex(std::move(tree));
 }
 
-SecondaryIndex SecondaryIndex::Attach(BufferPool* pool, uint32_t root_page,
+SecondaryIndex SecondaryIndex::Attach(PageIo* pool, uint32_t root_page,
                                       uint64_t entry_count) {
   return SecondaryIndex(BPlusTree::Attach(pool, root_page, entry_count));
 }

@@ -65,10 +65,10 @@ core::Ruid2Id DecodePostingId(const BPlusTree::Key& key);
 class SecondaryIndex {
  public:
   /// Creates an empty index (allocates its root leaf in `pool`).
-  static Result<SecondaryIndex> Create(BufferPool* pool);
+  static Result<SecondaryIndex> Create(PageIo* pool);
 
   /// Attaches to a persisted index.
-  static SecondaryIndex Attach(BufferPool* pool, uint32_t root_page,
+  static SecondaryIndex Attach(PageIo* pool, uint32_t root_page,
                                uint64_t entry_count);
 
   /// Inserts (or re-points) the posting for (term, id) at `location`.

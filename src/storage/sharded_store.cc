@@ -361,5 +361,68 @@ void ShardedElementStore::SetBloomPruning(bool enabled) {
   for (auto& [key, shard] : shards_) shard->SetBloomEnabled(enabled);
 }
 
+Result<std::unique_ptr<ShardedStoreSnapshot>>
+ShardedElementStore::OpenSnapshot() {
+  // shards_mu_ is held across every per-shard open, and Flush holds it
+  // across every per-shard commit — so this view lands exactly on a
+  // cross-shard commit boundary, never between two shards of one Flush.
+  MutexLock lock(&shards_mu_);
+  auto view = std::make_unique<ShardedStoreSnapshot>();
+  view->shards_.reserve(shards_.size());
+  for (auto& [key, shard] : shards_) {
+    RUIDX_ASSIGN_OR_RETURN(std::unique_ptr<StoreSnapshot> snap,
+                           shard->OpenSnapshot());
+    view->shards_.push_back(
+        ShardedStoreSnapshot::ShardView{key.name, key.global,
+                                        std::move(snap)});
+  }
+  return view;
+}
+
+Result<ElementRecord> ShardedStoreSnapshot::Get(const std::string& name,
+                                                const core::Ruid2Id& id) {
+  for (ShardView& sv : shards_) {
+    if (sv.name == name && sv.global == id.global) return sv.snap->Get(id);
+  }
+  return Status::NotFound("no committed shard for (" + name + ", area " +
+                          id.global.ToDecimalString() + ")");
+}
+
+Result<ElementRecord> ShardedStoreSnapshot::GetById(const core::Ruid2Id& id) {
+  // Every shard of the id's area is a candidate (one per distinct name).
+  // Unlike the live GetById there is no Bloom veto here: committed filters
+  // are not part of the view, so each candidate costs one tree descent.
+  for (ShardView& sv : shards_) {
+    if (sv.global != id.global) continue;
+    auto record = sv.snap->Get(id);
+    if (record.ok()) return record;
+    if (!record.status().IsNotFound()) return record.status();
+  }
+  return Status::NotFound("no committed shard holds id " + id.ToString());
+}
+
+Status ShardedStoreSnapshot::ScanName(
+    const std::string& name,
+    const std::function<bool(const ElementRecord&)>& fn) {
+  // shards_ is in (name, global) order, so area grouping comes for free.
+  for (ShardView& sv : shards_) {
+    if (sv.name != name) continue;
+    bool keep_going = true;
+    RUIDX_RETURN_NOT_OK(
+        sv.snap->ScanArea(sv.global, [&](const ElementRecord& record) {
+          keep_going = fn(record);
+          return keep_going;
+        }));
+    if (!keep_going) break;
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedStoreSnapshot::record_count() const {
+  uint64_t total = 0;
+  for (const ShardView& sv : shards_) total += sv.snap->record_count();
+  return total;
+}
+
 }  // namespace storage
 }  // namespace ruidx

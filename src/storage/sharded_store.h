@@ -28,6 +28,43 @@ class ThreadPool;
 
 namespace storage {
 
+/// A cross-shard committed view, obtained from
+/// ShardedElementStore::OpenSnapshot. One StoreSnapshot per shard, all
+/// opened under the shard-map mutex — and since Flush holds that mutex
+/// across every shard's commit, the view can never interleave a
+/// multi-shard flush: it sees all shards at the same commit boundary.
+/// Shards created after the snapshot simply do not appear in it.
+/// Not thread-safe; open one per reader thread.
+class ShardedStoreSnapshot {
+ public:
+  /// Point lookup routed by (name, area) like the live store's Get.
+  Result<ElementRecord> Get(const std::string& name, const core::Ruid2Id& id);
+
+  /// Point lookup by identifier alone: probes every committed shard of the
+  /// id's area. No Bloom pruning — the committed filters are not part of
+  /// the view — so this pays one committed-tree descent per candidate.
+  Result<ElementRecord> GetById(const core::Ruid2Id& id);
+
+  /// All committed records with this element name, grouped by area and in
+  /// identifier order within (the live ScanName's committed counterpart).
+  Status ScanName(const std::string& name,
+                  const std::function<bool(const ElementRecord&)>& fn);
+
+  size_t shard_count() const { return shards_.size(); }
+  uint64_t record_count() const;
+
+ private:
+  friend class ShardedElementStore;
+  struct ShardView {
+    std::string name;
+    BigUint global;
+    std::unique_ptr<StoreSnapshot> snap;
+  };
+
+  /// In (name, global) order — the shard map's own order at open time.
+  std::vector<ShardView> shards_;
+};
+
 class ShardedElementStore {
  public:
   /// Shards are created lazily as temp-backed stores when `dir` is empty,
@@ -120,6 +157,12 @@ class ShardedElementStore {
   /// descends every candidate shard's B+tree (the pre-index behaviour the
   /// index-on/off benchmarks compare against).
   void SetBloomPruning(bool enabled);
+
+  /// Opens a committed view spanning every current shard (see
+  /// ShardedStoreSnapshot). Every shard must have Flush()ed at least once.
+  /// Taken under the shard-map mutex, so it cannot split a multi-shard
+  /// Flush down the middle.
+  Result<std::unique_ptr<ShardedStoreSnapshot>> OpenSnapshot();
 
  private:
   struct ShardKey {

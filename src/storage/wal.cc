@@ -222,8 +222,36 @@ Status WriteAheadLog::AppendPageImage(uint32_t page_id, const uint8_t* image) {
   if (!in_transaction_.load(std::memory_order_relaxed)) {
     return Status::Internal("wal page image outside a transaction");
   }
-  return AppendRecordLocked(kRecordPageImage, AllocateLsn(), page_id, image,
-                            kPageSize);
+  // The payload lands right after the record header at the current append
+  // position; remember where so a snapshot created mid-transaction can
+  // read the pre-image back (the pool journals each page at most once per
+  // transaction, so first-offset-wins needs no tie-breaking).
+  long payload_offset = append_offset_ + static_cast<long>(kRecordHeaderSize);
+  RUIDX_RETURN_NOT_OK(AppendRecordLocked(kRecordPageImage, AllocateLsn(),
+                                         page_id, image, kPageSize));
+  txn_image_offsets_.emplace(page_id, payload_offset);
+  return Status::OK();
+}
+
+Status WriteAheadLog::ForEachTxnPreImage(
+    const std::function<void(uint32_t page_id, const uint8_t* image)>& fn) {
+  MutexLock lock(&mu_);
+  if (!in_transaction_.load(std::memory_order_relaxed)) return Status::OK();
+  std::vector<uint8_t> image(kPageSize);
+  for (const auto& [page_id, offset] : txn_image_offsets_) {
+    // fseek doubles as the required write->read barrier on the stream.
+    if (std::fseek(file_, offset, SEEK_SET) != 0 ||
+        std::fread(image.data(), kPageSize, 1, file_) != 1) {
+      return Status::IOError("wal pre-image read-back failed");
+    }
+    fn(page_id, image.data());
+  }
+  // Leave the stream positioned for the next append (AppendRecordLocked
+  // seeks anyway; this keeps the read->write transition well-defined too).
+  if (std::fseek(file_, append_offset_, SEEK_SET) != 0) {
+    return Status::IOError("wal seek failed");
+  }
+  return Status::OK();
 }
 
 Status WriteAheadLog::Sync() {
@@ -270,6 +298,7 @@ Status WriteAheadLog::Checkpoint() {
   txn_base_page_count_.store(0, std::memory_order_release);
   unsynced_ = false;
   plan_ = RecoveryPlan{};
+  txn_image_offsets_.clear();
   ++stats_.checkpoints;
   return Status::OK();
 }

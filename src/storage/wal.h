@@ -19,8 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -96,6 +98,15 @@ class WriteAheadLog {
   /// commit point of the enclosing FlushAll.
   Status Checkpoint();
 
+  /// Reads every pre-image the OPEN transaction has appended so far back
+  /// out of the journal file and hands (page_id, image) to `fn` — the seed
+  /// source for an MVCC snapshot created mid-transaction (the pool only
+  /// mirrors pre-images while snapshots are live, so earlier ones exist
+  /// nowhere but here). Images need not be synced yet: the same stream that
+  /// wrote them reads them. No-op outside a transaction.
+  Status ForEachTxnPreImage(
+      const std::function<void(uint32_t page_id, const uint8_t* image)>& fn);
+
   /// Hands out the next LSN for a page-trailer stamp (atomic, callable
   /// from the flusher thread while the foreground journals).
   uint64_t AllocateLsn() {
@@ -135,6 +146,10 @@ class WriteAheadLog {
   bool temp_ RUIDX_GUARDED_BY(mu_) = false;
   std::shared_ptr<IoFaultInjector> injector_;
   RecoveryPlan plan_ RUIDX_GUARDED_BY(mu_);
+  /// page id -> file offset of the page's pre-image record payload for the
+  /// OPEN transaction (first image wins; cleared by Checkpoint). Lets
+  /// ForEachTxnPreImage re-read the images without replaying the file.
+  std::unordered_map<uint32_t, long> txn_image_offsets_ RUIDX_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_lsn_{1};
   long append_offset_ RUIDX_GUARDED_BY(mu_) = 0;
   std::atomic<bool> in_transaction_{false};

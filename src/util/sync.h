@@ -110,6 +110,12 @@ enum class LockRank : int {
   /// storage::Pager::mu_ — serializes seek+transfer pairs; innermost of the
   /// storage chain (the pool holds its own mutex across pager calls).
   kPager = 30,
+  /// storage::SnapshotTable::mu_ — the MVCC pre-image layers and snapshot
+  /// registry. Taken under the pool mutex (pre-image recording at dirtying
+  /// time) and under the WAL mutex (seeding a mid-transaction snapshot from
+  /// the journal), so it slots BELOW kWal; snapshot readers holding it may
+  /// take the pager mutex for committed-page reads, never the pool's.
+  kSnapshotTable = 35,
   /// storage::WriteAheadLog::mu_ — journal file ops; taken under the pool
   /// mutex by write-backs (journal-sync-before-write-back) but never while
   /// the pager mutex is held.

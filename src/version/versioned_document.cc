@@ -28,6 +28,7 @@ Result<std::unique_ptr<VersionedDocument>> VersionedDocument::FromXml(
   if (vdoc->doc_->root() == nullptr) {
     return Status::InvalidArgument("base document has no root element");
   }
+  vdoc->base_xml_ = base_xml;
   vdoc->scheme_.Build(vdoc->doc_->root());
   return vdoc;
 }
@@ -60,6 +61,7 @@ Result<core::Ruid2Id> VersionedDocument::Insert(const core::Ruid2Id& parent,
   op.position = position;
   op.payload = xml::Serialize(scratch->root());
   journal_.push_back(std::move(op));
+  ++version_;
   return scheme_.label(copy);
 }
 
@@ -77,6 +79,7 @@ Status VersionedDocument::Delete(const core::Ruid2Id& target) {
   op.sequence = journal_.size() + 1;
   op.target = target;
   journal_.push_back(std::move(op));
+  ++version_;
   return Status::OK();
 }
 
@@ -91,6 +94,36 @@ Status VersionedDocument::ApplyAll(const std::vector<Operation>& journal) {
   for (const Operation& op : journal) {
     RUIDX_RETURN_NOT_OK(Apply(op));
   }
+  return Status::OK();
+}
+
+Status VersionedDocument::RollbackTo(uint64_t sequence) {
+  if (sequence > journal_.size()) {
+    return Status::InvalidArgument("cannot roll back to sequence " +
+                                   std::to_string(sequence) + ": journal has " +
+                                   std::to_string(journal_.size()) +
+                                   " operations");
+  }
+  std::vector<Operation> prefix(journal_.begin(),
+                                journal_.begin() + sequence);
+  // Rebuild the base state in place. The scheme owns a mutex (the ancestor
+  // cache), so it is rebuilt with Build() — which resets every table —
+  // rather than move-assigned from a scratch scheme.
+  RUIDX_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> fresh,
+                         xml::Parse(base_xml_));
+  if (fresh->root() == nullptr) {
+    return Status::Corruption("base document has no root element");
+  }
+  doc_ = std::move(fresh);
+  scheme_.Build(doc_->root());
+  journal_.clear();
+  total_relabeled_ = 0;
+  // Replay re-journals the prefix; construction and incremental
+  // renumbering are deterministic, so the surviving operations come back
+  // with their exact original identifiers and sequence numbers.
+  const uint64_t version_before = version_;
+  RUIDX_RETURN_NOT_OK(ApplyAll(prefix));
+  version_ = version_before + 1;
   return Status::OK();
 }
 

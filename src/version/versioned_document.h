@@ -65,8 +65,20 @@ class VersionedDocument {
   /// Replays `journal` on top of the current state.
   Status ApplyAll(const std::vector<Operation>& journal);
 
+  /// Rewinds the document to the state just after journal entry `sequence`
+  /// (0 = the base document): re-parses the base text, renumbers it, and
+  /// replays the journal prefix. Operations past `sequence` are discarded.
+  /// Advances version() by one — rollback is itself a change.
+  Status RollbackTo(uint64_t sequence);
+
   const std::vector<Operation>& journal() const { return journal_; }
-  uint64_t version() const { return journal_.size(); }
+
+  /// Monotonic change counter. Counts every successful Insert/Delete/Apply
+  /// and every RollbackTo. Deliberately NOT journal_.size(): a rollback
+  /// shortens the journal, and a version number derived from its length
+  /// would first run backwards and then hand out already-used versions to
+  /// the operations re-applied afterwards.
+  uint64_t version() const { return version_; }
 
   xml::Document* document() { return doc_.get(); }
   const core::Ruid2Scheme& scheme() const { return scheme_; }
@@ -84,7 +96,12 @@ class VersionedDocument {
 
   std::unique_ptr<xml::Document> doc_;
   core::Ruid2Scheme scheme_;
+  /// Kept verbatim so RollbackTo can rebuild the numbering from scratch —
+  /// construction is deterministic, so replaying a journal prefix over a
+  /// fresh parse reproduces the exact identifiers of that version.
+  std::string base_xml_;
   std::vector<Operation> journal_;
+  uint64_t version_ = 0;
   uint64_t total_relabeled_ = 0;
 };
 

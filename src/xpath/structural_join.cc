@@ -247,6 +247,25 @@ Result<JoinResult> StructuralJoinRuidFromStore(
                             std::move(descendants));
 }
 
+Result<JoinResult> StructuralJoinRuidFromSnapshot(
+    const core::Ruid2Scheme& scheme, storage::StoreSnapshot* snapshot,
+    std::string_view ancestor_name, std::string_view descendant_name) {
+  auto gather = [&](std::string_view name,
+                    std::vector<xml::Node*>* out) -> Status {
+    return snapshot->ScanNameTerm(name,
+                                  [&](const storage::ElementRecord& rec) {
+                                    xml::Node* node = scheme.NodeById(rec.id);
+                                    if (node != nullptr) out->push_back(node);
+                                    return true;
+                                  });
+  };
+  std::vector<xml::Node*> ancestors, descendants;
+  RUIDX_RETURN_NOT_OK(gather(ancestor_name, &ancestors));
+  RUIDX_RETURN_NOT_OK(gather(descendant_name, &descendants));
+  return StructuralJoinRuid(scheme, std::move(ancestors),
+                            std::move(descendants));
+}
+
 JoinResult StructuralJoinInterval(const scheme::XissScheme& scheme,
                                   std::vector<xml::Node*> ancestors,
                                   std::vector<xml::Node*> descendants) {

@@ -27,6 +27,7 @@
 namespace ruidx {
 namespace storage {
 class ElementStore;
+class StoreSnapshot;
 }  // namespace storage
 
 namespace xpath {
@@ -54,6 +55,14 @@ JoinResult StructuralJoinRuidByName(const core::Ruid2Scheme& scheme,
 /// on-disk secondary indexes exist for — the store is never enumerated.
 Result<JoinResult> StructuralJoinRuidFromStore(
     const core::Ruid2Scheme& scheme, storage::ElementStore* store,
+    std::string_view ancestor_name, std::string_view descendant_name);
+
+/// The same index-seeded join against an MVCC view of the store
+/// (ElementStore::OpenSnapshot): posting scans and record reads go through
+/// the snapshot's committed pages, so the join neither blocks on a
+/// concurrent Flush nor observes half-committed postings.
+Result<JoinResult> StructuralJoinRuidFromSnapshot(
+    const core::Ruid2Scheme& scheme, storage::StoreSnapshot* snapshot,
     std::string_view ancestor_name, std::string_view descendant_name);
 
 /// Same skeleton over XISS interval labels.

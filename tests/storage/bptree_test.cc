@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "storage/buffer_pool.h"
 #include "util/random.h"
 
 namespace ruidx {

@@ -141,6 +141,68 @@ TEST(VersionedDocumentTest, ManyEditsKeepRelabelingLocal) {
   });
 }
 
+TEST(VersionedDocumentTest, RollbackRestoresStateAndKeepsVersionMonotonic) {
+  auto vdoc = VersionedDocument::FromXml(kBase, SmallAreas());
+  ASSERT_TRUE(vdoc.ok());
+  const auto& scheme = (*vdoc)->scheme();
+  xml::Node* people = (*vdoc)->document()->root()->children()[0];
+  xml::Node* items = (*vdoc)->document()->root()->children()[1];
+
+  ASSERT_TRUE((*vdoc)
+                  ->Insert(scheme.label(people), 0,
+                           "<person id=\"p0\"><name>Zed</name></person>")
+                  .ok());
+  ASSERT_TRUE((*vdoc)->Insert(scheme.label(items), 1, "<item id=\"i2\"/>").ok());
+  ASSERT_TRUE((*vdoc)->Insert(scheme.label(items), 0, "<item id=\"i0\"/>").ok());
+  EXPECT_EQ((*vdoc)->version(), 3u);
+  const std::string xml_after_three = (*vdoc)->ToXml();
+
+  // Reference: a sibling document that only ever applied the first operation.
+  auto ref = VersionedDocument::FromXml(kBase, SmallAreas());
+  ASSERT_TRUE(ref.ok());
+  std::vector<Operation> first_op((*vdoc)->journal().begin(),
+                                  (*vdoc)->journal().begin() + 1);
+  ASSERT_TRUE((*ref)->ApplyAll(first_op).ok());
+
+  ASSERT_TRUE((*vdoc)->RollbackTo(1).ok());
+  // Rollback is itself a change: version keeps climbing, never reuses 1..3.
+  EXPECT_EQ((*vdoc)->version(), 4u);
+  EXPECT_EQ((*vdoc)->journal().size(), 1u);
+  EXPECT_EQ((*vdoc)->ToXml(), (*ref)->ToXml());
+
+  // Identifiers were rebuilt deterministically: every node matches the
+  // reference document's numbering.
+  xml::PreorderTraverse((*vdoc)->document()->root(), [&](xml::Node* n, int) {
+    const core::Ruid2Id& id = (*vdoc)->scheme().label(n);
+    xml::Node* twin = (*ref)->scheme().NodeById(id);
+    EXPECT_NE(twin, nullptr) << id.ToString();
+    if (twin != nullptr) {
+      EXPECT_EQ(twin->name(), n->name()) << id.ToString();
+    }
+    return true;
+  });
+
+  // Re-applying edits after rollback continues the monotonic sequence.
+  xml::Node* items_now = (*vdoc)->document()->root()->children()[1];
+  ASSERT_TRUE((*vdoc)
+                  ->Insert((*vdoc)->scheme().label(items_now), 0,
+                           "<item id=\"redo\"/>")
+                  .ok());
+  EXPECT_EQ((*vdoc)->version(), 5u);
+  EXPECT_NE((*vdoc)->ToXml(), xml_after_three);
+
+  // Bounds: rolling back past the journal is rejected without side effects.
+  EXPECT_TRUE((*vdoc)->RollbackTo(99).IsInvalidArgument());
+  EXPECT_EQ((*vdoc)->version(), 5u);
+
+  // Rollback to zero recovers the base document exactly.
+  auto base = VersionedDocument::FromXml(kBase, SmallAreas());
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE((*vdoc)->RollbackTo(0).ok());
+  EXPECT_EQ((*vdoc)->version(), 6u);
+  EXPECT_EQ((*vdoc)->ToXml(), (*base)->ToXml());
+}
+
 TEST(OperationTest, ToStringReadable) {
   Operation op;
   op.kind = Operation::Kind::kInsert;
